@@ -1,0 +1,66 @@
+// Ablation: hot-region placement (paper section 9.2.1's closing remark —
+// "performance can be improved by configuring mm-templates to store hot
+// regions of memory image in local DRAM").
+//
+// Compares T-CXL (everything on CXL) against T-DRAM-hot (file-backed hot
+// regions pinned in node DRAM, private regions on CXL) on execution latency
+// and on the node-memory bill for that pinning.
+#include <iostream>
+
+#include "bench/bench_util.h"
+
+namespace trenv {
+namespace {
+
+void Run() {
+  PrintBanner(std::cout, "Ablation: hot regions in local DRAM vs all-CXL");
+  Rng rng(404);
+  Schedule schedule =
+      MakePoissonWorkload(bench::Table4Names(), 5.0, SimDuration::Minutes(8), 0.3, rng);
+  PlatformConfig config;
+  config.keep_alive_ttl = SimDuration::Seconds(1);  // every invocation restores
+
+  struct Row {
+    std::map<std::string, Histogram> exec;
+    uint64_t pinned_bytes = 0;
+    uint64_t peak_mem = 0;
+  };
+  std::map<std::string, Row> rows;
+  for (SystemKind kind : {SystemKind::kTrEnvCxl, SystemKind::kTrEnvDramHot}) {
+    auto run = bench::RunContainerWorkload(kind, schedule, config, bench::Table4Names());
+    Row row;
+    for (const auto& [fn, metrics] : run.bed->platform().metrics().per_function()) {
+      row.exec[fn] = metrics.exec_ms;
+    }
+    row.peak_mem = run.peak_memory;
+    // Pinned hot regions live in the node's DRAM pool (shared, one copy).
+    row.pinned_bytes = run.bed->tmpfs().used_bytes();
+    rows[SystemName(kind)] = std::move(row);
+  }
+
+  Table table({"Func", "T-CXL exec p50 (ms)", "T-DRAM-hot exec p50 (ms)", "speedup"});
+  for (const auto& fn : bench::Table4Names()) {
+    auto& cxl = rows["T-CXL"].exec[fn];
+    auto& hot = rows["T-DRAM-hot"].exec[fn];
+    if (cxl.empty() || hot.empty()) {
+      continue;
+    }
+    table.AddRow({fn, Table::Num(cxl.Median()), Table::Num(hot.Median()),
+                  Table::Num(cxl.Median() / hot.Median(), 2) + "x"});
+  }
+  table.Print(std::cout);
+  std::cout << "Node memory: T-CXL " << FormatBytes(rows["T-CXL"].peak_mem)
+            << " (+0 pinned) vs T-DRAM-hot " << FormatBytes(rows["T-DRAM-hot"].peak_mem)
+            << " (+" << FormatBytes(rows["T-DRAM-hot"].pinned_bytes)
+            << " pinned shared regions) — pinning trades node memory for latency.\n"
+            << "Expected shape: memory-bound functions (DH, IR) speed up the most; "
+               "compute-bound ones are unchanged.\n";
+}
+
+}  // namespace
+}  // namespace trenv
+
+int main() {
+  trenv::Run();
+  return 0;
+}

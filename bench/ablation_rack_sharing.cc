@@ -1,0 +1,79 @@
+// Ablation: rack-level cross-node sharing (paper sections 5.1 and 8.2).
+// Scales a TrEnv cluster from 1 to 12 nodes (one CXL MHD port each) and
+// measures where the memory lives: one pool copy per rack plus thin
+// per-node CoW state, versus the per-node-everything world of the
+// baselines (modelled as nodes x a standalone CRIU testbed).
+#include <iostream>
+
+#include "src/common/table.h"
+#include "src/platform/cluster.h"
+#include "src/platform/testbed.h"
+
+namespace trenv {
+namespace {
+
+void Run() {
+  PrintBanner(std::cout, "Ablation: rack-level sharing across nodes (GiB)");
+
+  // Baseline: what N independent CRIU nodes would hold for the same load
+  // (each node keeps full per-instance images locally).
+  auto criu_node_peak = [] {
+    Testbed bed(SystemKind::kCriu);
+    (void)bed.DeployTable4Functions();
+    Schedule schedule;
+    for (int i = 0; i < 8; ++i) {
+      schedule.push_back({SimTime::Zero() + SimDuration::Millis(i * 5), i % 2 ? "IR" : "JS"});
+    }
+    (void)bed.platform().Run(schedule);
+    return static_cast<double>(bed.platform().metrics().peak_memory_bytes()) /
+           static_cast<double>(kGiB);
+  }();
+
+  Table table({"Nodes", "Pool copy", "Node DRAM (sum)", "Rack total", "CRIU rack equiv",
+               "saving", "dedup ratio"});
+  for (uint32_t nodes : {1u, 2u, 4u, 8u, 12u}) {
+    ClusterConfig config;
+    config.nodes = nodes;
+    Cluster cluster(config);
+    if (!cluster.DeployTable4Functions().ok()) {
+      std::cerr << "deploy failed\n";
+      return;
+    }
+    // Every node serves the same mix concurrently.
+    Schedule schedule;
+    for (uint32_t n = 0; n < nodes; ++n) {
+      for (int i = 0; i < 8; ++i) {
+        schedule.push_back({SimTime::Zero() + SimDuration::Millis(n * 40 + i * 5),
+                            i % 2 ? "IR" : "JS"});
+      }
+    }
+    SortSchedule(schedule);
+    if (!cluster.Run(schedule).ok()) {
+      std::cerr << "run failed\n";
+      return;
+    }
+    uint64_t dram_peak = 0;
+    for (size_t i = 0; i < cluster.node_count(); ++i) {
+      dram_peak += cluster.node(i).metrics().peak_memory_bytes();
+    }
+    const double pool_gib = static_cast<double>(cluster.PoolBytes()) / static_cast<double>(kGiB);
+    const double dram_gib = static_cast<double>(dram_peak) / static_cast<double>(kGiB);
+    const double rack = pool_gib + dram_gib;
+    const double criu_rack = criu_node_peak * nodes;
+    table.AddRow({std::to_string(nodes), Table::Num(pool_gib, 2), Table::Num(dram_gib, 2),
+                  Table::Num(rack, 2), Table::Num(criu_rack, 2),
+                  Table::Pct(1.0 - rack / criu_rack),
+                  Table::Num(cluster.dedup().DedupRatio(), 3)});
+  }
+  table.Print(std::cout);
+  std::cout << "Paper reference (8.2): read-only state needs one copy per rack; memory "
+               "cost shrinks by roughly the machine count (~10x at rack scale).\n";
+}
+
+}  // namespace
+}  // namespace trenv
+
+int main() {
+  trenv::Run();
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Figure 20: P99 E2E latency under the Azure-like and Huawei-like industry
+// traces, normalized against REAP+, split into startup + execution.
+#include <iostream>
+
+#include "bench/bench_util.h"
+
+namespace trenv {
+namespace {
+
+void RunTrace(const std::string& label, const Schedule& schedule) {
+  PrintBanner(std::cout, "Figure 20 (" + label + "): P99 E2E normalized to REAP+");
+  const SystemKind systems[] = {SystemKind::kReapPlus, SystemKind::kFaasnapPlus,
+                                SystemKind::kTrEnvCxl, SystemKind::kTrEnvRdma};
+  // fn -> system -> (p99 e2e, p99 startup)
+  std::map<std::string, std::map<std::string, std::pair<double, double>>> results;
+  for (SystemKind kind : systems) {
+    auto run = bench::RunContainerWorkload(kind, schedule, PlatformConfig{},
+                                           bench::Table4Names());
+    for (const auto& [fn, metrics] : run.bed->platform().metrics().per_function()) {
+      if (metrics.e2e_ms.empty()) {
+        continue;
+      }
+      results[fn][SystemName(kind)] = {metrics.e2e_ms.P99(), metrics.startup_ms.P99()};
+    }
+  }
+
+  Table table({"Func", "REAP+ p99", "FaaSnap+ rel", "T-CXL rel", "T-RDMA rel",
+               "T-CXL speedup", "T-CXL startup share"});
+  for (const auto& [fn, by_system] : results) {
+    auto reap_it = by_system.find("REAP+");
+    auto tcxl_it = by_system.find("T-CXL");
+    if (reap_it == by_system.end() || tcxl_it == by_system.end()) {
+      continue;
+    }
+    const double reap = reap_it->second.first;
+    auto rel = [&](const std::string& name) {
+      auto it = by_system.find(name);
+      return it == by_system.end() ? std::string("-")
+                                   : Table::Num(it->second.first / reap, 2);
+    };
+    table.AddRow({fn, Table::Num(reap), rel("FaaSnap+"), rel("T-CXL"), rel("T-RDMA"),
+                  Table::Num(reap / tcxl_it->second.first, 2) + "x",
+                  Table::Pct(tcxl_it->second.second / tcxl_it->second.first)});
+  }
+  table.Print(std::cout);
+}
+
+void Run() {
+  Rng rng(5150);
+  RunTrace("Azure-like", MakeAzureLikeWorkload(bench::Table4Names(), rng));
+  RunTrace("Huawei-like", MakeHuaweiLikeWorkload(bench::Table4Names(), rng));
+  std::cout << "\nPaper reference: T-CXL achieves 1.06x-7.00x (Azure) and 1.16x-9.25x "
+               "(Huawei) P99 speedups vs REAP+/FaaSnap+; T-RDMA can fall behind on "
+               "heavy-load functions (JS, VP, CH, CR, PR) due to RDMA tail latency.\n";
+}
+
+}  // namespace
+}  // namespace trenv
+
+int main() {
+  trenv::Run();
+  return 0;
+}

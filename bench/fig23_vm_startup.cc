@@ -1,0 +1,65 @@
+// Figure 23: startup latency of the Blackjack agent on the VM platforms —
+// (a) sequential single launches, (b) 10 concurrent launches.
+#include <iostream>
+
+#include "src/common/table.h"
+#include "src/vm/vm_platform.h"
+
+namespace trenv {
+namespace {
+
+double MeasureStartup(const VmSystemConfig& config, int concurrent) {
+  AgentVmPlatform platform(config);
+  for (const auto& agent : Table2Agents()) {
+    (void)platform.DeployAgent(agent);
+  }
+  // Warm the sandbox pool to the measured concurrency (steady state: every
+  // completed agent returns its hypervisor sandbox to the pool).
+  for (int i = 0; i < concurrent; ++i) {
+    (void)platform.SubmitLaunch(SimTime::Zero() + SimDuration::Millis(i), "Blackjack");
+  }
+  platform.RunToCompletion();
+  auto& metrics = platform.MetricsFor("Blackjack");
+  metrics.startup_ms.Clear();
+  const SimTime start = platform.scheduler().now() + SimDuration::Seconds(5);
+  for (int i = 0; i < concurrent; ++i) {
+    (void)platform.SubmitLaunch(start, "Blackjack");
+  }
+  platform.RunToCompletion();
+  return platform.MetricsFor("Blackjack").startup_ms.Mean();
+}
+
+void Run() {
+  PrintBanner(std::cout, "Figure 23: Blackjack VM startup latency (ms)");
+  const VmSystemConfig configs[] = {E2bConfig(), E2bPlusConfig(), VanillaChConfig(),
+                                    TrEnvVmConfig()};
+  Table table({"System", "Single launch", "10 concurrent", "vs E2B (single)"});
+  double e2b_single = 0;
+  std::vector<std::array<double, 2>> rows;
+  for (const auto& config : configs) {
+    const double single = MeasureStartup(config, 1);
+    const double ten = MeasureStartup(config, 10);
+    if (config.name == "E2B") {
+      e2b_single = single;
+    }
+    rows.push_back({single, ten});
+  }
+  size_t idx = 0;
+  for (const auto& config : configs) {
+    table.AddRow({config.name, Table::Ms(rows[idx][0]), Table::Ms(rows[idx][1]),
+                  Table::Pct(1.0 - rows[idx][0] / e2b_single)});
+    ++idx;
+  }
+  table.Print(std::cout);
+  std::cout << "Paper reference: TrEnv cuts startup ~40% vs E2B and ~45% vs E2B+; vanilla "
+               "CH pays >700 ms for its full memory copy; E2B suffers ~97 ms network setup "
+               "and ~63 ms cgroup migration, which worsen under concurrency.\n";
+}
+
+}  // namespace
+}  // namespace trenv
+
+int main() {
+  trenv::Run();
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Figure 4: breakdown of the startup latency for a Python-based function:
+// cold start (sandbox + bootstrap) vs CRIU restore (sandbox + process + mem)
+// vs TrEnv, highlighting the sandbox overhead.
+#include <iostream>
+
+#include "bench/bench_util.h"
+
+namespace trenv {
+namespace {
+
+void RunOne(SystemKind kind, Table& table) {
+  Testbed bed(kind);
+  if (!bed.DeployTable4Functions().ok()) {
+    return;
+  }
+  // Run one invocation for the E2E column, then retire it so TrEnv's pool
+  // holds a repurposable sandbox (its steady state).
+  (void)bed.platform().Run(Schedule{{SimTime::Zero(), "JS"}});
+  bed.platform().EvictAllIdle();
+  // Reconstruct the phases from a direct engine call for the breakdown.
+  RestoreContext ctx;
+  FrameAllocator frames(8ULL * kGiB);
+  PidAllocator pids;
+  ctx.frames = &frames;
+  ctx.backends = &bed.backends();
+  ctx.pids = &pids;
+  const FunctionProfile* profile = FindTable4Function("JS");
+  auto outcome = bed.engine().Restore(*profile, ctx);
+  if (!outcome.ok()) {
+    std::cerr << "restore failed\n";
+    return;
+  }
+  const auto& startup = outcome->startup;
+  const auto& e2e = bed.platform().metrics().per_function().at("JS").e2e_ms;
+  table.AddRow({SystemName(kind), Table::Ms(startup.sandbox.millis()),
+                startup.process_is_cpu ? Table::Ms(startup.process.millis()) + " (bootstrap)"
+                                       : Table::Ms(startup.process.millis()),
+                Table::Ms(startup.memory.millis()), Table::Ms(startup.Total().millis()),
+                Table::Ms(e2e.Mean())});
+}
+
+void Run() {
+  PrintBanner(std::cout,
+              "Figure 4: startup-latency breakdown for a Python function (JS, ~95 MiB image)");
+  Table table({"System", "Sandbox", "Process/Bootstrap", "Memory", "Startup total", "E2E"});
+  RunOne(SystemKind::kFaasd, table);
+  RunOne(SystemKind::kCriu, table);
+  RunOne(SystemKind::kTrEnvCxl, table);
+  table.Print(std::cout);
+  std::cout << "Paper reference: sandbox creation rivals or exceeds execution; CRIU's "
+               "memory copy alone is >60 ms for a 60 MiB image; TrEnv repurposes in "
+               "single-digit milliseconds.\n";
+}
+
+}  // namespace
+}  // namespace trenv
+
+int main() {
+  trenv::Run();
+  return 0;
+}

@@ -1,0 +1,125 @@
+// Micro-operation benchmarks (google-benchmark): throughput of the hot
+// simulator primitives — page-table bulk faults, mm-template attach, dedup
+// ingestion, DES event dispatch. These guard the simulator's own
+// performance; the paper-figure benches above depend on them being fast.
+#include <benchmark/benchmark.h>
+
+#include "src/criu/deduplicator.h"
+#include "src/criu/checkpointer.h"
+#include "src/mempool/cxl_pool.h"
+#include "src/mmtemplate/api.h"
+#include "src/sim/cpu.h"
+#include "src/simkernel/fault_handler.h"
+
+namespace trenv {
+namespace {
+
+void BM_PageTableMapLookup(benchmark::State& state) {
+  PageTable table;
+  PteFlags flags;
+  flags.valid = true;
+  uint64_t i = 0;
+  for (auto _ : state) {
+    table.MapRange((i % 1024) * 16, 16, flags, i * 16, i);
+    benchmark::DoNotOptimize(table.Lookup((i % 1024) * 16 + 7));
+    ++i;
+  }
+}
+BENCHMARK(BM_PageTableMapLookup);
+
+void BM_BulkCowFault64MiB(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    FrameAllocator frames(4ULL * kGiB);
+    CxlPool cxl(4ULL * kGiB);
+    BackendRegistry backends;
+    backends.Register(&cxl);
+    FaultHandler handler(&frames, &backends);
+    MmStruct mm;
+    const uint64_t npages = BytesToPages(64 * kMiB);
+    (void)mm.AddVma(MakeAnonVma(0x10000000, npages * kPageSize, Protection::ReadWrite(), "img"));
+    auto base = cxl.AllocatePages(npages);
+    (void)cxl.WriteContent(*base, npages, 1);
+    PteFlags flags;
+    flags.valid = true;
+    flags.write_protected = true;
+    flags.pool = PoolKind::kCxl;
+    mm.page_table().MapRange(AddrToVpn(0x10000000), npages, flags, *base, 1);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(handler.AccessRange(mm, 0x10000000, npages, true));
+  }
+}
+BENCHMARK(BM_BulkCowFault64MiB);
+
+void BM_MmtAttach855MiB(benchmark::State& state) {
+  CxlPool cxl(8ULL * kGiB);
+  BackendRegistry backends;
+  backends.Register(&cxl);
+  MmtApi api(&backends);
+  const uint64_t npages = BytesToPages(855 * kMiB);
+  MmtId id = api.MmtCreate("ir");
+  (void)api.MmtAddMap(id, 0x10000000, npages * kPageSize, Protection::ReadWrite(), true, -1, 0);
+  auto base = cxl.AllocatePages(npages);
+  (void)cxl.WriteContent(*base, npages, 7);
+  (void)api.MmtSetupPt(id, 0x10000000, npages * kPageSize, *base, PoolKind::kCxl);
+  for (auto _ : state) {
+    MmStruct mm;
+    benchmark::DoNotOptimize(api.MmtAttach(id, &mm));
+  }
+}
+BENCHMARK(BM_MmtAttach855MiB);
+
+void BM_SnapshotDedupIngest(benchmark::State& state) {
+  Checkpointer checkpointer;
+  FunctionProfile profile;
+  profile.name = "bench-fn";
+  profile.language = "python";
+  profile.image_bytes = 128 * kMiB;
+  uint64_t i = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    CxlPool cxl(8ULL * kGiB);
+    TieredPool tiered;
+    tiered.AddTier(&cxl);
+    SnapshotDedupStore store(&tiered);
+    profile.name = "bench-fn" + std::to_string(i++);
+    FunctionSnapshot snapshot = checkpointer.Checkpoint(profile);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(store.Store(snapshot));
+  }
+}
+BENCHMARK(BM_SnapshotDedupIngest);
+
+void BM_EventSchedulerDispatch(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    EventScheduler sched;
+    int sink = 0;
+    for (int i = 0; i < 1000; ++i) {
+      sched.ScheduleAt(SimTime(i), [&sink] { ++sink; });
+    }
+    state.ResumeTiming();
+    sched.RunUntilIdle();
+    benchmark::DoNotOptimize(sink);
+  }
+}
+BENCHMARK(BM_EventSchedulerDispatch);
+
+void BM_FairShareCpuChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    EventScheduler sched;
+    FairShareCpu cpu(&sched, 16);
+    state.ResumeTiming();
+    for (int i = 0; i < 200; ++i) {
+      cpu.Submit(SimDuration::Millis(5 + i % 7), [] {});
+    }
+    sched.RunUntilIdle();
+  }
+}
+BENCHMARK(BM_FairShareCpuChurn);
+
+}  // namespace
+}  // namespace trenv
+
+BENCHMARK_MAIN();

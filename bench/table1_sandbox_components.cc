@@ -1,0 +1,69 @@
+// Table 1: the core components in current containers — creation overheads
+// versus TrEnv's solution, at 1-way and 15-way concurrency.
+#include <iostream>
+
+#include "src/common/cost_model.h"
+#include "src/common/table.h"
+#include "src/sandbox/cgroup.h"
+#include "src/sandbox/mount_namespace.h"
+#include "src/sandbox/net_namespace.h"
+#include "src/sandbox/sandbox.h"
+
+namespace trenv {
+namespace {
+
+void Run() {
+  PrintBanner(std::cout, "Table 1: container component costs vs TrEnv's solution");
+
+  CgroupManager cgroups;
+  Table table({"Unit", "Create (1-way)", "Create (15-way)", "TrEnv solution", "TrEnv cost"});
+
+  table.AddRow({"Sandbox/Network", Table::Ms(NetNsFactory::CreateCost(0).millis()),
+                Table::Ms(NetNsFactory::CreateCost(15).millis()), "direct reuse (reset)",
+                Table::Ms(cost::kNetNsReset.millis(), 3)});
+
+  // TrEnv rootfs reconfiguration: 2 mounts + 1 umount of the old overlay.
+  const SimDuration reconfig =
+      cost::kMountSyscall * 2.0 + cost::kUmountSyscall + cost::kCgroupReconfigure;
+  table.AddRow({"Sandbox/Rootfs", Table::Ms(MountNamespace::ColdSetupCost(0).millis()),
+                Table::Ms(MountNamespace::ColdSetupCost(15).millis()),
+                "reuse + reconfiguration (2 mounts)", Table::Ms(reconfig.millis(), 3)});
+
+  const SimDuration cgroup_cold_1 = cgroups.CreateCost() + cgroups.MigrateCost(0);
+  const SimDuration cgroup_cold_15 = cgroups.CreateCost() + cgroups.MigrateCost(15);
+  table.AddRow({"Sandbox/Cgroup", Table::Ms(cgroup_cold_1.millis()),
+                Table::Ms(cgroup_cold_15.millis()), "reuse + CLONE_INTO_CGROUP",
+                Table::Ms(cgroups.CloneIntoCost().millis(), 3)});
+
+  table.AddRow({"Sandbox/Other", Table::Ms(cost::kMiscNamespaces.millis(), 2),
+                Table::Ms(cost::kMiscNamespaces.millis(), 2), "create (already cheap)",
+                Table::Ms(cost::kMiscNamespaces.millis(), 2)});
+
+  // Process memory: a 360 MiB image restored by copy vs one mmt_attach.
+  const double image_mb = 360;
+  const SimDuration copy = SimDuration::FromSecondsF(
+      image_mb * static_cast<double>(kMiB) / cost::kCriuMemCopyBytesPerSec);
+  const double metadata_bytes = image_mb * 256 * cost::kMmtMetadataBytesPerPage;
+  const SimDuration attach =
+      cost::kMmtIoctl + SimDuration::FromSecondsF(metadata_bytes / cost::kMmtAttachCopyBytesPerSec);
+  table.AddRow({"Process/Memory (360 MiB)", Table::Ms(copy.millis()), Table::Ms(copy.millis()),
+                "mm-template attach (metadata only)", Table::Ms(attach.millis(), 3)});
+
+  const SimDuration misc =
+      cost::kCriuMiscRestoreBase + cost::kCriuPerThreadClone * 14.0 + cost::kCriuPerOpenFd * 24.0;
+  table.AddRow({"Process/Other (14 thr)", Table::Ms(misc.millis()), Table::Ms(misc.millis()),
+                "handled by CRIU (repurpose-and-join)",
+                Table::Ms((cost::kCriuRepurposeRequest + misc).millis())});
+
+  table.Print(std::cout);
+  std::cout << "Paper reference: netns 80ms~10s, rootfs 10~800ms, cgroup 30~400ms, "
+               "other <1ms, memory >300ms, process-other 3~15ms.\n";
+}
+
+}  // namespace
+}  // namespace trenv
+
+int main() {
+  trenv::Run();
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Table 2: characteristics of representative agents, measured by running
+// each agent once (uncontended) on the VM platform with trace replay.
+#include <iostream>
+
+#include "src/common/table.h"
+#include "src/common/units.h"
+#include "src/vm/vm_platform.h"
+
+namespace trenv {
+namespace {
+
+void Run() {
+  PrintBanner(std::cout, "Table 2: agent characteristics (measured on the VM platform)");
+  AgentVmPlatform platform(TrEnvVmConfig(), AgentPlatformConfig{.cores = 64});
+  for (const auto& agent : Table2Agents()) {
+    if (!platform.DeployAgent(agent).ok()) {
+      std::cerr << "deploy failed\n";
+      return;
+    }
+  }
+  Table table({"Agent", "Framework", "E2E Lat", "Memory", "CPU Time", "CPU util"});
+  for (const auto& agent : Table2Agents()) {
+    AgentVmPlatform solo(TrEnvVmConfig(), AgentPlatformConfig{.cores = 64});
+    (void)solo.DeployAgent(agent);
+    (void)solo.SubmitLaunch(SimTime::Zero(), agent.name);
+    solo.RunToCompletion();
+    const auto& metrics = solo.metrics().at(agent.name);
+    const AgentTrace* trace = solo.TraceFor(agent.name);
+    table.AddRow({agent.name, agent.framework, Table::Num(metrics.e2e_s.Mean(), 1) + " s",
+                  FormatBytes(agent.dynamic_memory_bytes),
+                  Table::Num(trace->TotalToolCpu().seconds(), 2) + " s",
+                  Table::Pct(trace->TotalToolCpu().seconds() / metrics.e2e_s.Mean())});
+  }
+  table.Print(std::cout);
+  std::cout << "Paper reference (E2E/Mem/CPU): Blackjack 3.2s/74MB/411ms; Bug fixer "
+               "36.5s/95MB/809ms; Map reduce 56.5s/199MB/1.2s; Shop assistant "
+               "140.7s/1080MB/10.3s; Blog summary 193.1s/1246MB/56.8s; Game design "
+               "107.0s/1389MB/7.5s.\n";
+}
+
+}  // namespace
+}  // namespace trenv
+
+int main() {
+  trenv::Run();
+  return 0;
+}

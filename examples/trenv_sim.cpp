@@ -1,0 +1,202 @@
+// trenv_sim: command-line driver for the simulator — pick a system, a
+// workload, and a duration; get the latency/memory report. The tool a
+// downstream user reaches for before writing code against the library.
+//
+// Usage:
+//   trenv_sim [--system=t-cxl|t-rdma|t-tiered|t-dram-hot|faasd|criu|reap+|faasnap+]
+//             [--workload=w1|w2|azure|huawei|poisson] [--minutes=N]
+//             [--rate=R] [--seed=S] [--mem-cap-gib=G] [--trace=file.csv]
+//             [--per-function] [--export-trace=file.csv]
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "src/common/table.h"
+#include "src/platform/testbed.h"
+#include "src/workload/trace_csv.h"
+#include "src/workload/traces.h"
+
+namespace trenv {
+namespace {
+
+struct CliOptions {
+  SystemKind system = SystemKind::kTrEnvCxl;
+  std::string workload = "w1";
+  int64_t minutes = 30;
+  double rate = 4.0;
+  uint64_t seed = 42;
+  std::optional<uint64_t> mem_cap_gib;
+  std::string trace_path;
+  std::string export_path;
+  bool per_function = false;
+};
+
+const std::map<std::string, SystemKind>& SystemsByFlag() {
+  static const std::map<std::string, SystemKind> kSystems = {
+      {"faasd", SystemKind::kFaasd},         {"criu", SystemKind::kCriu},
+      {"reap", SystemKind::kReap},           {"reap+", SystemKind::kReapPlus},
+      {"faasnap", SystemKind::kFaasnap},     {"faasnap+", SystemKind::kFaasnapPlus},
+      {"t-cxl", SystemKind::kTrEnvCxl},      {"t-rdma", SystemKind::kTrEnvRdma},
+      {"t-tiered", SystemKind::kTrEnvTiered}, {"t-dram-hot", SystemKind::kTrEnvDramHot}};
+  return kSystems;
+}
+
+void PrintUsage() {
+  std::cout << "usage: trenv_sim [--system=NAME] [--workload=w1|w2|azure|huawei|poisson]\n"
+               "                 [--minutes=N] [--rate=R] [--seed=S] [--mem-cap-gib=G]\n"
+               "                 [--trace=FILE.csv] [--export-trace=FILE.csv]\n"
+               "                 [--per-function]\n"
+               "systems: ";
+  for (const auto& [flag, kind] : SystemsByFlag()) {
+    std::cout << flag << " ";
+  }
+  std::cout << "\n";
+}
+
+bool ParseArgs(int argc, char** argv, CliOptions* options) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value_of = [&](const std::string& prefix) -> std::optional<std::string> {
+      if (arg.rfind(prefix, 0) == 0) {
+        return arg.substr(prefix.size());
+      }
+      return std::nullopt;
+    };
+    if (arg == "--help" || arg == "-h") {
+      PrintUsage();
+      return false;
+    }
+    if (arg == "--per-function") {
+      options->per_function = true;
+    } else if (auto v = value_of("--system=")) {
+      auto it = SystemsByFlag().find(*v);
+      if (it == SystemsByFlag().end()) {
+        std::cerr << "unknown system: " << *v << "\n";
+        return false;
+      }
+      options->system = it->second;
+    } else if (auto w = value_of("--workload=")) {
+      options->workload = *w;
+    } else if (auto m = value_of("--minutes=")) {
+      options->minutes = std::stoll(*m);
+    } else if (auto r = value_of("--rate=")) {
+      options->rate = std::stod(*r);
+    } else if (auto s = value_of("--seed=")) {
+      options->seed = std::stoull(*s);
+    } else if (auto g = value_of("--mem-cap-gib=")) {
+      options->mem_cap_gib = std::stoull(*g);
+    } else if (auto t = value_of("--trace=")) {
+      options->trace_path = *t;
+    } else if (auto e = value_of("--export-trace=")) {
+      options->export_path = *e;
+    } else {
+      std::cerr << "unknown argument: " << arg << "\n";
+      PrintUsage();
+      return false;
+    }
+  }
+  return true;
+}
+
+Result<Schedule> BuildWorkload(const CliOptions& options,
+                               const std::vector<std::string>& functions, Rng& rng) {
+  if (!options.trace_path.empty()) {
+    return LoadTraceCsvFile(options.trace_path, TraceCsvOptions{}, rng);
+  }
+  const SimDuration duration = SimDuration::Minutes(options.minutes);
+  if (options.workload == "w1") {
+    BurstyOptions w1;
+    w1.duration = duration;
+    return MakeBurstyWorkload(functions, w1, rng);
+  }
+  if (options.workload == "w2") {
+    DiurnalOptions w2;
+    w2.duration = duration;
+    w2.peak_rate_per_sec = options.rate;
+    return MakeDiurnalWorkload(functions, w2, rng);
+  }
+  if (options.workload == "azure") {
+    return MakeAzureLikeWorkload(functions, rng);
+  }
+  if (options.workload == "huawei") {
+    return MakeHuaweiLikeWorkload(functions, rng);
+  }
+  if (options.workload == "poisson") {
+    return MakePoissonWorkload(functions, options.rate, duration, 0.8, rng);
+  }
+  return Status::InvalidArgument("unknown workload: " + options.workload);
+}
+
+int Main(int argc, char** argv) {
+  CliOptions options;
+  if (!ParseArgs(argc, argv, &options)) {
+    return 1;
+  }
+  PlatformConfig config;
+  config.seed = options.seed;
+  if (options.mem_cap_gib.has_value()) {
+    config.soft_mem_cap_bytes = *options.mem_cap_gib * kGiB;
+  }
+  Testbed bed(options.system, config);
+  if (Status status = bed.DeployTable4Functions(); !status.ok()) {
+    std::cerr << "deploy failed: " << status << "\n";
+    return 1;
+  }
+  std::vector<std::string> functions;
+  for (const auto& fn : Table4Functions()) {
+    functions.push_back(fn.name);
+  }
+  Rng rng(options.seed);
+  auto schedule = BuildWorkload(options, functions, rng);
+  if (!schedule.ok()) {
+    std::cerr << schedule.status() << "\n";
+    return 1;
+  }
+  if (!options.export_path.empty()) {
+    std::ofstream out(options.export_path);
+    WriteTraceCsv(*schedule, out);
+    std::cout << "exported " << schedule->size() << " invocations to " << options.export_path
+              << "\n";
+  }
+  std::cout << "system=" << SystemName(options.system) << " workload=" << options.workload
+            << " invocations=" << schedule->size() << "\n";
+  if (Status status = bed.platform().Run(*schedule); !status.ok()) {
+    std::cerr << "run failed: " << status << "\n";
+    return 1;
+  }
+
+  const FunctionMetrics agg = bed.platform().metrics().Aggregate();
+  Table summary({"metric", "value"});
+  summary.AddRow({"invocations", std::to_string(agg.invocations)});
+  summary.AddRow({"e2e p50 (ms)", Table::Num(agg.e2e_ms.Median())});
+  summary.AddRow({"e2e p99 (ms)", Table::Num(agg.e2e_ms.P99())});
+  summary.AddRow({"startup mean (ms)", Table::Num(agg.startup_ms.Mean())});
+  summary.AddRow({"warm / repurposed / cold",
+                  std::to_string(agg.warm_starts) + " / " +
+                      std::to_string(agg.repurposed_starts) + " / " +
+                      std::to_string(agg.cold_starts)});
+  summary.AddRow({"peak memory", FormatBytes(bed.platform().metrics().peak_memory_bytes())});
+  summary.AddRow({"failed", std::to_string(bed.platform().failed_invocations())});
+  summary.Print(std::cout);
+
+  if (options.per_function) {
+    Table per_fn({"func", "n", "p50 (ms)", "p99 (ms)", "startup p99 (ms)"});
+    for (const auto& [name, metrics] : bed.platform().metrics().per_function()) {
+      if (metrics.e2e_ms.empty()) {
+        continue;
+      }
+      per_fn.AddRow({name, std::to_string(metrics.e2e_ms.count()),
+                     Table::Num(metrics.e2e_ms.Median()), Table::Num(metrics.e2e_ms.P99()),
+                     Table::Num(metrics.startup_ms.empty() ? 0 : metrics.startup_ms.P99())});
+    }
+    per_fn.Print(std::cout);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace trenv
+
+int main(int argc, char** argv) { return trenv::Main(argc, argv); }

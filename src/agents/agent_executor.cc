@@ -1,0 +1,23 @@
+#include "src/agents/agent_executor.h"
+
+namespace trenv {
+
+TraceSummary SummarizeTrace(const AgentTrace& trace) {
+  TraceSummary summary;
+  summary.nominal_e2e = trace.NominalLatency();
+  summary.tool_cpu = trace.TotalToolCpu();
+  summary.llm_wait = trace.TotalLlmWait();
+  summary.input_tokens = trace.TotalInputTokens();
+  summary.output_tokens = trace.TotalOutputTokens();
+  summary.file_read_bytes = trace.TotalFileReadBytes();
+  for (const auto& step : trace.steps) {
+    if (std::holds_alternative<LlmCallStep>(step)) {
+      ++summary.llm_calls;
+    } else {
+      ++summary.tool_steps;
+    }
+  }
+  return summary;
+}
+
+}  // namespace trenv

@@ -1,0 +1,25 @@
+// Trace analysis helpers: summarize a recorded agent trace and reproduce the
+// Table 2 / Table 3 rows from it.
+#ifndef TRENV_AGENTS_AGENT_EXECUTOR_H_
+#define TRENV_AGENTS_AGENT_EXECUTOR_H_
+
+#include "src/agents/llm_trace.h"
+
+namespace trenv {
+
+struct TraceSummary {
+  SimDuration nominal_e2e;   // uncontended end-to-end latency
+  SimDuration tool_cpu;      // Table 2 "CPU Time"
+  SimDuration llm_wait;
+  uint64_t input_tokens = 0;   // Table 3
+  uint64_t output_tokens = 0;  // Table 3
+  uint64_t file_read_bytes = 0;
+  size_t llm_calls = 0;
+  size_t tool_steps = 0;
+};
+
+TraceSummary SummarizeTrace(const AgentTrace& trace);
+
+}  // namespace trenv
+
+#endif  // TRENV_AGENTS_AGENT_EXECUTOR_H_

@@ -1,0 +1,129 @@
+#include "src/agents/agent_profile.h"
+
+namespace trenv {
+
+std::vector<AgentProfile> Table2Agents() {
+  std::vector<AgentProfile> agents;
+
+  {
+    AgentProfile a;
+    a.name = "Blackjack";
+    a.framework = "LangChain";
+    a.description = "Play the Blackjack game";
+    a.e2e_latency = SimDuration::FromSecondsF(3.2);
+    a.dynamic_memory_bytes = 74 * kMiB;
+    a.cpu_time = SimDuration::Millis(411);
+    a.input_tokens = 1690;
+    a.output_tokens = 8;
+    a.llm_calls = 3;
+    a.file_read_bytes = 6 * kMiB;
+    a.read_only_memory_fraction = 0.6;
+    a.snapshot_bytes = 420 * kMiB;
+    agents.push_back(a);
+  }
+  {
+    AgentProfile a;
+    a.name = "Bug fixer";
+    a.framework = "LangChain";
+    a.description = "Fix the bugs in given code";
+    a.e2e_latency = SimDuration::FromSecondsF(36.5);
+    a.dynamic_memory_bytes = 95 * kMiB;
+    a.cpu_time = SimDuration::Millis(809);
+    a.input_tokens = 1557;
+    a.output_tokens = 530;
+    a.llm_calls = 4;
+    a.file_read_bytes = 10 * kMiB;
+    a.read_only_memory_fraction = 0.55;
+    a.snapshot_bytes = 430 * kMiB;
+    agents.push_back(a);
+  }
+  {
+    AgentProfile a;
+    a.name = "Map reduce";
+    a.framework = "LangChain";
+    a.description = "Split and summary a document";
+    a.e2e_latency = SimDuration::FromSecondsF(56.5);
+    a.dynamic_memory_bytes = 199 * kMiB;
+    a.cpu_time = SimDuration::FromSecondsF(1.2);
+    a.input_tokens = 8640;
+    a.output_tokens = 2644;
+    a.llm_calls = 9;
+    a.file_read_bytes = 90 * kMiB;  // PDF parsing
+    a.read_only_memory_fraction = 0.5;
+    a.snapshot_bytes = 460 * kMiB;
+    agents.push_back(a);
+  }
+  {
+    AgentProfile a;
+    a.name = "Shop assistant";
+    a.framework = "Browser-Use";
+    a.description = "Select the ideal products on a website";
+    a.e2e_latency = SimDuration::FromSecondsF(140.7);
+    a.dynamic_memory_bytes = 1080 * kMiB;
+    a.cpu_time = SimDuration::FromSecondsF(10.3);
+    a.input_tokens = 43185;
+    a.output_tokens = 1494;
+    a.llm_calls = 14;
+    a.uses_browser = true;
+    a.browser_cpu_fraction = 0.72;
+    a.file_read_bytes = 280 * kMiB;
+    a.read_only_memory_fraction = 0.45;
+    a.vm_memory_bytes = 4 * kGiB;
+    a.snapshot_bytes = 900 * kMiB;
+    agents.push_back(a);
+  }
+  {
+    AgentProfile a;
+    a.name = "Blog summary";
+    a.framework = "OWL";
+    a.description = "Collect and summary blogs";
+    a.e2e_latency = SimDuration::FromSecondsF(193.1);
+    a.dynamic_memory_bytes = 1246 * kMiB;
+    a.cpu_time = SimDuration::FromSecondsF(56.8);
+    a.input_tokens = 49398;
+    a.output_tokens = 2703;
+    a.llm_calls = 16;
+    a.uses_browser = true;
+    a.browser_cpu_fraction = 0.78;
+    // ~500 MB cached in the guest page cache AND again in the host (2.4).
+    a.file_read_bytes = 500 * kMiB;
+    a.read_only_memory_fraction = 0.42;
+    a.vm_memory_bytes = 4 * kGiB;
+    a.snapshot_bytes = 950 * kMiB;
+    agents.push_back(a);
+  }
+  {
+    AgentProfile a;
+    a.name = "Game design";
+    a.framework = "OpenManus";
+    a.description = "Implement a html-based game";
+    a.e2e_latency = SimDuration::FromSecondsF(107.0);
+    a.dynamic_memory_bytes = 1389 * kMiB;
+    a.cpu_time = SimDuration::FromSecondsF(7.5);
+    a.input_tokens = 75121;
+    a.output_tokens = 2098;
+    a.llm_calls = 12;
+    a.uses_browser = true;
+    // Low CPU utilization (~7%) and infrequent browser use: browser sharing
+    // helps little (Fig 24c).
+    a.browser_cpu_fraction = 0.25;
+    a.file_read_bytes = 220 * kMiB;
+    a.read_only_memory_fraction = 0.4;
+    a.vm_memory_bytes = 4 * kGiB;
+    a.snapshot_bytes = 980 * kMiB;
+    agents.push_back(a);
+  }
+  return agents;
+}
+
+const AgentProfile* FindAgent(const std::string& name) {
+  static const std::vector<AgentProfile> kAgents = Table2Agents();
+  for (const auto& agent : kAgents) {
+    if (agent.name == name) {
+      return &agent;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace trenv

@@ -1,0 +1,61 @@
+// Agent profiles: the six representative LLM agents of paper Table 2/3,
+// with their VM sizing (section 9.6 configurations) and workload structure.
+#ifndef TRENV_AGENTS_AGENT_PROFILE_H_
+#define TRENV_AGENTS_AGENT_PROFILE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/time.h"
+#include "src/common/units.h"
+
+namespace trenv {
+
+struct AgentProfile {
+  std::string name;
+  std::string framework;  // LangChain / Browser-Use / OWL / OpenManus
+  std::string description;
+
+  // Table 2 measurements (on the VM platform, uncontended).
+  SimDuration e2e_latency;
+  uint64_t dynamic_memory_bytes;  // runtime-allocated memory (Table 2 "Memory")
+  SimDuration cpu_time;           // active CPU across the whole run
+
+  // Table 3 token usage.
+  uint64_t input_tokens = 0;
+  uint64_t output_tokens = 0;
+
+  // Structure.
+  uint32_t llm_calls = 4;        // number of LLM round trips
+  bool uses_browser = false;
+  // Bytes read from the filesystem during execution (drives page-cache
+  // duplication; e.g. Blog summary caches ~500 MB in guest AND host).
+  uint64_t file_read_bytes = 32 * kMiB;
+  // Fraction of dynamic memory that is read-only post-warmup and therefore
+  // shareable across instances via CXL templates.
+  double read_only_memory_fraction = 0.5;
+  // Fraction of the agent's CPU time spent inside browser processes.
+  double browser_cpu_fraction = 0.0;
+
+  // VM sizing (section 9.6 "Configurations").
+  uint32_t vcpus = 1;
+  uint64_t vm_memory_bytes = 2 * kGiB;
+  uint64_t vm_disk_bytes = 5 * kGiB;
+
+  // Post-boot guest image (snapshot) size for restore modelling.
+  uint64_t snapshot_bytes = 640 * kMiB;
+
+  double AvgCpuUtilization() const {
+    return e2e_latency.seconds() <= 0 ? 0 : cpu_time.seconds() / e2e_latency.seconds();
+  }
+};
+
+// The six evaluated agents (Blackjack, Bug fixer, Map reduce, Shop
+// assistant, Blog summary, Game design).
+std::vector<AgentProfile> Table2Agents();
+const AgentProfile* FindAgent(const std::string& name);
+
+}  // namespace trenv
+
+#endif  // TRENV_AGENTS_AGENT_PROFILE_H_

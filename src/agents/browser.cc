@@ -1,0 +1,38 @@
+#include "src/agents/browser.h"
+
+namespace trenv {
+
+Browser* SharedBrowserPool::Acquire() {
+  for (auto& browser : browsers_) {
+    if (browser->HasSeat()) {
+      browser->Attach();
+      return browser.get();
+    }
+  }
+  browsers_.push_back(std::make_unique<Browser>(next_id_++, agents_per_browser_));
+  browsers_.back()->Attach();
+  return browsers_.back().get();
+}
+
+uint64_t SharedBrowserPool::TotalMemoryBytes() const {
+  uint64_t total = 0;
+  for (const auto& browser : browsers_) {
+    total += browser->MemoryBytes();
+  }
+  return total;
+}
+
+void SharedBrowserPool::Release(Browser* browser) {
+  if (browser == nullptr) {
+    return;
+  }
+  browser->Detach();
+  for (auto it = browsers_.begin(); it != browsers_.end(); ++it) {
+    if (it->get() == browser && (*it)->attached() == 0) {
+      browsers_.erase(it);
+      return;
+    }
+  }
+}
+
+}  // namespace trenv

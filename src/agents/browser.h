@@ -1,0 +1,75 @@
+// Browser model and the shared-browser pool (paper section 6.2).
+//
+// A browser instance is memory- and CPU-heavy (main process, network
+// service, GPU/compositor, renderers). TrEnv-S lets up to N agents share one
+// instance, each in its own tab group: the fixed processes are multiplexed,
+// so per-agent memory shrinks and browser CPU work is cheaper per agent
+// (shared network stack / compositor).
+#ifndef TRENV_AGENTS_BROWSER_H_
+#define TRENV_AGENTS_BROWSER_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+
+#include "src/common/units.h"
+
+namespace trenv {
+
+// Fixed footprint of one browser instance (main + utility processes).
+inline constexpr uint64_t kBrowserBaseBytes = 620 * kMiB;
+// Extra per attached agent (its tab group / renderer share).
+inline constexpr uint64_t kBrowserPerAgentBytes = 95 * kMiB;
+// CPU-efficiency factor for browser work on a shared instance: shared
+// network service, cache, and compositor avoid duplicated work.
+inline constexpr double kSharedBrowserCpuFactor = 0.55;
+
+class Browser {
+ public:
+  explicit Browser(uint64_t id, uint32_t capacity) : id_(id), capacity_(capacity) {}
+
+  uint64_t id() const { return id_; }
+  uint32_t capacity() const { return capacity_; }
+  uint32_t attached() const { return attached_; }
+  bool HasSeat() const { return attached_ < capacity_; }
+
+  void Attach() { ++attached_; }
+  void Detach() {
+    if (attached_ > 0) {
+      --attached_;
+    }
+  }
+
+  uint64_t MemoryBytes() const {
+    return kBrowserBaseBytes + kBrowserPerAgentBytes * attached_;
+  }
+
+ private:
+  uint64_t id_;
+  uint32_t capacity_;
+  uint32_t attached_ = 0;
+};
+
+// Hands out browser seats; grows the browser fleet on demand and reaps empty
+// browsers.
+class SharedBrowserPool {
+ public:
+  explicit SharedBrowserPool(uint32_t agents_per_browser)
+      : agents_per_browser_(agents_per_browser) {}
+
+  // Attaches an agent; returns the browser it shares.
+  Browser* Acquire();
+  void Release(Browser* browser);
+
+  size_t browser_count() const { return browsers_.size(); }
+  uint64_t TotalMemoryBytes() const;
+
+ private:
+  uint32_t agents_per_browser_;
+  uint64_t next_id_ = 1;
+  std::list<std::unique_ptr<Browser>> browsers_;
+};
+
+}  // namespace trenv
+
+#endif  // TRENV_AGENTS_BROWSER_H_

@@ -1,0 +1,24 @@
+#include "src/agents/cost_model.h"
+
+#include "src/common/cost_model.h"
+
+namespace trenv {
+
+double LlmCallCostUsd(uint64_t input_tokens, uint64_t output_tokens) {
+  return static_cast<double>(input_tokens) * cost::kLlmUsdPerInputToken +
+         static_cast<double>(output_tokens) * cost::kLlmUsdPerOutputToken;
+}
+
+double ServerlessCostUsd(SimDuration e2e, uint64_t allocated_memory_bytes) {
+  const double gb = static_cast<double>(allocated_memory_bytes) / 1e9;
+  return e2e.millis() * cost::kServerlessUsdPerMsPerGb * gb;
+}
+
+double RelativeServerlessCost(const AgentProfile& profile) {
+  const double llm = LlmCallCostUsd(profile.input_tokens, profile.output_tokens);
+  // Billed on the VM's allocated memory for the full end-to-end duration.
+  const double serverless = ServerlessCostUsd(profile.e2e_latency, profile.vm_memory_bytes);
+  return llm <= 0 ? 0 : serverless / llm;
+}
+
+}  // namespace trenv

@@ -1,0 +1,20 @@
+// Serverless-vs-LLM cost model (paper section 2.3, equations 1-2, Fig 3).
+#ifndef TRENV_AGENTS_COST_MODEL_H_
+#define TRENV_AGENTS_COST_MODEL_H_
+
+#include "src/agents/agent_profile.h"
+
+namespace trenv {
+
+// C_LLM = L_in * P_in + L_out * P_out (USD).
+double LlmCallCostUsd(uint64_t input_tokens, uint64_t output_tokens);
+
+// C_s = T * P_s * M, with T in ms and M in GB (USD).
+double ServerlessCostUsd(SimDuration e2e, uint64_t allocated_memory_bytes);
+
+// C_s / C_LLM for an agent run (Fig 3's y-axis).
+double RelativeServerlessCost(const AgentProfile& profile);
+
+}  // namespace trenv
+
+#endif  // TRENV_AGENTS_COST_MODEL_H_

@@ -1,0 +1,156 @@
+#include "src/agents/llm_trace.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace trenv {
+
+SimDuration AgentTrace::TotalLlmWait() const {
+  SimDuration total;
+  for (const auto& step : steps) {
+    if (const auto* llm = std::get_if<LlmCallStep>(&step)) {
+      total += llm->response_latency;
+    }
+  }
+  return total;
+}
+
+SimDuration AgentTrace::TotalToolCpu() const {
+  SimDuration total;
+  for (const auto& step : steps) {
+    if (const auto* tool = std::get_if<ToolStep>(&step)) {
+      total += tool->cpu;
+    }
+  }
+  return total;
+}
+
+SimDuration AgentTrace::TotalToolIo() const {
+  SimDuration total;
+  for (const auto& step : steps) {
+    if (const auto* tool = std::get_if<ToolStep>(&step)) {
+      total += tool->io;
+    }
+  }
+  return total;
+}
+
+uint64_t AgentTrace::TotalInputTokens() const {
+  uint64_t total = 0;
+  for (const auto& step : steps) {
+    if (const auto* llm = std::get_if<LlmCallStep>(&step)) {
+      total += llm->input_tokens;
+    }
+  }
+  return total;
+}
+
+uint64_t AgentTrace::TotalOutputTokens() const {
+  uint64_t total = 0;
+  for (const auto& step : steps) {
+    if (const auto* llm = std::get_if<LlmCallStep>(&step)) {
+      total += llm->output_tokens;
+    }
+  }
+  return total;
+}
+
+uint64_t AgentTrace::TotalFileReadBytes() const {
+  uint64_t total = 0;
+  for (const auto& step : steps) {
+    if (const auto* tool = std::get_if<ToolStep>(&step)) {
+      total += tool->file_read_bytes;
+    }
+  }
+  return total;
+}
+
+SimDuration AgentTrace::NominalLatency() const {
+  return TotalLlmWait() + TotalToolCpu() + TotalToolIo();
+}
+
+AgentTrace RecordTrace(const AgentProfile& profile, uint64_t seed) {
+  Rng rng(seed ^ MixU64(0xA6E27 + profile.input_tokens));
+  AgentTrace trace;
+  trace.agent = profile.name;
+
+  const uint32_t llm_calls = std::max<uint32_t>(1, profile.llm_calls);
+  const uint32_t tool_steps = llm_calls + 1;  // tool, llm, tool, ..., llm, tool
+
+  // Budget split. Tool I/O (subprocesses, page loads) takes a slice of the
+  // end-to-end time; LLM waiting absorbs the rest.
+  const SimDuration tool_io_total = profile.e2e_latency * 0.08;
+  SimDuration llm_wait_total =
+      profile.e2e_latency - profile.cpu_time - tool_io_total;
+  if (llm_wait_total < SimDuration::Zero()) {
+    llm_wait_total = SimDuration::Zero();
+  }
+
+  // Random positive weights for splitting budgets across steps.
+  auto weights = [&rng](uint32_t n) {
+    std::vector<double> w(n);
+    double sum = 0;
+    for (auto& v : w) {
+      v = 0.4 + rng.NextDouble();
+      sum += v;
+    }
+    for (auto& v : w) {
+      v /= sum;
+    }
+    return w;
+  };
+  const std::vector<double> llm_w = weights(llm_calls);
+  const std::vector<double> cpu_w = weights(tool_steps);
+  const std::vector<double> io_w = weights(tool_steps);
+  const std::vector<double> file_w = weights(tool_steps);
+
+  // Input tokens grow as the context accumulates: weight call i by (i+1).
+  double in_norm = 0;
+  for (uint32_t i = 0; i < llm_calls; ++i) {
+    in_norm += static_cast<double>(i + 1);
+  }
+
+  // Dynamic memory ramps up over the first ~70% of tool steps.
+  const auto ramp_steps = std::max<uint32_t>(1, tool_steps * 7 / 10);
+  const int64_t mem_per_ramp_step =
+      static_cast<int64_t>(profile.dynamic_memory_bytes / ramp_steps);
+
+  uint64_t in_left = profile.input_tokens;
+  uint64_t out_left = profile.output_tokens;
+  for (uint32_t i = 0; i < llm_calls; ++i) {
+    // Tool step before each LLM call.
+    ToolStep tool;
+    tool.cpu = profile.cpu_time * cpu_w[i];
+    tool.io = tool_io_total * io_w[i];
+    tool.memory_delta_bytes = i < ramp_steps ? mem_per_ramp_step : 0;
+    tool.file_read_bytes =
+        static_cast<uint64_t>(static_cast<double>(profile.file_read_bytes) * file_w[i]);
+    tool.uses_browser = profile.uses_browser && rng.NextBool(0.85);
+    trace.steps.emplace_back(tool);
+
+    LlmCallStep llm;
+    const bool last = i + 1 == llm_calls;
+    llm.input_tokens = static_cast<uint32_t>(
+        last ? in_left
+             : std::min<uint64_t>(in_left, static_cast<uint64_t>(
+                                               static_cast<double>(profile.input_tokens) *
+                                               static_cast<double>(i + 1) / in_norm)));
+    in_left -= llm.input_tokens;
+    llm.output_tokens = static_cast<uint32_t>(
+        last ? out_left : std::min<uint64_t>(out_left, profile.output_tokens / llm_calls));
+    out_left -= llm.output_tokens;
+    llm.response_latency = llm_wait_total * llm_w[i];
+    trace.steps.emplace_back(llm);
+  }
+  // Final tool step renders/validates the result.
+  ToolStep final_tool;
+  final_tool.cpu = profile.cpu_time * cpu_w[tool_steps - 1];
+  final_tool.io = tool_io_total * io_w[tool_steps - 1];
+  final_tool.file_read_bytes = static_cast<uint64_t>(
+      static_cast<double>(profile.file_read_bytes) * file_w[tool_steps - 1]);
+  final_tool.uses_browser = false;
+  trace.steps.emplace_back(final_tool);
+  return trace;
+}
+
+}  // namespace trenv

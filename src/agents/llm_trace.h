@@ -1,0 +1,57 @@
+// LLM trace replay (paper section 9.6 "Evaluated Agents"): to make agent
+// runs deterministic, the paper records real LLM outputs and response times
+// and replays them from a simulated inference server. We synthesize an
+// equivalent recorded trace per agent — once, seeded — whose totals match
+// the Table 2/3 measurements; every benchmark run then replays it exactly.
+#ifndef TRENV_AGENTS_LLM_TRACE_H_
+#define TRENV_AGENTS_LLM_TRACE_H_
+
+#include <cstdint>
+#include <variant>
+#include <vector>
+
+#include "src/agents/agent_profile.h"
+#include "src/common/rng.h"
+#include "src/common/time.h"
+
+namespace trenv {
+
+// One recorded LLM round trip.
+struct LlmCallStep {
+  uint32_t input_tokens = 0;
+  uint32_t output_tokens = 0;
+  SimDuration response_latency;  // recorded inference-server time
+};
+
+// One tool/processing phase between LLM calls.
+struct ToolStep {
+  SimDuration cpu;               // host CPU demand
+  SimDuration io;                // non-CPU wait (network, subprocess)
+  int64_t memory_delta_bytes = 0;  // allocation (+) or release (-)
+  uint64_t file_read_bytes = 0;  // drives page-cache population
+  bool uses_browser = false;     // CPU runs inside the browser process
+};
+
+using AgentStep = std::variant<LlmCallStep, ToolStep>;
+
+struct AgentTrace {
+  std::string agent;
+  std::vector<AgentStep> steps;
+
+  SimDuration TotalLlmWait() const;
+  SimDuration TotalToolCpu() const;
+  SimDuration TotalToolIo() const;
+  uint64_t TotalInputTokens() const;
+  uint64_t TotalOutputTokens() const;
+  uint64_t TotalFileReadBytes() const;
+  // Uncontended end-to-end latency of the trace.
+  SimDuration NominalLatency() const;
+};
+
+// Synthesizes the recorded trace for an agent. Deterministic for a fixed
+// seed; totals match the profile's Table 2/3 numbers.
+AgentTrace RecordTrace(const AgentProfile& profile, uint64_t seed);
+
+}  // namespace trenv
+
+#endif  // TRENV_AGENTS_LLM_TRACE_H_

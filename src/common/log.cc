@@ -1,0 +1,42 @@
+#include "src/common/log.h"
+
+#include <cstdio>
+#include <string>
+
+namespace trenv {
+
+namespace {
+LogLevel g_level = LogLevel::kWarning;
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarning:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+    case LogLevel::kNone:
+      return "?";
+  }
+  return "?";
+}
+
+std::string_view Basename(std::string_view path) {
+  const size_t pos = path.find_last_of('/');
+  return pos == std::string_view::npos ? path : path.substr(pos + 1);
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level = level; }
+LogLevel GetLogLevel() { return g_level; }
+
+void LogMessage(LogLevel level, std::string_view file, int line, std::string_view msg) {
+  const std::string_view base = Basename(file);
+  std::fprintf(stderr, "[%s %.*s:%d] %.*s\n", LevelTag(level), static_cast<int>(base.size()),
+               base.data(), line, static_cast<int>(msg.size()), msg.data());
+}
+
+}  // namespace trenv

@@ -1,0 +1,53 @@
+// Minimal leveled logging. Default level is kWarning so that test and
+// benchmark output stays clean; examples raise it to kInfo for narration.
+#ifndef TRENV_COMMON_LOG_H_
+#define TRENV_COMMON_LOG_H_
+
+#include <sstream>
+#include <string_view>
+
+namespace trenv {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kNone = 4 };
+
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+void LogMessage(LogLevel level, std::string_view file, int line, std::string_view msg);
+
+namespace log_internal {
+
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* file, int line) : level_(level), file_(file), line_(line) {}
+  ~LogLine() { LogMessage(level_, file_, line_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace log_internal
+}  // namespace trenv
+
+#define TRENV_LOG(level)                                               \
+  if (static_cast<int>(::trenv::LogLevel::level) <                     \
+      static_cast<int>(::trenv::GetLogLevel())) {                      \
+  } else                                                               \
+    ::trenv::log_internal::LogLine(::trenv::LogLevel::level, __FILE__, __LINE__)
+
+#define TRENV_DEBUG TRENV_LOG(kDebug)
+#define TRENV_INFO TRENV_LOG(kInfo)
+#define TRENV_WARN TRENV_LOG(kWarning)
+#define TRENV_ERROR TRENV_LOG(kError)
+
+#endif  // TRENV_COMMON_LOG_H_

@@ -1,0 +1,95 @@
+#include "src/common/table.h"
+
+#include <algorithm>
+#include <cassert>
+#include <iomanip>
+#include <sstream>
+
+namespace trenv {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  assert(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::Num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string Table::Pct(double fraction, int precision) {
+  return Num(fraction * 100.0, precision) + "%";
+}
+
+std::string Table::Ms(double ms, int precision) { return Num(ms, precision) + " ms"; }
+
+void Table::Print(std::ostream& os) const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t i = 0; i < headers_.size(); ++i) {
+    widths[i] = headers_[i].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (size_t i = 0; i < row.size(); ++i) {
+      os << " " << std::setw(static_cast<int>(widths[i])) << std::left << row[i] << " |";
+    }
+    os << "\n";
+  };
+  auto print_sep = [&] {
+    os << "+";
+    for (size_t w : widths) {
+      os << std::string(w + 2, '-') << "+";
+    }
+    os << "\n";
+  };
+  print_sep();
+  print_row(headers_);
+  print_sep();
+  for (const auto& row : rows_) {
+    print_row(row);
+  }
+  print_sep();
+}
+
+std::string Table::ToString() const {
+  std::ostringstream os;
+  Print(os);
+  return os.str();
+}
+
+SeriesPrinter::SeriesPrinter(std::string x_label, std::vector<std::string> series_labels)
+    : x_label_(std::move(x_label)), series_labels_(std::move(series_labels)) {}
+
+void SeriesPrinter::AddPoint(double x, std::vector<double> ys) {
+  assert(ys.size() == series_labels_.size());
+  points_.emplace_back(x, std::move(ys));
+}
+
+void SeriesPrinter::Print(std::ostream& os) const {
+  os << "# " << x_label_;
+  for (const auto& label : series_labels_) {
+    os << " " << label;
+  }
+  os << "\n";
+  for (const auto& [x, ys] : points_) {
+    os << x;
+    for (double y : ys) {
+      os << " " << y;
+    }
+    os << "\n";
+  }
+}
+
+void PrintBanner(std::ostream& os, const std::string& title) {
+  os << "\n=== " << title << " ===\n";
+}
+
+}  // namespace trenv

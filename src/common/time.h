@@ -1,0 +1,100 @@
+// Simulated time. All latencies in the simulator are expressed as SimDuration
+// (nanoseconds); SimTime is an absolute instant on the virtual clock.
+//
+// Nothing in the library ever consults the wall clock: replays of 30-minute
+// workload traces finish in milliseconds of real time and are deterministic.
+#ifndef TRENV_COMMON_TIME_H_
+#define TRENV_COMMON_TIME_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace trenv {
+
+// A span of virtual time in nanoseconds. Plain struct with value semantics.
+class SimDuration {
+ public:
+  constexpr SimDuration() : ns_(0) {}
+  constexpr explicit SimDuration(int64_t ns) : ns_(ns) {}
+
+  static constexpr SimDuration Nanos(int64_t n) { return SimDuration(n); }
+  static constexpr SimDuration Micros(int64_t n) { return SimDuration(n * 1000); }
+  static constexpr SimDuration Millis(int64_t n) { return SimDuration(n * 1000 * 1000); }
+  static constexpr SimDuration Seconds(int64_t n) { return SimDuration(n * 1000 * 1000 * 1000); }
+  static constexpr SimDuration Minutes(int64_t n) { return Seconds(n * 60); }
+  static constexpr SimDuration FromSecondsF(double s) {
+    return SimDuration(static_cast<int64_t>(s * 1e9));
+  }
+  static constexpr SimDuration FromMillisF(double ms) {
+    return SimDuration(static_cast<int64_t>(ms * 1e6));
+  }
+  static constexpr SimDuration FromMicrosF(double us) {
+    return SimDuration(static_cast<int64_t>(us * 1e3));
+  }
+  static constexpr SimDuration Zero() { return SimDuration(0); }
+  static constexpr SimDuration Max() {
+    return SimDuration(std::numeric_limits<int64_t>::max());
+  }
+
+  constexpr int64_t nanos() const { return ns_; }
+  constexpr double micros() const { return static_cast<double>(ns_) / 1e3; }
+  constexpr double millis() const { return static_cast<double>(ns_) / 1e6; }
+  constexpr double seconds() const { return static_cast<double>(ns_) / 1e9; }
+
+  constexpr SimDuration operator+(SimDuration o) const { return SimDuration(ns_ + o.ns_); }
+  constexpr SimDuration operator-(SimDuration o) const { return SimDuration(ns_ - o.ns_); }
+  constexpr SimDuration operator*(double f) const {
+    return SimDuration(static_cast<int64_t>(static_cast<double>(ns_) * f));
+  }
+  constexpr SimDuration operator/(double f) const {
+    return SimDuration(static_cast<int64_t>(static_cast<double>(ns_) / f));
+  }
+  constexpr double operator/(SimDuration o) const {
+    return static_cast<double>(ns_) / static_cast<double>(o.ns_);
+  }
+  SimDuration& operator+=(SimDuration o) {
+    ns_ += o.ns_;
+    return *this;
+  }
+  SimDuration& operator-=(SimDuration o) {
+    ns_ -= o.ns_;
+    return *this;
+  }
+  constexpr auto operator<=>(const SimDuration&) const = default;
+
+  std::string ToString() const;
+
+ private:
+  int64_t ns_;
+};
+
+// An absolute instant on the virtual clock (nanoseconds since simulation start).
+class SimTime {
+ public:
+  constexpr SimTime() : ns_(0) {}
+  constexpr explicit SimTime(int64_t ns) : ns_(ns) {}
+
+  static constexpr SimTime Zero() { return SimTime(0); }
+  static constexpr SimTime Max() { return SimTime(std::numeric_limits<int64_t>::max()); }
+
+  constexpr int64_t nanos() const { return ns_; }
+  constexpr double seconds() const { return static_cast<double>(ns_) / 1e9; }
+  constexpr double millis() const { return static_cast<double>(ns_) / 1e6; }
+
+  constexpr SimTime operator+(SimDuration d) const { return SimTime(ns_ + d.nanos()); }
+  constexpr SimTime operator-(SimDuration d) const { return SimTime(ns_ - d.nanos()); }
+  constexpr SimDuration operator-(SimTime o) const { return SimDuration(ns_ - o.ns_); }
+  SimTime& operator+=(SimDuration d) {
+    ns_ += d.nanos();
+    return *this;
+  }
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+ private:
+  int64_t ns_;
+};
+
+}  // namespace trenv
+
+#endif  // TRENV_COMMON_TIME_H_

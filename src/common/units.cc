@@ -1,0 +1,42 @@
+#include "src/common/units.h"
+
+#include <array>
+#include <cstdio>
+
+#include "src/common/time.h"
+
+namespace trenv {
+
+std::string FormatBytes(uint64_t bytes) {
+  static constexpr std::array<const char*, 4> kSuffixes = {"B", "KiB", "MiB", "GiB"};
+  double value = static_cast<double>(bytes);
+  size_t idx = 0;
+  while (value >= 1024.0 && idx + 1 < kSuffixes.size()) {
+    value /= 1024.0;
+    ++idx;
+  }
+  char buf[32];
+  if (idx == 0) {
+    std::snprintf(buf, sizeof(buf), "%.0f %s", value, kSuffixes[idx]);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f %s", value, kSuffixes[idx]);
+  }
+  return buf;
+}
+
+std::string SimDuration::ToString() const {
+  char buf[32];
+  const double abs_ns = static_cast<double>(ns_ < 0 ? -ns_ : ns_);
+  if (abs_ns < 1e3) {
+    std::snprintf(buf, sizeof(buf), "%ld ns", static_cast<long>(ns_));
+  } else if (abs_ns < 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.1f us", static_cast<double>(ns_) / 1e3);
+  } else if (abs_ns < 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.1f ms", static_cast<double>(ns_) / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f s", static_cast<double>(ns_) / 1e9);
+  }
+  return buf;
+}
+
+}  // namespace trenv

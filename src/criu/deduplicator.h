@@ -1,0 +1,83 @@
+// SnapshotDedupStore: step A2 of the paper's preprocessing — deduplicates
+// snapshots into consolidated images on a remote memory pool, so identical
+// regions (language runtimes, common libraries) are stored once per rack and
+// shared by every function, instance, and node.
+//
+// Dedup granularity is a fixed chunk (default 2 MiB = 512 pages): regions
+// are cut into chunks and each distinct chunk content is stored once. This
+// captures both whole-region sharing and common prefixes.
+#ifndef TRENV_CRIU_DEDUPLICATOR_H_
+#define TRENV_CRIU_DEDUPLICATOR_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/criu/process_image.h"
+#include "src/mempool/tiered_pool.h"
+
+namespace trenv {
+
+// Where one region of a consolidated image lives: a list of (pool, offset)
+// chunk placements in region order.
+struct PlacedChunk {
+  PoolKind pool;
+  PoolOffset offset;  // pool page offset of the chunk start
+  uint64_t npages;
+};
+
+struct PlacedRegion {
+  MemoryRegion region;
+  std::vector<PlacedChunk> chunks;
+};
+
+struct ConsolidatedImage {
+  std::string function;
+  // Mirrors FunctionSnapshot::processes.
+  std::vector<std::vector<PlacedRegion>> processes;
+  uint64_t total_pages = 0;   // pages in the snapshot
+  uint64_t unique_pages = 0;  // pages newly stored for this snapshot
+};
+
+class SnapshotDedupStore {
+ public:
+  // Stores chunks in `pool`. Hotness for tiered placement is derived from
+  // the region class (runtime/code hot, heap colder).
+  explicit SnapshotDedupStore(TieredPool* pool, uint64_t chunk_pages = 512)
+      : pool_(pool), chunk_pages_(chunk_pages) {}
+
+  Result<ConsolidatedImage> Store(const FunctionSnapshot& snapshot);
+
+  // Global dedup statistics.
+  uint64_t total_ingested_pages() const { return total_ingested_pages_; }
+  uint64_t stored_unique_pages() const { return stored_unique_pages_; }
+  double DedupRatio() const {
+    return total_ingested_pages_ == 0
+               ? 1.0
+               : static_cast<double>(stored_unique_pages_) /
+                     static_cast<double>(total_ingested_pages_);
+  }
+
+ private:
+  // Key identifying a chunk's logical content.
+  struct ChunkKey {
+    PageContent content_base;
+    uint64_t npages;
+    bool constant;
+    auto operator<=>(const ChunkKey&) const = default;
+  };
+
+  Result<PlacedChunk> StoreChunk(const ChunkKey& key, double hotness);
+
+  TieredPool* pool_;
+  uint64_t chunk_pages_;
+  std::map<ChunkKey, PlacedChunk> chunk_index_;
+  uint64_t total_ingested_pages_ = 0;
+  uint64_t stored_unique_pages_ = 0;
+};
+
+}  // namespace trenv
+
+#endif  // TRENV_CRIU_DEDUPLICATOR_H_

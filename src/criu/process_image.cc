@@ -1,0 +1,40 @@
+#include "src/criu/process_image.h"
+
+namespace trenv {
+
+Vma MemoryRegion::ToVma() const {
+  Vma vma;
+  vma.start = start;
+  vma.length = npages * kPageSize;
+  vma.prot = prot;
+  vma.is_private = is_private;
+  vma.type = type;
+  vma.name = name;
+  return vma;
+}
+
+uint64_t ProcessImage::TotalPages() const {
+  uint64_t total = 0;
+  for (const auto& region : regions) {
+    total += region.npages;
+  }
+  return total;
+}
+
+uint64_t FunctionSnapshot::TotalPages() const {
+  uint64_t total = 0;
+  for (const auto& process : processes) {
+    total += process.TotalPages();
+  }
+  return total;
+}
+
+uint32_t FunctionSnapshot::TotalThreads() const {
+  uint32_t total = 0;
+  for (const auto& process : processes) {
+    total += process.threads;
+  }
+  return total;
+}
+
+}  // namespace trenv

@@ -1,0 +1,53 @@
+// Snapshot images: the serialized post-initialization state of a function
+// (paper Figs 6-8). A FunctionSnapshot holds one ProcessImage per Linux
+// process; each image records the virtual memory layout with logical page
+// contents plus the non-memory state CRIU restores (threads, fds).
+#ifndef TRENV_CRIU_PROCESS_IMAGE_H_
+#define TRENV_CRIU_PROCESS_IMAGE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/simkernel/types.h"
+#include "src/simkernel/vma.h"
+
+namespace trenv {
+
+struct MemoryRegion {
+  Vaddr start = 0;
+  uint64_t npages = 0;
+  Protection prot;
+  bool is_private = true;
+  VmaType type = VmaType::kAnonymous;
+  std::string name;
+  // Logical content of the region's pages (content_base + i, or constant).
+  PageContent content_base = kZeroPageContent;
+  bool constant_content = false;
+
+  uint64_t bytes() const { return npages * kPageSize; }
+  Vma ToVma() const;
+};
+
+struct ProcessImage {
+  std::string process_name;
+  uint32_t threads = 1;
+  uint32_t open_fds = 0;
+  std::vector<MemoryRegion> regions;
+
+  uint64_t TotalPages() const;
+  uint64_t TotalBytes() const { return TotalPages() * kPageSize; }
+};
+
+struct FunctionSnapshot {
+  std::string function;
+  std::vector<ProcessImage> processes;
+
+  uint64_t TotalPages() const;
+  uint64_t TotalBytes() const { return TotalPages() * kPageSize; }
+  uint32_t TotalThreads() const;
+};
+
+}  // namespace trenv
+
+#endif  // TRENV_CRIU_PROCESS_IMAGE_H_

@@ -1,0 +1,173 @@
+// Restore engines: the five ways the evaluated systems get from "invocation
+// arrived" to "function executing".
+//
+//   ColdStartEngine   - faasd: build sandbox, bootstrap interpreter.
+//   VanillaCriuEngine - CRIU: build sandbox, copy memory image back.
+//   ReapEngine(+)     - Firecracker + recorded working-set prefetch, lazy
+//   FaasnapEngine(+)    userfaultfd paging for the rest (lazy_engines.h).
+//   TrEnvEngine       - repurposed sandbox + mm-template attach
+//                       (trenv_engine.h).
+//
+// An engine also owns the execution-phase memory behaviour of its instances
+// (OnExecute) because lazy restoration defers restore cost into execution.
+#ifndef TRENV_CRIU_RESTORE_ENGINE_H_
+#define TRENV_CRIU_RESTORE_ENGINE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/criu/checkpointer.h"
+#include "src/criu/process_image.h"
+#include "src/runtime/execution_model.h"
+#include "src/runtime/function_profile.h"
+#include "src/runtime/process.h"
+#include "src/sandbox/sandbox.h"
+#include "src/sandbox/sandbox_pool.h"
+#include "src/simkernel/fault_handler.h"
+
+namespace trenv {
+
+// Startup latency broken down as in Fig 4 / Fig 19 / Fig 21.
+struct StartupBreakdown {
+  SimDuration sandbox;  // isolation environment (netns + rootfs + cgroup + misc)
+  SimDuration process;  // non-memory process state (clone/fds) or bootstrap
+  SimDuration memory;   // memory restoration on the critical path
+
+  // True when the `process` phase is CPU work (cold-start bootstrap) rather
+  // than kernel-side latency; the invoker then routes it through the CPU.
+  bool process_is_cpu = false;
+  // True when the sandbox came from the repurposable pool (step B2 hit).
+  bool sandbox_repurposed = false;
+
+  SimDuration Total() const { return sandbox + process + memory; }
+};
+
+// A running (or keep-alive-cached) function environment.
+class FunctionInstance {
+ public:
+  FunctionInstance(std::string function, std::unique_ptr<Sandbox> sandbox)
+      : function_(std::move(function)), sandbox_(std::move(sandbox)) {}
+
+  const std::string& function() const { return function_; }
+  Sandbox* sandbox() { return sandbox_.get(); }
+  std::unique_ptr<Sandbox> TakeSandbox() { return std::move(sandbox_); }
+
+  void AddProcess(std::unique_ptr<Process> process) {
+    processes_.push_back(std::move(process));
+  }
+  std::vector<std::unique_ptr<Process>>& processes() { return processes_; }
+  Process* main_process() { return processes_.empty() ? nullptr : processes_.front().get(); }
+
+  // Local DRAM pages attributable to this instance (process RSS + fixed
+  // overhead such as a guest kernel for VM-based engines).
+  uint64_t ResidentLocalPages() const;
+  uint64_t overhead_pages = 0;
+
+  uint64_t invocations = 0;
+  SimTime last_used;
+
+ private:
+  std::string function_;
+  std::unique_ptr<Sandbox> sandbox_;
+  std::vector<std::unique_ptr<Process>> processes_;
+};
+
+// Shared machinery the platform hands to engines per operation.
+struct RestoreContext {
+  FrameAllocator* frames = nullptr;
+  const BackendRegistry* backends = nullptr;
+  PidAllocator* pids = nullptr;
+  // Startups currently in flight (drives kernel-lock contention models).
+  uint32_t concurrent_startups = 0;
+};
+
+struct RestoreOutcome {
+  std::unique_ptr<FunctionInstance> instance;
+  StartupBreakdown startup;
+};
+
+class RestoreEngine {
+ public:
+  virtual ~RestoreEngine() = default;
+
+  virtual std::string_view name() const = 0;
+
+  // Offline preprocessing (step A): snapshot creation, dedup, templates.
+  virtual Status Prepare(const FunctionProfile& profile);
+
+  // Online restoration (step B): produce a runnable instance.
+  virtual Result<RestoreOutcome> Restore(const FunctionProfile& profile,
+                                         RestoreContext& ctx) = 0;
+
+  // Execution-phase page work for one invocation on `instance`. Mutates the
+  // instance's page tables (faults make pages resident) and returns the
+  // latency/CPU overheads the invocation pays.
+  virtual Result<ExecutionOverheads> OnExecute(const FunctionProfile& profile,
+                                               FunctionInstance& instance, RestoreContext& ctx);
+
+  // Called when the invocation's execution finishes (closes fetch streams).
+  virtual void OnExecuteDone(FunctionInstance& instance);
+
+  // Tears an instance down (keep-alive eviction), releasing local memory.
+  // Engines that pool sandboxes reclaim them here.
+  virtual void Retire(std::unique_ptr<FunctionInstance> instance, RestoreContext& ctx);
+
+ protected:
+  explicit RestoreEngine(Checkpointer checkpointer) : checkpointer_(checkpointer) {}
+
+  const FunctionSnapshot* SnapshotFor(const std::string& function) const;
+
+  // Builds the instance's processes with all image pages resident in local
+  // DRAM (what copy-based restoration produces).
+  Status MaterializeLocal(const FunctionSnapshot& snapshot, FunctionInstance& instance,
+                          RestoreContext& ctx);
+  // Builds processes with only VMAs (no resident pages); pages arrive later
+  // (prefetch, faults, or an mm-template attach supplies the mappings).
+  Status MaterializeLayoutOnly(const FunctionSnapshot& snapshot, FunctionInstance& instance,
+                               RestoreContext& ctx, bool add_vmas);
+
+  // Per-invocation page touches derived from the profile's PageProfile,
+  // executed through the fault handler against every process.
+  Result<BulkAccessStats> TouchInvocationPages(const FunctionProfile& profile,
+                                               FunctionInstance& instance, RestoreContext& ctx);
+
+  Checkpointer checkpointer_;
+  std::map<std::string, FunctionSnapshot> snapshots_;
+};
+
+// faasd-style cold start: full sandbox creation + interpreter bootstrap.
+class ColdStartEngine : public RestoreEngine {
+ public:
+  ColdStartEngine(SandboxFactory* factory, SandboxPool* pool, Checkpointer checkpointer = Checkpointer())
+      : RestoreEngine(checkpointer), factory_(factory), pool_(pool) {}
+
+  std::string_view name() const override { return "faasd"; }
+  Result<RestoreOutcome> Restore(const FunctionProfile& profile, RestoreContext& ctx) override;
+
+ private:
+  SandboxFactory* factory_;
+  SandboxPool* pool_;  // only for overlay assembly, not sandbox reuse
+};
+
+// Vanilla CRIU: sandbox creation + copy-based memory restoration from a
+// snapshot held in a DRAM/CXL tmpfs.
+class VanillaCriuEngine : public RestoreEngine {
+ public:
+  VanillaCriuEngine(SandboxFactory* factory, SandboxPool* pool, Checkpointer checkpointer = Checkpointer())
+      : RestoreEngine(checkpointer), factory_(factory), pool_(pool) {}
+
+  std::string_view name() const override { return "criu"; }
+  Result<RestoreOutcome> Restore(const FunctionProfile& profile, RestoreContext& ctx) override;
+
+ private:
+  SandboxFactory* factory_;
+  SandboxPool* pool_;
+};
+
+}  // namespace trenv
+
+#endif  // TRENV_CRIU_RESTORE_ENGINE_H_

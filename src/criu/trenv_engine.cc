@@ -1,0 +1,262 @@
+#include "src/criu/trenv_engine.h"
+
+#include <utility>
+
+#include "src/common/cost_model.h"
+
+namespace trenv {
+
+TrEnvEngine::TrEnvEngine(SandboxFactory* factory, SandboxPool* pool, MmtApi* mmt,
+                         SnapshotDedupStore* dedup, Options options, Checkpointer checkpointer)
+    : RestoreEngine(checkpointer),
+      factory_(factory),
+      pool_(pool),
+      mmt_(mmt),
+      dedup_(dedup),
+      options_(options) {
+  if (options_.use_mm_template) {
+    name_ = "trenv";
+  } else if (options_.clone_into_cgroup) {
+    name_ = "trenv-cgroup";  // repurpose + clone-into, no mm-template
+  } else if (options_.repurpose_sandbox) {
+    name_ = "trenv-reconfig";  // repurpose only
+  } else {
+    name_ = "trenv-base";
+  }
+}
+
+TrEnvEngine::TrEnvEngine(SandboxFactory* factory, SandboxPool* pool, MmtApi* mmt,
+                         SnapshotDedupStore* dedup)
+    : TrEnvEngine(factory, pool, mmt, dedup, Options{}) {}
+
+Status TrEnvEngine::Prepare(const FunctionProfile& profile) {
+  TRENV_RETURN_IF_ERROR(RestoreEngine::Prepare(profile));
+  if (!options_.use_mm_template || templates_.contains(profile.name)) {
+    return Status::Ok();
+  }
+  const FunctionSnapshot* snapshot = SnapshotFor(profile.name);
+  // Step A2: deduplicate the snapshot into the shared pool...
+  TRENV_ASSIGN_OR_RETURN(ConsolidatedImage image, dedup_->Store(*snapshot));
+  // ...and build one mm-template per process from the consolidated image.
+  std::vector<MmtId> ids;
+  for (size_t p = 0; p < image.processes.size(); ++p) {
+    const ProcessImage& proc_image = snapshot->processes[p];
+    MmtId id = mmt_->MmtCreate(profile.name + "/" + proc_image.process_name);
+    for (const PlacedRegion& placed : image.processes[p]) {
+      const MemoryRegion& region = placed.region;
+      TRENV_RETURN_IF_ERROR(mmt_->MmtAddMap(id, region.start, region.bytes(), region.prot,
+                                            region.is_private,
+                                            region.type == VmaType::kFileBacked ? 1 : -1, 0,
+                                            region.name));
+      uint64_t done = 0;
+      for (const PlacedChunk& chunk : placed.chunks) {
+        TRENV_RETURN_IF_ERROR(mmt_->MmtSetupPt(id, region.start + done * kPageSize,
+                                               chunk.npages * kPageSize, chunk.offset,
+                                               chunk.pool)
+                                  .status());
+        done += chunk.npages;
+      }
+    }
+    ids.push_back(id);
+  }
+  templates_.emplace(profile.name, std::move(ids));
+  images_.emplace(profile.name, std::move(image));
+  return Status::Ok();
+}
+
+const std::vector<MmtId>* TrEnvEngine::TemplatesFor(const std::string& function) const {
+  auto it = templates_.find(function);
+  return it == templates_.end() ? nullptr : &it->second;
+}
+
+Result<RestoreOutcome> TrEnvEngine::Restore(const FunctionProfile& profile,
+                                            RestoreContext& ctx) {
+  const FunctionSnapshot* snapshot = SnapshotFor(profile.name);
+  if (snapshot == nullptr) {
+    return Status::FailedPrecondition("function was never prepared: " + profile.name);
+  }
+  RestoreOutcome outcome;
+
+  // --- Step B2: sandbox (repurpose if possible). ---
+  std::unique_ptr<Sandbox> sandbox;
+  if (options_.repurpose_sandbox) {
+    sandbox = pool_->Take();
+  }
+  if (sandbox != nullptr) {
+    auto overlay = pool_->AcquireOverlay(profile.name);
+    TRENV_ASSIGN_OR_RETURN(SandboxCost cost,
+                           sandbox->Repurpose(profile.name, overlay, profile.limits));
+    outcome.startup.sandbox = cost.Total();
+    // The restored processes must still enter the reused cgroup: either via
+    // legacy migration (global-rwsem-bound) or CLONE_INTO_CGROUP at spawn.
+    outcome.startup.sandbox +=
+        options_.clone_into_cgroup
+            ? factory_->cgroup_manager().CloneIntoCost()
+            : factory_->cgroup_manager().MigrateCost(ctx.concurrent_startups);
+    outcome.startup.sandbox_repurposed = true;
+  } else {
+    SandboxFactory::CreateResult created =
+        factory_->CreateCold(profile.name, pool_->AcquireOverlay(profile.name), profile.limits,
+                             ctx.concurrent_startups, options_.clone_into_cgroup);
+    sandbox = std::move(created.sandbox);
+    outcome.startup.sandbox = created.cost.Total();
+  }
+  outcome.instance = std::make_unique<FunctionInstance>(profile.name, std::move(sandbox));
+
+  // --- Step B3: CRIU repurpose request (non-memory process state). ---
+  outcome.startup.process =
+      cost::kCriuRepurposeRequest +
+      cost::kCriuPerThreadClone * static_cast<double>(snapshot->TotalThreads()) +
+      cost::kCriuPerOpenFd * static_cast<double>(profile.open_fds);
+
+  // --- Step B4: memory state. ---
+  if (options_.use_mm_template) {
+    TRENV_RETURN_IF_ERROR(
+        MaterializeLayoutOnly(*snapshot, *outcome.instance, ctx, /*add_vmas=*/false));
+    const std::vector<MmtId>& ids = templates_.at(profile.name);
+    size_t p = 0;
+    for (auto& process : outcome.instance->processes()) {
+      TRENV_ASSIGN_OR_RETURN(MmtAttachResult attach, mmt_->MmtAttach(ids[p++], &process->mm()));
+      outcome.startup.memory += attach.latency;
+    }
+  } else {
+    // Ablation: repurposed sandbox but copy-based memory restoration.
+    TRENV_RETURN_IF_ERROR(MaterializeLocal(*snapshot, *outcome.instance, ctx));
+    uint64_t vma_count = 0;
+    for (const auto& image : snapshot->processes) {
+      vma_count += image.regions.size();
+    }
+    outcome.startup.memory =
+        SimDuration::FromSecondsF(static_cast<double>(snapshot->TotalBytes()) /
+                                  cost::kCriuMemCopyBytesPerSec) +
+        cost::kMmapSyscall * static_cast<double>(vma_count);
+  }
+  return outcome;
+}
+
+Result<ExecutionOverheads> TrEnvEngine::OnExecute(const FunctionProfile& profile,
+                                                  FunctionInstance& instance,
+                                                  RestoreContext& ctx) {
+  SimDuration rollback_cost;
+  if (options_.groundhog_restore && options_.use_mm_template && instance.invocations > 0) {
+    // Roll the memory state back to the pristine template before reuse.
+    const std::vector<MmtId>& ids = templates_.at(profile.name);
+    size_t p = 0;
+    for (auto& process : instance.processes()) {
+      MmStruct& mm = process->mm();
+      ctx.frames->FreePages(mm.ResidentLocalPages());
+      std::vector<Vaddr> starts;
+      for (const auto& [start, vma] : mm.vmas()) {
+        starts.push_back(start);
+      }
+      for (Vaddr start : starts) {
+        TRENV_RETURN_IF_ERROR(mm.RemoveVma(start));
+      }
+      TRENV_ASSIGN_OR_RETURN(MmtAttachResult attach, mmt_->MmtAttach(ids[p++], &mm));
+      rollback_cost += attach.latency;
+    }
+  }
+  // Open fetch streams on any message-model pools backing this instance, so
+  // the pool's contention model sees the concurrent load.
+  std::vector<MemoryBackend*> streams;
+  uint64_t remote_cxl_pages = 0;
+  for (auto& process : instance.processes()) {
+    const uint64_t lazy_pages = process->mm().page_table().CountPagesIf(
+        [](const PteFlags& f) { return f.remote() && !f.valid; });
+    remote_cxl_pages += process->mm().page_table().CountPagesIf(
+        [](const PteFlags& f) { return f.remote() && f.valid; });
+    if (lazy_pages > 0) {
+      for (PoolKind kind : {PoolKind::kRdma, PoolKind::kNas}) {
+        MemoryBackend* backend = ctx.backends->Get(kind);
+        if (backend != nullptr) {
+          backend->BeginStream();
+          streams.push_back(backend);
+        }
+      }
+    }
+  }
+  if (!streams.empty()) {
+    open_streams_[&instance] = std::move(streams);
+  }
+
+  TRENV_ASSIGN_OR_RETURN(BulkAccessStats stats, TouchInvocationPages(profile, instance, ctx));
+  ExecutionOverheads overheads;
+  overheads.added_latency = stats.latency;
+  overheads.added_cpu = stats.fetch_cpu;
+  // Direct CXL loads slow the CPU-bound portion (no faults, just latency).
+  // The slowdown scales with the fraction of reads actually served from
+  // remote byte-addressable memory: templates that keep hot regions in
+  // local DRAM (the paper's suggested optimization) shrink it.
+  (void)remote_cxl_pages;
+  const uint64_t direct_reads = stats.direct_remote + stats.direct_local;
+  if (stats.direct_remote > 0 && direct_reads > 0) {
+    const double remote_fraction =
+        static_cast<double>(stats.direct_remote) / static_cast<double>(direct_reads);
+    overheads.cpu_multiplier =
+        1.0 + (ExecutionModel::CxlCpuMultiplier(profile) - 1.0) * remote_fraction;
+  }
+  overheads.added_latency += rollback_cost;
+  // Heat accounting for the tiered-promotion policy: every chunk of this
+  // function's consolidated image was (potentially) touched.
+  if (promotion_ != nullptr) {
+    auto image_it = images_.find(profile.name);
+    if (image_it != images_.end()) {
+      for (const auto& placed_regions : image_it->second.processes) {
+        for (const auto& placed : placed_regions) {
+          for (const auto& chunk : placed.chunks) {
+            promotion_->RecordAccess(PoolPlacement{chunk.pool, chunk.offset, chunk.npages}, 1);
+          }
+        }
+      }
+    }
+    if (++executions_since_sweep_ >= promotion_interval_) {
+      executions_since_sweep_ = 0;
+      for (const PromotionManager::Move& move : promotion_->Sweep()) {
+        // Future templates see the new placement; update the recorded image
+        // so heat accounting follows the chunk.
+        for (auto& [fn, image] : images_) {
+          for (auto& placed_regions : image.processes) {
+            for (auto& placed : placed_regions) {
+              for (auto& chunk : placed.chunks) {
+                if (chunk.pool == move.from.kind && chunk.offset == move.from.base &&
+                    chunk.npages == move.from.npages) {
+                  chunk.pool = move.to.kind;
+                  chunk.offset = move.to.base;
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return overheads;
+}
+
+void TrEnvEngine::OnExecuteDone(FunctionInstance& instance) {
+  auto it = open_streams_.find(&instance);
+  if (it == open_streams_.end()) {
+    return;
+  }
+  for (MemoryBackend* backend : it->second) {
+    backend->EndStream();
+  }
+  open_streams_.erase(it);
+}
+
+void TrEnvEngine::Retire(std::unique_ptr<FunctionInstance> instance, RestoreContext& ctx) {
+  OnExecuteDone(*instance);
+  ctx.frames->FreePages(instance->ResidentLocalPages());
+  std::unique_ptr<Sandbox> sandbox = instance->TakeSandbox();
+  if (sandbox == nullptr || !options_.repurpose_sandbox) {
+    return;
+  }
+  // Step B1: cleanse (kill processes, purge upper dirs) and park.
+  sandbox->Cleanse(static_cast<uint32_t>(instance->processes().size()));
+  const std::string function = instance->function();
+  // Return the function overlay to its cache for the next instance.
+  pool_->ReleaseOverlay(function, sandbox->function_overlay());
+  pool_->Put(std::move(sandbox));
+}
+
+}  // namespace trenv

@@ -1,0 +1,92 @@
+// TrEnvEngine: the paper's system. Online restoration (Fig 6, steps B1-B4):
+//
+//   B1  finished instances are cleansed and parked in the universal pool
+//   B2  a pending invocation repurposes ANY idle sandbox (2 mounts + cgroup
+//       reconfigure), falling back to cold creation with CLONE_INTO_CGROUP
+//   B3  CRIU "repurpose" restores non-memory process state into the sandbox
+//   B4  mmt_attach copies template metadata; pages stay in the CXL/RDMA pool
+//
+// Execution reads CXL pages directly (zero software overhead), CoWs on
+// write, and major-faults RDMA pages on first touch.
+#ifndef TRENV_CRIU_TRENV_ENGINE_H_
+#define TRENV_CRIU_TRENV_ENGINE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/criu/deduplicator.h"
+#include "src/criu/restore_engine.h"
+#include "src/mempool/promotion.h"
+#include "src/mmtemplate/api.h"
+
+namespace trenv {
+
+class TrEnvEngine : public RestoreEngine {
+ public:
+  struct Options {
+    // Disables sandbox repurposing (Fig 21's ablation steps): cold create.
+    bool repurpose_sandbox = true;
+    // Uses CLONE_INTO_CGROUP instead of spawn-then-migrate.
+    bool clone_into_cgroup = true;
+    // Uses mm-template attach; when false, falls back to CRIU-style memory
+    // copy (the "Cgroup"-only ablation configuration).
+    bool use_mm_template = true;
+    // Groundhog-style sequential-request isolation (section 10): before a
+    // warm instance serves a new invocation, its memory state is rolled back
+    // to the pristine template (drop CoW pages, re-attach). Costs one extra
+    // attach per reuse but guarantees no state flows between requests.
+    bool groundhog_restore = false;
+  };
+
+  // Optional hot-chunk promotion across tiers (not owned). Every execution
+  // heats the function's chunks; a sweep runs every `promotion_interval`
+  // executions and migrates hot chunks toward the byte-addressable tier.
+  void EnablePromotion(PromotionManager* promotion, uint64_t interval = 32) {
+    promotion_ = promotion;
+    promotion_interval_ = interval;
+  }
+
+  TrEnvEngine(SandboxFactory* factory, SandboxPool* pool, MmtApi* mmt,
+              SnapshotDedupStore* dedup, Options options,
+              Checkpointer checkpointer = Checkpointer());
+  // Full TrEnv (all optimizations on).
+  TrEnvEngine(SandboxFactory* factory, SandboxPool* pool, MmtApi* mmt,
+              SnapshotDedupStore* dedup);
+
+  std::string_view name() const override { return name_; }
+
+  // Step A: checkpoint, deduplicate into the pool, build one mm-template per
+  // process.
+  Status Prepare(const FunctionProfile& profile) override;
+
+  Result<RestoreOutcome> Restore(const FunctionProfile& profile, RestoreContext& ctx) override;
+  Result<ExecutionOverheads> OnExecute(const FunctionProfile& profile,
+                                       FunctionInstance& instance, RestoreContext& ctx) override;
+  void OnExecuteDone(FunctionInstance& instance) override;
+  // Step B1: cleanse the sandbox and park it in the universal pool.
+  void Retire(std::unique_ptr<FunctionInstance> instance, RestoreContext& ctx) override;
+
+  const SnapshotDedupStore* dedup() const { return dedup_; }
+  // The templates built for a function (one per process); for tests.
+  const std::vector<MmtId>* TemplatesFor(const std::string& function) const;
+
+ private:
+  SandboxFactory* factory_;
+  SandboxPool* pool_;
+  MmtApi* mmt_;
+  SnapshotDedupStore* dedup_;
+  Options options_;
+  std::string name_;
+  std::map<std::string, std::vector<MmtId>> templates_;
+  std::map<std::string, ConsolidatedImage> images_;
+  // Streams opened against non-byte-addressable pools during execution.
+  std::map<FunctionInstance*, std::vector<MemoryBackend*>> open_streams_;
+  PromotionManager* promotion_ = nullptr;
+  uint64_t promotion_interval_ = 32;
+  uint64_t executions_since_sweep_ = 0;
+};
+
+}  // namespace trenv
+
+#endif  // TRENV_CRIU_TRENV_ENGINE_H_

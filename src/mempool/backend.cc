@@ -1,0 +1,85 @@
+#include "src/mempool/backend.h"
+
+#include <cassert>
+
+namespace trenv {
+
+void ContentMap::SplitAt(PoolOffset page) {
+  auto it = runs_.upper_bound(page);
+  if (it == runs_.begin()) {
+    return;
+  }
+  --it;
+  const PoolOffset start = it->first;
+  Run& run = it->second;
+  if (start == page || start + run.npages <= page) {
+    return;
+  }
+  const uint64_t head = page - start;
+  Run tail{run.npages - head, run.content_base + head};
+  run.npages = head;
+  runs_.emplace(page, tail);
+}
+
+void ContentMap::Write(PoolOffset page, uint64_t npages, PageContent content_base) {
+  if (npages == 0) {
+    return;
+  }
+  Erase(page, npages);
+  runs_.emplace(page, Run{npages, content_base});
+}
+
+Result<PageContent> ContentMap::Read(PoolOffset page) const {
+  auto it = runs_.upper_bound(page);
+  if (it == runs_.begin()) {
+    return Status::NotFound("no content stored at pool offset");
+  }
+  --it;
+  if (page >= it->first + it->second.npages) {
+    return Status::NotFound("no content stored at pool offset");
+  }
+  return it->second.content_base + (page - it->first);
+}
+
+void ContentMap::Erase(PoolOffset page, uint64_t npages) {
+  if (npages == 0) {
+    return;
+  }
+  SplitAt(page);
+  SplitAt(page + npages);
+  auto it = runs_.lower_bound(page);
+  while (it != runs_.end() && it->first < page + npages) {
+    it = runs_.erase(it);
+  }
+}
+
+uint64_t ContentMap::stored_pages() const {
+  uint64_t total = 0;
+  for (const auto& [base, run] : runs_) {
+    total += run.npages;
+  }
+  return total;
+}
+
+Status MemoryBackend::FreePages(PoolOffset base, uint64_t n) {
+  TRENV_RETURN_IF_ERROR(allocator_.Free(base, n));
+  content_.Erase(base, n);
+  return Status::Ok();
+}
+
+Status MemoryBackend::WriteContent(PoolOffset page, uint64_t npages, PageContent content_base) {
+  content_.Write(page, npages, content_base);
+  return Status::Ok();
+}
+
+void BackendRegistry::Register(MemoryBackend* backend) {
+  assert(backend != nullptr);
+  backends_[backend->kind()] = backend;
+}
+
+MemoryBackend* BackendRegistry::Get(PoolKind kind) const {
+  auto it = backends_.find(kind);
+  return it == backends_.end() ? nullptr : it->second;
+}
+
+}  // namespace trenv

@@ -1,0 +1,99 @@
+// MemoryBackend: the abstract interface every disaggregated-memory tier
+// implements (paper section 5.1: "mm-template supports various memory pool
+// backends including CXL and RDMA").
+//
+// A backend owns a page-granular address space, remembers the logical content
+// stored in it, and models the latency of reaching it — both the fault-path
+// fetch (RDMA/NAS) and the direct byte-addressable load (CXL).
+#ifndef TRENV_MEMPOOL_BACKEND_H_
+#define TRENV_MEMPOOL_BACKEND_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string_view>
+
+#include "src/common/status.h"
+#include "src/common/time.h"
+#include "src/mempool/block_allocator.h"
+#include "src/simkernel/types.h"
+
+namespace trenv {
+
+// Remembers logical page contents stored into a pool, run-compressed the same
+// way the page table is (content of page base+i is content_base+i).
+class ContentMap {
+ public:
+  void Write(PoolOffset page, uint64_t npages, PageContent content_base);
+  Result<PageContent> Read(PoolOffset page) const;
+  void Erase(PoolOffset page, uint64_t npages);
+  uint64_t stored_pages() const;
+
+ private:
+  struct Run {
+    uint64_t npages;
+    PageContent content_base;
+  };
+  void SplitAt(PoolOffset page);
+  std::map<PoolOffset, Run> runs_;
+};
+
+class MemoryBackend {
+ public:
+  virtual ~MemoryBackend() = default;
+
+  virtual PoolKind kind() const = 0;
+  virtual std::string_view name() const = 0;
+  // True if CPUs can issue loads directly against the pool (CXL).
+  virtual bool byte_addressable() const = 0;
+
+  uint64_t capacity_bytes() const { return allocator_.total_pages() * kPageSize; }
+  uint64_t used_bytes() const { return allocator_.used_pages() * kPageSize; }
+  uint64_t free_pages() const { return allocator_.free_pages(); }
+
+  // Block management.
+  Result<PoolOffset> AllocatePages(uint64_t n) { return allocator_.Allocate(n); }
+  Status FreePages(PoolOffset base, uint64_t n);
+
+  // Content store.
+  Status WriteContent(PoolOffset page, uint64_t npages, PageContent content_base);
+  Result<PageContent> ReadContent(PoolOffset page) const { return content_.Read(page); }
+  uint64_t stored_pages() const { return content_.stored_pages(); }
+
+  // Fault-path fetch of n pages (RDMA read, NAS block I/O, or a memcpy out of
+  // a byte-addressable pool). Includes fabric contention effects.
+  virtual SimDuration FetchLatency(uint64_t npages) = 0;
+  // Per-load latency for direct access; only meaningful if byte_addressable().
+  virtual SimDuration DirectLoadLatency() const = 0;
+  // CPU time the host burns per fetched page (e.g. RDMA completion handling);
+  // zero for byte-addressable pools.
+  virtual SimDuration FetchCpuPerPage() const { return SimDuration::Zero(); }
+
+  // Load tracking: engines bracket an invocation's lazy-fetch window so the
+  // pool can model contention (RDMA's P99 cliff under bursts).
+  virtual void BeginStream() {}
+  virtual void EndStream() {}
+  virtual uint32_t active_streams() const { return 0; }
+
+ protected:
+  explicit MemoryBackend(uint64_t capacity_bytes)
+      : allocator_(capacity_bytes / kPageSize) {}
+
+ private:
+  BlockAllocator allocator_;
+  ContentMap content_;
+};
+
+// Maps PoolKind -> backend for the fault handler. Does not own the backends.
+class BackendRegistry {
+ public:
+  void Register(MemoryBackend* backend);
+  MemoryBackend* Get(PoolKind kind) const;
+
+ private:
+  std::map<PoolKind, MemoryBackend*> backends_;
+};
+
+}  // namespace trenv
+
+#endif  // TRENV_MEMPOOL_BACKEND_H_

@@ -1,0 +1,83 @@
+#include "src/mempool/block_allocator.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace trenv {
+
+BlockAllocator::BlockAllocator(uint64_t total_pages) : total_pages_(total_pages) {
+  if (total_pages > 0) {
+    free_list_.emplace(0, total_pages);
+  }
+}
+
+Result<PoolOffset> BlockAllocator::Allocate(uint64_t n) {
+  if (n == 0) {
+    return Status::InvalidArgument("zero-page allocation");
+  }
+  for (auto it = free_list_.begin(); it != free_list_.end(); ++it) {
+    if (it->second >= n) {
+      const PoolOffset base = it->first;
+      const uint64_t remaining = it->second - n;
+      free_list_.erase(it);
+      if (remaining > 0) {
+        free_list_.emplace(base + n, remaining);
+      }
+      used_pages_ += n;
+      return base;
+    }
+  }
+  return Status::OutOfMemory("pool exhausted or fragmented");
+}
+
+Status BlockAllocator::Free(PoolOffset base, uint64_t n) {
+  if (n == 0 || base + n > total_pages_) {
+    return Status::InvalidArgument("free range out of bounds");
+  }
+  // Validate against double-free: the range must not intersect the free list.
+  auto it = free_list_.upper_bound(base);
+  if (it != free_list_.end() && it->first < base + n) {
+    return Status::InvalidArgument("double free (overlaps free extent)");
+  }
+  if (it != free_list_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->first + prev->second > base) {
+      return Status::InvalidArgument("double free (overlaps free extent)");
+    }
+  }
+  free_list_.emplace(base, n);
+  assert(used_pages_ >= n);
+  used_pages_ -= n;
+  CoalesceAround(base);
+  return Status::Ok();
+}
+
+void BlockAllocator::CoalesceAround(PoolOffset base) {
+  auto it = free_list_.find(base);
+  assert(it != free_list_.end());
+  // Merge with predecessor.
+  if (it != free_list_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->first + prev->second == it->first) {
+      prev->second += it->second;
+      free_list_.erase(it);
+      it = prev;
+    }
+  }
+  // Merge with successor.
+  auto next = std::next(it);
+  if (next != free_list_.end() && it->first + it->second == next->first) {
+    it->second += next->second;
+    free_list_.erase(next);
+  }
+}
+
+uint64_t BlockAllocator::LargestFreeExtent() const {
+  uint64_t largest = 0;
+  for (const auto& [base, len] : free_list_) {
+    largest = std::max(largest, len);
+  }
+  return largest;
+}
+
+}  // namespace trenv

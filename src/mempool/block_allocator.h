@@ -1,0 +1,42 @@
+// First-fit page-granular block allocator with free-list coalescing.
+// Manages the address space of a memory pool; consolidated snapshot images
+// are placed through this allocator.
+#ifndef TRENV_MEMPOOL_BLOCK_ALLOCATOR_H_
+#define TRENV_MEMPOOL_BLOCK_ALLOCATOR_H_
+
+#include <cstdint>
+#include <map>
+
+#include "src/common/status.h"
+#include "src/simkernel/types.h"
+
+namespace trenv {
+
+class BlockAllocator {
+ public:
+  explicit BlockAllocator(uint64_t total_pages);
+
+  // Allocates n contiguous pages; returns the base page offset.
+  Result<PoolOffset> Allocate(uint64_t n);
+  // Frees a previously allocated block (must match an allocation exactly or
+  // be a sub-range of one; partial frees split the allocation record).
+  Status Free(PoolOffset base, uint64_t n);
+
+  uint64_t total_pages() const { return total_pages_; }
+  uint64_t used_pages() const { return used_pages_; }
+  uint64_t free_pages() const { return total_pages_ - used_pages_; }
+  // Largest contiguous free extent, for fragmentation diagnostics.
+  uint64_t LargestFreeExtent() const;
+
+ private:
+  void CoalesceAround(PoolOffset base);
+
+  uint64_t total_pages_;
+  uint64_t used_pages_ = 0;
+  // Free extents: base -> length.
+  std::map<PoolOffset, uint64_t> free_list_;
+};
+
+}  // namespace trenv
+
+#endif  // TRENV_MEMPOOL_BLOCK_ALLOCATOR_H_

@@ -1,0 +1,32 @@
+// Local-DRAM pool: models a tmpfs-style snapshot store in node memory.
+// Used as the backing store for baseline snapshots (the paper stores CRIU /
+// REAP / FaaSnap images on a DRAM- or CXL-backed tmpfs for fairness).
+#ifndef TRENV_MEMPOOL_DRAM_POOL_H_
+#define TRENV_MEMPOOL_DRAM_POOL_H_
+
+#include "src/common/cost_model.h"
+#include "src/mempool/backend.h"
+
+namespace trenv {
+
+class DramPool : public MemoryBackend {
+ public:
+  explicit DramPool(uint64_t capacity_bytes) : MemoryBackend(capacity_bytes) {}
+
+  PoolKind kind() const override { return PoolKind::kLocalDram; }
+  std::string_view name() const override { return "dram-tmpfs"; }
+  bool byte_addressable() const override { return true; }
+
+  SimDuration FetchLatency(uint64_t npages) override {
+    // memcpy out of local DRAM at memory bandwidth.
+    constexpr double kDramCopyBytesPerSec = 12.0 * static_cast<double>(kGiB);
+    const double bytes = static_cast<double>(npages) * static_cast<double>(kPageSize);
+    return SimDuration::FromSecondsF(bytes / kDramCopyBytesPerSec);
+  }
+
+  SimDuration DirectLoadLatency() const override { return cost::kLocalDramLatency; }
+};
+
+}  // namespace trenv
+
+#endif  // TRENV_MEMPOOL_DRAM_POOL_H_

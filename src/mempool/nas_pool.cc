@@ -1,0 +1,3 @@
+#include "src/mempool/nas_pool.h"
+
+// Header-only implementation; this TU anchors the vtable.

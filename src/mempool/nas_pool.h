@@ -1,0 +1,29 @@
+// Network-attached-storage tier: the cold bottom layer of the multi-layer
+// architecture sketched in Fig 1. Block I/O interface, ~60 us per 4 KiB.
+#ifndef TRENV_MEMPOOL_NAS_POOL_H_
+#define TRENV_MEMPOOL_NAS_POOL_H_
+
+#include "src/common/cost_model.h"
+#include "src/mempool/backend.h"
+
+namespace trenv {
+
+class NasPool : public MemoryBackend {
+ public:
+  explicit NasPool(uint64_t capacity_bytes) : MemoryBackend(capacity_bytes) {}
+
+  PoolKind kind() const override { return PoolKind::kNas; }
+  std::string_view name() const override { return "nas"; }
+  bool byte_addressable() const override { return false; }
+
+  SimDuration FetchLatency(uint64_t npages) override {
+    return SimDuration(cost::kNasPageFetchBase.nanos() * static_cast<int64_t>(npages));
+  }
+  SimDuration DirectLoadLatency() const override { return cost::kNasPageFetchBase; }
+
+ private:
+};
+
+}  // namespace trenv
+
+#endif  // TRENV_MEMPOOL_NAS_POOL_H_

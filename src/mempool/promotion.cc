@@ -1,0 +1,111 @@
+#include "src/mempool/promotion.h"
+
+#include <algorithm>
+
+namespace trenv {
+
+PromotionManager::PromotionManager(TieredPool* pool, MmTemplateRegistry* templates,
+                                   Options options)
+    : pool_(pool), templates_(templates), options_(options) {}
+
+void PromotionManager::RecordAccess(const PoolPlacement& placement, uint64_t touches) {
+  if (touches == 0 || placement.npages == 0) {
+    return;
+  }
+  // Only chunks below the hottest tier can be promoted.
+  if (pool_->tier_count() == 0 || placement.kind == pool_->tier(0)->kind()) {
+    return;
+  }
+  heat_[ChunkKey{placement.kind, placement.base, placement.npages}] += touches;
+}
+
+uint64_t RemapBacking(PageTable& table, const PoolPlacement& from, const PoolPlacement& to,
+                      bool to_byte_addressable) {
+  // Collect matching run slices first (the rewrite mutates the table).
+  struct Slice {
+    Vpn vpn;
+    uint64_t npages;
+    uint64_t chunk_offset;  // pages into the moved chunk
+    PageContent content_base;
+    bool constant_content;
+  };
+  std::vector<Slice> slices;
+  table.ForEachRun([&](Vpn vpn, const PteRun& run) {
+    if (!run.flags.remote() || run.flags.pool != from.kind ||
+        run.backing_base == kNoBacking) {
+      return;
+    }
+    const uint64_t run_lo = run.backing_base;
+    const uint64_t run_hi = run.backing_base + run.npages;
+    const uint64_t chunk_lo = from.base;
+    const uint64_t chunk_hi = from.base + from.npages;
+    const uint64_t lo = std::max(run_lo, chunk_lo);
+    const uint64_t hi = std::min(run_hi, chunk_hi);
+    if (lo >= hi) {
+      return;
+    }
+    Slice slice;
+    slice.vpn = vpn + (lo - run_lo);
+    slice.npages = hi - lo;
+    slice.chunk_offset = lo - chunk_lo;
+    slice.content_base =
+        run.constant_content ? run.content_base : run.content_base + (lo - run_lo);
+    slice.constant_content = run.constant_content;
+    slices.push_back(slice);
+  });
+
+  uint64_t rewritten = 0;
+  for (const Slice& slice : slices) {
+    PteFlags flags;
+    flags.pool = to.kind;
+    flags.valid = to_byte_addressable;  // CXL: pre-populated; RDMA/NAS: lazy
+    flags.write_protected = true;
+    table.MapRange(slice.vpn, slice.npages, flags, to.base + slice.chunk_offset,
+                   slice.content_base, slice.constant_content);
+    rewritten += slice.npages;
+  }
+  return rewritten;
+}
+
+std::vector<PromotionManager::Move> PromotionManager::Sweep() {
+  std::vector<Move> moves;
+  // Hottest-first candidates over the threshold.
+  std::vector<std::pair<uint64_t, ChunkKey>> candidates;
+  for (const auto& [key, heat] : heat_) {
+    if (heat >= options_.promote_threshold) {
+      candidates.emplace_back(heat, key);
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+
+  for (const auto& [heat, key] : candidates) {
+    if (moves.size() >= options_.max_promotions_per_sweep) {
+      break;
+    }
+    PoolPlacement placement{key.kind, key.base, key.npages};
+    auto promoted = pool_->Promote(placement);
+    if (!promoted.ok()) {
+      continue;  // hot tier full or tier missing: leave the chunk where it is
+    }
+    Move move;
+    move.from = placement;
+    move.to = promoted->placement;
+    move.copy_latency = promoted->copy_latency;
+    // Rewrite every template that mapped the old chunk.
+    const bool byte_addressable =
+        pool_->TierFor(move.to.kind) != nullptr &&
+        pool_->TierFor(move.to.kind)->byte_addressable();
+    templates_->ForEach([&](MmTemplate& tmpl) {
+      if (RemapBacking(tmpl.page_table(), move.from, move.to, byte_addressable) > 0) {
+        ++move.templates_rewritten;
+      }
+    });
+    heat_.erase(key);
+    ++promoted_chunks_;
+    moves.push_back(move);
+  }
+  return moves;
+}
+
+}  // namespace trenv

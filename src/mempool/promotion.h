@@ -1,0 +1,76 @@
+// PromotionManager: the multi-layer hot/cold placement policy sketched in
+// paper Fig 1 and section 9.5 — "a multi-layered architecture that
+// strategically places hot pages in CXL and cold pages in RDMA integrates
+// seamlessly with our approach". Tracks per-chunk access counts reported by
+// the engines and migrates the hottest cold-tier chunks upward; templates
+// referencing moved chunks are rewritten in place (all pool state is
+// read-only, so migration is a copy + PTE rewrite, never a coherence
+// problem).
+#ifndef TRENV_MEMPOOL_PROMOTION_H_
+#define TRENV_MEMPOOL_PROMOTION_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/mempool/tiered_pool.h"
+#include "src/mmtemplate/registry.h"
+
+namespace trenv {
+
+class PromotionManager {
+ public:
+  struct Options {
+    // Accesses a chunk must accumulate before it is promotion-eligible.
+    uint64_t promote_threshold = 4;
+    // Chunks moved per sweep (bounds the migration burst).
+    size_t max_promotions_per_sweep = 16;
+  };
+
+  PromotionManager(TieredPool* pool, MmTemplateRegistry* templates, Options options);
+  PromotionManager(TieredPool* pool, MmTemplateRegistry* templates)
+      : PromotionManager(pool, templates, Options{}) {}
+
+  // Records that `touches` accesses hit the chunk at `placement`.
+  void RecordAccess(const PoolPlacement& placement, uint64_t touches);
+
+  struct Move {
+    PoolPlacement from;
+    PoolPlacement to;
+    SimDuration copy_latency;
+    uint64_t templates_rewritten = 0;
+  };
+
+  // Promotes up to max_promotions_per_sweep of the hottest eligible chunks
+  // and rewrites every registered template that mapped them. Returns the
+  // moves performed (empty when nothing is eligible or the hot tier is full).
+  std::vector<Move> Sweep();
+
+  uint64_t promoted_chunks() const { return promoted_chunks_; }
+  size_t tracked_chunks() const { return heat_.size(); }
+
+ private:
+  struct ChunkKey {
+    PoolKind kind;
+    PoolOffset base;
+    uint64_t npages;
+    auto operator<=>(const ChunkKey&) const = default;
+  };
+
+  TieredPool* pool_;
+  MmTemplateRegistry* templates_;
+  Options options_;
+  std::map<ChunkKey, uint64_t> heat_;
+  uint64_t promoted_chunks_ = 0;
+};
+
+// Rewrites every PTE run in `table` whose backing lies inside the moved
+// chunk so it points at the new placement (flags updated to the new tier's
+// access mode). Returns the number of pages rewritten.
+uint64_t RemapBacking(PageTable& table, const PoolPlacement& from, const PoolPlacement& to,
+                      bool to_byte_addressable);
+
+}  // namespace trenv
+
+#endif  // TRENV_MEMPOOL_PROMOTION_H_

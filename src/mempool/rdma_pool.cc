@@ -1,0 +1,32 @@
+#include "src/mempool/rdma_pool.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace trenv {
+
+double RdmaPool::LoadFactor() const {
+  const double excess =
+      std::max<double>(0.0, static_cast<double>(active_streams_) -
+                                static_cast<double>(cost::kRdmaLoadFreeStreams));
+  return 1.0 + cost::kRdmaLoadLatencyFactor * excess;
+}
+
+SimDuration RdmaPool::FetchLatency(uint64_t npages) {
+  if (npages == 0) {
+    return SimDuration::Zero();
+  }
+  // Lognormal jitter reproduces the long tail; the mean of exp(N(mu, sigma))
+  // with mu = -sigma^2/2 is exactly 1, so the base latency is unbiased.
+  const double sigma = cost::kRdmaTailSigma;
+  const double jitter = rng_.NextLogNormal(-sigma * sigma / 2.0, sigma);
+  // A lone fault pays the full round trip; sequential fault streams get
+  // readahead batching, amortizing (but not hiding) the fabric latency.
+  const double base_ns = static_cast<double>(cost::kRdmaPageFetchBase.nanos());
+  const double stream_ns =
+      static_cast<double>(npages - 1) * base_ns * cost::kRdmaReadaheadFactor;
+  return SimDuration(
+      static_cast<int64_t>((base_ns + stream_ns) * LoadFactor() * jitter));
+}
+
+}  // namespace trenv

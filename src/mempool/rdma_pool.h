@@ -1,0 +1,54 @@
+// RDMA memory pool: message-queue access model. Not byte-addressable, so
+// mm-templates install *invalid* PTEs and every first touch takes a major
+// fault that fetches a 4 KiB page (paper section 5.1).
+//
+// The pool models the paper's section-9.5 observations: latency is fine at
+// low load but exhibits a pronounced tail under concurrent streams (NIC cache
+// pressure, switch contention), and each fetch burns host CPU.
+#ifndef TRENV_MEMPOOL_RDMA_POOL_H_
+#define TRENV_MEMPOOL_RDMA_POOL_H_
+
+#include <cstdint>
+
+#include "src/common/cost_model.h"
+#include "src/common/rng.h"
+#include "src/mempool/backend.h"
+
+namespace trenv {
+
+class RdmaPool : public MemoryBackend {
+ public:
+  explicit RdmaPool(uint64_t capacity_bytes, uint64_t seed = 0x7d3a)
+      : MemoryBackend(capacity_bytes), rng_(seed) {}
+
+  PoolKind kind() const override { return PoolKind::kRdma; }
+  std::string_view name() const override { return "rdma"; }
+  bool byte_addressable() const override { return false; }
+
+  SimDuration FetchLatency(uint64_t npages) override;
+  SimDuration DirectLoadLatency() const override {
+    // Direct loads are impossible; callers must fault. Returning the fetch
+    // base keeps misuse visible in traces rather than silently free.
+    return cost::kRdmaPageFetchBase;
+  }
+  SimDuration FetchCpuPerPage() const override { return cost::kRdmaPerFetchCpu; }
+
+  void BeginStream() override { ++active_streams_; }
+  void EndStream() override {
+    if (active_streams_ > 0) {
+      --active_streams_;
+    }
+  }
+  uint32_t active_streams() const override { return active_streams_; }
+
+  // Current contention multiplier (exposed for tests/benches).
+  double LoadFactor() const;
+
+ private:
+  Rng rng_;
+  uint32_t active_streams_ = 0;
+};
+
+}  // namespace trenv
+
+#endif  // TRENV_MEMPOOL_RDMA_POOL_H_

@@ -1,0 +1,90 @@
+#include "src/mempool/tiered_pool.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace trenv {
+
+void TieredPool::AddTier(MemoryBackend* backend) {
+  assert(backend != nullptr);
+  tiers_.push_back(backend);
+}
+
+MemoryBackend* TieredPool::TierFor(PoolKind kind) const {
+  for (MemoryBackend* tier : tiers_) {
+    if (tier->kind() == kind) {
+      return tier;
+    }
+  }
+  return nullptr;
+}
+
+size_t TieredPool::TierIndex(PoolKind kind) const {
+  for (size_t i = 0; i < tiers_.size(); ++i) {
+    if (tiers_[i]->kind() == kind) {
+      return i;
+    }
+  }
+  return tiers_.size();
+}
+
+Result<PoolPlacement> TieredPool::AllocatePages(uint64_t n, double hotness) {
+  if (tiers_.empty()) {
+    return Status::FailedPrecondition("tiered pool has no tiers");
+  }
+  hotness = std::clamp(hotness, 0.0, 1.0);
+  // Preferred tier: hotness 1 -> tier 0 (hottest); hotness 0 -> last tier.
+  const auto preferred = static_cast<size_t>(
+      std::floor((1.0 - hotness) * static_cast<double>(tiers_.size() - 1) + 0.5));
+  // Try preferred, then colder tiers, then warmer ones as a last resort.
+  std::vector<size_t> order;
+  for (size_t i = preferred; i < tiers_.size(); ++i) {
+    order.push_back(i);
+  }
+  for (size_t i = preferred; i-- > 0;) {
+    order.push_back(i);
+  }
+  for (size_t i : order) {
+    auto result = tiers_[i]->AllocatePages(n);
+    if (result.ok()) {
+      return PoolPlacement{tiers_[i]->kind(), result.value(), n};
+    }
+  }
+  return Status::OutOfMemory("all tiers exhausted");
+}
+
+Status TieredPool::FreePages(const PoolPlacement& placement) {
+  MemoryBackend* tier = TierFor(placement.kind);
+  if (tier == nullptr) {
+    return Status::NotFound("no tier of this kind");
+  }
+  return tier->FreePages(placement.base, placement.npages);
+}
+
+Result<TieredPool::PromotionResult> TieredPool::Promote(const PoolPlacement& placement) {
+  const size_t idx = TierIndex(placement.kind);
+  if (idx >= tiers_.size()) {
+    return Status::NotFound("placement tier not registered");
+  }
+  if (idx == 0) {
+    return Status::FailedPrecondition("already in the hottest tier");
+  }
+  MemoryBackend* src = tiers_[idx];
+  MemoryBackend* dst = tiers_[idx - 1];
+  TRENV_ASSIGN_OR_RETURN(PoolOffset new_base, dst->AllocatePages(placement.npages));
+  // Copy content run-by-run. Content is run-compressed, so walk pages but
+  // batch identical progressions (cheap: placements are single blocks).
+  auto first = src->ReadContent(placement.base);
+  if (first.ok()) {
+    TRENV_RETURN_IF_ERROR(dst->WriteContent(new_base, placement.npages, first.value()));
+  }
+  const SimDuration latency = src->FetchLatency(placement.npages);
+  Status freed = src->FreePages(placement.base, placement.npages);
+  if (!freed.ok()) {
+    return freed;
+  }
+  return PromotionResult{PoolPlacement{dst->kind(), new_base, placement.npages}, latency};
+}
+
+}  // namespace trenv

@@ -1,0 +1,50 @@
+// TieredPool: the multi-layer placement facade from Fig 1. Hot snapshot
+// blocks land in the upper layers (local DRAM or CXL), cold blocks in lower
+// layers (RDMA, NAS). Eviction/promotion policy is deliberately simple — the
+// paper calls the specific strategy orthogonal to the core design.
+#ifndef TRENV_MEMPOOL_TIERED_POOL_H_
+#define TRENV_MEMPOOL_TIERED_POOL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/mempool/backend.h"
+
+namespace trenv {
+
+struct PoolPlacement {
+  PoolKind kind = PoolKind::kLocalDram;
+  PoolOffset base = 0;
+  uint64_t npages = 0;
+};
+
+class TieredPool {
+ public:
+  // Tiers must be added hottest-first. Does not take ownership.
+  void AddTier(MemoryBackend* backend);
+  size_t tier_count() const { return tiers_.size(); }
+  MemoryBackend* tier(size_t i) const { return tiers_[i]; }
+  MemoryBackend* TierFor(PoolKind kind) const;
+
+  // Allocates n pages for a block with the given hotness in [0, 1]; hotter
+  // blocks prefer upper tiers. Falls through to any tier with space.
+  Result<PoolPlacement> AllocatePages(uint64_t n, double hotness);
+  Status FreePages(const PoolPlacement& placement);
+
+  // Moves a block one tier up (if space allows); returns the new placement
+  // and models the inter-tier copy as the destination's fetch latency.
+  struct PromotionResult {
+    PoolPlacement placement;
+    SimDuration copy_latency;
+  };
+  Result<PromotionResult> Promote(const PoolPlacement& placement);
+
+ private:
+  size_t TierIndex(PoolKind kind) const;
+  std::vector<MemoryBackend*> tiers_;
+};
+
+}  // namespace trenv
+
+#endif  // TRENV_MEMPOOL_TIERED_POOL_H_

@@ -1,0 +1,86 @@
+// The mm-template user API (paper Fig 11), exposed in the real system as
+// ioctls on a root-only pseudo-device. Call sequence for preprocessing:
+//
+//   MmtId id = api.MmtCreate("func-x");
+//   api.MmtAddMap(id, addr, len, prot, MAP_PRIVATE, -1, 0);   // VMAs
+//   api.MmtSetupPt(id, addr, len, pool_offset, PoolKind::kCxl);  // PTEs
+//
+// and on the critical path:
+//
+//   api.MmtAttach(id, &process_mm);   // copies metadata only
+//
+// CXL-backed ranges get valid write-protected PTEs (direct loads, CoW on
+// store); RDMA/NAS ranges get invalid pool-tagged PTEs (major fault fetch).
+#ifndef TRENV_MMTEMPLATE_API_H_
+#define TRENV_MMTEMPLATE_API_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/status.h"
+#include "src/common/time.h"
+#include "src/mempool/backend.h"
+#include "src/mmtemplate/registry.h"
+#include "src/simkernel/mm_struct.h"
+
+namespace trenv {
+
+struct MmtAttachResult {
+  // Time spent on the critical path: one ioctl plus the metadata copy.
+  SimDuration latency;
+  uint64_t metadata_bytes = 0;
+  uint64_t mapped_pages = 0;
+};
+
+struct MmtSetupResult {
+  // Offline preprocessing cost (not on the restore critical path).
+  SimDuration latency;
+};
+
+class MmtApi {
+ public:
+  explicit MmtApi(const BackendRegistry* backends) : backends_(backends) {}
+
+  // The real pseudo-device is accessible only to root (paper section 8.1).
+  // Dropping privilege makes every call fail with PERMISSION_DENIED.
+  void set_caller_privileged(bool privileged) { privileged_ = privileged; }
+  bool caller_privileged() const { return privileged_; }
+
+  // mmt_create: allocates a template and returns its identifier
+  // (kInvalidMmtId if the caller lacks privilege).
+  MmtId MmtCreate(std::string name);
+
+  // mmt_add_map: records a virtual memory area in the template. `file_id` is
+  // -1 for anonymous mappings (heap/stack); mm-template supports both —
+  // removing the device-DAX limitation is one of the paper's kernel changes.
+  Status MmtAddMap(MmtId id, Vaddr addr, uint64_t length, Protection prot, bool is_private,
+                   int64_t file_id, uint64_t file_offset, std::string name = {});
+
+  // mmt_setup_pt: points [addr, addr+length) at `pool_offset` within the
+  // given pool. The pool must already hold content for that range (written by
+  // the deduplicator). Installs write-protected valid PTEs for
+  // byte-addressable pools and invalid lazy PTEs otherwise.
+  Result<MmtSetupResult> MmtSetupPt(MmtId id, Vaddr addr, uint64_t length,
+                                    PoolOffset pool_offset, PoolKind pool);
+
+  // mmt_attach: copies the template's VMAs + page-table runs into `target`.
+  // The target must not have overlapping VMAs. Safe to call any number of
+  // times across any number of processes — that is the sharing mechanism.
+  Result<MmtAttachResult> MmtAttach(MmtId id, MmStruct* target);
+
+  // mmt_destroy: drops the template (pool blocks are owned by the image
+  // store, not the template, so they are not freed here).
+  Status MmtDestroy(MmtId id);
+
+  MmTemplateRegistry& registry() { return registry_; }
+  const MmTemplateRegistry& registry() const { return registry_; }
+
+ private:
+  const BackendRegistry* backends_;
+  MmTemplateRegistry registry_;
+  bool privileged_ = true;
+};
+
+}  // namespace trenv
+
+#endif  // TRENV_MMTEMPLATE_API_H_

@@ -1,0 +1,59 @@
+// MmTemplate: an in-kernel memory-state template (paper Fig 8).
+//
+// A template looks like an mm_struct but (1) is not bound to any process,
+// (2) treats all remote memory as read-only with copy-on-write, and (3) has
+// fine-grained control over which virtual pages map to which physical pool
+// offsets. Attaching copies only this metadata — never memory pages.
+#ifndef TRENV_MMTEMPLATE_MM_TEMPLATE_H_
+#define TRENV_MMTEMPLATE_MM_TEMPLATE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/simkernel/page_table.h"
+#include "src/simkernel/vma.h"
+
+namespace trenv {
+
+using MmtId = uint64_t;
+inline constexpr MmtId kInvalidMmtId = 0;
+
+class MmTemplate {
+ public:
+  MmTemplate(MmtId id, std::string name) : id_(id), name_(std::move(name)) {}
+  MmTemplate(const MmTemplate&) = delete;
+  MmTemplate& operator=(const MmTemplate&) = delete;
+
+  MmtId id() const { return id_; }
+  const std::string& name() const { return name_; }
+
+  Status AddVma(Vma vma);
+  const std::map<Vaddr, Vma>& vmas() const { return vmas_; }
+  const Vma* FindVma(Vaddr addr) const;
+
+  PageTable& page_table() { return table_; }
+  const PageTable& page_table() const { return table_; }
+
+  // Size of the metadata copied by an attach: VMA records + PTE runs.
+  uint64_t MetadataBytes() const;
+
+  uint64_t attach_count() const { return attach_count_; }
+  void RecordAttach() { ++attach_count_; }
+
+  // Total pages the template maps (all remote, by construction).
+  uint64_t MappedPages() const { return table_.mapped_pages(); }
+
+ private:
+  MmtId id_;
+  std::string name_;
+  std::map<Vaddr, Vma> vmas_;
+  PageTable table_;
+  uint64_t attach_count_ = 0;
+};
+
+}  // namespace trenv
+
+#endif  // TRENV_MMTEMPLATE_MM_TEMPLATE_H_

@@ -1,0 +1,48 @@
+#include "src/mmtemplate/registry.h"
+
+namespace trenv {
+
+MmtId MmTemplateRegistry::Create(std::string name) {
+  const MmtId id = next_id_++;
+  templates_.emplace(id, std::make_unique<MmTemplate>(id, std::move(name)));
+  return id;
+}
+
+Result<MmTemplate*> MmTemplateRegistry::Lookup(MmtId id) {
+  auto it = templates_.find(id);
+  if (it == templates_.end()) {
+    return Status::NotFound("no mm-template with this id");
+  }
+  return it->second.get();
+}
+
+Result<const MmTemplate*> MmTemplateRegistry::Lookup(MmtId id) const {
+  auto it = templates_.find(id);
+  if (it == templates_.end()) {
+    return Status::NotFound("no mm-template with this id");
+  }
+  return static_cast<const MmTemplate*>(it->second.get());
+}
+
+Status MmTemplateRegistry::Destroy(MmtId id) {
+  if (templates_.erase(id) == 0) {
+    return Status::NotFound("no mm-template with this id");
+  }
+  return Status::Ok();
+}
+
+void MmTemplateRegistry::ForEach(const std::function<void(MmTemplate&)>& fn) {
+  for (auto& [id, tmpl] : templates_) {
+    fn(*tmpl);
+  }
+}
+
+uint64_t MmTemplateRegistry::TotalMetadataBytes() const {
+  uint64_t total = 0;
+  for (const auto& [id, tmpl] : templates_) {
+    total += tmpl->MetadataBytes();
+  }
+  return total;
+}
+
+}  // namespace trenv

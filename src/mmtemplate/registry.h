@@ -1,0 +1,38 @@
+// MmTemplateRegistry: the XArray-indexed table of live templates (paper
+// section 7: "all templates are managed using an XArray, indexed by their
+// identifiers"). Owns the templates.
+#ifndef TRENV_MMTEMPLATE_REGISTRY_H_
+#define TRENV_MMTEMPLATE_REGISTRY_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/common/status.h"
+#include "src/mmtemplate/mm_template.h"
+
+namespace trenv {
+
+class MmTemplateRegistry {
+ public:
+  // Creates a fresh template and returns its id (ids are never reused).
+  MmtId Create(std::string name);
+  Result<MmTemplate*> Lookup(MmtId id);
+  Result<const MmTemplate*> Lookup(MmtId id) const;
+  Status Destroy(MmtId id);
+
+  size_t size() const { return templates_.size(); }
+  // Visits every registered template (promotion sweeps rewrite backings).
+  void ForEach(const std::function<void(MmTemplate&)>& fn);
+  // Aggregate metadata footprint of all registered templates.
+  uint64_t TotalMetadataBytes() const;
+
+ private:
+  MmtId next_id_ = 1;
+  std::map<MmtId, std::unique_ptr<MmTemplate>> templates_;
+};
+
+}  // namespace trenv
+
+#endif  // TRENV_MMTEMPLATE_REGISTRY_H_

@@ -1,0 +1,122 @@
+#include "src/platform/cluster.h"
+
+namespace trenv {
+
+Cluster::Cluster(ClusterConfig config)
+    : config_(config),
+      base_layer_(std::make_shared<FsLayer>("debian-base")),
+      cxl_(std::make_unique<CxlPool>(config.cxl_pool_bytes)) {
+  backends_.Register(cxl_.get());
+  tiered_.AddTier(cxl_.get());
+  dedup_ = std::make_unique<SnapshotDedupStore>(&tiered_);
+
+  for (uint32_t i = 0; i < config_.nodes; ++i) {
+    // Each node occupies one port of the multi-headed device.
+    (void)cxl_->AttachNode(i);
+    auto node = std::make_unique<Node>();
+    node->sandbox_factory =
+        std::make_unique<SandboxFactory>(base_layer_, config_.node_config.seed ^ (0x5b + i));
+    node->sandbox_pool = std::make_unique<SandboxPool>();
+    node->mmt = std::make_unique<MmtApi>(&backends_);
+    node->engine = std::make_unique<TrEnvEngine>(node->sandbox_factory.get(),
+                                                 node->sandbox_pool.get(), node->mmt.get(),
+                                                 dedup_.get());
+    PlatformConfig node_config = config_.node_config;
+    node_config.seed ^= 0x900d + i;
+    node->platform =
+        std::make_unique<ServerlessPlatform>(node_config, node->engine.get(), &backends_);
+    nodes_.push_back(std::move(node));
+  }
+}
+
+Status Cluster::Deploy(const FunctionProfile& profile) {
+  for (auto& node : nodes_) {
+    node->sandbox_pool->RegisterFunctionLayer(
+        profile.name, std::make_shared<FsLayer>(profile.name + "-deps"));
+    // Every node runs Prepare; snapshot chunks dedup against the shared
+    // store, so only the first node actually writes pool pages.
+    TRENV_RETURN_IF_ERROR(node->platform->Deploy(profile));
+  }
+  return Status::Ok();
+}
+
+Status Cluster::DeployTable4Functions() {
+  for (const FunctionProfile& profile : Table4Functions()) {
+    TRENV_RETURN_IF_ERROR(Deploy(profile));
+  }
+  return Status::Ok();
+}
+
+size_t Cluster::PickNode(const std::string& function) {
+  (void)function;
+  if (config_.dispatch == ClusterConfig::Dispatch::kRoundRobin) {
+    const size_t node = next_node_;
+    next_node_ = (next_node_ + 1) % nodes_.size();
+    return node;
+  }
+  // Least-loaded: fewest in-flight startups, then least DRAM in use — the
+  // "dispatch to whichever node has available CPU" ideal of section 3.2.
+  size_t best = 0;
+  for (size_t i = 1; i < nodes_.size(); ++i) {
+    const auto& candidate = nodes_[i];
+    const auto& incumbent = nodes_[best];
+    const auto key = [](const Node& n) {
+      return std::make_pair(n.platform->concurrent_startups(),
+                            n.platform->frames().used_bytes());
+    };
+    if (key(*candidate) < key(*incumbent)) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+Status Cluster::Submit(SimTime arrival, const std::string& function) {
+  return nodes_[PickNode(function)]->platform->Submit(arrival, function);
+}
+
+Status Cluster::Run(const Schedule& schedule) {
+  // Dispatch decisions use the load at submission time, so interleave:
+  // advance every node up to each arrival before placing it.
+  for (const Invocation& invocation : schedule) {
+    for (auto& node : nodes_) {
+      node->platform->scheduler().RunUntil(invocation.arrival);
+    }
+    TRENV_RETURN_IF_ERROR(Submit(invocation.arrival, invocation.function));
+  }
+  RunAllToCompletion();
+  return Status::Ok();
+}
+
+void Cluster::RunAllToCompletion() {
+  for (auto& node : nodes_) {
+    node->platform->RunToCompletion();
+  }
+}
+
+uint64_t Cluster::NodeDramBytes() const {
+  uint64_t total = 0;
+  for (const auto& node : nodes_) {
+    total += node->platform->frames().used_bytes();
+  }
+  return total;
+}
+
+FunctionMetrics Cluster::AggregateMetrics() const {
+  FunctionMetrics total;
+  for (const auto& node : nodes_) {
+    FunctionMetrics agg = node->platform->metrics().Aggregate();
+    total.e2e_ms.MergeFrom(agg.e2e_ms);
+    total.startup_ms.MergeFrom(agg.startup_ms);
+    total.exec_ms.MergeFrom(agg.exec_ms);
+    total.invocations += agg.invocations;
+    total.warm_starts += agg.warm_starts;
+    total.repurposed_starts += agg.repurposed_starts;
+    total.cold_starts += agg.cold_starts;
+  }
+  return total;
+}
+
+uint64_t Cluster::TotalInvocations() const { return AggregateMetrics().invocations; }
+
+}  // namespace trenv

@@ -1,0 +1,86 @@
+// Cluster: a rack of nodes sharing one disaggregated memory pool — the
+// "across nodes" half of the paper's title.
+//
+// Every node runs its own ServerlessPlatform (local DRAM, sandbox pool,
+// TrEnv engine), but all nodes attach to the SAME CXL multi-headed device
+// and the SAME content-addressed snapshot store. Deploying a function on N
+// nodes therefore stores its image once per rack (paper section 8.2: "Only
+// one copy is needed per rack if it is read-only, reducing the cost by a
+// factor of the number of machines").
+#ifndef TRENV_PLATFORM_CLUSTER_H_
+#define TRENV_PLATFORM_CLUSTER_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/criu/trenv_engine.h"
+#include "src/mempool/cxl_pool.h"
+#include "src/mempool/rdma_pool.h"
+#include "src/platform/platform.h"
+
+namespace trenv {
+
+struct ClusterConfig {
+  uint32_t nodes = 4;
+  PlatformConfig node_config;
+  uint64_t cxl_pool_bytes = 512 * kGiB;  // the 7.5 TB-class MHD, scaled down
+  enum class Dispatch { kRoundRobin, kLeastLoaded };
+  Dispatch dispatch = Dispatch::kLeastLoaded;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterConfig config);
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  // Deploys a function on every node; the snapshot dedups into the shared
+  // pool, so the rack stores one copy regardless of node count.
+  Status Deploy(const FunctionProfile& profile);
+  Status DeployTable4Functions();
+
+  // Dispatches an invocation to a node per the configured policy.
+  Status Submit(SimTime arrival, const std::string& function);
+  Status Run(const Schedule& schedule);
+
+  size_t node_count() const { return nodes_.size(); }
+  ServerlessPlatform& node(size_t i) { return *nodes_[i]->platform; }
+  CxlPool& cxl() { return *cxl_; }
+  const SnapshotDedupStore& dedup() const { return *dedup_; }
+
+  // Rack-level memory accounting: one shared pool copy + per-node DRAM.
+  uint64_t PoolBytes() const { return cxl_->used_bytes(); }
+  uint64_t NodeDramBytes() const;
+  uint64_t RackTotalBytes() const { return PoolBytes() + NodeDramBytes(); }
+
+  // Aggregated metrics across nodes.
+  FunctionMetrics AggregateMetrics() const;
+  uint64_t TotalInvocations() const;
+
+ private:
+  struct Node {
+    std::unique_ptr<SandboxFactory> sandbox_factory;
+    std::unique_ptr<SandboxPool> sandbox_pool;
+    std::unique_ptr<MmtApi> mmt;
+    std::unique_ptr<TrEnvEngine> engine;
+    std::unique_ptr<ServerlessPlatform> platform;
+  };
+
+  size_t PickNode(const std::string& function);
+  // One virtual timeline shared by all nodes: Run drains schedulers in
+  // lock-step so cross-node ordering stays deterministic.
+  void RunAllToCompletion();
+
+  ClusterConfig config_;
+  std::shared_ptr<FsLayer> base_layer_;
+  std::unique_ptr<CxlPool> cxl_;
+  BackendRegistry backends_;
+  TieredPool tiered_;
+  std::unique_ptr<SnapshotDedupStore> dedup_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  size_t next_node_ = 0;
+};
+
+}  // namespace trenv
+
+#endif  // TRENV_PLATFORM_CLUSTER_H_

@@ -1,0 +1,33 @@
+#include "src/platform/function_registry.h"
+
+namespace trenv {
+
+Status FunctionRegistry::Deploy(FunctionProfile profile) {
+  if (profile.name.empty()) {
+    return Status::InvalidArgument("function needs a name");
+  }
+  if (functions_.contains(profile.name)) {
+    return Status::AlreadyExists("function already deployed: " + profile.name);
+  }
+  functions_.emplace(profile.name, std::move(profile));
+  return Status::Ok();
+}
+
+Result<const FunctionProfile*> FunctionRegistry::Find(const std::string& name) const {
+  auto it = functions_.find(name);
+  if (it == functions_.end()) {
+    return Status::NotFound("no such function: " + name);
+  }
+  return &it->second;
+}
+
+std::vector<std::string> FunctionRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(functions_.size());
+  for (const auto& [name, profile] : functions_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+}  // namespace trenv

@@ -1,0 +1,27 @@
+// FunctionRegistry: deployed functions, keyed by name.
+#ifndef TRENV_PLATFORM_FUNCTION_REGISTRY_H_
+#define TRENV_PLATFORM_FUNCTION_REGISTRY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/runtime/function_profile.h"
+
+namespace trenv {
+
+class FunctionRegistry {
+ public:
+  Status Deploy(FunctionProfile profile);
+  Result<const FunctionProfile*> Find(const std::string& name) const;
+  std::vector<std::string> Names() const;
+  size_t size() const { return functions_.size(); }
+
+ private:
+  std::map<std::string, FunctionProfile> functions_;
+};
+
+}  // namespace trenv
+
+#endif  // TRENV_PLATFORM_FUNCTION_REGISTRY_H_

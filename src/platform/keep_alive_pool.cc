@@ -1,0 +1,97 @@
+#include "src/platform/keep_alive_pool.h"
+
+#include <cassert>
+
+namespace trenv {
+
+void KeepAlivePool::Put(std::unique_ptr<FunctionInstance> instance, SimTime now) {
+  Put(std::move(instance), now, ttl_);
+}
+
+void KeepAlivePool::Put(std::unique_ptr<FunctionInstance> instance, SimTime now,
+                        SimDuration ttl) {
+  assert(instance != nullptr);
+  instance->last_used = now;
+  const std::string function = instance->function();
+  lru_.push_back(Entry{std::move(instance), now + ttl});
+  by_function_[function].push_back(std::prev(lru_.end()));
+}
+
+std::unique_ptr<FunctionInstance> KeepAlivePool::TakeWarm(const std::string& function) {
+  auto it = by_function_.find(function);
+  if (it == by_function_.end() || it->second.empty()) {
+    ++warm_misses_;
+    return nullptr;
+  }
+  ++warm_hits_;
+  LruList::iterator entry_it = it->second.back();
+  it->second.pop_back();
+  if (it->second.empty()) {
+    by_function_.erase(it);
+  }
+  std::unique_ptr<FunctionInstance> instance = std::move(entry_it->instance);
+  lru_.erase(entry_it);
+  return instance;
+}
+
+bool KeepAlivePool::EvictLru() {
+  if (lru_.empty()) {
+    return false;
+  }
+  auto entry_it = lru_.begin();
+  const std::string function = entry_it->instance->function();
+  auto& iters = by_function_[function];
+  for (auto it = iters.begin(); it != iters.end(); ++it) {
+    if (*it == entry_it) {
+      iters.erase(it);
+      break;
+    }
+  }
+  if (iters.empty()) {
+    by_function_.erase(function);
+  }
+  std::unique_ptr<FunctionInstance> instance = std::move(entry_it->instance);
+  lru_.erase(entry_it);
+  evict_(std::move(instance));
+  return true;
+}
+
+size_t KeepAlivePool::ExpireStale(SimTime now) {
+  // Per-entry TTLs make expiry non-monotone in LRU order: scan the list.
+  size_t evicted = 0;
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->expiry <= now) {
+      auto expired = it++;
+      const std::string function = expired->instance->function();
+      auto& iters = by_function_[function];
+      for (auto fit = iters.begin(); fit != iters.end(); ++fit) {
+        if (*fit == expired) {
+          iters.erase(fit);
+          break;
+        }
+      }
+      if (iters.empty()) {
+        by_function_.erase(function);
+      }
+      std::unique_ptr<FunctionInstance> instance = std::move(expired->instance);
+      lru_.erase(expired);
+      evict_(std::move(instance));
+      ++evicted;
+    } else {
+      ++it;
+    }
+  }
+  return evicted;
+}
+
+void KeepAlivePool::EvictAll() {
+  while (EvictLru()) {
+  }
+}
+
+size_t KeepAlivePool::CountFor(const std::string& function) const {
+  auto it = by_function_.find(function);
+  return it == by_function_.end() ? 0 : it->second.size();
+}
+
+}  // namespace trenv

@@ -1,0 +1,61 @@
+// KeepAlivePool: warm instances cached for reuse, LRU-ordered, with a fixed
+// TTL (10 minutes, like OpenWhisk) and memory-pressure eviction — the
+// scheduling policy all evaluated systems share (paper section 9.1).
+#ifndef TRENV_PLATFORM_KEEP_ALIVE_POOL_H_
+#define TRENV_PLATFORM_KEEP_ALIVE_POOL_H_
+
+#include <functional>
+#include <list>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/common/time.h"
+#include "src/criu/restore_engine.h"
+
+namespace trenv {
+
+class KeepAlivePool {
+ public:
+  using EvictFn = std::function<void(std::unique_ptr<FunctionInstance>)>;
+
+  KeepAlivePool(SimDuration ttl, EvictFn evict) : ttl_(ttl), evict_(std::move(evict)) {}
+
+  // Parks a warm instance (most-recently-used position). `ttl` overrides the
+  // pool default for this entry (per-function policies).
+  void Put(std::unique_ptr<FunctionInstance> instance, SimTime now);
+  void Put(std::unique_ptr<FunctionInstance> instance, SimTime now, SimDuration ttl);
+  // Takes a warm instance of `function` if any (MRU of that function).
+  std::unique_ptr<FunctionInstance> TakeWarm(const std::string& function);
+  // Evicts the single least-recently-used idle instance. Returns false if
+  // the pool is empty.
+  bool EvictLru();
+  // Evicts every instance idle since before `now - ttl`.
+  size_t ExpireStale(SimTime now);
+  void EvictAll();
+
+  size_t size() const { return lru_.size(); }
+  size_t CountFor(const std::string& function) const;
+  uint64_t warm_hits() const { return warm_hits_; }
+  uint64_t warm_misses() const { return warm_misses_; }
+
+  SimDuration ttl() const { return ttl_; }
+
+ private:
+  struct Entry {
+    std::unique_ptr<FunctionInstance> instance;
+    SimTime expiry;
+  };
+  using LruList = std::list<Entry>;
+
+  SimDuration ttl_;
+  EvictFn evict_;
+  LruList lru_;  // front = LRU, back = MRU
+  std::map<std::string, std::list<LruList::iterator>> by_function_;
+  uint64_t warm_hits_ = 0;
+  uint64_t warm_misses_ = 0;
+};
+
+}  // namespace trenv
+
+#endif  // TRENV_PLATFORM_KEEP_ALIVE_POOL_H_

@@ -1,0 +1,26 @@
+#include "src/platform/metrics.h"
+
+namespace trenv {
+
+FunctionMetrics MetricsCollector::Aggregate() const {
+  FunctionMetrics total;
+  for (const auto& [name, metrics] : per_function_) {
+    total.e2e_ms.MergeFrom(metrics.e2e_ms);
+    total.startup_ms.MergeFrom(metrics.startup_ms);
+    total.exec_ms.MergeFrom(metrics.exec_ms);
+    total.invocations += metrics.invocations;
+    total.warm_starts += metrics.warm_starts;
+    total.repurposed_starts += metrics.repurposed_starts;
+    total.cold_starts += metrics.cold_starts;
+    total.prewarm_starts += metrics.prewarm_starts;
+  }
+  return total;
+}
+
+void MetricsCollector::Clear() {
+  per_function_.clear();
+  memory_gauge_ = TimeSeriesGauge();
+  fetch_cpu_seconds = 0;
+}
+
+}  // namespace trenv

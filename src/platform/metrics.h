@@ -1,0 +1,49 @@
+// MetricsCollector: per-function latency recorders plus node-level memory
+// and CPU accounting — the quantities behind every figure in section 9.
+#ifndef TRENV_PLATFORM_METRICS_H_
+#define TRENV_PLATFORM_METRICS_H_
+
+#include <map>
+#include <string>
+
+#include "src/common/histogram.h"
+#include "src/common/time.h"
+
+namespace trenv {
+
+struct FunctionMetrics {
+  Histogram e2e_ms;
+  Histogram startup_ms;
+  Histogram exec_ms;
+  uint64_t invocations = 0;
+  uint64_t warm_starts = 0;
+  uint64_t repurposed_starts = 0;
+  uint64_t cold_starts = 0;
+  uint64_t prewarm_starts = 0;  // instances created ahead of a prediction
+};
+
+class MetricsCollector {
+ public:
+  FunctionMetrics& ForFunction(const std::string& name) { return per_function_[name]; }
+  const std::map<std::string, FunctionMetrics>& per_function() const { return per_function_; }
+
+  // Merged view across all functions.
+  FunctionMetrics Aggregate() const;
+
+  TimeSeriesGauge& memory_gauge() { return memory_gauge_; }
+  const TimeSeriesGauge& memory_gauge() const { return memory_gauge_; }
+  uint64_t peak_memory_bytes() const { return static_cast<uint64_t>(memory_gauge_.peak()); }
+
+  // Extra CPU-seconds burned on fetch handling (RDMA completions etc.).
+  double fetch_cpu_seconds = 0;
+
+  void Clear();
+
+ private:
+  std::map<std::string, FunctionMetrics> per_function_;
+  TimeSeriesGauge memory_gauge_;
+};
+
+}  // namespace trenv
+
+#endif  // TRENV_PLATFORM_METRICS_H_

@@ -1,0 +1,224 @@
+#include "src/platform/platform.h"
+
+#include "src/common/log.h"
+
+namespace trenv {
+
+ServerlessPlatform::ServerlessPlatform(PlatformConfig config, RestoreEngine* engine,
+                                       const BackendRegistry* backends)
+    : config_(config),
+      engine_(engine),
+      backends_(backends),
+      cpu_(&scheduler_, config.cores),
+      frames_(config.dram_bytes),
+      keep_alive_(config.keep_alive_ttl,
+                  [this](std::unique_ptr<FunctionInstance> instance) {
+                    RetireInstance(std::move(instance));
+                  }),
+      exec_model_(config.seed ^ 0xE1EC) {}
+
+RestoreContext ServerlessPlatform::MakeContext() {
+  RestoreContext ctx;
+  ctx.frames = &frames_;
+  ctx.backends = backends_;
+  ctx.pids = &pids_;
+  ctx.concurrent_startups = concurrent_startups_;
+  return ctx;
+}
+
+Status ServerlessPlatform::Deploy(const FunctionProfile& profile) {
+  TRENV_RETURN_IF_ERROR(registry_.Deploy(profile));
+  return engine_->Prepare(profile);
+}
+
+Status ServerlessPlatform::Submit(SimTime arrival, const std::string& function) {
+  TRENV_RETURN_IF_ERROR(registry_.Find(function).status());
+  scheduler_.ScheduleAt(arrival, [this, function] { StartInvocation(function); });
+  return Status::Ok();
+}
+
+Status ServerlessPlatform::Run(const Schedule& schedule) {
+  for (const Invocation& invocation : schedule) {
+    TRENV_RETURN_IF_ERROR(Submit(invocation.arrival, invocation.function));
+  }
+  RunToCompletion();
+  return Status::Ok();
+}
+
+void ServerlessPlatform::RunToCompletion() { scheduler_.RunUntilIdle(); }
+
+void ServerlessPlatform::SampleMemory() {
+  metrics_.memory_gauge().Set(scheduler_.now(), static_cast<double>(frames_.used_bytes()));
+}
+
+void ServerlessPlatform::RetireInstance(std::unique_ptr<FunctionInstance> instance) {
+  RestoreContext ctx = MakeContext();
+  engine_->Retire(std::move(instance), ctx);
+  SampleMemory();
+}
+
+void ServerlessPlatform::EnforceMemoryCap() {
+  // Soft cap: evict idle instances (LRU first) until under the cap or empty.
+  while (frames_.used_bytes() > config_.soft_mem_cap_bytes && keep_alive_.EvictLru()) {
+  }
+}
+
+void ServerlessPlatform::StartInvocation(const std::string& function) {
+  auto profile_or = registry_.Find(function);
+  if (!profile_or.ok()) {
+    ++failed_invocations_;
+    return;
+  }
+  const FunctionProfile& profile = **profile_or;
+  keep_alive_.ExpireStale(scheduler_.now());
+  if (config_.prewarm != nullptr) {
+    config_.prewarm->RecordArrival(function, scheduler_.now());
+    MaybeSchedulePrewarm(function);
+  }
+
+  const uint64_t token = next_token_++;
+  InFlight& flight = inflight_[token];
+  flight.function = function;
+  flight.arrival = scheduler_.now();
+
+  // Warm hit: reuse a cached instance of the same function immediately.
+  if (auto warm = keep_alive_.TakeWarm(function); warm != nullptr) {
+    flight.instance = std::move(warm);
+    flight.warm = true;
+    metrics_.ForFunction(function).warm_starts += 1;
+    BeginExecution(token);
+    return;
+  }
+
+  EnforceMemoryCap();
+  ++concurrent_startups_;
+  RestoreContext ctx = MakeContext();
+  auto outcome = engine_->Restore(profile, ctx);
+  if (!outcome.ok()) {
+    TRENV_WARN << "restore failed for " << function << ": " << outcome.status();
+    --concurrent_startups_;
+    ++failed_invocations_;
+    inflight_.erase(token);
+    return;
+  }
+  flight.instance = std::move(outcome->instance);
+  flight.startup = outcome->startup;
+  auto& fn_metrics = metrics_.ForFunction(function);
+  if (outcome->startup.sandbox_repurposed) {
+    fn_metrics.repurposed_starts += 1;
+  } else {
+    fn_metrics.cold_starts += 1;
+  }
+  SampleMemory();
+  BeginStartupPhases(token);
+}
+
+void ServerlessPlatform::BeginStartupPhases(uint64_t token) {
+  InFlight& flight = inflight_.at(token);
+  // Phase 1: sandbox setup (wall latency; holds the contention window).
+  scheduler_.ScheduleAfter(flight.startup.sandbox, [this, token] {
+    --concurrent_startups_;
+    InFlight& f = inflight_.at(token);
+    // Phase 2: process state (bootstrap burns CPU; CRIU restore is mostly
+    // kernel-side latency).
+    auto then_memory = [this, token] {
+      InFlight& f2 = inflight_.at(token);
+      // Phase 3: memory restoration (copy or attach).
+      scheduler_.ScheduleAfter(f2.startup.memory, [this, token] { BeginExecution(token); });
+    };
+    if (f.startup.process_is_cpu) {
+      cpu_.Submit(f.startup.process, then_memory);
+    } else {
+      scheduler_.ScheduleAfter(f.startup.process, then_memory);
+    }
+  });
+}
+
+void ServerlessPlatform::BeginExecution(uint64_t token) {
+  InFlight& flight = inflight_.at(token);
+  flight.exec_start = scheduler_.now();
+  auto profile_or = registry_.Find(flight.function);
+  const FunctionProfile& profile = **profile_or;
+
+  RestoreContext ctx = MakeContext();
+  auto overheads_or = engine_->OnExecute(profile, *flight.instance, ctx);
+  if (!overheads_or.ok()) {
+    TRENV_WARN << "execution page work failed: " << overheads_or.status();
+    ++failed_invocations_;
+    RetireInstance(std::move(flight.instance));
+    inflight_.erase(token);
+    return;
+  }
+  SampleMemory();
+  const ExecutionPlan plan = exec_model_.Plan(profile, *overheads_or);
+  metrics_.fetch_cpu_seconds += overheads_or->added_cpu.seconds();
+
+  // CPU burst first; fault latency and I/O wait extend wall time afterwards.
+  cpu_.Submit(plan.cpu_work, [this, token, plan] {
+    scheduler_.ScheduleAfter(plan.io_wait + plan.fault_latency,
+                             [this, token] { Complete(token); });
+  });
+}
+
+void ServerlessPlatform::Complete(uint64_t token) {
+  InFlight& flight = inflight_.at(token);
+  engine_->OnExecuteDone(*flight.instance);
+
+  auto& fn_metrics = metrics_.ForFunction(flight.function);
+  fn_metrics.invocations += 1;
+  fn_metrics.e2e_ms.Record((scheduler_.now() - flight.arrival).millis());
+  fn_metrics.startup_ms.Record(flight.warm ? 0.0 : flight.startup.Total().millis());
+  fn_metrics.exec_ms.Record((scheduler_.now() - flight.exec_start).millis());
+
+  flight.instance->invocations += 1;
+  const SimDuration ttl = config_.prewarm != nullptr
+                              ? config_.prewarm->KeepAliveFor(flight.function)
+                              : config_.keep_alive_ttl;
+  keep_alive_.Put(std::move(flight.instance), scheduler_.now(), ttl);
+  // TTL sweep: wake up when this instance would expire.
+  scheduler_.ScheduleAfter(ttl + SimDuration::Millis(1),
+                           [this] { keep_alive_.ExpireStale(scheduler_.now()); });
+  inflight_.erase(token);
+  SampleMemory();
+}
+
+void ServerlessPlatform::MaybeSchedulePrewarm(const std::string& function) {
+  auto delay = config_.prewarm->PrewarmDelay(function);
+  if (!delay.has_value()) {
+    return;
+  }
+  scheduler_.ScheduleAfter(*delay, [this, function] { PrewarmNow(function); });
+}
+
+void ServerlessPlatform::PrewarmNow(const std::string& function) {
+  keep_alive_.ExpireStale(scheduler_.now());
+  if (keep_alive_.CountFor(function) > 0) {
+    return;  // a warm instance already exists
+  }
+  auto profile_or = registry_.Find(function);
+  if (!profile_or.ok()) {
+    return;
+  }
+  EnforceMemoryCap();
+  RestoreContext ctx = MakeContext();
+  auto outcome = engine_->Restore(**profile_or, ctx);
+  if (!outcome.ok()) {
+    return;
+  }
+  metrics_.ForFunction(function).prewarm_starts += 1;
+  // The instance becomes warm once its (off-critical-path) startup elapses.
+  auto shared = std::make_shared<std::unique_ptr<FunctionInstance>>(
+      std::move(outcome->instance));
+  const SimDuration ttl = config_.prewarm != nullptr
+                              ? config_.prewarm->KeepAliveFor(function)
+                              : config_.keep_alive_ttl;
+  scheduler_.ScheduleAfter(outcome->startup.Total(), [this, shared, ttl] {
+    keep_alive_.Put(std::move(*shared), scheduler_.now(), ttl);
+    SampleMemory();
+  });
+  SampleMemory();
+}
+
+void ServerlessPlatform::EvictAllIdle() { keep_alive_.EvictAll(); }
+
+}  // namespace trenv

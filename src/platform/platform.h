@@ -1,0 +1,118 @@
+// ServerlessPlatform: a faasd-like single-node platform driving one restore
+// engine through a discrete-event simulation.
+//
+// Per invocation:
+//   arrival -> warm hit? -> execution
+//           -> restore (sandbox / process / memory phases) -> execution
+//   execution = engine page work + CPU burst on the fair-share CPU + I/O wait
+//   completion -> instance parked in the keep-alive pool (TTL + LRU + a soft
+//   node memory cap that evicts idle instances under pressure)
+//
+// All evaluated systems run through this same loop; only the engine differs,
+// exactly like the paper's methodology.
+#ifndef TRENV_PLATFORM_PLATFORM_H_
+#define TRENV_PLATFORM_PLATFORM_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/common/cost_model.h"
+#include "src/criu/restore_engine.h"
+#include "src/platform/function_registry.h"
+#include "src/platform/keep_alive_pool.h"
+#include "src/platform/metrics.h"
+#include "src/platform/prewarm.h"
+#include "src/runtime/execution_model.h"
+#include "src/sim/cpu.h"
+#include "src/sim/event_scheduler.h"
+#include "src/workload/arrival.h"
+
+namespace trenv {
+
+struct PlatformConfig {
+  double cores = 64;  // dual 32-core Xeon Gold 6454S
+  uint64_t dram_bytes = cost::kDefaultNodeDramBytes;
+  uint64_t soft_mem_cap_bytes = cost::kDefaultSoftMemCap;
+  SimDuration keep_alive_ttl = cost::kKeepAliveTtl;
+  uint64_t seed = 42;
+  // Optional histogram-based keep-alive/pre-warm policy (Shahrad et al.) —
+  // the caching-strategy baseline of section 10. Null = fixed TTL, no
+  // pre-warming (the paper's default policy). Not owned.
+  PrewarmPolicy* prewarm = nullptr;
+};
+
+class ServerlessPlatform {
+ public:
+  ServerlessPlatform(PlatformConfig config, RestoreEngine* engine,
+                     const BackendRegistry* backends);
+  ServerlessPlatform(const ServerlessPlatform&) = delete;
+  ServerlessPlatform& operator=(const ServerlessPlatform&) = delete;
+
+  // Deploys a function: registers it and runs the engine's preprocessing.
+  Status Deploy(const FunctionProfile& profile);
+
+  // Schedules one invocation at `arrival` (absolute virtual time).
+  Status Submit(SimTime arrival, const std::string& function);
+  // Schedules a whole workload and runs the simulation to completion.
+  Status Run(const Schedule& schedule);
+  // Runs whatever is scheduled without submitting more work.
+  void RunToCompletion();
+
+  MetricsCollector& metrics() { return metrics_; }
+  const MetricsCollector& metrics() const { return metrics_; }
+  EventScheduler& scheduler() { return scheduler_; }
+  FrameAllocator& frames() { return frames_; }
+  FairShareCpu& cpu() { return cpu_; }
+  RestoreEngine* engine() { return engine_; }
+  const FunctionRegistry& registry() { return registry_; }
+  uint32_t concurrent_startups() const { return concurrent_startups_; }
+  uint64_t failed_invocations() const { return failed_invocations_; }
+
+  // Drains the keep-alive pool (end-of-experiment accounting).
+  void EvictAllIdle();
+
+ private:
+  struct InFlight {
+    std::string function;
+    SimTime arrival;
+    SimTime exec_start;
+    StartupBreakdown startup;
+    std::unique_ptr<FunctionInstance> instance;
+    bool warm = false;
+  };
+
+  RestoreContext MakeContext();
+  void StartInvocation(const std::string& function);
+  void BeginStartupPhases(uint64_t token);
+  void BeginExecution(uint64_t token);
+  void Complete(uint64_t token);
+  void SampleMemory();
+  void EnforceMemoryCap();
+  void RetireInstance(std::unique_ptr<FunctionInstance> instance);
+  // Pre-warm machinery (active only with a PrewarmPolicy configured).
+  void MaybeSchedulePrewarm(const std::string& function);
+  void PrewarmNow(const std::string& function);
+
+  PlatformConfig config_;
+  RestoreEngine* engine_;
+  const BackendRegistry* backends_;
+
+  EventScheduler scheduler_;
+  FairShareCpu cpu_;
+  FrameAllocator frames_;
+  PidAllocator pids_;
+  FunctionRegistry registry_;
+  KeepAlivePool keep_alive_;
+  MetricsCollector metrics_;
+  ExecutionModel exec_model_;
+
+  std::map<uint64_t, InFlight> inflight_;
+  uint64_t next_token_ = 1;
+  uint32_t concurrent_startups_ = 0;
+  uint64_t failed_invocations_ = 0;
+};
+
+}  // namespace trenv
+
+#endif  // TRENV_PLATFORM_PLATFORM_H_

@@ -1,0 +1,71 @@
+#include "src/platform/prewarm.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace trenv {
+
+void PrewarmPolicy::RecordArrival(const std::string& function, SimTime now) {
+  FunctionState& state = functions_[function];
+  if (state.has_arrival) {
+    const double it_s = (now - state.last_arrival).seconds();
+    if (it_s >= 0) {
+      state.inter_arrival_s.push_back(it_s);
+      while (state.inter_arrival_s.size() > options_.window) {
+        state.inter_arrival_s.pop_front();
+      }
+    }
+  }
+  state.last_arrival = now;
+  state.has_arrival = true;
+}
+
+double PrewarmPolicy::PercentileOf(const std::deque<double>& samples, double p) {
+  if (samples.empty()) {
+    return 0;
+  }
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double rank = (p / 100.0) * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+SimDuration PrewarmPolicy::KeepAliveFor(const std::string& function) const {
+  auto it = functions_.find(function);
+  if (it == functions_.end() || it->second.inter_arrival_s.size() < options_.min_samples) {
+    return options_.max_keep_alive;  // no data: be conservative (fixed TTL)
+  }
+  const double keep_s = PercentileOf(it->second.inter_arrival_s, options_.keep_percentile);
+  return std::clamp(SimDuration::FromSecondsF(keep_s * 1.1), options_.min_keep_alive,
+                    options_.max_keep_alive);
+}
+
+std::optional<SimDuration> PrewarmPolicy::PrewarmDelay(const std::string& function) const {
+  auto it = functions_.find(function);
+  if (it == functions_.end() || it->second.inter_arrival_s.size() < options_.min_samples) {
+    return std::nullopt;
+  }
+  const auto& samples = it->second.inter_arrival_s;
+  const double p25 = PercentileOf(samples, 25);
+  const double p75 = PercentileOf(samples, 75);
+  if (p25 <= 0 || p75 / p25 > options_.max_dispersion) {
+    return std::nullopt;  // too dispersed to predict
+  }
+  const double delay_s = PercentileOf(samples, options_.prewarm_percentile);
+  // A gap shorter than the keep-alive window needs no pre-warming: the
+  // instance is still cached.
+  if (SimDuration::FromSecondsF(delay_s) <= KeepAliveFor(function)) {
+    return std::nullopt;
+  }
+  return SimDuration::FromSecondsF(delay_s * 0.9);
+}
+
+size_t PrewarmPolicy::ObservationCount(const std::string& function) const {
+  auto it = functions_.find(function);
+  return it == functions_.end() ? 0 : it->second.inter_arrival_s.size();
+}
+
+}  // namespace trenv

@@ -1,0 +1,73 @@
+// Histogram-based keep-alive / pre-warming policy, after Shahrad et al.
+// (ATC'20) — the class of "complex strategies" the paper's related-work
+// section says TrEnv makes unnecessary (section 10). Implemented as the
+// strongest-reasonable caching baseline for the ablation bench.
+//
+// Per function, the policy learns the inter-arrival-time (IT) distribution:
+//   - keep-alive window  = a high IT percentile (cover most reuse), capped;
+//   - pre-warm delay     = a low IT percentile (have an instance ready just
+//                          before the next predicted arrival), only used
+//                          when the distribution is concentrated enough for
+//                          prediction to make sense.
+#ifndef TRENV_PLATFORM_PREWARM_H_
+#define TRENV_PLATFORM_PREWARM_H_
+
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "src/common/histogram.h"
+#include "src/common/time.h"
+
+namespace trenv {
+
+class PrewarmPolicy {
+ public:
+  struct Options {
+    // Observations kept per function (sliding window).
+    size_t window = 64;
+    // Keep-alive = this IT percentile, clamped to [min, max].
+    double keep_percentile = 95;
+    SimDuration min_keep_alive = SimDuration::Seconds(30);
+    SimDuration max_keep_alive = SimDuration::Minutes(10);
+    // Pre-warm fires this IT percentile after the last arrival...
+    double prewarm_percentile = 25;
+    // ...but only when the IT distribution is predictable: p75/p25 below
+    // this ratio (concentrated) and at least `min_samples` observations.
+    double max_dispersion = 4.0;
+    size_t min_samples = 8;
+  };
+
+  PrewarmPolicy() : PrewarmPolicy(Options{}) {}
+  explicit PrewarmPolicy(Options options) : options_(options) {}
+
+  // Records an invocation arrival for `function`.
+  void RecordArrival(const std::string& function, SimTime now);
+
+  // How long to keep this function's instances warm after use.
+  SimDuration KeepAliveFor(const std::string& function) const;
+
+  // If prediction is worthwhile, the delay (from the last arrival) after
+  // which an instance should be pre-warmed; nullopt when unpredictable.
+  std::optional<SimDuration> PrewarmDelay(const std::string& function) const;
+
+  size_t ObservationCount(const std::string& function) const;
+
+ private:
+  struct FunctionState {
+    SimTime last_arrival;
+    bool has_arrival = false;
+    std::deque<double> inter_arrival_s;
+  };
+
+  // Percentile over the sliding window (returns 0 when empty).
+  static double PercentileOf(const std::deque<double>& samples, double p);
+
+  Options options_;
+  std::map<std::string, FunctionState> functions_;
+};
+
+}  // namespace trenv
+
+#endif  // TRENV_PLATFORM_PREWARM_H_

@@ -1,0 +1,77 @@
+// Testbed: one-stop assembly of a complete evaluated system — memory pools,
+// sandbox machinery, a restore engine, and the platform — matching the
+// paper's testbed (section 9.1). This is the entry point examples, tests,
+// and benchmarks use.
+#ifndef TRENV_PLATFORM_TESTBED_H_
+#define TRENV_PLATFORM_TESTBED_H_
+
+#include <memory>
+#include <string>
+
+#include "src/criu/lazy_engines.h"
+#include "src/criu/trenv_engine.h"
+#include "src/mempool/cxl_pool.h"
+#include "src/mempool/dram_pool.h"
+#include "src/mempool/nas_pool.h"
+#include "src/mempool/rdma_pool.h"
+#include "src/mempool/tiered_pool.h"
+#include "src/platform/platform.h"
+
+namespace trenv {
+
+// The systems compared throughout section 9.
+enum class SystemKind {
+  kFaasd,          // cold start baseline
+  kCriu,           // vanilla CRIU restore
+  kReap,           // REAP (Firecracker, lazy restore)
+  kReapPlus,       // REAP + pooled netns
+  kFaasnap,        // FaaSnap
+  kFaasnapPlus,    // FaaSnap + pooled netns
+  kTrEnvCxl,       // T-CXL
+  kTrEnvRdma,      // T-RDMA
+  kTrEnvTiered,    // CXL hot + RDMA cold (section 9.5 closing remark)
+  kTrEnvDramHot,   // hot regions pinned in node DRAM, rest on CXL (the
+                   // paper's suggested fix for the CXL execution penalty)
+  kTrEnvReconfig,  // ablation: sandbox repurposing only (Fig 21 "Reconfig")
+  kTrEnvCgroup,    // ablation: + CLONE_INTO_CGROUP, no mm-template (Fig 21)
+};
+
+std::string SystemName(SystemKind kind);
+
+class Testbed {
+ public:
+  explicit Testbed(SystemKind system, PlatformConfig config = {});
+
+  SystemKind system() const { return system_; }
+  ServerlessPlatform& platform() { return *platform_; }
+  RestoreEngine& engine() { return *engine_; }
+  SandboxPool& sandbox_pool() { return sandbox_pool_; }
+  CxlPool& cxl() { return *cxl_; }
+  RdmaPool& rdma() { return *rdma_; }
+  // The node-local DRAM pool (snapshot tmpfs / pinned hot regions).
+  DramPool& tmpfs() { return *tmpfs_; }
+  const BackendRegistry& backends() const { return backends_; }
+  SnapshotDedupStore* dedup() { return dedup_.get(); }
+
+  // Deploys all ten Table-4 functions.
+  Status DeployTable4Functions();
+
+ private:
+  SystemKind system_;
+  std::shared_ptr<FsLayer> base_layer_;
+  std::unique_ptr<CxlPool> cxl_;
+  std::unique_ptr<RdmaPool> rdma_;
+  std::unique_ptr<DramPool> tmpfs_;
+  BackendRegistry backends_;
+  TieredPool tiered_;
+  SandboxFactory sandbox_factory_;
+  SandboxPool sandbox_pool_;
+  std::unique_ptr<MmtApi> mmt_;
+  std::unique_ptr<SnapshotDedupStore> dedup_;
+  std::unique_ptr<RestoreEngine> engine_;
+  std::unique_ptr<ServerlessPlatform> platform_;
+};
+
+}  // namespace trenv
+
+#endif  // TRENV_PLATFORM_TESTBED_H_

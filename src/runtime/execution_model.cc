@@ -1,0 +1,31 @@
+#include "src/runtime/execution_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/cost_model.h"
+
+namespace trenv {
+
+double ExecutionModel::CxlCpuMultiplier(const FunctionProfile& profile) {
+  return 1.0 + cost::kCxlExecSlowdownPerMemBoundFraction * profile.mem_bound_fraction;
+}
+
+ExecutionPlan ExecutionModel::Plan(const FunctionProfile& profile,
+                                   const ExecutionOverheads& overheads) {
+  // Lognormal noise with unit mean: exec time varies run to run (LLM-free
+  // functions still jitter with input size and allocator behaviour).
+  const double cv = std::max(0.0, profile.exec_noise_cv);
+  double noise = 1.0;
+  if (cv > 0) {
+    const double sigma = std::sqrt(std::log(1.0 + cv * cv));
+    noise = rng_.NextLogNormal(-sigma * sigma / 2.0, sigma);
+  }
+  ExecutionPlan plan;
+  plan.cpu_work = profile.exec_cpu * (noise * overheads.cpu_multiplier) + overheads.added_cpu;
+  plan.io_wait = profile.exec_io * noise;
+  plan.fault_latency = overheads.added_latency;
+  return plan;
+}
+
+}  // namespace trenv

@@ -1,0 +1,51 @@
+// ExecutionModel: turns a function profile plus the restore-time memory
+// situation into a concrete execution plan for one invocation.
+//
+// Lazy restoration does not eliminate restore cost, it moves it into the
+// execution phase (paper section 3.3) — `ExecutionOverheads` is how each
+// engine expresses that deferred cost.
+#ifndef TRENV_RUNTIME_EXECUTION_MODEL_H_
+#define TRENV_RUNTIME_EXECUTION_MODEL_H_
+
+#include "src/common/rng.h"
+#include "src/common/time.h"
+#include "src/runtime/function_profile.h"
+
+namespace trenv {
+
+// What an engine's restore strategy costs during execution.
+struct ExecutionOverheads {
+  // Serial latency added by faults (userfaultfd round trips, RDMA fetches,
+  // CoW copies) — extends wall time but not CPU demand.
+  SimDuration added_latency;
+  // Extra CPU demand (e.g. RDMA completion handling).
+  SimDuration added_cpu;
+  // Multiplier on the profile's CPU work from slower memory (CXL direct
+  // loads): 1.0 = DRAM-resident.
+  double cpu_multiplier = 1.0;
+};
+
+// A concrete plan for one invocation's execution phase.
+struct ExecutionPlan {
+  SimDuration cpu_work;       // submitted to the fair-share CPU
+  SimDuration io_wait;        // pure waiting (no CPU)
+  SimDuration fault_latency;  // serial fault overhead
+};
+
+class ExecutionModel {
+ public:
+  explicit ExecutionModel(uint64_t seed) : rng_(seed) {}
+
+  ExecutionPlan Plan(const FunctionProfile& profile, const ExecutionOverheads& overheads);
+
+  // The CXL slowdown multiplier for a profile (paper section 9.2.1: ~2x for
+  // short memory-bound functions, ~10% on average otherwise).
+  static double CxlCpuMultiplier(const FunctionProfile& profile);
+
+ private:
+  Rng rng_;
+};
+
+}  // namespace trenv
+
+#endif  // TRENV_RUNTIME_EXECUTION_MODEL_H_

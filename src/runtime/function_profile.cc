@@ -1,0 +1,137 @@
+#include "src/runtime/function_profile.h"
+
+namespace trenv {
+
+namespace {
+
+FunctionProfile Base(std::string name, std::string lang, std::string desc, double mem_mb,
+                     uint32_t threads) {
+  FunctionProfile p;
+  p.name = std::move(name);
+  p.language = std::move(lang);
+  p.description = std::move(desc);
+  p.image_bytes = static_cast<uint64_t>(mem_mb * static_cast<double>(kMiB));
+  p.threads = threads;
+  return p;
+}
+
+}  // namespace
+
+std::vector<FunctionProfile> Table4Functions() {
+  std::vector<FunctionProfile> fns;
+
+  // DH: dynamic web pages. Short, memory-bound (CXL nearly doubles it).
+  {
+    FunctionProfile p = Base("DH", "python", "Dynamic web pages generating", 50.4, 14);
+    p.bootstrap = SimDuration::Millis(620);
+    p.exec_cpu = SimDuration::Millis(55);
+    p.exec_io = SimDuration::Millis(10);
+    p.mem_bound_fraction = 0.9;
+    p.pages = {.read_fraction = 0.62, .write_fraction = 0.11, .working_set_fraction = 0.30};
+    fns.push_back(p);
+  }
+  // JS: JSON de/serialization. Short.
+  {
+    FunctionProfile p = Base("JS", "python", "Deserialize and serialize json", 94.9, 14);
+    p.bootstrap = SimDuration::Millis(680);
+    p.exec_cpu = SimDuration::Millis(95);
+    p.exec_io = SimDuration::Millis(10);
+    p.mem_bound_fraction = 0.10;
+    p.pages = {.read_fraction = 0.50, .write_fraction = 0.21, .working_set_fraction = 0.32};
+    fns.push_back(p);
+  }
+  // PR: pagerank. Many threads, compute + large touched set.
+  {
+    FunctionProfile p = Base("PR", "python", "Pagerank algorithm", 116, 395);
+    p.bootstrap = SimDuration::Millis(900);
+    p.exec_cpu = SimDuration::Millis(620);
+    p.exec_io = SimDuration::Millis(15);
+    p.mem_bound_fraction = 0.10;
+    p.pages = {.read_fraction = 0.48, .write_fraction = 0.30, .working_set_fraction = 0.45};
+    fns.push_back(p);
+  }
+  // IR: ResNet inference. Huge image, short run, read-dominated, mem-bound.
+  {
+    FunctionProfile p = Base("IR", "python", "Deep learning inference (ResNet)", 855, 141);
+    p.bootstrap = SimDuration::Millis(3200);
+    p.exec_cpu = SimDuration::Millis(85);
+    p.exec_io = SimDuration::Millis(5);
+    p.mem_bound_fraction = 0.85;
+    p.pages = {.read_fraction = 0.72, .write_fraction = 0.08, .working_set_fraction = 0.55};
+    fns.push_back(p);
+  }
+  // IP: image rotate/flip. Compute-bound.
+  {
+    FunctionProfile p = Base("IP", "python", "Image rotating and flipping", 67.1, 15);
+    p.bootstrap = SimDuration::Millis(650);
+    p.exec_cpu = SimDuration::Millis(310);
+    p.exec_io = SimDuration::Millis(30);
+    p.mem_bound_fraction = 0.08;
+    p.pages = {.read_fraction = 0.42, .write_fraction = 0.23, .working_set_fraction = 0.35};
+    fns.push_back(p);
+  }
+  // VP: video gray-scale. Compute-intensive, long.
+  {
+    FunctionProfile p = Base("VP", "python", "Gray-scale effect on video", 324, 204);
+    p.bootstrap = SimDuration::Millis(1100);
+    p.exec_cpu = SimDuration::Millis(1500);
+    p.exec_io = SimDuration::Millis(120);
+    p.mem_bound_fraction = 0.06;
+    p.pages = {.read_fraction = 0.33, .write_fraction = 0.33, .working_set_fraction = 0.40};
+    fns.push_back(p);
+  }
+  // CH: HTML table rendering. I/O-intensive.
+  {
+    FunctionProfile p = Base("CH", "python", "HTML tables rendering", 94.9, 38);
+    p.bootstrap = SimDuration::Millis(700);
+    p.exec_cpu = SimDuration::Millis(240);
+    p.exec_io = SimDuration::Millis(420);
+    p.mem_bound_fraction = 0.07;
+    p.pages = {.read_fraction = 0.49, .write_fraction = 0.21, .working_set_fraction = 0.30};
+    fns.push_back(p);
+  }
+  // CR: AES encryption in Node.js. ~500 ms execution (section 9.2.1).
+  {
+    FunctionProfile p = Base("CR", "nodejs", "AES encryption algorithm", 124, 16);
+    p.bootstrap = SimDuration::Millis(520);
+    p.exec_cpu = SimDuration::Millis(500);
+    p.exec_io = SimDuration::Millis(10);
+    p.mem_bound_fraction = 0.12;
+    p.pages = {.read_fraction = 0.39, .write_fraction = 0.32, .working_set_fraction = 0.38};
+    fns.push_back(p);
+  }
+  // JJS: Node.js JSON (port of JS).
+  {
+    FunctionProfile p = Base("JJS", "nodejs", "JSON de/serialization (Node.js)", 111, 21);
+    p.bootstrap = SimDuration::Millis(480);
+    p.exec_cpu = SimDuration::Millis(105);
+    p.exec_io = SimDuration::Millis(10);
+    p.mem_bound_fraction = 0.10;
+    p.pages = {.read_fraction = 0.51, .write_fraction = 0.24, .working_set_fraction = 0.33};
+    fns.push_back(p);
+  }
+  // IFR: Node.js image processing (port of IP). Write-heavy: Fig 10's low
+  // end (~24% read-only) and the Fig 18b CoW-heavy case.
+  {
+    FunctionProfile p = Base("IFR", "nodejs", "Image rotating and flipping (Node.js)", 253, 21);
+    p.bootstrap = SimDuration::Millis(560);
+    p.exec_cpu = SimDuration::Millis(340);
+    p.exec_io = SimDuration::Millis(25);
+    p.mem_bound_fraction = 0.1;
+    p.pages = {.read_fraction = 0.13, .write_fraction = 0.42, .working_set_fraction = 0.50};
+    fns.push_back(p);
+  }
+  return fns;
+}
+
+const FunctionProfile* FindTable4Function(const std::string& name) {
+  static const std::vector<FunctionProfile> kFunctions = Table4Functions();
+  for (const auto& fn : kFunctions) {
+    if (fn.name == name) {
+      return &fn;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace trenv

@@ -1,0 +1,70 @@
+// FunctionProfile: everything the platform knows about a serverless function
+// — image size, thread/process structure, execution model, and page-access
+// behaviour. The built-in profiles reproduce Table 4 of the paper (SeBS /
+// FunctionBench workloads, Python and Node.js).
+#ifndef TRENV_RUNTIME_FUNCTION_PROFILE_H_
+#define TRENV_RUNTIME_FUNCTION_PROFILE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/time.h"
+#include "src/common/units.h"
+#include "src/sandbox/cgroup.h"
+
+namespace trenv {
+
+// Per-invocation page behaviour, measured the way the paper measures Fig 10:
+// restore a snapshot, run one invocation, count pages read vs written.
+struct PageProfile {
+  // Fraction of snapshot-image pages that are read during one invocation.
+  double read_fraction = 0.5;
+  // Fraction of image pages written (these CoW when the image is shared).
+  double write_fraction = 0.2;
+  // REAP/FaaSnap working-set fraction (pages their recorded WS prefetches).
+  double working_set_fraction = 0.35;
+
+  // Of the pages *used* in an invocation, the fraction that stays read-only —
+  // the quantity Fig 10 reports (24%..90% across functions).
+  double ReadOnlyRatio() const {
+    const double used = read_fraction + write_fraction;
+    return used <= 0 ? 0 : read_fraction / used;
+  }
+};
+
+struct FunctionProfile {
+  std::string name;
+  std::string language;  // "python" or "nodejs"
+  std::string description;
+
+  uint64_t image_bytes = 64 * kMiB;  // post-initialization snapshot size
+  uint32_t threads = 1;              // threads CRIU must restore (Table 4)
+  uint32_t processes = 1;
+  uint32_t open_fds = 24;
+
+  // Cold-start bootstrap: interpreter launch + imports + user init.
+  SimDuration bootstrap = SimDuration::Millis(500);
+  // Execution-phase demands on a warm, DRAM-resident instance.
+  SimDuration exec_cpu = SimDuration::Millis(100);
+  SimDuration exec_io = SimDuration::Millis(20);
+  // Coefficient of variation of execution time (lognormal noise).
+  double exec_noise_cv = 0.08;
+  // How sensitive execution is to memory latency: 1.0 doubles CPU time when
+  // hot data lives on CXL (paper: DH and IR nearly double; average ~+10%).
+  double mem_bound_fraction = 0.1;
+
+  PageProfile pages;
+  CgroupLimits limits;
+
+  uint64_t ImagePages() const { return BytesToPages(image_bytes); }
+};
+
+// The ten evaluated functions of Table 4 with calibrated profiles.
+std::vector<FunctionProfile> Table4Functions();
+// Lookup by short name (DH, JS, PR, IR, IP, VP, CH, CR, JJS, IFR).
+const FunctionProfile* FindTable4Function(const std::string& name);
+
+}  // namespace trenv
+
+#endif  // TRENV_RUNTIME_FUNCTION_PROFILE_H_

@@ -1,0 +1,3 @@
+#include "src/runtime/process.h"
+
+// Header-only implementation; this TU anchors the module in the build.

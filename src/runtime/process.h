@@ -1,0 +1,48 @@
+// Simulated processes and function instances. A FunctionInstance is what a
+// restore engine produces: one or more processes (each with an MmStruct)
+// running inside a sandbox.
+#ifndef TRENV_RUNTIME_PROCESS_H_
+#define TRENV_RUNTIME_PROCESS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/simkernel/mm_struct.h"
+
+namespace trenv {
+
+class Process {
+ public:
+  Process(uint64_t pid, std::string name, uint32_t threads, uint32_t open_fds)
+      : pid_(pid), name_(std::move(name)), threads_(threads), open_fds_(open_fds) {}
+
+  uint64_t pid() const { return pid_; }
+  const std::string& name() const { return name_; }
+  uint32_t threads() const { return threads_; }
+  uint32_t open_fds() const { return open_fds_; }
+
+  MmStruct& mm() { return mm_; }
+  const MmStruct& mm() const { return mm_; }
+
+ private:
+  uint64_t pid_;
+  std::string name_;
+  uint32_t threads_;
+  uint32_t open_fds_;
+  MmStruct mm_;
+};
+
+// Monotonic pid source per simulated node.
+class PidAllocator {
+ public:
+  uint64_t Next() { return next_++; }
+
+ private:
+  uint64_t next_ = 1000;
+};
+
+}  // namespace trenv
+
+#endif  // TRENV_RUNTIME_PROCESS_H_

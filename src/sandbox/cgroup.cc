@@ -1,0 +1,31 @@
+#include "src/sandbox/cgroup.h"
+
+#include <algorithm>
+
+namespace trenv {
+
+SimDuration Cgroup::Reconfigure(CgroupLimits limits) {
+  limits_ = limits;
+  return cost::kCgroupReconfigure;
+}
+
+Cgroup CgroupManager::Create(CgroupLimits limits) { return Cgroup(next_id_++, limits); }
+
+SimDuration CgroupManager::CreateCost() {
+  return SimDuration::FromMillisF(
+      rng_.NextUniform(cost::kCgroupCreateBase.millis(), cost::kCgroupCreateMax.millis()));
+}
+
+SimDuration CgroupManager::MigrateCost(uint32_t concurrent_migrations) {
+  const SimDuration cost =
+      cost::kCgroupMigrateBase +
+      cost::kCgroupMigratePerConcurrent * static_cast<double>(concurrent_migrations);
+  return std::min(cost, cost::kCgroupMigrateMax);
+}
+
+SimDuration CgroupManager::CloneIntoCost() {
+  return SimDuration::FromMicrosF(
+      rng_.NextUniform(cost::kCloneIntoCgroupMin.micros(), cost::kCloneIntoCgroupMax.micros()));
+}
+
+}  // namespace trenv

@@ -1,0 +1,48 @@
+#include "src/sandbox/mount_namespace.h"
+
+#include <vector>
+
+namespace trenv {
+
+SimDuration MountNamespace::Mount(const std::string& target, MountKind kind,
+                                  std::shared_ptr<UnionFs> fs) {
+  mounts_[target].push_back(MountEntry{kind, std::move(fs)});
+  return cost::kMountSyscall;
+}
+
+Result<SimDuration> MountNamespace::Umount(const std::string& target) {
+  auto it = mounts_.find(target);
+  if (it == mounts_.end() || it->second.empty()) {
+    return Status::NotFound("nothing mounted at " + target);
+  }
+  it->second.pop_back();
+  if (it->second.empty()) {
+    mounts_.erase(it);
+  }
+  return cost::kUmountSyscall;
+}
+
+Result<MountEntry> MountNamespace::Resolve(const std::string& target) const {
+  auto it = mounts_.find(target);
+  if (it == mounts_.end() || it->second.empty()) {
+    return Status::NotFound("nothing mounted at " + target);
+  }
+  return it->second.back();
+}
+
+size_t MountNamespace::mount_count() const {
+  size_t count = 0;
+  for (const auto& [target, stack] : mounts_) {
+    count += stack.size();
+  }
+  return count;
+}
+
+SimDuration MountNamespace::ColdSetupCost(uint32_t concurrent) {
+  const SimDuration syscalls = cost::kMountSyscall * 9.0 + cost::kMknodSyscall * 6.0 +
+                               cost::kPivotRootSyscall;
+  return cost::kRootfsCreateBase + syscalls +
+         cost::kRootfsCreatePerConcurrent * static_cast<double>(concurrent);
+}
+
+}  // namespace trenv

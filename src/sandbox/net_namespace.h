@@ -1,0 +1,63 @@
+// Network namespace + veth pair. The most expensive sandbox component to
+// create (Table 1: 80 ms to 10 s) and the safest to reuse: it holds no data
+// produced by function execution, only configuration and statistics
+// (section 8.1.1).
+#ifndef TRENV_SANDBOX_NET_NAMESPACE_H_
+#define TRENV_SANDBOX_NET_NAMESPACE_H_
+
+#include <cstdint>
+#include <set>
+#include <string>
+
+#include "src/common/cost_model.h"
+#include "src/common/time.h"
+
+namespace trenv {
+
+class NetNamespace {
+ public:
+  explicit NetNamespace(uint64_t id) : id_(id) {}
+
+  uint64_t id() const { return id_; }
+
+  // Connection lifecycle during function execution.
+  void OpenConnection(uint64_t conn_id) { open_connections_.insert(conn_id); }
+  size_t open_connection_count() const { return open_connections_.size(); }
+  void RecordTraffic(uint64_t bytes) { rx_bytes_ += bytes; }
+  uint64_t rx_bytes() const { return rx_bytes_; }
+
+  // Custom configuration (firewall rules / routing tables). Functions that
+  // customize the netns need a reset before reuse.
+  void AddFirewallRule() { ++firewall_rules_; }
+  uint32_t firewall_rules() const { return firewall_rules_; }
+  bool HasCustomConfig() const { return firewall_rules_ > 0; }
+
+  // Repurposing: forcibly terminates connections (preventing data leakage)
+  // but preserves config and interface statistics. Returns the reset cost.
+  SimDuration ResetForReuse();
+  // Full reset also drops custom configuration.
+  SimDuration FullReset();
+
+ private:
+  uint64_t id_;
+  std::set<uint64_t> open_connections_;
+  uint64_t rx_bytes_ = 0;
+  uint32_t firewall_rules_ = 0;
+};
+
+// Models the kernel-wide contention on netns creation (rtnl lock etc.):
+// creations in flight inflate each other's latency.
+class NetNsFactory {
+ public:
+  // Cost of creating one netns while `concurrent` other creations run.
+  static SimDuration CreateCost(uint32_t concurrent);
+
+  NetNamespace Create() { return NetNamespace(next_id_++); }
+
+ private:
+  uint64_t next_id_ = 1;
+};
+
+}  // namespace trenv
+
+#endif  // TRENV_SANDBOX_NET_NAMESPACE_H_

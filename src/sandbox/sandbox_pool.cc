@@ -1,0 +1,59 @@
+#include "src/sandbox/sandbox_pool.h"
+
+namespace trenv {
+
+bool SandboxPool::Put(std::unique_ptr<Sandbox> sandbox) {
+  if (idle_.size() >= max_idle_) {
+    return false;
+  }
+  idle_.push_back(std::move(sandbox));
+  return true;
+}
+
+std::unique_ptr<Sandbox> SandboxPool::Take() {
+  if (idle_.empty()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  std::unique_ptr<Sandbox> sandbox = std::move(idle_.front());
+  idle_.pop_front();
+  return sandbox;
+}
+
+std::shared_ptr<UnionFs> SandboxPool::AcquireOverlay(const std::string& function) {
+  auto cache_it = overlay_cache_.find(function);
+  if (cache_it != overlay_cache_.end() && !cache_it->second.empty()) {
+    std::shared_ptr<UnionFs> overlay = std::move(cache_it->second.back());
+    cache_it->second.pop_back();
+    return overlay;
+  }
+  // Assemble a fresh overlay from the function's dependency layer.
+  auto overlay = std::make_shared<UnionFs>();
+  auto layer_it = function_layers_.find(function);
+  if (layer_it != function_layers_.end()) {
+    overlay->PushLower(layer_it->second);
+  }
+  return overlay;
+}
+
+void SandboxPool::ReleaseOverlay(const std::string& function,
+                                 std::shared_ptr<UnionFs> overlay) {
+  if (overlay == nullptr) {
+    return;
+  }
+  overlay->PurgeUpper();
+  overlay_cache_[function].push_back(std::move(overlay));
+}
+
+void SandboxPool::RegisterFunctionLayer(const std::string& function,
+                                        std::shared_ptr<const FsLayer> layer) {
+  function_layers_[function] = std::move(layer);
+}
+
+size_t SandboxPool::cached_overlay_count(const std::string& function) const {
+  auto it = overlay_cache_.find(function);
+  return it == overlay_cache_.end() ? 0 : it->second.size();
+}
+
+}  // namespace trenv

@@ -1,0 +1,52 @@
+// SandboxPool: the universal (function-type-agnostic) pool of idle sandboxes
+// plus the per-function overlay cache (paper section 5.2.1: "maintaining a
+// pool of function-specific overlayfs, instead of discarding them").
+#ifndef TRENV_SANDBOX_SANDBOX_POOL_H_
+#define TRENV_SANDBOX_SANDBOX_POOL_H_
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/sandbox/sandbox.h"
+#include "src/sandbox/union_fs.h"
+
+namespace trenv {
+
+class SandboxPool {
+ public:
+  explicit SandboxPool(size_t max_idle = 256) : max_idle_(max_idle) {}
+
+  // Parks a cleansed sandbox. Returns false (and drops it) if the pool is at
+  // capacity.
+  bool Put(std::unique_ptr<Sandbox> sandbox);
+  // Takes ANY idle sandbox — repurposing is type-agnostic. Null if empty.
+  std::unique_ptr<Sandbox> Take();
+
+  size_t idle_count() const { return idle_.size(); }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+  // Overlay cache: function-specific union filesystems are expensive to
+  // assemble (layer resolution) but cheap to reuse once purged.
+  std::shared_ptr<UnionFs> AcquireOverlay(const std::string& function);
+  void ReleaseOverlay(const std::string& function, std::shared_ptr<UnionFs> overlay);
+  // Registers how to build a function's overlay (its dependency layer).
+  void RegisterFunctionLayer(const std::string& function,
+                             std::shared_ptr<const FsLayer> layer);
+  size_t cached_overlay_count(const std::string& function) const;
+
+ private:
+  size_t max_idle_;
+  std::deque<std::unique_ptr<Sandbox>> idle_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  std::map<std::string, std::shared_ptr<const FsLayer>> function_layers_;
+  std::map<std::string, std::vector<std::shared_ptr<UnionFs>>> overlay_cache_;
+};
+
+}  // namespace trenv
+
+#endif  // TRENV_SANDBOX_SANDBOX_POOL_H_

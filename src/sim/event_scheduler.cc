@@ -1,0 +1,61 @@
+#include "src/sim/event_scheduler.h"
+
+#include <cassert>
+
+namespace trenv {
+
+EventId EventScheduler::ScheduleAt(SimTime t, std::function<void()> fn) {
+  assert(t >= now_ && "cannot schedule in the past");
+  const EventId id = next_id_++;
+  events_.emplace(Key{t, id}, std::move(fn));
+  id_to_time_.emplace(id, t);
+  return id;
+}
+
+EventId EventScheduler::ScheduleAfter(SimDuration delay, std::function<void()> fn) {
+  if (delay < SimDuration::Zero()) {
+    delay = SimDuration::Zero();
+  }
+  return ScheduleAt(now_ + delay, std::move(fn));
+}
+
+bool EventScheduler::Cancel(EventId id) {
+  auto it = id_to_time_.find(id);
+  if (it == id_to_time_.end()) {
+    return false;
+  }
+  events_.erase(Key{it->second, id});
+  id_to_time_.erase(it);
+  return true;
+}
+
+bool EventScheduler::RunNext() {
+  if (events_.empty()) {
+    return false;
+  }
+  auto it = events_.begin();
+  const Key key = it->first;
+  std::function<void()> fn = std::move(it->second);
+  events_.erase(it);
+  id_to_time_.erase(key.second);
+  now_ = key.first;
+  ++executed_;
+  fn();
+  return true;
+}
+
+void EventScheduler::RunUntilIdle() {
+  while (RunNext()) {
+  }
+}
+
+void EventScheduler::RunUntil(SimTime t) {
+  while (!events_.empty() && events_.begin()->first.first <= t) {
+    RunNext();
+  }
+  if (now_ < t) {
+    now_ = t;
+  }
+}
+
+}  // namespace trenv

@@ -1,0 +1,63 @@
+// Discrete-event scheduler: the heart of the simulation.
+//
+// All platform dynamics (invocation arrivals, startup phases, CPU sharing,
+// keep-alive expiry) are events on one virtual timeline. Events scheduled for
+// the same instant execute in scheduling order, which keeps runs
+// deterministic for a fixed seed.
+#ifndef TRENV_SIM_EVENT_SCHEDULER_H_
+#define TRENV_SIM_EVENT_SCHEDULER_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <utility>
+
+#include "src/common/time.h"
+
+namespace trenv {
+
+using EventId = uint64_t;
+inline constexpr EventId kInvalidEventId = 0;
+
+class EventScheduler {
+ public:
+  EventScheduler() = default;
+  EventScheduler(const EventScheduler&) = delete;
+  EventScheduler& operator=(const EventScheduler&) = delete;
+
+  SimTime now() const { return now_; }
+
+  // Schedules fn at absolute time t (must be >= now()).
+  EventId ScheduleAt(SimTime t, std::function<void()> fn);
+  // Schedules fn after a relative delay (clamped to >= 0).
+  EventId ScheduleAfter(SimDuration delay, std::function<void()> fn);
+  // Cancels a pending event. Returns false if it already ran or was cancelled.
+  bool Cancel(EventId id);
+
+  bool HasPending() const { return !events_.empty(); }
+  size_t pending_count() const { return events_.size(); }
+
+  // Runs the earliest pending event, advancing the clock. Returns false if
+  // there was nothing to run.
+  bool RunNext();
+  // Drains the event queue completely.
+  void RunUntilIdle();
+  // Runs all events with time <= t, then advances the clock to exactly t.
+  void RunUntil(SimTime t);
+
+  uint64_t executed_count() const { return executed_; }
+
+ private:
+  // Key orders by (time, insertion sequence) for determinism.
+  using Key = std::pair<SimTime, EventId>;
+
+  SimTime now_;
+  EventId next_id_ = 1;
+  uint64_t executed_ = 0;
+  std::map<Key, std::function<void()>> events_;
+  std::map<EventId, SimTime> id_to_time_;
+};
+
+}  // namespace trenv
+
+#endif  // TRENV_SIM_EVENT_SCHEDULER_H_

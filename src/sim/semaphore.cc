@@ -1,0 +1,44 @@
+#include "src/sim/semaphore.h"
+
+#include <cassert>
+
+namespace trenv {
+
+bool CountingResource::TryAcquire(uint64_t amount) {
+  if (!waiters_.empty() || amount > available()) {
+    return false;
+  }
+  in_use_ += amount;
+  return true;
+}
+
+void CountingResource::Acquire(uint64_t amount, std::function<void()> on_granted) {
+  assert(amount <= capacity_ && "acquisition can never be satisfied");
+  if (TryAcquire(amount)) {
+    on_granted();
+    return;
+  }
+  waiters_.push_back(Waiter{amount, std::move(on_granted)});
+}
+
+void CountingResource::Release(uint64_t amount) {
+  assert(amount <= in_use_);
+  in_use_ -= amount;
+  DrainWaiters();
+}
+
+void CountingResource::SetCapacity(uint64_t capacity) {
+  capacity_ = capacity;
+  DrainWaiters();
+}
+
+void CountingResource::DrainWaiters() {
+  while (!waiters_.empty() && waiters_.front().amount <= capacity_ - in_use_) {
+    Waiter w = std::move(waiters_.front());
+    waiters_.pop_front();
+    in_use_ += w.amount;
+    w.on_granted();
+  }
+}
+
+}  // namespace trenv

@@ -1,0 +1,48 @@
+// Counting resources for the DES: FIFO-queued acquisition of an integral
+// capacity (memory caps, browser seats, sandbox-pool slots).
+#ifndef TRENV_SIM_SEMAPHORE_H_
+#define TRENV_SIM_SEMAPHORE_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "src/sim/event_scheduler.h"
+
+namespace trenv {
+
+class CountingResource {
+ public:
+  explicit CountingResource(uint64_t capacity) : capacity_(capacity) {}
+
+  uint64_t capacity() const { return capacity_; }
+  uint64_t in_use() const { return in_use_; }
+  uint64_t available() const { return capacity_ - in_use_; }
+  size_t waiting() const { return waiters_.size(); }
+
+  // Tries to take `amount` immediately. Returns false if unavailable.
+  bool TryAcquire(uint64_t amount);
+  // Takes `amount` now or queues the grant callback (FIFO). The callback runs
+  // synchronously from the Release() that frees enough capacity.
+  void Acquire(uint64_t amount, std::function<void()> on_granted);
+  void Release(uint64_t amount);
+
+  // Grows/shrinks capacity (shrinking never revokes granted units).
+  void SetCapacity(uint64_t capacity);
+
+ private:
+  void DrainWaiters();
+
+  struct Waiter {
+    uint64_t amount;
+    std::function<void()> on_granted;
+  };
+
+  uint64_t capacity_;
+  uint64_t in_use_ = 0;
+  std::deque<Waiter> waiters_;
+};
+
+}  // namespace trenv
+
+#endif  // TRENV_SIM_SEMAPHORE_H_

@@ -1,0 +1,284 @@
+#include "src/simkernel/fault_handler.h"
+
+#include <vector>
+
+#include "src/common/cost_model.h"
+#include "src/common/rng.h"
+
+namespace trenv {
+
+void BulkAccessStats::MergeFrom(const BulkAccessStats& other) {
+  pages += other.pages;
+  direct_local += other.direct_local;
+  direct_remote += other.direct_remote;
+  minor_faults += other.minor_faults;
+  major_faults += other.major_faults;
+  cow_faults += other.cow_faults;
+  bytes_fetched += other.bytes_fetched;
+  new_local_pages += other.new_local_pages;
+  latency += other.latency;
+  fetch_cpu += other.fetch_cpu;
+}
+
+Result<AccessOutcome> FaultHandler::Access(MmStruct& mm, Vaddr addr, bool write,
+                                           PageContent new_content) {
+  const Vma* vma = mm.FindVma(addr);
+  if (vma == nullptr) {
+    return Status::PermissionDenied("segfault: no VMA maps this address");
+  }
+  if (write && !vma->prot.write) {
+    return Status::PermissionDenied("segfault: write to read-only VMA " + vma->name);
+  }
+  if (!write && !vma->prot.read) {
+    return Status::PermissionDenied("segfault: read from non-readable VMA " + vma->name);
+  }
+  const Vpn vpn = AddrToVpn(addr);
+  auto pte = mm.page_table().Lookup(vpn);
+  if (!pte.has_value()) {
+    return HandleUnpopulated(mm, *vma, vpn, write, new_content);
+  }
+
+  if (!pte->flags.valid) {
+    // Lazy remote page (RDMA/NAS): major fault fetches 4 KiB and installs a
+    // private local copy, writable per the VMA.
+    MemoryBackend* backend = backends_->Get(pte->flags.pool);
+    if (backend == nullptr) {
+      return Status::Internal("no backend registered for pool");
+    }
+    TRENV_ASSIGN_OR_RETURN(FrameId frame, frames_->AllocatePages(1));
+    const PageContent content = write ? new_content : pte->content;
+    PteFlags flags;
+    flags.valid = true;
+    flags.write_protected = !vma->prot.write;
+    flags.pool = PoolKind::kLocalDram;
+    mm.page_table().MapRange(vpn, 1, flags, frame, content);
+    mm.stats().major_faults += 1;
+    mm.stats().local_pages += 1;
+    AccessOutcome outcome;
+    outcome.kind = AccessKind::kMajorFault;
+    outcome.latency = cost::kMajorFaultEntry + backend->FetchLatency(1);
+    outcome.content = content;
+    return outcome;
+  }
+
+  // Valid PTE.
+  if (!write) {
+    AccessOutcome outcome;
+    outcome.content = pte->content;
+    if (pte->flags.remote()) {
+      MemoryBackend* backend = backends_->Get(pte->flags.pool);
+      if (backend == nullptr) {
+        return Status::Internal("no backend registered for pool");
+      }
+      outcome.kind = AccessKind::kDirectRemote;
+      outcome.latency = backend->DirectLoadLatency();
+      mm.stats().direct_remote_reads += 1;
+    } else {
+      outcome.kind = AccessKind::kDirectLocal;
+      outcome.latency = cost::kLocalDramLatency;
+    }
+    return outcome;
+  }
+
+  // Write access.
+  if (pte->flags.write_protected) {
+    return HandleCow(mm, vpn, *pte, write, new_content);
+  }
+  // Direct local write: update the page's content in place.
+  PteFlags flags = pte->flags;
+  mm.page_table().MapRange(vpn, 1, flags, pte->backing, new_content);
+  AccessOutcome outcome;
+  outcome.kind = AccessKind::kDirectLocal;
+  outcome.latency = cost::kLocalDramLatency;
+  outcome.content = new_content;
+  return outcome;
+}
+
+Result<AccessOutcome> FaultHandler::HandleUnpopulated(MmStruct& mm, const Vma& vma, Vpn vpn,
+                                                      bool write, PageContent new_content) {
+  (void)vma;
+  // Zero-fill (anonymous) or page-cache-resident (file) minor fault. Both
+  // allocate one private local frame.
+  TRENV_ASSIGN_OR_RETURN(FrameId frame, frames_->AllocatePages(1));
+  const PageContent content = write ? new_content : kZeroPageContent;
+  PteFlags flags;
+  flags.valid = true;
+  flags.write_protected = !vma.prot.write;
+  flags.pool = PoolKind::kLocalDram;
+  mm.page_table().MapRange(vpn, 1, flags, frame, content, /*constant_content=*/!write);
+  mm.stats().minor_faults += 1;
+  mm.stats().local_pages += 1;
+  AccessOutcome outcome;
+  outcome.kind = AccessKind::kMinorFault;
+  outcome.latency = cost::kMinorFault;
+  outcome.content = content;
+  return outcome;
+}
+
+Result<AccessOutcome> FaultHandler::HandleCow(MmStruct& mm, Vpn vpn, const PteView& pte,
+                                              bool write, PageContent new_content) {
+  (void)write;
+  // Copy the page to a fresh local frame and install a writable PTE; the
+  // shared original (e.g. in the CXL pool) is untouched (paper section 5.1).
+  TRENV_ASSIGN_OR_RETURN(FrameId frame, frames_->AllocatePages(1));
+  SimDuration latency = cost::kCowFault;
+  if (pte.flags.remote()) {
+    MemoryBackend* backend = backends_->Get(pte.flags.pool);
+    if (backend == nullptr) {
+      return Status::Internal("no backend registered for pool");
+    }
+    latency += backend->FetchLatency(1);
+  }
+  PteFlags flags;
+  flags.valid = true;
+  flags.write_protected = false;
+  flags.pool = PoolKind::kLocalDram;
+  mm.page_table().MapRange(vpn, 1, flags, frame, new_content);
+  mm.stats().cow_faults += 1;
+  mm.stats().local_pages += 1;
+  AccessOutcome outcome;
+  outcome.kind = AccessKind::kCowFault;
+  outcome.latency = latency;
+  outcome.content = new_content;
+  return outcome;
+}
+
+Result<PageContent> FaultHandler::ReadPage(MmStruct& mm, Vaddr addr) {
+  TRENV_ASSIGN_OR_RETURN(AccessOutcome outcome, Access(mm, addr, /*write=*/false));
+  return outcome.content;
+}
+
+Status FaultHandler::WritePage(MmStruct& mm, Vaddr addr, PageContent content) {
+  return Access(mm, addr, /*write=*/true, content).status();
+}
+
+Result<BulkAccessStats> FaultHandler::AccessRange(MmStruct& mm, Vaddr addr, uint64_t npages,
+                                                  bool write) {
+  BulkAccessStats stats;
+  if (npages == 0) {
+    return stats;
+  }
+  const Vma* vma = mm.FindVma(addr);
+  const Vma* vma_end = mm.FindVma(addr + npages * kPageSize - 1);
+  if (vma == nullptr || vma_end != vma) {
+    return Status::InvalidArgument("range must lie within a single VMA");
+  }
+  if (write && !vma->prot.write) {
+    return Status::PermissionDenied("segfault: write to read-only VMA " + vma->name);
+  }
+  const Vpn first_vpn = AddrToVpn(addr);
+
+  // Snapshot the runs (the loop below mutates the table).
+  struct Segment {
+    Vpn vpn;
+    PteRun run;
+  };
+  std::vector<Segment> segments;
+  mm.page_table().ForEachRunIn(first_vpn, npages, [&](Vpn vpn, const PteRun& run) {
+    segments.push_back({vpn, run});
+  });
+
+  Vpn cursor = first_vpn;
+  const Vpn range_end = first_vpn + npages;
+  auto handle_gap = [&](Vpn gap_start, uint64_t gap_pages) -> Status {
+    if (gap_pages == 0) {
+      return Status::Ok();
+    }
+    // Unpopulated: bulk zero-fill minor faults.
+    TRENV_ASSIGN_OR_RETURN(FrameId frame, frames_->AllocatePages(gap_pages));
+    PteFlags flags;
+    flags.valid = true;
+    flags.write_protected = !vma->prot.write;
+    flags.pool = PoolKind::kLocalDram;
+    if (write) {
+      const PageContent base = MixU64(write_seed_++);
+      mm.page_table().MapRange(gap_start, gap_pages, flags, frame, base);
+    } else {
+      mm.page_table().MapRange(gap_start, gap_pages, flags, frame, kZeroPageContent,
+                               /*constant_content=*/true);
+    }
+    mm.stats().minor_faults += gap_pages;
+    mm.stats().local_pages += gap_pages;
+    stats.minor_faults += gap_pages;
+    stats.new_local_pages += gap_pages;
+    stats.latency += cost::kMinorFault * static_cast<double>(gap_pages);
+    return Status::Ok();
+  };
+
+  for (const Segment& seg : segments) {
+    if (seg.vpn > cursor) {
+      TRENV_RETURN_IF_ERROR(handle_gap(cursor, seg.vpn - cursor));
+    }
+    const uint64_t n = seg.run.npages;
+    const PteRun& run = seg.run;
+    if (!run.flags.valid) {
+      // Lazy remote run: bulk major faults.
+      MemoryBackend* backend = backends_->Get(run.flags.pool);
+      if (backend == nullptr) {
+        return Status::Internal("no backend registered for pool");
+      }
+      TRENV_ASSIGN_OR_RETURN(FrameId frame, frames_->AllocatePages(n));
+      PteFlags flags;
+      flags.valid = true;
+      flags.write_protected = !vma->prot.write;
+      flags.pool = PoolKind::kLocalDram;
+      PageContent content = run.content_base;
+      bool constant = run.constant_content;
+      if (write) {
+        content = MixU64(write_seed_++);
+        constant = false;
+      }
+      mm.page_table().MapRange(seg.vpn, n, flags, frame, content, constant);
+      mm.stats().major_faults += n;
+      mm.stats().local_pages += n;
+      stats.major_faults += n;
+      stats.new_local_pages += n;
+      stats.bytes_fetched += n * kPageSize;
+      stats.latency += cost::kMajorFaultEntry * static_cast<double>(n) + backend->FetchLatency(n);
+      stats.fetch_cpu += backend->FetchCpuPerPage() * static_cast<double>(n);
+    } else if (!write) {
+      if (run.flags.remote()) {
+        // Direct CXL loads: no fault, no latency charged here; the execution
+        // model accounts the load-latency slowdown in aggregate.
+        mm.stats().direct_remote_reads += n;
+        stats.direct_remote += n;
+      } else {
+        stats.direct_local += n;
+      }
+    } else {
+      // Write path.
+      if (run.flags.write_protected) {
+        // Bulk CoW.
+        MemoryBackend* backend =
+            run.flags.remote() ? backends_->Get(run.flags.pool) : nullptr;
+        TRENV_ASSIGN_OR_RETURN(FrameId frame, frames_->AllocatePages(n));
+        PteFlags flags;
+        flags.valid = true;
+        flags.write_protected = false;
+        flags.pool = PoolKind::kLocalDram;
+        mm.page_table().MapRange(seg.vpn, n, flags, frame, MixU64(write_seed_++));
+        mm.stats().cow_faults += n;
+        mm.stats().local_pages += n;
+        stats.cow_faults += n;
+        stats.new_local_pages += n;
+        stats.latency += cost::kCowFault * static_cast<double>(n);
+        if (backend != nullptr) {
+          stats.latency += backend->FetchLatency(n);
+          stats.bytes_fetched += n * kPageSize;
+        }
+      } else {
+        // Direct local writes: refresh content.
+        mm.page_table().MapRange(seg.vpn, n, run.flags, run.backing_base, MixU64(write_seed_++));
+        stats.direct_local += n;
+      }
+    }
+    cursor = seg.vpn + n;
+  }
+  if (cursor < range_end) {
+    TRENV_RETURN_IF_ERROR(handle_gap(cursor, range_end - cursor));
+  }
+  stats.pages = npages;
+  return stats;
+}
+
+}  // namespace trenv

@@ -1,0 +1,85 @@
+// FaultHandler: resolves memory accesses against an MmStruct, implementing
+// the paper's PTE state machine (section 5.1):
+//
+//   read  of valid local page            -> direct local load
+//   read  of valid WP CXL page           -> direct remote load, NO fault
+//   write of valid WP page               -> CoW fault: copy to local frame
+//   touch of invalid remote (RDMA/NAS)   -> major fault: fetch 4 KiB, map local
+//   touch of unpopulated anonymous page  -> minor fault: zero-fill local
+//
+// Bulk-range entry points process whole PTE runs at once so the platform can
+// model multi-GiB working sets in O(runs).
+#ifndef TRENV_SIMKERNEL_FAULT_HANDLER_H_
+#define TRENV_SIMKERNEL_FAULT_HANDLER_H_
+
+#include <cstdint>
+
+#include "src/common/status.h"
+#include "src/common/time.h"
+#include "src/mempool/backend.h"
+#include "src/simkernel/frame_allocator.h"
+#include "src/simkernel/mm_struct.h"
+
+namespace trenv {
+
+enum class AccessKind : uint8_t {
+  kDirectLocal,
+  kDirectRemote,
+  kMinorFault,
+  kMajorFault,
+  kCowFault,
+};
+
+struct AccessOutcome {
+  AccessKind kind;
+  SimDuration latency;
+  PageContent content = kZeroPageContent;  // content observed by a read
+};
+
+// Aggregate result of touching a page range.
+struct BulkAccessStats {
+  uint64_t pages = 0;
+  uint64_t direct_local = 0;
+  uint64_t direct_remote = 0;
+  uint64_t minor_faults = 0;
+  uint64_t major_faults = 0;
+  uint64_t cow_faults = 0;
+  uint64_t bytes_fetched = 0;
+  uint64_t new_local_pages = 0;
+  SimDuration latency;      // wall latency of the touches
+  SimDuration fetch_cpu;    // host CPU burned by fetch completions
+
+  void MergeFrom(const BulkAccessStats& other);
+};
+
+class FaultHandler {
+ public:
+  FaultHandler(FrameAllocator* frames, const BackendRegistry* backends)
+      : frames_(frames), backends_(backends) {}
+
+  // Touches one page. `write` requests write access. new_content is the
+  // content a write stores (ignored for reads).
+  Result<AccessOutcome> Access(MmStruct& mm, Vaddr addr, bool write,
+                               PageContent new_content = kZeroPageContent);
+
+  Result<PageContent> ReadPage(MmStruct& mm, Vaddr addr);
+  Status WritePage(MmStruct& mm, Vaddr addr, PageContent content);
+
+  // Touches [addr, addr + npages * kPageSize). For writes the stored content
+  // is derived from the pages' prior content (modelling in-place updates).
+  Result<BulkAccessStats> AccessRange(MmStruct& mm, Vaddr addr, uint64_t npages, bool write);
+
+ private:
+  Result<AccessOutcome> HandleUnpopulated(MmStruct& mm, const Vma& vma, Vpn vpn, bool write,
+                                          PageContent new_content);
+  Result<AccessOutcome> HandleCow(MmStruct& mm, Vpn vpn, const PteView& pte, bool write,
+                                  PageContent new_content);
+
+  FrameAllocator* frames_;
+  const BackendRegistry* backends_;
+  uint64_t write_seed_ = 0x57a7e;  // distinguishes freshly written content
+};
+
+}  // namespace trenv
+
+#endif  // TRENV_SIMKERNEL_FAULT_HANDLER_H_

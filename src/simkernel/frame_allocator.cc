@@ -1,0 +1,24 @@
+#include "src/simkernel/frame_allocator.h"
+
+#include <algorithm>
+
+namespace trenv {
+
+FrameAllocator::FrameAllocator(uint64_t capacity_bytes) : capacity_bytes_(capacity_bytes) {}
+
+Result<FrameId> FrameAllocator::AllocatePages(uint64_t n) {
+  if ((used_pages_ + n) * kPageSize > capacity_bytes_) {
+    return Status::OutOfMemory("node DRAM exhausted");
+  }
+  const FrameId base = next_frame_;
+  next_frame_ += n;
+  used_pages_ += n;
+  peak_used_pages_ = std::max(peak_used_pages_, used_pages_);
+  return base;
+}
+
+void FrameAllocator::FreePages(uint64_t n) {
+  used_pages_ = n > used_pages_ ? 0 : used_pages_ - n;
+}
+
+}  // namespace trenv

@@ -1,0 +1,84 @@
+#include "src/simkernel/mm_struct.h"
+
+#include <cassert>
+
+namespace trenv {
+
+Status MmStruct::AddVma(Vma vma) {
+  if (!IsPageAligned(vma.start) || !IsPageAligned(vma.length) || vma.length == 0) {
+    return Status::InvalidArgument("VMA must be non-empty and page aligned");
+  }
+  // Check the neighbours for overlap.
+  auto next = vmas_.lower_bound(vma.start);
+  if (next != vmas_.end() && vma.Overlaps(next->second.start, next->second.length)) {
+    return Status::AlreadyExists("VMA overlaps " + next->second.name);
+  }
+  if (next != vmas_.begin()) {
+    auto prev = std::prev(next);
+    if (vma.Overlaps(prev->second.start, prev->second.length)) {
+      return Status::AlreadyExists("VMA overlaps " + prev->second.name);
+    }
+  }
+  vmas_.emplace(vma.start, std::move(vma));
+  return Status::Ok();
+}
+
+Status MmStruct::RemoveVma(Vaddr start) {
+  auto it = vmas_.find(start);
+  if (it == vmas_.end()) {
+    return Status::NotFound("no VMA at this address");
+  }
+  page_table_.UnmapRange(AddrToVpn(it->second.start), it->second.npages());
+  vmas_.erase(it);
+  return Status::Ok();
+}
+
+const Vma* MmStruct::FindVma(Vaddr addr) const {
+  auto it = vmas_.upper_bound(addr);
+  if (it == vmas_.begin()) {
+    return nullptr;
+  }
+  --it;
+  if (!it->second.Contains(addr)) {
+    return nullptr;
+  }
+  return &it->second;
+}
+
+Result<Vaddr> MmStruct::GrowVma(Vaddr start, uint64_t bytes) {
+  if (!IsPageAligned(bytes) || bytes == 0) {
+    return Status::InvalidArgument("growth must be page aligned and non-zero");
+  }
+  auto it = vmas_.find(start);
+  if (it == vmas_.end()) {
+    return Status::NotFound("no VMA at this address");
+  }
+  Vma& vma = it->second;
+  const Vaddr old_end = vma.end();
+  // Reject growth into the next VMA.
+  auto next = std::next(it);
+  if (next != vmas_.end() && old_end + bytes > next->second.start) {
+    return Status::ResourceExhausted("growth would collide with " + next->second.name);
+  }
+  vma.length += bytes;
+  return old_end;
+}
+
+uint64_t MmStruct::VirtualBytes() const {
+  uint64_t total = 0;
+  for (const auto& [start, vma] : vmas_) {
+    total += vma.length;
+  }
+  return total;
+}
+
+uint64_t MmStruct::ResidentLocalPages() const {
+  return page_table_.CountPagesIf(
+      [](const PteFlags& f) { return f.valid && f.pool == PoolKind::kLocalDram; });
+}
+
+uint64_t MmStruct::RemoteMappedPages() const {
+  return page_table_.CountPagesIf([](const PteFlags& f) { return f.remote(); });
+}
+
+}  // namespace trenv

@@ -1,0 +1,102 @@
+#include "src/simkernel/page_cache.h"
+
+#include <algorithm>
+
+namespace trenv {
+
+uint64_t PageCache::Insert(FileId file_id, uint64_t page_index, uint64_t npages) {
+  if (npages == 0) {
+    return 0;
+  }
+  Intervals& intervals = files_[file_id];
+  uint64_t inserted = 0;
+  uint64_t cursor = page_index;
+  const uint64_t end = page_index + npages;
+
+  while (cursor < end) {
+    // Find the first interval that could cover or follow `cursor`.
+    auto it = intervals.upper_bound(cursor);
+    if (it != intervals.begin()) {
+      auto prev = std::prev(it);
+      if (prev->first + prev->second > cursor) {
+        // cursor inside an existing interval: skip past it.
+        cursor = prev->first + prev->second;
+        continue;
+      }
+    }
+    // cursor is in a gap; it ends at the next interval start (or range end).
+    const uint64_t gap_end = it == intervals.end() ? end : std::min(end, it->first);
+    if (gap_end > cursor) {
+      intervals.emplace(cursor, gap_end - cursor);
+      inserted += gap_end - cursor;
+      cursor = gap_end;
+    }
+  }
+  // Coalesce the whole affected neighbourhood.
+  auto it = intervals.lower_bound(page_index);
+  if (it != intervals.begin()) {
+    --it;
+  }
+  while (it != intervals.end()) {
+    auto next = std::next(it);
+    if (next == intervals.end() || next->first > page_index + npages + 1) {
+      break;
+    }
+    if (it->first + it->second >= next->first) {
+      const uint64_t merged_end = std::max(it->first + it->second, next->first + next->second);
+      it->second = merged_end - it->first;
+      intervals.erase(next);
+    } else {
+      ++it;
+    }
+  }
+  cached_pages_ += inserted;
+  return inserted;
+}
+
+bool PageCache::Contains(FileId file_id, uint64_t page_index) const {
+  return ResidentIn(file_id, page_index, 1) == 1;
+}
+
+uint64_t PageCache::ResidentIn(FileId file_id, uint64_t page_index, uint64_t npages) const {
+  auto file_it = files_.find(file_id);
+  if (file_it == files_.end() || npages == 0) {
+    return 0;
+  }
+  const Intervals& intervals = file_it->second;
+  const uint64_t end = page_index + npages;
+  uint64_t resident = 0;
+  auto it = intervals.upper_bound(page_index);
+  if (it != intervals.begin()) {
+    --it;
+  }
+  for (; it != intervals.end() && it->first < end; ++it) {
+    const uint64_t lo = std::max(it->first, page_index);
+    const uint64_t hi = std::min(it->first + it->second, end);
+    if (hi > lo) {
+      resident += hi - lo;
+    }
+  }
+  return resident;
+}
+
+uint64_t PageCache::DropFile(FileId file_id) {
+  auto it = files_.find(file_id);
+  if (it == files_.end()) {
+    return 0;
+  }
+  uint64_t released = 0;
+  for (const auto& [start, len] : it->second) {
+    released += len;
+  }
+  files_.erase(it);
+  cached_pages_ -= released;
+  return released;
+}
+
+void PageCache::Clear() {
+  files_.clear();
+  cached_pages_ = 0;
+}
+
+}  // namespace trenv

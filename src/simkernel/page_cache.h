@@ -1,0 +1,51 @@
+// File page cache model. Both the guest kernel and the host kernel own one
+// of these in the VM platform; the paper's "duplicated page cache" problem
+// (section 2.4) is literally the same file ranges resident in two caches.
+//
+// The cache is an interval set per file: inserting a range dedups against
+// what is already resident, so accounting matches Linux semantics where a
+// file page is cached once regardless of how many processes read it.
+#ifndef TRENV_SIMKERNEL_PAGE_CACHE_H_
+#define TRENV_SIMKERNEL_PAGE_CACHE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "src/common/units.h"
+#include "src/simkernel/types.h"
+
+namespace trenv {
+
+class PageCache {
+ public:
+  explicit PageCache(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  // Caches [page_index, page_index + npages) of file_id. Returns how many of
+  // those pages were newly inserted (the rest were already resident).
+  uint64_t Insert(FileId file_id, uint64_t page_index, uint64_t npages);
+  bool Contains(FileId file_id, uint64_t page_index) const;
+  // Number of resident pages in the given range.
+  uint64_t ResidentIn(FileId file_id, uint64_t page_index, uint64_t npages) const;
+
+  // Drops a whole file; returns the number of pages released.
+  uint64_t DropFile(FileId file_id);
+  void Clear();
+
+  uint64_t cached_pages() const { return cached_pages_; }
+  uint64_t cached_bytes() const { return cached_pages_ * kPageSize; }
+
+ private:
+  // Per-file interval set: start page -> length.
+  using Intervals = std::map<uint64_t, uint64_t>;
+
+  std::string name_;
+  std::map<FileId, Intervals> files_;
+  uint64_t cached_pages_ = 0;
+};
+
+}  // namespace trenv
+
+#endif  // TRENV_SIMKERNEL_PAGE_CACHE_H_

@@ -1,0 +1,228 @@
+#include "src/simkernel/page_table.h"
+
+#include <algorithm>
+#include <cassert>
+#include <iterator>
+
+namespace trenv {
+
+std::string_view PoolKindName(PoolKind kind) {
+  switch (kind) {
+    case PoolKind::kLocalDram:
+      return "local-dram";
+    case PoolKind::kCxl:
+      return "cxl";
+    case PoolKind::kRdma:
+      return "rdma";
+    case PoolKind::kNas:
+      return "nas";
+  }
+  return "unknown";
+}
+
+bool PteRun::ContinuedBy(const PteRun& other, uint64_t gap) const {
+  if (gap != npages) {
+    return false;  // not adjacent
+  }
+  if (!(flags == other.flags)) {
+    return false;
+  }
+  if (constant_content != other.constant_content) {
+    return false;
+  }
+  const bool backing_continues =
+      (backing_base == kNoBacking && other.backing_base == kNoBacking) ||
+      (backing_base != kNoBacking && other.backing_base == backing_base + npages);
+  const bool content_continues = constant_content
+                                     ? other.content_base == content_base
+                                     : other.content_base == content_base + npages;
+  return backing_continues && content_continues;
+}
+
+void PageTable::SplitAt(Vpn vpn) {
+  auto it = runs_.upper_bound(vpn);
+  if (it == runs_.begin()) {
+    return;
+  }
+  --it;
+  const Vpn start = it->first;
+  PteRun& run = it->second;
+  if (start == vpn || start + run.npages <= vpn) {
+    return;  // vpn already begins a run, or lies past the run's end
+  }
+  const uint64_t head_pages = vpn - start;
+  PteRun tail = run;
+  tail.npages = run.npages - head_pages;
+  if (tail.backing_base != kNoBacking) {
+    tail.backing_base += head_pages;
+  }
+  if (!tail.constant_content) {
+    tail.content_base += head_pages;
+  }
+  run.npages = head_pages;
+  runs_.emplace(vpn, tail);
+}
+
+void PageTable::TryMergeAround(Vpn vpn) {
+  auto it = runs_.find(vpn);
+  if (it == runs_.end()) {
+    return;
+  }
+  // Merge with predecessor.
+  if (it != runs_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->first + prev->second.npages == it->first &&
+        prev->second.ContinuedBy(it->second, prev->second.npages)) {
+      prev->second.npages += it->second.npages;
+      runs_.erase(it);
+      it = prev;
+    }
+  }
+  // Merge with successor.
+  auto next = std::next(it);
+  if (next != runs_.end() && it->first + it->second.npages == next->first &&
+      it->second.ContinuedBy(next->second, it->second.npages)) {
+    it->second.npages += next->second.npages;
+    runs_.erase(next);
+  }
+}
+
+void PageTable::MapRange(Vpn vpn, uint64_t npages, PteFlags flags, uint64_t backing_base,
+                         PageContent content_base, bool constant_content) {
+  if (npages == 0) {
+    return;
+  }
+  UnmapRange(vpn, npages);
+  PteRun run;
+  run.npages = npages;
+  run.flags = flags;
+  run.backing_base = backing_base;
+  run.content_base = content_base;
+  run.constant_content = constant_content;
+  runs_.emplace(vpn, run);
+  TryMergeAround(vpn);
+}
+
+uint64_t PageTable::UnmapRange(Vpn vpn, uint64_t npages) {
+  if (npages == 0) {
+    return 0;
+  }
+  SplitAt(vpn);
+  SplitAt(vpn + npages);
+  uint64_t removed = 0;
+  auto it = runs_.lower_bound(vpn);
+  while (it != runs_.end() && it->first < vpn + npages) {
+    removed += it->second.npages;
+    it = runs_.erase(it);
+  }
+  return removed;
+}
+
+std::optional<PteView> PageTable::Lookup(Vpn vpn) const {
+  auto it = runs_.upper_bound(vpn);
+  if (it == runs_.begin()) {
+    return std::nullopt;
+  }
+  --it;
+  const Vpn start = it->first;
+  const PteRun& run = it->second;
+  if (vpn >= start + run.npages) {
+    return std::nullopt;
+  }
+  const uint64_t idx = vpn - start;
+  PteView view;
+  view.flags = run.flags;
+  view.backing = run.backing_base == kNoBacking ? kNoBacking : run.backing_base + idx;
+  view.content = run.ContentAt(idx);
+  return view;
+}
+
+void PageTable::ForEachRunIn(Vpn vpn, uint64_t npages,
+                             const std::function<void(Vpn, const PteRun&)>& fn) const {
+  if (npages == 0) {
+    return;
+  }
+  const Vpn end = vpn + npages;
+  auto it = runs_.upper_bound(vpn);
+  if (it != runs_.begin()) {
+    --it;
+  }
+  for (; it != runs_.end() && it->first < end; ++it) {
+    const Vpn run_start = it->first;
+    const PteRun& run = it->second;
+    const Vpn run_end = run_start + run.npages;
+    if (run_end <= vpn) {
+      continue;
+    }
+    // Clip to the requested range.
+    const Vpn clip_start = std::max(run_start, vpn);
+    const Vpn clip_end = std::min(run_end, end);
+    const uint64_t skip = clip_start - run_start;
+    PteRun clipped = run;
+    clipped.npages = clip_end - clip_start;
+    if (clipped.backing_base != kNoBacking) {
+      clipped.backing_base += skip;
+    }
+    if (!clipped.constant_content) {
+      clipped.content_base += skip;
+    }
+    fn(clip_start, clipped);
+  }
+}
+
+void PageTable::ForEachRun(const std::function<void(Vpn, const PteRun&)>& fn) const {
+  for (const auto& [vpn, run] : runs_) {
+    fn(vpn, run);
+  }
+}
+
+void PageTable::CloneFrom(const PageTable& other) {
+  for (const auto& [vpn, run] : other.runs_) {
+    MapRange(vpn, run.npages, run.flags, run.backing_base, run.content_base,
+             run.constant_content);
+  }
+}
+
+void PageTable::ProtectRange(Vpn vpn, uint64_t npages) {
+  if (npages == 0) {
+    return;
+  }
+  SplitAt(vpn);
+  SplitAt(vpn + npages);
+  for (auto it = runs_.lower_bound(vpn); it != runs_.end() && it->first < vpn + npages; ++it) {
+    it->second.flags.write_protected = true;
+  }
+}
+
+uint64_t PageTable::mapped_pages() const {
+  uint64_t total = 0;
+  for (const auto& [vpn, run] : runs_) {
+    total += run.npages;
+  }
+  return total;
+}
+
+uint64_t PageTable::CountPagesIf(const std::function<bool(const PteFlags&)>& pred) const {
+  uint64_t total = 0;
+  for (const auto& [vpn, run] : runs_) {
+    if (pred(run.flags)) {
+      total += run.npages;
+    }
+  }
+  return total;
+}
+
+uint64_t PageTable::MetadataBytes() const {
+  // Each run is roughly one vm_area-sized record; mapped pages cost one
+  // 8-byte PTE each. This matches the paper's observation of <1 MiB of
+  // template metadata (e.g. ~400 KiB for a 70 MiB image).
+  constexpr uint64_t kPerRunBytes = 96;
+  constexpr uint64_t kPerPageBytes = 8;
+  uint64_t bytes = 0;
+  for (const auto& [vpn, run] : runs_) {
+    bytes += kPerRunBytes + kPerPageBytes * run.npages;
+  }
+  return bytes;
+}
+
+}  // namespace trenv

@@ -1,0 +1,107 @@
+// Run-compressed software page table.
+//
+// The table stores runs of pages whose PTEs share flags and whose backing /
+// content form arithmetic progressions (offset i of a run backs page i).
+// This keeps every kernel operation O(number of runs), not O(number of
+// pages), so the simulator can model multi-GiB address spaces faithfully:
+// bulk faults split runs exactly where real hardware would install new PTEs.
+//
+// PTE states mirror the paper's mm-template design (section 5.1):
+//   - valid + !wp + local           : ordinary resident page
+//   - valid + wp + remote(CXL)      : direct-mapped shared CXL page, CoW armed
+//   - !valid + remote(RDMA/NAS)     : lazy page, major fault on first touch
+//   - absent run                    : unpopulated (zero-fill on demand)
+#ifndef TRENV_SIMKERNEL_PAGE_TABLE_H_
+#define TRENV_SIMKERNEL_PAGE_TABLE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+
+#include "src/simkernel/types.h"
+
+namespace trenv {
+
+struct PteFlags {
+  bool valid = false;
+  bool write_protected = false;
+  PoolKind pool = PoolKind::kLocalDram;
+
+  bool remote() const { return pool != PoolKind::kLocalDram; }
+  bool operator==(const PteFlags&) const = default;
+};
+
+// A run of `npages` PTEs starting at some vpn. backing_base is the value for
+// the first page; page i uses base + i. Content is either a progression
+// (content_base + i, the common case for snapshot images) or a constant
+// (zero-filled / memset pages all read content_base).
+struct PteRun {
+  uint64_t npages = 0;
+  PteFlags flags;
+  uint64_t backing_base = kNoBacking;  // FrameId (local) or PoolOffset (remote)
+  PageContent content_base = kZeroPageContent;
+  bool constant_content = false;
+
+  PageContent ContentAt(uint64_t idx) const {
+    return constant_content ? content_base : content_base + idx;
+  }
+
+  // True if `other` appended at distance `gap` pages continues this run.
+  bool ContinuedBy(const PteRun& other, uint64_t gap) const;
+};
+
+// Resolved view of a single PTE.
+struct PteView {
+  PteFlags flags;
+  uint64_t backing = kNoBacking;
+  PageContent content = kZeroPageContent;
+};
+
+class PageTable {
+ public:
+  PageTable() = default;
+
+  // Installs PTEs for [vpn, vpn+npages), replacing anything there.
+  void MapRange(Vpn vpn, uint64_t npages, PteFlags flags, uint64_t backing_base,
+                PageContent content_base, bool constant_content = false);
+  // Removes PTEs in the range. Returns the number of pages that were mapped.
+  uint64_t UnmapRange(Vpn vpn, uint64_t npages);
+
+  std::optional<PteView> Lookup(Vpn vpn) const;
+  bool IsMapped(Vpn vpn) const { return Lookup(vpn).has_value(); }
+
+  // Invokes fn(run_start_vpn, run) for every run overlapping the range; the
+  // run passed is clipped to the range. Must not mutate the table.
+  void ForEachRunIn(Vpn vpn, uint64_t npages,
+                    const std::function<void(Vpn, const PteRun&)>& fn) const;
+  // Invokes fn for every run in the table. Must not mutate the table.
+  void ForEachRun(const std::function<void(Vpn, const PteRun&)>& fn) const;
+
+  // Copies all runs from `other` into this table (used by mmt_attach: the
+  // metadata copy). Existing overlapping entries are replaced.
+  void CloneFrom(const PageTable& other);
+
+  // Write-protects every currently mapped page in the range.
+  void ProtectRange(Vpn vpn, uint64_t npages);
+
+  uint64_t run_count() const { return runs_.size(); }
+  uint64_t mapped_pages() const;
+  uint64_t CountPagesIf(const std::function<bool(const PteFlags&)>& pred) const;
+
+  // Approximate metadata footprint of this table (for mm-template sizing).
+  uint64_t MetadataBytes() const;
+
+ private:
+  // Splits any run straddling `vpn` so that `vpn` begins a run.
+  void SplitAt(Vpn vpn);
+  // Merges the run at `it` with its successor if they are contiguous.
+  void TryMergeAround(Vpn vpn);
+
+  // Key: first vpn of the run.
+  std::map<Vpn, PteRun> runs_;
+};
+
+}  // namespace trenv
+
+#endif  // TRENV_SIMKERNEL_PAGE_TABLE_H_

@@ -1,0 +1,55 @@
+// Shared low-level types for the simulated kernel memory subsystem.
+#ifndef TRENV_SIMKERNEL_TYPES_H_
+#define TRENV_SIMKERNEL_TYPES_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "src/common/units.h"
+
+namespace trenv {
+
+using Vaddr = uint64_t;   // virtual address
+using FileId = int64_t;   // global file identity (page-cache keying)
+using Vpn = uint64_t;     // virtual page number (Vaddr >> kPageShift)
+using FrameId = uint64_t; // local DRAM frame handle
+using PoolOffset = uint64_t;  // page offset within a remote memory pool
+
+inline constexpr uint64_t kNoBacking = ~0ULL;
+
+constexpr Vpn AddrToVpn(Vaddr addr) { return addr >> kPageShift; }
+constexpr Vaddr VpnToAddr(Vpn vpn) { return vpn << kPageShift; }
+
+// Which tier backs a mapping. kLocalDram is the node's own memory; the rest
+// are disaggregated pools reached over CXL / RDMA / storage fabrics.
+enum class PoolKind : uint8_t {
+  kLocalDram = 0,
+  kCxl = 1,
+  kRdma = 2,
+  kNas = 3,
+};
+
+std::string_view PoolKindName(PoolKind kind);
+
+// Page protection bits on a VMA.
+struct Protection {
+  bool read = true;
+  bool write = false;
+  bool exec = false;
+
+  static constexpr Protection ReadOnly() { return Protection{true, false, false}; }
+  static constexpr Protection ReadWrite() { return Protection{true, true, false}; }
+  static constexpr Protection ReadExec() { return Protection{true, false, true}; }
+
+  bool operator==(const Protection&) const = default;
+};
+
+// Logical page content. A run of pages starting with content base B has
+// content B, B+1, B+2, ...; copies preserve the progression and dedup
+// compares it. Freshly-zeroed pages have content kZeroPageContent.
+using PageContent = uint64_t;
+inline constexpr PageContent kZeroPageContent = 0;
+
+}  // namespace trenv
+
+#endif  // TRENV_SIMKERNEL_TYPES_H_

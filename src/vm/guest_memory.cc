@@ -1,0 +1,63 @@
+#include "src/vm/guest_memory.h"
+
+#include <algorithm>
+
+#include "src/common/cost_model.h"
+
+namespace trenv {
+
+GuestMemory::GuestMemory(uint64_t guest_bytes) : guest_bytes_(PageAlignUp(guest_bytes)) {
+  // One VMA spanning the whole guest-physical space; zero-filled on demand
+  // like fresh guest RAM.
+  Vma ram = MakeAnonVma(0, guest_bytes_, Protection::ReadWrite(), "guest-ram");
+  (void)ept_.AddVma(std::move(ram));
+}
+
+Result<SimDuration> GuestMemory::RestoreByCopy(uint64_t image_bytes, FrameAllocator* frames) {
+  const uint64_t npages = BytesToPages(std::min(image_bytes, guest_bytes_));
+  TRENV_ASSIGN_OR_RETURN(FrameId frame, frames->AllocatePages(npages));
+  PteFlags flags;
+  flags.valid = true;
+  flags.pool = PoolKind::kLocalDram;
+  ept_.page_table().MapRange(0, npages, flags, frame, 0x6E57);
+  return SimDuration::FromSecondsF(static_cast<double>(npages * kPageSize) /
+                                   cost::kVmMemCopyBytesPerSec);
+}
+
+Result<SimDuration> GuestMemory::RestoreByTemplate(MmtApi* api, MmtId template_id) {
+  // The template owns the layout: drop the placeholder RAM VMA first.
+  if (ept_.FindVma(0) != nullptr) {
+    TRENV_RETURN_IF_ERROR(ept_.RemoveVma(0));
+  }
+  TRENV_ASSIGN_OR_RETURN(MmtAttachResult attach, api->MmtAttach(template_id, &ept_));
+  return attach.latency + cost::kVmMmapRestore;
+}
+
+Result<BulkAccessStats> GuestMemory::Touch(Vaddr gpa, uint64_t npages, bool write,
+                                           FaultHandler& handler) {
+  TRENV_ASSIGN_OR_RETURN(BulkAccessStats stats, handler.AccessRange(ept_, gpa, npages, write));
+  // Every fault on a second-level entry is a VM exit on top of the kernel
+  // fault cost; pre-populated (valid) CXL entries never exit.
+  const uint64_t exits = stats.minor_faults + stats.major_faults + stats.cow_faults;
+  ept_violations_ += exits;
+  stats.latency += cost::kEptViolation * static_cast<double>(exits);
+  return stats;
+}
+
+Result<MmtId> BuildGuestTemplate(MmtApi* api, MemoryBackend* pool, const std::string& name,
+                                 uint64_t image_bytes, PageContent content_base) {
+  const uint64_t npages = BytesToPages(image_bytes);
+  TRENV_ASSIGN_OR_RETURN(PoolOffset base, pool->AllocatePages(npages));
+  TRENV_RETURN_IF_ERROR(pool->WriteContent(base, npages, content_base));
+  const MmtId id = api->MmtCreate(name);
+  if (id == kInvalidMmtId) {
+    return Status::PermissionDenied("mm-template device requires root");
+  }
+  TRENV_RETURN_IF_ERROR(api->MmtAddMap(id, 0, npages * kPageSize, Protection::ReadWrite(),
+                                       /*is_private=*/true, -1, 0, "guest-image"));
+  TRENV_RETURN_IF_ERROR(
+      api->MmtSetupPt(id, 0, npages * kPageSize, base, pool->kind()).status());
+  return id;
+}
+
+}  // namespace trenv

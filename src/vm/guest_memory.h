@@ -1,0 +1,66 @@
+// Guest memory with two-dimensional paging (paper section 8.1.3).
+//
+// In KVM-style virtualization the second-level translation (GPA -> HPA,
+// Intel EPT) is where TrEnv hooks VM memory sharing: the guest-physical
+// space can be backed by a CXL mm-template exactly like a process address
+// space, with CoW on write. The section's "potential future work" — pre-
+// populating the second-level tables for hot regions so read accesses never
+// take an EPT-violation VM exit — is implemented here as
+// RestoreByTemplate(), and the cost of taking exits on lazily-mapped
+// regions is modelled in Touch().
+#ifndef TRENV_VM_GUEST_MEMORY_H_
+#define TRENV_VM_GUEST_MEMORY_H_
+
+#include <cstdint>
+
+#include "src/common/status.h"
+#include "src/mmtemplate/api.h"
+#include "src/simkernel/fault_handler.h"
+
+namespace trenv {
+
+// Guest-physical address space of one microVM. The MmStruct plays the role
+// of the EPT: "virtual" addresses are GPAs, PTEs are second-level entries.
+class GuestMemory {
+ public:
+  // guest_bytes: the VM's RAM size (GPA space [0, guest_bytes)).
+  explicit GuestMemory(uint64_t guest_bytes);
+
+  uint64_t guest_bytes() const { return guest_bytes_; }
+  MmStruct& ept() { return ept_; }
+  const MmStruct& ept() const { return ept_; }
+
+  // Vanilla-CH restore: copy `image_bytes` of snapshot into local frames.
+  // Returns the copy latency.
+  Result<SimDuration> RestoreByCopy(uint64_t image_bytes, FrameAllocator* frames);
+
+  // TrEnv restore: attach a guest-memory template. CXL-backed entries are
+  // installed VALID + write-protected up front (pre-populated EPT), so guest
+  // reads are plain loads with no VM exit; writes CoW.
+  Result<SimDuration> RestoreByTemplate(MmtApi* api, MmtId template_id);
+
+  // Guest touches [gpa, gpa + npages * 4K). Adds the EPT-violation exit cost
+  // for every entry that was not pre-populated (lazy/major faults).
+  Result<BulkAccessStats> Touch(Vaddr gpa, uint64_t npages, bool write, FaultHandler& handler);
+
+  // Node-DRAM pages this guest holds (its CoW/copied working state).
+  uint64_t ResidentLocalPages() const { return ept_.ResidentLocalPages(); }
+  // Pages still served from the shared pool (the cross-VM-shared state).
+  uint64_t SharedRemotePages() const { return ept_.RemoteMappedPages(); }
+  uint64_t ept_violations() const { return ept_violations_; }
+
+ private:
+  uint64_t guest_bytes_;
+  MmStruct ept_;
+  uint64_t ept_violations_ = 0;
+};
+
+// Builds a guest-memory template for a VM snapshot: `image_bytes` of
+// post-boot state stored (deduplicated) in `pool`, of which
+// `read_only_fraction` is shared read-only. Returns the template id.
+Result<MmtId> BuildGuestTemplate(MmtApi* api, MemoryBackend* pool, const std::string& name,
+                                 uint64_t image_bytes, PageContent content_base);
+
+}  // namespace trenv
+
+#endif  // TRENV_VM_GUEST_MEMORY_H_

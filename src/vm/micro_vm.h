@@ -1,0 +1,61 @@
+// MicroVm: one agent VM instance — its memory components and the startup
+// model of Fig 23.
+#ifndef TRENV_VM_MICRO_VM_H_
+#define TRENV_VM_MICRO_VM_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "src/agents/agent_profile.h"
+#include "src/common/time.h"
+#include "src/vm/virtio_device.h"
+#include "src/vm/vm_config.h"
+
+namespace trenv {
+
+// Startup latency breakdown for a microVM launch.
+struct VmStartupBreakdown {
+  SimDuration network;
+  SimDuration cgroup;
+  SimDuration vmm;     // VMM spawn + device setup (+ rootfs map setup)
+  SimDuration memory;  // guest memory restoration
+  SimDuration guest;   // guest userspace wake-up
+
+  SimDuration Total() const { return network + cgroup + vmm + memory + guest; }
+  bool sandbox_repurposed = false;
+};
+
+// Computes the launch cost under `concurrent` simultaneous launches,
+// `pooled_sandboxes` available for reuse.
+VmStartupBreakdown ComputeVmStartup(const VmSystemConfig& config, const AgentProfile& profile,
+                                    uint32_t concurrent, bool sandbox_available);
+
+class MicroVm {
+ public:
+  MicroVm(uint64_t id, const AgentProfile* profile, const VmSystemConfig* config,
+          PageCache* host_cache, FileId base_file);
+
+  uint64_t id() const { return id_; }
+  const AgentProfile& profile() const { return *profile_; }
+  GuestStorage& storage() { return storage_; }
+
+  // Applies a dynamic-memory allocation/release; returns the *local* byte
+  // delta (CXL-shared read-only pages do not consume node DRAM).
+  int64_t ApplyMemoryDelta(int64_t delta_bytes);
+
+  // Local node memory attributable to this VM right now (anon + guest page
+  // cache + fixed guest-kernel/VMM overhead).
+  uint64_t LocalBytes() const;
+  uint64_t anon_local_bytes() const { return anon_local_bytes_; }
+
+ private:
+  uint64_t id_;
+  const AgentProfile* profile_;
+  const VmSystemConfig* config_;
+  GuestStorage storage_;
+  uint64_t anon_local_bytes_ = 0;
+};
+
+}  // namespace trenv
+
+#endif  // TRENV_VM_MICRO_VM_H_

@@ -1,0 +1,93 @@
+#include "src/vm/virtio_device.h"
+
+#include "src/common/cost_model.h"
+
+namespace trenv {
+
+namespace {
+// Latency of pulling pages off the (warm) backing store into a cache.
+SimDuration MediaLatency(uint64_t npages) {
+  constexpr double kBytesPerSec = 3.0 * static_cast<double>(kGiB);  // NVMe-class
+  return SimDuration::FromSecondsF(static_cast<double>(npages * kPageSize) / kBytesPerSec);
+}
+}  // namespace
+
+GuestStorage::GuestStorage(VmSystemConfig::Storage storage, PageCache* host_cache,
+                           FileId base_file, uint64_t vm_id)
+    : storage_(storage),
+      host_cache_(host_cache),
+      shared_base_file_(base_file),
+      private_base_file_(static_cast<FileId>((vm_id << 24) | 0x1) ^ (base_file << 8)),
+      private_write_file_(static_cast<FileId>((vm_id << 24) | 0x2) ^ (base_file << 8)),
+      guest_cache_("guest") {}
+
+GuestReadOutcome GuestStorage::ReadBase(uint64_t offset_pages, uint64_t npages) {
+  GuestReadOutcome outcome;
+  switch (storage_) {
+    case VmSystemConfig::Storage::kVirtioBlk: {
+      // Guest page cache fills; the host hypervisor emulates the block reads
+      // through its own page cache on the per-VM rootfs file: the data is
+      // cached twice, and never shared across VMs.
+      const uint64_t guest_new = guest_cache_.Insert(shared_base_file_, offset_pages, npages);
+      const uint64_t host_new = host_cache_->Insert(private_base_file_, offset_pages, npages);
+      outcome.guest_cache_new_bytes = guest_new * kPageSize;
+      outcome.host_cache_new_bytes = host_new * kPageSize;
+      outcome.latency = MediaLatency(host_new);
+      break;
+    }
+    case VmSystemConfig::Storage::kRundRootfs: {
+      // DAX mapping of the host cache into the guest: one shared host copy,
+      // no guest cache.
+      const uint64_t host_new = host_cache_->Insert(shared_base_file_, offset_pages, npages);
+      outcome.host_cache_new_bytes = host_new * kPageSize;
+      outcome.latency = MediaLatency(host_new);
+      break;
+    }
+    case VmSystemConfig::Storage::kPmemUnionFs: {
+      // Read-only base device on virtio-pmem: byte-addressable mapping of
+      // one host-side copy shared by every VM; guest cache bypassed.
+      const uint64_t host_new = host_cache_->Insert(shared_base_file_, offset_pages, npages);
+      outcome.host_cache_new_bytes = host_new * kPageSize;
+      outcome.latency = MediaLatency(host_new);
+      break;
+    }
+  }
+  return outcome;
+}
+
+GuestReadOutcome GuestStorage::WriteAndReadBack(uint64_t npages) {
+  GuestReadOutcome outcome;
+  const uint64_t start = written_pages_;
+  written_pages_ += npages;
+  switch (storage_) {
+    case VmSystemConfig::Storage::kVirtioBlk:
+    case VmSystemConfig::Storage::kRundRootfs: {
+      // Written data lands in the guest cache and, through the hypervisor's
+      // buffered writes, in the host cache as well.
+      const uint64_t guest_new = guest_cache_.Insert(private_write_file_, start, npages);
+      const uint64_t host_new = host_cache_->Insert(private_write_file_, start, npages);
+      outcome.guest_cache_new_bytes = guest_new * kPageSize;
+      outcome.host_cache_new_bytes = host_new * kPageSize;
+      break;
+    }
+    case VmSystemConfig::Storage::kPmemUnionFs: {
+      // Writable device opened O_DIRECT in the hypervisor: host cache is
+      // bypassed entirely; the guest keeps its own copy of dirty data.
+      const uint64_t guest_new = guest_cache_.Insert(private_write_file_, start, npages);
+      outcome.guest_cache_new_bytes = guest_new * kPageSize;
+      break;
+    }
+  }
+  outcome.latency = MediaLatency(npages);
+  return outcome;
+}
+
+std::pair<uint64_t, uint64_t> GuestStorage::DropCaches() {
+  const uint64_t guest_bytes = guest_cache_.cached_bytes();
+  guest_cache_.Clear();
+  uint64_t host_pages = host_cache_->DropFile(private_base_file_);
+  host_pages += host_cache_->DropFile(private_write_file_);
+  return {guest_bytes, host_pages * kPageSize};
+}
+
+}  // namespace trenv

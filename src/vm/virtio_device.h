@@ -1,0 +1,62 @@
+// Storage-device models and their page-cache behaviour (paper sections 2.4,
+// 6.3, Fig 15/16).
+//
+// The defining difference between the evaluated systems is *where file data
+// gets cached*:
+//   virtio-blk      : data cached in the guest AND re-cached in the host
+//                     (per-VM rootfs file => no cross-VM sharing either).
+//   RunD rootfs     : host page cache mapped into the guest (DAX): one host
+//                     copy shared by all VMs, guest cache bypassed.
+//   TrEnv pmem+union: read-only base device on virtio-pmem (one host-side
+//                     copy, guest cache bypassed) + per-VM writable device
+//                     opened O_DIRECT (no host cache) + guest overlayfs.
+#ifndef TRENV_VM_VIRTIO_DEVICE_H_
+#define TRENV_VM_VIRTIO_DEVICE_H_
+
+#include <cstdint>
+
+#include "src/common/time.h"
+#include "src/simkernel/page_cache.h"
+#include "src/vm/vm_config.h"
+
+namespace trenv {
+
+// Outcome of a guest file read: how much new memory each cache layer gained.
+struct GuestReadOutcome {
+  uint64_t guest_cache_new_bytes = 0;
+  uint64_t host_cache_new_bytes = 0;
+  SimDuration latency;
+};
+
+// Models one VM's storage stack against the (node-wide) host page cache.
+class GuestStorage {
+ public:
+  // `base_file` identifies the agent's base-image content; `vm_id` privatizes
+  // it for per-VM rootfs schemes.
+  GuestStorage(VmSystemConfig::Storage storage, PageCache* host_cache, FileId base_file,
+               uint64_t vm_id);
+
+  // The guest reads [offset_pages, offset_pages + npages) of its base image.
+  GuestReadOutcome ReadBase(uint64_t offset_pages, uint64_t npages);
+  // The guest writes + reads back freshly produced data (writable layer).
+  GuestReadOutcome WriteAndReadBack(uint64_t npages);
+
+  uint64_t guest_cache_bytes() const { return guest_cache_.cached_bytes(); }
+  // Releases this VM's guest cache and its *private* host-cache entries
+  // (shared base entries survive, as in Linux). Returns bytes released from
+  // (guest, host).
+  std::pair<uint64_t, uint64_t> DropCaches();
+
+ private:
+  VmSystemConfig::Storage storage_;
+  PageCache* host_cache_;
+  FileId shared_base_file_;
+  FileId private_base_file_;   // per-VM rootfs identity (virtio-blk)
+  FileId private_write_file_;  // per-VM writable device
+  PageCache guest_cache_;
+  uint64_t written_pages_ = 0;
+};
+
+}  // namespace trenv
+
+#endif  // TRENV_VM_VIRTIO_DEVICE_H_

@@ -1,0 +1,50 @@
+// VM-platform system configurations: the mechanisms that differ between
+// E2B, E2B+ (RunD rootfs mapping), vanilla Cloud Hypervisor, and TrEnv's
+// VM extension (paper sections 6 and 9.6).
+#ifndef TRENV_VM_VM_CONFIG_H_
+#define TRENV_VM_VM_CONFIG_H_
+
+#include <string>
+
+namespace trenv {
+
+struct VmSystemConfig {
+  std::string name;
+
+  // Sandbox path: pooled hypervisor sandboxes (netns/cgroup reuse) vs fresh
+  // creation with legacy cgroup migration.
+  bool pooled_sandbox = false;
+  bool clone_into_cgroup = false;
+
+  // Memory restore: mm-template-style mmap restore (lazy population) vs a
+  // full guest-memory copy (vanilla CH) vs Firecracker-style snapshot C/R.
+  enum class MemRestore { kFullCopy, kSnapshotResume, kMmapTemplate };
+  MemRestore mem_restore = MemRestore::kSnapshotResume;
+
+  // Guest anonymous memory shared across instances via CXL templates + CoW
+  // (only possible with private mappings, i.e. NOT with virtiofs/memfd).
+  bool share_guest_memory = false;
+
+  // Storage/page-cache architecture.
+  enum class Storage {
+    kVirtioBlk,     // per-VM rootfs; guest + host page cache both populated
+    kRundRootfs,    // RunD: shared host mapping, guest cache bypassed (DAX)
+    kPmemUnionFs,   // TrEnv: RO virtio-pmem base (shared, host-cached once)
+                    // + O_DIRECT writable device + guest overlayfs
+  };
+  Storage storage = Storage::kVirtioBlk;
+
+  // Browser sharing across agents (TrEnv-S).
+  bool browser_sharing = false;
+  uint32_t agents_per_browser = 10;
+};
+
+VmSystemConfig E2bConfig();
+VmSystemConfig E2bPlusConfig();
+VmSystemConfig VanillaChConfig();
+VmSystemConfig TrEnvVmConfig();
+VmSystemConfig TrEnvSConfig();  // TrEnv + browser sharing
+
+}  // namespace trenv
+
+#endif  // TRENV_VM_VM_CONFIG_H_

@@ -1,0 +1,52 @@
+#include "src/vm/vm_config.h"
+
+namespace trenv {
+
+VmSystemConfig E2bConfig() {
+  VmSystemConfig config;
+  config.name = "E2B";
+  config.pooled_sandbox = false;
+  config.clone_into_cgroup = false;
+  config.mem_restore = VmSystemConfig::MemRestore::kSnapshotResume;
+  config.share_guest_memory = false;
+  config.storage = VmSystemConfig::Storage::kVirtioBlk;
+  return config;
+}
+
+VmSystemConfig E2bPlusConfig() {
+  VmSystemConfig config = E2bConfig();
+  config.name = "E2B+";
+  // RunD's rootfs mapping scheme: host page cache shared, guest bypassed.
+  // Its memfd-backed shared memory is fundamentally incompatible with CoW
+  // guest-memory sharing (section 6.1), so share_guest_memory stays false.
+  config.storage = VmSystemConfig::Storage::kRundRootfs;
+  return config;
+}
+
+VmSystemConfig VanillaChConfig() {
+  VmSystemConfig config;
+  config.name = "CH";
+  config.mem_restore = VmSystemConfig::MemRestore::kFullCopy;
+  config.storage = VmSystemConfig::Storage::kVirtioBlk;
+  return config;
+}
+
+VmSystemConfig TrEnvVmConfig() {
+  VmSystemConfig config;
+  config.name = "TrEnv";
+  config.pooled_sandbox = true;
+  config.clone_into_cgroup = true;
+  config.mem_restore = VmSystemConfig::MemRestore::kMmapTemplate;
+  config.share_guest_memory = true;
+  config.storage = VmSystemConfig::Storage::kPmemUnionFs;
+  return config;
+}
+
+VmSystemConfig TrEnvSConfig() {
+  VmSystemConfig config = TrEnvVmConfig();
+  config.name = "TrEnv-S";
+  config.browser_sharing = true;
+  return config;
+}
+
+}  // namespace trenv

@@ -1,0 +1,43 @@
+// CSV trace loader: turns real per-minute invocation-count dumps (the format
+// of the Azure Functions and Huawei traces the paper replays) into
+// schedules, using the paper's own procedure — "randomly distribute those
+// within each minute, with a probability of creating skew or bursty loads".
+//
+// Accepted line format (header optional, '#' comments ignored):
+//   minute,function,count
+// e.g.
+//   0,JS,14
+//   0,IR,3
+//   1,JS,17
+#ifndef TRENV_WORKLOAD_TRACE_CSV_H_
+#define TRENV_WORKLOAD_TRACE_CSV_H_
+
+#include <istream>
+#include <string>
+
+#include "src/common/status.h"
+#include "src/workload/arrival.h"
+
+namespace trenv {
+
+struct TraceCsvOptions {
+  // Probability that a minute's invocations arrive front-loaded (the paper's
+  // skew/burst knob).
+  double burst_probability = 0.3;
+  // Burst window at the start of a bursty minute.
+  double burst_window_s = 5.0;
+};
+
+// Parses per-minute counts and expands them into a schedule. Unknown or
+// malformed lines produce an error naming the line number.
+Result<Schedule> LoadTraceCsv(std::istream& in, const TraceCsvOptions& options, Rng& rng);
+Result<Schedule> LoadTraceCsvFile(const std::string& path, const TraceCsvOptions& options,
+                                  Rng& rng);
+
+// Serializes a schedule back to the per-minute CSV format (aggregating
+// counts), so synthetic workloads can be exported and re-loaded.
+void WriteTraceCsv(const Schedule& schedule, std::ostream& out);
+
+}  // namespace trenv
+
+#endif  // TRENV_WORKLOAD_TRACE_CSV_H_

@@ -1,0 +1,45 @@
+// Industry-trace generators: statistical stand-ins for the Azure Functions
+// trace (Shahrad et al., ATC'20) and the Huawei trace (Joosen et al.,
+// SoCC'23) used in section 9.3. Both datasets record per-minute invocation
+// counts; the paper distributes invocations randomly within each minute with
+// a probability of skew/bursts — we reproduce exactly that procedure over
+// synthesized per-minute counts.
+#ifndef TRENV_WORKLOAD_TRACES_H_
+#define TRENV_WORKLOAD_TRACES_H_
+
+#include "src/workload/arrival.h"
+
+namespace trenv {
+
+struct IndustryTraceOptions {
+  SimDuration duration = SimDuration::Minutes(30);
+  // Mean invocations per minute per function (heavy-tailed across functions).
+  double mean_rpm = 18.0;
+  // Dispersion of per-function popularity (lognormal sigma). Azure's
+  // popularity distribution is famously heavy-tailed.
+  double popularity_sigma = 1.2;
+  // Probability that a given minute's invocations arrive as a front-loaded
+  // burst rather than spread uniformly (the paper's "probability of creating
+  // skew or bursty loads").
+  double burst_probability = 0.3;
+  // Fraction of minutes a function is completely idle (Azure: most functions
+  // are invoked rarely; Huawei: higher duty cycle).
+  double idle_minute_fraction = 0.45;
+  // On/off episode structure: functions alternate active episodes with idle
+  // gaps that commonly exceed the 10-minute keep-alive TTL — the source of
+  // real-world cold starts (Shahrad et al.).
+  double active_minutes_mean = 7.0;
+  double idle_minutes_mean = 14.0;
+};
+
+// Azure-like: extreme popularity skew, many idle minutes.
+Schedule MakeAzureLikeWorkload(const std::vector<std::string>& functions, Rng& rng);
+// Huawei-like: higher duty cycle, stronger per-minute bursts.
+Schedule MakeHuaweiLikeWorkload(const std::vector<std::string>& functions, Rng& rng);
+// Shared generator.
+Schedule MakeIndustryWorkload(const std::vector<std::string>& functions,
+                              const IndustryTraceOptions& options, Rng& rng);
+
+}  // namespace trenv
+
+#endif  // TRENV_WORKLOAD_TRACES_H_

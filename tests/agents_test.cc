@@ -1,0 +1,157 @@
+// Tests for agent profiles, trace recording/replay, browser sharing, and the
+// cost model (paper sections 2 and 6.2).
+#include <gtest/gtest.h>
+
+#include "src/agents/agent_executor.h"
+#include "src/agents/browser.h"
+#include "src/agents/cost_model.h"
+
+namespace trenv {
+namespace {
+
+TEST(AgentProfileTest, TableTwoHasSixAgents) {
+  const auto agents = Table2Agents();
+  ASSERT_EQ(agents.size(), 6u);
+  EXPECT_EQ(agents[0].name, "Blackjack");
+  EXPECT_NE(FindAgent("Blog summary"), nullptr);
+  EXPECT_EQ(FindAgent("nope"), nullptr);
+}
+
+TEST(AgentProfileTest, CpuUtilizationIsLow) {
+  // Section 2.4: agents use well under 25% of allocated CPU.
+  for (const auto& agent : Table2Agents()) {
+    EXPECT_LT(agent.AvgCpuUtilization(), 0.35) << agent.name;
+  }
+  // Game design specifically ~7%.
+  const AgentProfile* game = FindAgent("Game design");
+  EXPECT_NEAR(game->AvgCpuUtilization(), 0.07, 0.02);
+}
+
+TEST(LlmTraceTest, TotalsMatchTableTwoAndThree) {
+  for (const auto& agent : Table2Agents()) {
+    const AgentTrace trace = RecordTrace(agent, 42);
+    const TraceSummary summary = SummarizeTrace(trace);
+    // Tokens match Table 3 exactly.
+    EXPECT_EQ(summary.input_tokens, agent.input_tokens) << agent.name;
+    EXPECT_EQ(summary.output_tokens, agent.output_tokens) << agent.name;
+    // CPU time and E2E latency match Table 2 within rounding.
+    EXPECT_NEAR(summary.tool_cpu.seconds(), agent.cpu_time.seconds(),
+                0.02 * agent.cpu_time.seconds() + 1e-6)
+        << agent.name;
+    EXPECT_NEAR(summary.nominal_e2e.seconds(), agent.e2e_latency.seconds(),
+                0.05 * agent.e2e_latency.seconds())
+        << agent.name;
+    EXPECT_EQ(summary.llm_calls, agent.llm_calls);
+    EXPECT_EQ(summary.tool_steps, agent.llm_calls + 1u);
+  }
+}
+
+TEST(LlmTraceTest, DeterministicForFixedSeed) {
+  const AgentProfile* agent = FindAgent("Map reduce");
+  const AgentTrace a = RecordTrace(*agent, 7);
+  const AgentTrace b = RecordTrace(*agent, 7);
+  ASSERT_EQ(a.steps.size(), b.steps.size());
+  EXPECT_EQ(a.TotalLlmWait(), b.TotalLlmWait());
+  EXPECT_EQ(a.TotalToolCpu(), b.TotalToolCpu());
+  const AgentTrace c = RecordTrace(*agent, 8);
+  EXPECT_NE(a.TotalLlmWait().nanos(), c.TotalLlmWait().nanos());
+}
+
+TEST(LlmTraceTest, BrowserStepsOnlyForBrowserAgents) {
+  auto uses_browser = [](const AgentTrace& trace) {
+    for (const auto& step : trace.steps) {
+      if (const auto* tool = std::get_if<ToolStep>(&step)) {
+        if (tool->uses_browser) {
+          return true;
+        }
+      }
+    }
+    return false;
+  };
+  EXPECT_FALSE(uses_browser(RecordTrace(*FindAgent("Bug fixer"), 1)));
+  EXPECT_TRUE(uses_browser(RecordTrace(*FindAgent("Shop assistant"), 1)));
+}
+
+TEST(LlmTraceTest, MemoryRampSumsToDynamicMemory) {
+  const AgentProfile* agent = FindAgent("Blog summary");
+  const AgentTrace trace = RecordTrace(*agent, 42);
+  int64_t total = 0;
+  for (const auto& step : trace.steps) {
+    if (const auto* tool = std::get_if<ToolStep>(&step)) {
+      total += tool->memory_delta_bytes;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(total), static_cast<double>(agent->dynamic_memory_bytes),
+              0.02 * static_cast<double>(agent->dynamic_memory_bytes));
+}
+
+TEST(CostModelTest, LlmCostFollowsEquationOne) {
+  // 1M input at $0.5/M + 1M output at $2/M.
+  EXPECT_NEAR(LlmCallCostUsd(1'000'000, 1'000'000), 2.5, 1e-9);
+}
+
+TEST(CostModelTest, ServerlessCostFollowsEquationTwo) {
+  // 1000 ms at 1 GB: 1000 * 1.67e-8 * 1 = 1.67e-5 USD.
+  EXPECT_NEAR(ServerlessCostUsd(SimDuration::Seconds(1), 1'000'000'000ULL), 1.67e-5, 1e-12);
+}
+
+TEST(CostModelTest, RelativeCostSubstantialForComplexAgents) {
+  // Fig 3: serverless cost reaches up to ~71% of the LLM cost (paper: the
+  // Shop-assistant agent), with complex agents paying relatively more than
+  // lightweight ones.
+  double max_relative = 0;
+  for (const auto& agent : Table2Agents()) {
+    const double rel = RelativeServerlessCost(agent);
+    EXPECT_GT(rel, 0.0) << agent.name;
+    EXPECT_LT(rel, 1.0) << agent.name;
+    max_relative = std::max(max_relative, rel);
+  }
+  // The peak relative cost lands at the paper's "up to 71%".
+  EXPECT_NEAR(max_relative, 0.71, 0.1);
+  // Complex browser agents pay far more than the lightest agent.
+  EXPECT_GT(RelativeServerlessCost(*FindAgent("Shop assistant")),
+            2.0 * RelativeServerlessCost(*FindAgent("Blackjack")));
+}
+
+TEST(BrowserPoolTest, SeatsFillBeforeNewBrowser) {
+  SharedBrowserPool pool(/*agents_per_browser=*/3);
+  Browser* b1 = pool.Acquire();
+  Browser* b2 = pool.Acquire();
+  Browser* b3 = pool.Acquire();
+  EXPECT_EQ(b1, b2);
+  EXPECT_EQ(b2, b3);
+  EXPECT_EQ(pool.browser_count(), 1u);
+  Browser* b4 = pool.Acquire();
+  EXPECT_NE(b4, b1);
+  EXPECT_EQ(pool.browser_count(), 2u);
+}
+
+TEST(BrowserPoolTest, SharingAmortizesMemory) {
+  SharedBrowserPool shared(10);
+  for (int i = 0; i < 10; ++i) {
+    shared.Acquire();
+  }
+  SharedBrowserPool dedicated(1);
+  for (int i = 0; i < 10; ++i) {
+    dedicated.Acquire();
+  }
+  // One shared browser vs ten dedicated ones.
+  EXPECT_EQ(shared.browser_count(), 1u);
+  EXPECT_EQ(dedicated.browser_count(), 10u);
+  EXPECT_LT(shared.TotalMemoryBytes() * 3, dedicated.TotalMemoryBytes());
+}
+
+TEST(BrowserPoolTest, ReleaseReapsEmptyBrowsers) {
+  SharedBrowserPool pool(2);
+  Browser* a = pool.Acquire();
+  Browser* b = pool.Acquire();
+  ASSERT_EQ(a, b);
+  pool.Release(a);
+  EXPECT_EQ(pool.browser_count(), 1u);
+  pool.Release(b);
+  EXPECT_EQ(pool.browser_count(), 0u);
+  pool.Release(nullptr);  // no-op
+}
+
+}  // namespace
+}  // namespace trenv

@@ -1,0 +1,120 @@
+// Tests for rack-level multi-node sharing (paper sections 5.1, 8.2): many
+// nodes, one CXL multi-headed device, one consolidated image per rack.
+#include <gtest/gtest.h>
+
+#include "src/platform/cluster.h"
+
+namespace trenv {
+namespace {
+
+TEST(ClusterTest, DeployStoresOneImagePerRack) {
+  // Deploy the same functions on 1 node and on 6 nodes: the shared pool
+  // must hold the SAME number of bytes (cross-node dedup).
+  ClusterConfig one_cfg;
+  one_cfg.nodes = 1;
+  Cluster one(one_cfg);
+  ASSERT_TRUE(one.DeployTable4Functions().ok());
+
+  ClusterConfig six_cfg;
+  six_cfg.nodes = 6;
+  Cluster six(six_cfg);
+  ASSERT_TRUE(six.DeployTable4Functions().ok());
+
+  EXPECT_EQ(one.PoolBytes(), six.PoolBytes());
+  EXPECT_GT(six.PoolBytes(), 0u);
+  // Six nodes ingest 6x the pages but store them once: the rack-level dedup
+  // ratio is 1/6 of the single-node ratio (section 8.2's "reduced by a
+  // factor of the number of machines").
+  EXPECT_NEAR(six.dedup().DedupRatio() * 6.0, one.dedup().DedupRatio(), 0.02);
+}
+
+TEST(ClusterTest, PortLimitEnforcedByMhd) {
+  ClusterConfig config;
+  config.nodes = 12;  // exactly the commercial MHD's port count
+  Cluster cluster(config);
+  EXPECT_EQ(cluster.node_count(), 12u);
+  EXPECT_EQ(cluster.cxl().attached_nodes(), 12u);
+  EXPECT_EQ(cluster.cxl().AttachNode(99).code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ClusterTest, RoundRobinSpreadsInvocations) {
+  ClusterConfig config;
+  config.nodes = 4;
+  config.dispatch = ClusterConfig::Dispatch::kRoundRobin;
+  Cluster cluster(config);
+  ASSERT_TRUE(cluster.DeployTable4Functions().ok());
+  Schedule schedule;
+  for (int i = 0; i < 8; ++i) {
+    schedule.push_back({SimTime::Zero() + SimDuration::Millis(i * 10), "JS"});
+  }
+  ASSERT_TRUE(cluster.Run(schedule).ok());
+  for (size_t i = 0; i < cluster.node_count(); ++i) {
+    EXPECT_EQ(cluster.node(i).metrics().Aggregate().invocations, 2u) << "node " << i;
+  }
+  EXPECT_EQ(cluster.TotalInvocations(), 8u);
+}
+
+TEST(ClusterTest, LeastLoadedAvoidsBusyNodes) {
+  ClusterConfig config;
+  config.nodes = 3;
+  config.dispatch = ClusterConfig::Dispatch::kLeastLoaded;
+  Cluster cluster(config);
+  ASSERT_TRUE(cluster.DeployTable4Functions().ok());
+  // A burst of simultaneous launches must not all land on node 0.
+  Schedule schedule;
+  for (int i = 0; i < 9; ++i) {
+    schedule.push_back({SimTime::Zero() + SimDuration::Millis(i), "IR"});
+  }
+  ASSERT_TRUE(cluster.Run(schedule).ok());
+  size_t nodes_used = 0;
+  for (size_t i = 0; i < cluster.node_count(); ++i) {
+    if (cluster.node(i).metrics().Aggregate().invocations > 0) {
+      ++nodes_used;
+    }
+  }
+  EXPECT_EQ(nodes_used, 3u);
+  EXPECT_EQ(cluster.TotalInvocations(), 9u);
+}
+
+TEST(ClusterTest, RackMemoryScalesSublinearly) {
+  // N nodes each running the big IR function: per-node DRAM holds only CoW
+  // pages; the 855 MiB image exists once, in the pool.
+  auto rack_bytes = [](uint32_t nodes) {
+    ClusterConfig config;
+    config.nodes = nodes;
+    Cluster cluster(config);
+    EXPECT_TRUE(cluster.DeployTable4Functions().ok());
+    Schedule schedule;
+    for (uint32_t i = 0; i < nodes; ++i) {
+      schedule.push_back({SimTime::Zero() + SimDuration::Millis(i), "IR"});
+    }
+    EXPECT_TRUE(cluster.Run(schedule).ok());
+    // Sample memory while instances are still warm in keep-alive.
+    uint64_t dram = 0;
+    for (size_t i = 0; i < cluster.node_count(); ++i) {
+      dram += static_cast<uint64_t>(cluster.node(i).metrics().peak_memory_bytes());
+    }
+    return std::make_pair(cluster.PoolBytes(), dram);
+  };
+  const auto [pool_1, dram_1] = rack_bytes(1);
+  const auto [pool_6, dram_6] = rack_bytes(6);
+  EXPECT_EQ(pool_1, pool_6);  // one rack copy regardless of node count
+  // Per-node DRAM grows ~linearly but is far smaller than 6 full images.
+  EXPECT_LT(dram_6, 6ULL * FindTable4Function("IR")->image_bytes / 2);
+}
+
+TEST(ClusterTest, CrossNodeInstancesShareContent) {
+  ClusterConfig config;
+  config.nodes = 2;
+  Cluster cluster(config);
+  ASSERT_TRUE(cluster.DeployTable4Functions().ok());
+  Schedule schedule{{SimTime::Zero(), "JS"}, {SimTime::Zero() + SimDuration::Millis(1), "JS"}};
+  config.dispatch = ClusterConfig::Dispatch::kRoundRobin;
+  ASSERT_TRUE(cluster.Run(schedule).ok());
+  // Both nodes executed without growing the shared pool (reads direct).
+  EXPECT_EQ(cluster.TotalInvocations(), 2u);
+  EXPECT_EQ(cluster.AggregateMetrics().e2e_ms.count(), 2u);
+}
+
+}  // namespace
+}  // namespace trenv

@@ -1,0 +1,368 @@
+// Tests for the CRIU substrate: checkpointing, snapshot dedup, and all five
+// restore engines' cost structure and page behaviour.
+#include <gtest/gtest.h>
+
+#include "src/common/cost_model.h"
+#include "src/criu/checkpointer.h"
+#include "src/criu/deduplicator.h"
+#include "src/criu/lazy_engines.h"
+#include "src/criu/trenv_engine.h"
+#include "src/mempool/cxl_pool.h"
+#include "src/mempool/rdma_pool.h"
+
+namespace trenv {
+namespace {
+
+FunctionProfile SmallFn(const std::string& name, const std::string& lang, double mem_mb) {
+  FunctionProfile p;
+  p.name = name;
+  p.language = lang;
+  p.image_bytes = static_cast<uint64_t>(mem_mb * static_cast<double>(kMiB));
+  p.threads = 8;
+  p.pages = {.read_fraction = 0.5, .write_fraction = 0.2, .working_set_fraction = 0.3};
+  return p;
+}
+
+TEST(CheckpointerTest, SnapshotCoversImageSize) {
+  Checkpointer cp;
+  FunctionSnapshot snap = cp.Checkpoint(SmallFn("f1", "python", 100));
+  EXPECT_EQ(snap.function, "f1");
+  ASSERT_EQ(snap.processes.size(), 1u);
+  // Region pages sum to roughly the image size (rounding slack allowed).
+  const double pages = static_cast<double>(snap.TotalPages());
+  const double expect = static_cast<double>(BytesToPages(100 * kMiB));
+  EXPECT_NEAR(pages / expect, 1.0, 0.05);
+  EXPECT_EQ(snap.TotalThreads(), 8u);
+}
+
+TEST(CheckpointerTest, SameLanguageSharesRuntimeContent) {
+  Checkpointer cp;
+  FunctionSnapshot a = cp.Checkpoint(SmallFn("fa", "python", 100));
+  FunctionSnapshot b = cp.Checkpoint(SmallFn("fb", "python", 100));
+  FunctionSnapshot c = cp.Checkpoint(SmallFn("fc", "nodejs", 100));
+  auto find = [](const FunctionSnapshot& s, const std::string& substr) -> const MemoryRegion* {
+    for (const auto& r : s.processes[0].regions) {
+      if (r.name.find(substr) != std::string::npos) {
+        return &r;
+      }
+    }
+    return nullptr;
+  };
+  const MemoryRegion* rt_a = find(a, "runtime");
+  const MemoryRegion* rt_b = find(b, "runtime");
+  const MemoryRegion* rt_c = find(c, "runtime");
+  ASSERT_TRUE(rt_a && rt_b && rt_c);
+  EXPECT_EQ(rt_a->content_base, rt_b->content_base);   // same language
+  EXPECT_NE(rt_a->content_base, rt_c->content_base);   // different language
+  // Heaps are always unique.
+  EXPECT_NE(find(a, "[heap]")->content_base, find(b, "[heap]")->content_base);
+  // Common libs shared across languages.
+  EXPECT_EQ(find(a, "libc")->content_base, find(c, "libc")->content_base);
+}
+
+TEST(CheckpointerTest, MultiProcessFunctionsGetHelperImages) {
+  FunctionProfile p = SmallFn("multi", "python", 100);
+  p.processes = 3;
+  Checkpointer cp;
+  FunctionSnapshot snap = cp.Checkpoint(p);
+  EXPECT_EQ(snap.processes.size(), 3u);
+}
+
+class DedupTest : public ::testing::Test {
+ protected:
+  DedupTest() : cxl_(8 * kGiB) {
+    tiered_.AddTier(&cxl_);
+  }
+  CxlPool cxl_;
+  TieredPool tiered_;
+};
+
+TEST_F(DedupTest, IdenticalRegionsStoredOnce) {
+  SnapshotDedupStore store(&tiered_);
+  Checkpointer cp;
+  auto img_a = store.Store(cp.Checkpoint(SmallFn("fa", "python", 100)));
+  ASSERT_TRUE(img_a.ok());
+  const uint64_t after_a = store.stored_unique_pages();
+  auto img_b = store.Store(cp.Checkpoint(SmallFn("fb", "python", 100)));
+  ASSERT_TRUE(img_b.ok());
+  const uint64_t added_by_b = store.stored_unique_pages() - after_a;
+  // fb shares libc + python runtime with fa: ~43% of its image dedups away.
+  EXPECT_LT(static_cast<double>(added_by_b), 0.65 * static_cast<double>(img_b->total_pages));
+  EXPECT_LT(store.DedupRatio(), 0.8);
+  // Storing fa again is a pure dedup hit.
+  auto img_a2 = store.Store(cp.Checkpoint(SmallFn("fa", "python", 100)));
+  ASSERT_TRUE(img_a2.ok());
+  EXPECT_EQ(img_a2->unique_pages, 0u);
+}
+
+TEST_F(DedupTest, PlacementsCoverRegionsInOrder) {
+  SnapshotDedupStore store(&tiered_, /*chunk_pages=*/64);
+  Checkpointer cp;
+  auto image = store.Store(cp.Checkpoint(SmallFn("f", "python", 10)));
+  ASSERT_TRUE(image.ok());
+  for (const auto& process : image->processes) {
+    for (const auto& placed : process) {
+      uint64_t chunk_pages = 0;
+      for (const auto& chunk : placed.chunks) {
+        chunk_pages += chunk.npages;
+      }
+      EXPECT_EQ(chunk_pages, placed.region.npages);
+    }
+  }
+}
+
+TEST_F(DedupTest, ContentActuallyInPool) {
+  SnapshotDedupStore store(&tiered_);
+  Checkpointer cp;
+  auto image = store.Store(cp.Checkpoint(SmallFn("f", "python", 10)));
+  ASSERT_TRUE(image.ok());
+  const auto& placed = image->processes[0][0];
+  const auto& chunk = placed.chunks[0];
+  auto content = cxl_.ReadContent(chunk.offset);
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(*content, placed.region.content_base);
+}
+
+// Engine fixture with the full substrate.
+class EngineTest : public ::testing::Test {
+ protected:
+  EngineTest()
+      : base_layer_(std::make_shared<FsLayer>("base")),
+        cxl_(32 * kGiB),
+        rdma_(32 * kGiB),
+        frames_(64 * kGiB),
+        factory_(base_layer_),
+        mmt_(&backends_) {
+    backends_.Register(&cxl_);
+    backends_.Register(&rdma_);
+    tiered_cxl_.AddTier(&cxl_);
+    tiered_rdma_.AddTier(&rdma_);
+    profile_ = SmallFn("fn", "python", 128);
+    profile_.threads = 14;
+  }
+
+  RestoreContext Ctx() {
+    RestoreContext ctx;
+    ctx.frames = &frames_;
+    ctx.backends = &backends_;
+    ctx.pids = &pids_;
+    return ctx;
+  }
+
+  std::shared_ptr<FsLayer> base_layer_;
+  CxlPool cxl_;
+  RdmaPool rdma_;
+  FrameAllocator frames_;
+  BackendRegistry backends_;
+  TieredPool tiered_cxl_;
+  TieredPool tiered_rdma_;
+  SandboxFactory factory_;
+  SandboxPool pool_;
+  MmtApi mmt_;
+  PidAllocator pids_;
+  FunctionProfile profile_;
+};
+
+TEST_F(EngineTest, ColdStartMaterializesFullImage) {
+  ColdStartEngine engine(&factory_, &pool_);
+  ASSERT_TRUE(engine.Prepare(profile_).ok());
+  RestoreContext ctx = Ctx();
+  auto outcome = engine.Restore(profile_, ctx);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(outcome->startup.process_is_cpu);
+  EXPECT_EQ(outcome->startup.process, profile_.bootstrap);
+  EXPECT_GT(outcome->startup.sandbox.millis(), 100.0);
+  // Whole image resident locally.
+  const double resident = static_cast<double>(outcome->instance->ResidentLocalPages());
+  EXPECT_NEAR(resident / static_cast<double>(profile_.ImagePages()), 1.0, 0.06);
+}
+
+TEST_F(EngineTest, CriuMemoryCopyDominatesItsStartup) {
+  VanillaCriuEngine engine(&factory_, &pool_);
+  ASSERT_TRUE(engine.Prepare(profile_).ok());
+  RestoreContext ctx = Ctx();
+  auto outcome = engine.Restore(profile_, ctx);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_FALSE(outcome->startup.process_is_cpu);
+  // 128 MiB at ~1 GiB/s: ~125 ms of memory restoration.
+  EXPECT_NEAR(outcome->startup.memory.millis(), 125.0, 15.0);
+  // CRIU restore is far cheaper than a cold bootstrap but pays the copy.
+  EXPECT_LT(outcome->startup.process.millis(), 10.0);
+}
+
+TEST_F(EngineTest, ReapPrefetchesWorkingSetOnly) {
+  ReapEngine engine(&factory_, &pool_, ReapEngine::Options{.pooled_netns = true});
+  ASSERT_TRUE(engine.Prepare(profile_).ok());
+  RestoreContext ctx = Ctx();
+  auto outcome = engine.Restore(profile_, ctx);
+  ASSERT_TRUE(outcome.ok());
+  const uint64_t overhead = outcome->instance->overhead_pages;
+  const double resident =
+      static_cast<double>(outcome->instance->ResidentLocalPages() - overhead);
+  const double ws = profile_.pages.working_set_fraction * static_cast<double>(profile_.ImagePages());
+  EXPECT_NEAR(resident / ws, 1.0, 0.1);
+  // Execution pays userfaultfd costs for the rest.
+  auto overheads = engine.OnExecute(profile_, *outcome->instance, ctx);
+  ASSERT_TRUE(overheads.ok());
+  EXPECT_GT(overheads->added_latency.millis(), 1.0);
+  // Second invocation is mostly resident: far cheaper.
+  auto second = engine.OnExecute(profile_, *outcome->instance, ctx);
+  ASSERT_TRUE(second.ok());
+  EXPECT_LT(second->added_latency.nanos(), overheads->added_latency.nanos() / 5);
+}
+
+TEST_F(EngineTest, FaasnapStartsFasterButStillLazy) {
+  ReapEngine reap(&factory_, &pool_, ReapEngine::Options{.pooled_netns = true});
+  FaasnapEngine faasnap(&factory_, &pool_, /*pooled_netns=*/true);
+  ASSERT_TRUE(reap.Prepare(profile_).ok());
+  ASSERT_TRUE(faasnap.Prepare(profile_).ok());
+  RestoreContext ctx = Ctx();
+  auto reap_outcome = reap.Restore(profile_, ctx);
+  auto faasnap_outcome = faasnap.Restore(profile_, ctx);
+  ASSERT_TRUE(reap_outcome.ok() && faasnap_outcome.ok());
+  EXPECT_LT(faasnap_outcome->startup.memory, reap_outcome->startup.memory);
+}
+
+TEST_F(EngineTest, TrEnvColdFallbackUsesCloneInto) {
+  SnapshotDedupStore dedup(&tiered_cxl_);
+  TrEnvEngine engine(&factory_, &pool_, &mmt_, &dedup);
+  ASSERT_TRUE(engine.Prepare(profile_).ok());
+  RestoreContext ctx = Ctx();
+  // Pool empty: falls back to cold creation, but with CLONE_INTO_CGROUP.
+  auto outcome = engine.Restore(profile_, ctx);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_FALSE(outcome->startup.sandbox_repurposed);
+  // Memory restoration via attach is sub-millisecond even on the cold path.
+  EXPECT_LT(outcome->startup.memory.millis(), 1.5);
+  // No local memory materialized: everything maps to CXL.
+  EXPECT_EQ(outcome->instance->ResidentLocalPages(), 0u);
+  EXPECT_GT(outcome->instance->main_process()->mm().RemoteMappedPages(), 0u);
+}
+
+TEST_F(EngineTest, TrEnvRepurposeRoundTrip) {
+  SnapshotDedupStore dedup(&tiered_cxl_);
+  TrEnvEngine engine(&factory_, &pool_, &mmt_, &dedup);
+  FunctionProfile fn_a = SmallFn("fn-a", "python", 64);
+  FunctionProfile fn_b = SmallFn("fn-b", "nodejs", 96);
+  ASSERT_TRUE(engine.Prepare(fn_a).ok());
+  ASSERT_TRUE(engine.Prepare(fn_b).ok());
+  RestoreContext ctx = Ctx();
+
+  auto first = engine.Restore(fn_a, ctx);
+  ASSERT_TRUE(first.ok());
+  // Retire parks the sandbox in the universal pool.
+  engine.Retire(std::move(first->instance), ctx);
+  EXPECT_EQ(pool_.idle_count(), 1u);
+  EXPECT_EQ(frames_.used_pages(), 0u);  // all memory released
+
+  // A DIFFERENT function repurposes the same sandbox.
+  auto second = engine.Restore(fn_b, ctx);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->startup.sandbox_repurposed);
+  EXPECT_EQ(second->instance->sandbox()->current_function(), "fn-b");
+  // Repurposed startup is dramatically cheaper than the cold path:
+  // ~1 ms sandbox + sub-ms attach + thread clones.
+  EXPECT_LT(second->startup.Total().millis(), 10.0);
+}
+
+TEST_F(EngineTest, TrEnvCxlExecutionCowsOnlyWrites) {
+  SnapshotDedupStore dedup(&tiered_cxl_);
+  TrEnvEngine engine(&factory_, &pool_, &mmt_, &dedup);
+  ASSERT_TRUE(engine.Prepare(profile_).ok());
+  RestoreContext ctx = Ctx();
+  auto outcome = engine.Restore(profile_, ctx);
+  ASSERT_TRUE(outcome.ok());
+  auto overheads = engine.OnExecute(profile_, *outcome->instance, ctx);
+  ASSERT_TRUE(overheads.ok());
+  // CXL reads are direct: only written pages become local.
+  const uint64_t resident = outcome->instance->ResidentLocalPages();
+  const auto writable_estimate = static_cast<uint64_t>(
+      profile_.pages.write_fraction * 0.35 * static_cast<double>(profile_.ImagePages()));
+  EXPECT_GT(resident, 0u);
+  EXPECT_LT(resident, profile_.ImagePages() / 3);
+  EXPECT_GT(resident, writable_estimate / 4);
+  // Memory-latency slowdown applies.
+  EXPECT_GT(overheads->cpu_multiplier, 1.0);
+  engine.OnExecuteDone(*outcome->instance);
+}
+
+TEST_F(EngineTest, TrEnvRdmaExecutionFaultsAndOpensStreams) {
+  SnapshotDedupStore dedup(&tiered_rdma_);
+  TrEnvEngine engine(&factory_, &pool_, &mmt_, &dedup);
+  ASSERT_TRUE(engine.Prepare(profile_).ok());
+  RestoreContext ctx = Ctx();
+  auto outcome = engine.Restore(profile_, ctx);
+  ASSERT_TRUE(outcome.ok());
+  auto overheads = engine.OnExecute(profile_, *outcome->instance, ctx);
+  ASSERT_TRUE(overheads.ok());
+  // RDMA fetches add real latency and CPU.
+  EXPECT_GT(overheads->added_latency.millis(), 5.0);
+  EXPECT_GT(overheads->added_cpu.micros(), 100.0);
+  EXPECT_EQ(rdma_.active_streams(), 1u);
+  engine.OnExecuteDone(*outcome->instance);
+  EXPECT_EQ(rdma_.active_streams(), 0u);
+}
+
+TEST_F(EngineTest, TrEnvSharesPoolPagesAcrossInstances) {
+  SnapshotDedupStore dedup(&tiered_cxl_);
+  TrEnvEngine engine(&factory_, &pool_, &mmt_, &dedup);
+  ASSERT_TRUE(engine.Prepare(profile_).ok());
+  const uint64_t pool_used_after_prepare = cxl_.used_bytes();
+  RestoreContext ctx = Ctx();
+  auto a = engine.Restore(profile_, ctx);
+  auto b = engine.Restore(profile_, ctx);
+  ASSERT_TRUE(a.ok() && b.ok());
+  // Two instances, zero extra pool bytes: templates map the same image.
+  EXPECT_EQ(cxl_.used_bytes(), pool_used_after_prepare);
+  const auto* templates = engine.TemplatesFor(profile_.name);
+  ASSERT_NE(templates, nullptr);
+  auto tmpl = mmt_.registry().Lookup((*templates)[0]);
+  ASSERT_TRUE(tmpl.ok());
+  EXPECT_EQ((*tmpl)->attach_count(), 2u);
+}
+
+TEST_F(EngineTest, AblationOrdering) {
+  // Startup latency must strictly improve along Fig 21's optimization steps:
+  // CRIU > Reconfig > Cgroup > full TrEnv.
+  SnapshotDedupStore dedup(&tiered_cxl_);
+  VanillaCriuEngine criu(&factory_, &pool_);
+  TrEnvEngine reconfig(&factory_, &pool_, &mmt_, &dedup,
+                       TrEnvEngine::Options{.repurpose_sandbox = true,
+                                            .clone_into_cgroup = false,
+                                            .use_mm_template = false});
+  TrEnvEngine cgroup(&factory_, &pool_, &mmt_, &dedup,
+                     TrEnvEngine::Options{.repurpose_sandbox = true,
+                                          .clone_into_cgroup = true,
+                                          .use_mm_template = false});
+  SnapshotDedupStore dedup_full(&tiered_cxl_);
+  TrEnvEngine full(&factory_, &pool_, &mmt_, &dedup_full);
+
+  auto startup_of = [&](RestoreEngine& engine) {
+    EXPECT_TRUE(engine.Prepare(profile_).ok());
+    RestoreContext ctx = Ctx();
+    // Warm the sandbox pool so repurposing engines hit it.
+    auto warmup = engine.Restore(profile_, ctx);
+    EXPECT_TRUE(warmup.ok());
+    engine.Retire(std::move(warmup->instance), ctx);
+    auto outcome = engine.Restore(profile_, ctx);
+    EXPECT_TRUE(outcome.ok());
+    SimDuration total = outcome->startup.Total();
+    engine.Retire(std::move(outcome->instance), ctx);
+    while (pool_.Take() != nullptr) {
+    }
+    return total;
+  };
+
+  const SimDuration criu_t = startup_of(criu);
+  const SimDuration reconfig_t = startup_of(reconfig);
+  const SimDuration cgroup_t = startup_of(cgroup);
+  const SimDuration full_t = startup_of(full);
+  EXPECT_GT(criu_t, reconfig_t);
+  EXPECT_GT(reconfig_t, cgroup_t);
+  EXPECT_GT(cgroup_t, full_t);
+  // Full TrEnv: paper reports ~8-18 ms class startups.
+  EXPECT_LT(full_t.millis(), 20.0);
+}
+
+}  // namespace
+}  // namespace trenv

@@ -1,0 +1,131 @@
+// Tests for two-dimensional paging / guest memory (paper section 8.1.3).
+#include <gtest/gtest.h>
+
+#include "src/common/cost_model.h"
+#include "src/mempool/cxl_pool.h"
+#include "src/mempool/rdma_pool.h"
+#include "src/vm/guest_memory.h"
+
+namespace trenv {
+namespace {
+
+class GuestMemoryTest : public ::testing::Test {
+ protected:
+  GuestMemoryTest() : cxl_(16 * kGiB), rdma_(16 * kGiB), frames_(16 * kGiB), api_(&backends_) {
+    backends_.Register(&cxl_);
+    backends_.Register(&rdma_);
+  }
+  FaultHandler Handler() { return FaultHandler(&frames_, &backends_); }
+
+  CxlPool cxl_;
+  RdmaPool rdma_;
+  FrameAllocator frames_;
+  BackendRegistry backends_;
+  MmtApi api_;
+};
+
+TEST_F(GuestMemoryTest, FreshGuestZeroFillsOnDemand) {
+  GuestMemory guest(256 * kMiB);
+  FaultHandler handler = Handler();
+  auto stats = guest.Touch(0, 64, /*write=*/false, handler);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->minor_faults, 64u);
+  EXPECT_EQ(guest.ResidentLocalPages(), 64u);
+  // Each fresh touch took a VM exit.
+  EXPECT_EQ(guest.ept_violations(), 64u);
+}
+
+TEST_F(GuestMemoryTest, FullCopyRestoreMatchesChLatency) {
+  GuestMemory guest(2 * kGiB);
+  auto latency = guest.RestoreByCopy(2 * kGiB, &frames_);
+  ASSERT_TRUE(latency.ok());
+  // >700 ms for a 2 GiB guest (paper Fig 23 discussion).
+  EXPECT_GT(latency->millis(), 700.0);
+  EXPECT_EQ(guest.ResidentLocalPages(), BytesToPages(2 * kGiB));
+}
+
+TEST_F(GuestMemoryTest, TemplateRestorePrePopulatesEpt) {
+  auto tmpl = BuildGuestTemplate(&api_, &cxl_, "blackjack-guest", 512 * kMiB, 0xB1AC);
+  ASSERT_TRUE(tmpl.ok());
+  GuestMemory guest(2 * kGiB);
+  auto latency = guest.RestoreByTemplate(&api_, *tmpl);
+  ASSERT_TRUE(latency.ok());
+  // Milliseconds, not hundreds of milliseconds.
+  EXPECT_LT(latency->millis(), 10.0);
+  EXPECT_EQ(guest.ResidentLocalPages(), 0u);
+  EXPECT_EQ(guest.SharedRemotePages(), BytesToPages(512 * kMiB));
+
+  // Pre-populated second-level entries: reads take NO VM exit.
+  FaultHandler handler = Handler();
+  auto reads = guest.Touch(0, 1024, /*write=*/false, handler);
+  ASSERT_TRUE(reads.ok());
+  EXPECT_EQ(reads->direct_remote, 1024u);
+  EXPECT_EQ(guest.ept_violations(), 0u);
+
+  // Writes CoW with an exit each, privately to this VM.
+  auto writes = guest.Touch(0, 16, /*write=*/true, handler);
+  ASSERT_TRUE(writes.ok());
+  EXPECT_EQ(writes->cow_faults, 16u);
+  EXPECT_EQ(guest.ept_violations(), 16u);
+  EXPECT_EQ(guest.ResidentLocalPages(), 16u);
+}
+
+TEST_F(GuestMemoryTest, TwoGuestsShareOneImage) {
+  auto tmpl = BuildGuestTemplate(&api_, &cxl_, "shared-guest", 256 * kMiB, 0x5A5A);
+  ASSERT_TRUE(tmpl.ok());
+  const uint64_t pool_used = cxl_.used_bytes();
+
+  GuestMemory vm_a(1 * kGiB);
+  GuestMemory vm_b(1 * kGiB);
+  ASSERT_TRUE(vm_a.RestoreByTemplate(&api_, *tmpl).ok());
+  ASSERT_TRUE(vm_b.RestoreByTemplate(&api_, *tmpl).ok());
+  EXPECT_EQ(cxl_.used_bytes(), pool_used);  // no extra pool space
+
+  FaultHandler handler = Handler();
+  ASSERT_TRUE(vm_a.Touch(0, 8, true, handler).ok());
+  // A's writes are invisible to B.
+  auto b_read = handler.ReadPage(vm_b.ept(), 0);
+  ASSERT_TRUE(b_read.ok());
+  EXPECT_EQ(*b_read, 0x5A5Au);
+}
+
+TEST_F(GuestMemoryTest, LazyRdmaGuestPaysExitPlusFetch) {
+  auto tmpl = BuildGuestTemplate(&api_, &rdma_, "rdma-guest", 64 * kMiB, 0x1D);
+  ASSERT_TRUE(tmpl.ok());
+  GuestMemory guest(1 * kGiB);
+  ASSERT_TRUE(guest.RestoreByTemplate(&api_, *tmpl).ok());
+  FaultHandler handler = Handler();
+  auto stats = guest.Touch(0, 256, false, handler);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->major_faults, 256u);
+  EXPECT_EQ(guest.ept_violations(), 256u);
+  // Exit cost is layered on top of the fabric fetch.
+  EXPECT_GT(stats->latency, cost::kEptViolation * 256.0);
+}
+
+TEST_F(GuestMemoryTest, GrowthBeyondImageStaysLocal) {
+  auto tmpl = BuildGuestTemplate(&api_, &cxl_, "grow-guest", 64 * kMiB, 0x60);
+  ASSERT_TRUE(tmpl.ok());
+  GuestMemory guest(1 * kGiB);
+  ASSERT_TRUE(guest.RestoreByTemplate(&api_, *tmpl).ok());
+  // The guest allocates past its snapshot image (fresh anonymous memory);
+  // this must zero-fill locally, not touch the pool.
+  FaultHandler handler = Handler();
+  const Vaddr beyond = 64 * kMiB;
+  auto grow = guest.ept().GrowVma(0, 0);  // no-op growth is rejected
+  EXPECT_FALSE(grow.ok());
+  // Map fresh RAM after the image.
+  ASSERT_TRUE(guest.ept()
+                  .AddVma(MakeAnonVma(PageAlignUp(beyond), 16 * kPageSize,
+                                      Protection::ReadWrite(), "guest-ram-tail"))
+                  .ok());
+  auto stats = guest.Touch(PageAlignUp(beyond), 16, true, handler);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->minor_faults, 16u);
+  auto pte = guest.ept().page_table().Lookup(AddrToVpn(PageAlignUp(beyond)));
+  ASSERT_TRUE(pte.has_value());
+  EXPECT_EQ(pte->flags.pool, PoolKind::kLocalDram);
+}
+
+}  // namespace
+}  // namespace trenv

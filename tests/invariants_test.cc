@@ -1,0 +1,301 @@
+// System-wide invariant and property tests: the guarantees the paper's
+// security discussion (section 8.1) and design sections rest on, checked
+// under randomized operation sequences.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/criu/trenv_engine.h"
+#include "src/mempool/cxl_pool.h"
+#include "src/mempool/rdma_pool.h"
+#include "src/platform/testbed.h"
+#include "src/workload/traces.h"
+
+namespace trenv {
+namespace {
+
+std::vector<std::string> bench_names() {
+  std::vector<std::string> names;
+  for (const auto& fn : Table4Functions()) {
+    names.push_back(fn.name);
+  }
+  return names;
+}
+
+// ---------------------------------------------------------------------------
+// Security invariants (section 8.1).
+// ---------------------------------------------------------------------------
+
+TEST(SecurityInvariantTest, RepurposedSandboxLeaksNothing) {
+  SandboxFactory factory(std::make_shared<FsLayer>("base"));
+  auto cold = factory.CreateCold("tenant-a", std::make_shared<UnionFs>(), CgroupLimits{}, 0,
+                                 /*use_clone_into=*/true);
+  Sandbox& sandbox = *cold.sandbox;
+
+  // Tenant A leaves every kind of residue behind.
+  ASSERT_TRUE(sandbox.rootfs()->Write("/tmp/credentials", 4096, 0x5EC12E7).ok());
+  ASSERT_TRUE(sandbox.function_overlay()->Write("/app/cache.bin", 1 * kMiB, 0xCAC4E).ok());
+  sandbox.netns().OpenConnection(42);
+  sandbox.cgroup().AddProcess(1234);
+
+  sandbox.Cleanse(/*process_count=*/2);
+  auto repurposed = sandbox.Repurpose("tenant-b", std::make_shared<UnionFs>(), CgroupLimits{});
+  ASSERT_TRUE(repurposed.ok());
+
+  // Nothing of tenant A survives into tenant B's view.
+  EXPECT_FALSE(sandbox.rootfs()->Exists("/tmp/credentials"));
+  EXPECT_FALSE(sandbox.function_overlay()->Exists("/app/cache.bin"));
+  EXPECT_EQ(sandbox.netns().open_connection_count(), 0u);
+  EXPECT_EQ(sandbox.cgroup().process_count(), 0u);
+}
+
+TEST(SecurityInvariantTest, NetnsConfigResetOnlyWhenCustomized) {
+  SandboxFactory factory(std::make_shared<FsLayer>("base"));
+  auto cold = factory.CreateCold("a", nullptr, CgroupLimits{}, 0, true);
+  Sandbox& sandbox = *cold.sandbox;
+  sandbox.netns().AddFirewallRule();  // tenant customizes the netns
+  sandbox.Cleanse(1);
+  ASSERT_TRUE(sandbox.Repurpose("b", std::make_shared<UnionFs>(), CgroupLimits{}).ok());
+  // Custom config was wiped before handing the netns to the next tenant.
+  EXPECT_FALSE(sandbox.netns().HasCustomConfig());
+}
+
+TEST(SecurityInvariantTest, UnprivilegedCallerCannotUseMmtDevice) {
+  CxlPool cxl(kGiB);
+  BackendRegistry backends;
+  backends.Register(&cxl);
+  MmtApi api(&backends);
+  api.set_caller_privileged(false);
+  EXPECT_EQ(api.MmtCreate("x"), kInvalidMmtId);
+  EXPECT_EQ(api.MmtAddMap(1, 0x1000, kPageSize, Protection::ReadOnly(), true, -1, 0).code(),
+            StatusCode::kPermissionDenied);
+  MmStruct mm;
+  EXPECT_EQ(api.MmtAttach(1, &mm).status().code(), StatusCode::kPermissionDenied);
+  EXPECT_EQ(api.MmtDestroy(1).code(), StatusCode::kPermissionDenied);
+  // Privilege restored: the device works again.
+  api.set_caller_privileged(true);
+  EXPECT_NE(api.MmtCreate("x"), kInvalidMmtId);
+}
+
+TEST(SecurityInvariantTest, AslrLimitationIsReal) {
+  // Documented limitation (section 8.1.2): every instance restored from the
+  // same template shares the same virtual layout.
+  Testbed bed(SystemKind::kTrEnvCxl);
+  ASSERT_TRUE(bed.DeployTable4Functions().ok());
+  FrameAllocator frames(8 * kGiB);
+  PidAllocator pids;
+  RestoreContext ctx{&frames, &bed.backends(), &pids, 0};
+  auto* engine = static_cast<TrEnvEngine*>(&bed.engine());
+  const FunctionProfile* js = FindTable4Function("JS");
+  auto a = engine->Restore(*js, ctx);
+  auto b = engine->Restore(*js, ctx);
+  ASSERT_TRUE(a.ok() && b.ok());
+  const auto& vmas_a = a.value().instance->main_process()->mm().vmas();
+  const auto& vmas_b = b.value().instance->main_process()->mm().vmas();
+  ASSERT_EQ(vmas_a.size(), vmas_b.size());
+  auto it_b = vmas_b.begin();
+  for (const auto& [start, vma] : vmas_a) {
+    EXPECT_EQ(start, it_b->first);  // identical layout: ASLR is defeated
+    ++it_b;
+  }
+}
+
+TEST(SecurityInvariantTest, GroundhogRollbackDropsWrittenState) {
+  Testbed bed(SystemKind::kTrEnvCxl);
+  // Build a dedicated Groundhog-mode engine on the same substrate.
+  SandboxPool pool;
+  SandboxFactory factory(std::make_shared<FsLayer>("base"));
+  MmtApi mmt(&bed.backends());
+  TieredPool tiered;
+  tiered.AddTier(&bed.cxl());
+  SnapshotDedupStore dedup(&tiered);
+  TrEnvEngine engine(&factory, &pool, &mmt, &dedup,
+                     TrEnvEngine::Options{.groundhog_restore = true});
+  const FunctionProfile* js = FindTable4Function("JS");
+  ASSERT_TRUE(engine.Prepare(*js).ok());
+  FrameAllocator frames(8 * kGiB);
+  PidAllocator pids;
+  RestoreContext ctx{&frames, &bed.backends(), &pids, 0};
+  auto outcome = engine.Restore(*js, ctx);
+  ASSERT_TRUE(outcome.ok());
+  ASSERT_TRUE(engine.OnExecute(*js, *outcome->instance, ctx).ok());
+  const uint64_t dirty_pages = outcome->instance->ResidentLocalPages();
+  EXPECT_GT(dirty_pages, 0u);  // the invocation CoW'd pages
+
+  // Second invocation on the same (warm) instance: rollback first.
+  outcome->instance->invocations = 1;
+  auto second = engine.OnExecute(*js, *outcome->instance, ctx);
+  ASSERT_TRUE(second.ok());
+  // Rollback cost appears, and the page count does not accumulate across
+  // invocations (fresh CoW set each time).
+  EXPECT_GT(second->added_latency, SimDuration::Zero());
+  EXPECT_LE(outcome->instance->ResidentLocalPages(), dirty_pages + 8);
+}
+
+// ---------------------------------------------------------------------------
+// Memory conservation: local frames always return to zero.
+// ---------------------------------------------------------------------------
+
+class MemoryConservationTest : public ::testing::TestWithParam<SystemKind> {};
+
+TEST_P(MemoryConservationTest, FramesReturnToZeroAfterDrain) {
+  Testbed bed(GetParam());
+  ASSERT_TRUE(bed.DeployTable4Functions().ok());
+  Rng rng(31);
+  Schedule schedule =
+      MakePoissonWorkload(bench_names(), 4.0, SimDuration::Minutes(4), 0.5, rng);
+  ASSERT_TRUE(bed.platform().Run(schedule).ok());
+  bed.platform().EvictAllIdle();
+  EXPECT_EQ(bed.platform().frames().used_bytes(), 0u) << SystemName(GetParam());
+  EXPECT_EQ(bed.platform().failed_invocations(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSystems, MemoryConservationTest,
+                         ::testing::Values(SystemKind::kFaasd, SystemKind::kCriu,
+                                           SystemKind::kReapPlus, SystemKind::kFaasnapPlus,
+                                           SystemKind::kTrEnvCxl, SystemKind::kTrEnvRdma,
+                                           SystemKind::kTrEnvTiered,
+                                           SystemKind::kTrEnvDramHot),
+                         [](const auto& param_info) {
+                           std::string name = SystemName(param_info.param);
+                           std::erase_if(name, [](char c) { return !std::isalnum(c); });
+                           return name;
+                         });
+
+// ---------------------------------------------------------------------------
+// CoW isolation under randomized write patterns.
+// ---------------------------------------------------------------------------
+
+class CowIsolationFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CowIsolationFuzzTest, InstancesNeverObserveEachOthersWrites) {
+  Rng rng(GetParam());
+  CxlPool cxl(4 * kGiB);
+  BackendRegistry backends;
+  backends.Register(&cxl);
+  FrameAllocator frames(4 * kGiB);
+  FaultHandler kernel(&frames, &backends);
+  MmtApi api(&backends);
+
+  constexpr Vaddr kBase = 0x10000000;
+  constexpr uint64_t kPages = 64;
+  MmtId id = api.MmtCreate("fuzz");
+  ASSERT_TRUE(
+      api.MmtAddMap(id, kBase, kPages * kPageSize, Protection::ReadWrite(), true, -1, 0).ok());
+  auto pool_base = cxl.AllocatePages(kPages);
+  ASSERT_TRUE(pool_base.ok());
+  ASSERT_TRUE(cxl.WriteContent(*pool_base, kPages, 0xF00D).ok());
+  ASSERT_TRUE(api.MmtSetupPt(id, kBase, kPages * kPageSize, *pool_base, PoolKind::kCxl).ok());
+
+  constexpr int kInstances = 4;
+  std::vector<MmStruct> mms(kInstances);
+  // Reference model: expected content per (instance, page).
+  std::vector<std::map<uint64_t, PageContent>> expected(kInstances);
+  for (auto& mm : mms) {
+    ASSERT_TRUE(api.MmtAttach(id, &mm).ok());
+  }
+
+  for (int op = 0; op < 500; ++op) {
+    const int instance = static_cast<int>(rng.NextBounded(kInstances));
+    const uint64_t page = rng.NextBounded(kPages);
+    const Vaddr addr = kBase + page * kPageSize;
+    if (rng.NextBool(0.4)) {
+      const PageContent value = rng.NextU64() | 1;
+      ASSERT_TRUE(kernel.WritePage(mms[static_cast<size_t>(instance)], addr, value).ok());
+      expected[static_cast<size_t>(instance)][page] = value;
+    } else {
+      auto content = kernel.ReadPage(mms[static_cast<size_t>(instance)], addr);
+      ASSERT_TRUE(content.ok());
+      auto it = expected[static_cast<size_t>(instance)].find(page);
+      const PageContent want =
+          it != expected[static_cast<size_t>(instance)].end() ? it->second : 0xF00D + page;
+      EXPECT_EQ(*content, want) << "instance " << instance << " page " << page;
+    }
+  }
+  // The shared pool image is never mutated.
+  for (uint64_t page = 0; page < kPages; ++page) {
+    EXPECT_EQ(*cxl.ReadContent(*pool_base + page), 0xF00D + page);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CowIsolationFuzzTest, ::testing::Values(3, 17, 99, 1234));
+
+// ---------------------------------------------------------------------------
+// DRAM-hot placement ablation behaves as designed.
+// ---------------------------------------------------------------------------
+
+TEST(DramHotTest, HotRegionsAvoidCxlPenalty) {
+  auto exec_multiplier_proxy = [](SystemKind kind) {
+    Testbed bed(kind);
+    EXPECT_TRUE(bed.DeployTable4Functions().ok());
+    FrameAllocator frames(16 * kGiB);
+    PidAllocator pids;
+    RestoreContext ctx{&frames, &bed.backends(), &pids, 0};
+    const FunctionProfile* dh = FindTable4Function("DH");
+    auto outcome = bed.engine().Restore(*dh, ctx);
+    EXPECT_TRUE(outcome.ok());
+    auto overheads = bed.engine().OnExecute(*dh, *outcome->instance, ctx);
+    EXPECT_TRUE(overheads.ok());
+    return overheads->cpu_multiplier;
+  };
+  const double pure_cxl = exec_multiplier_proxy(SystemKind::kTrEnvCxl);
+  const double dram_hot = exec_multiplier_proxy(SystemKind::kTrEnvDramHot);
+  // DH is memory-bound: on pure CXL the multiplier approaches 1.9; pinning
+  // the hot file-backed regions in DRAM removes most of it.
+  EXPECT_GT(pure_cxl, 1.6);
+  EXPECT_LT(dram_hot, 1.35);
+  EXPECT_GE(dram_hot, 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Keep-alive pool invariants under random churn.
+// ---------------------------------------------------------------------------
+
+TEST(KeepAliveFuzzTest, LruOrderAndCountsHold) {
+  Rng rng(5);
+  size_t retired = 0;
+  KeepAlivePool pool(SimDuration::Seconds(60),
+                     [&](std::unique_ptr<FunctionInstance> instance) {
+                       ++retired;
+                       instance.reset();
+                     });
+  SimTime now;
+  size_t live = 0;
+  const std::vector<std::string> fns = {"a", "b", "c"};
+  for (int op = 0; op < 400; ++op) {
+    now += SimDuration::Seconds(static_cast<int64_t>(rng.NextBounded(10)));
+    const std::string fn = fns[rng.NextBounded(fns.size())];
+    switch (rng.NextBounded(4)) {
+      case 0: {
+        pool.Put(std::make_unique<FunctionInstance>(fn, nullptr), now);
+        ++live;
+        break;
+      }
+      case 1: {
+        if (auto taken = pool.TakeWarm(fn); taken != nullptr) {
+          EXPECT_EQ(taken->function(), fn);
+          --live;
+        }
+        break;
+      }
+      case 2: {
+        const size_t expired = pool.ExpireStale(now);
+        live -= expired;
+        break;
+      }
+      case 3: {
+        if (pool.EvictLru()) {
+          --live;
+        }
+        break;
+      }
+    }
+    EXPECT_EQ(pool.size(), live);
+  }
+  pool.EvictAll();
+  EXPECT_EQ(pool.size(), 0u);
+  EXPECT_GT(retired, 0u);
+}
+
+}  // namespace
+}  // namespace trenv

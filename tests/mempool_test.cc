@@ -1,0 +1,228 @@
+// Tests for the memory-pool substrate: block allocator, content map, the
+// four backends, and tiered placement.
+#include <gtest/gtest.h>
+
+#include "src/common/cost_model.h"
+#include "src/mempool/cxl_pool.h"
+#include "src/mempool/dram_pool.h"
+#include "src/mempool/nas_pool.h"
+#include "src/mempool/rdma_pool.h"
+#include "src/mempool/tiered_pool.h"
+
+namespace trenv {
+namespace {
+
+TEST(BlockAllocatorTest, AllocateAndFree) {
+  BlockAllocator alloc(100);
+  auto a = alloc.Allocate(30);
+  ASSERT_TRUE(a.ok());
+  auto b = alloc.Allocate(70);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(alloc.free_pages(), 0u);
+  EXPECT_FALSE(alloc.Allocate(1).ok());
+  ASSERT_TRUE(alloc.Free(*a, 30).ok());
+  EXPECT_EQ(alloc.free_pages(), 30u);
+  EXPECT_TRUE(alloc.Allocate(30).ok());
+}
+
+TEST(BlockAllocatorTest, CoalescingEnablesLargeRealloc) {
+  BlockAllocator alloc(100);
+  auto a = alloc.Allocate(25);
+  auto b = alloc.Allocate(25);
+  auto c = alloc.Allocate(25);
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  ASSERT_TRUE(alloc.Free(*a, 25).ok());
+  ASSERT_TRUE(alloc.Free(*c, 25).ok());
+  // Fragmented: largest extent is 25 + trailing 25.
+  EXPECT_FALSE(alloc.Allocate(60).ok());
+  ASSERT_TRUE(alloc.Free(*b, 25).ok());
+  // Now fully coalesced.
+  EXPECT_EQ(alloc.LargestFreeExtent(), 100u);
+  EXPECT_TRUE(alloc.Allocate(100).ok());
+}
+
+TEST(BlockAllocatorTest, DoubleFreeDetected) {
+  BlockAllocator alloc(100);
+  auto a = alloc.Allocate(10);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(alloc.Free(*a, 10).ok());
+  EXPECT_EQ(alloc.Free(*a, 10).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BlockAllocatorTest, OutOfBoundsFreeRejected) {
+  BlockAllocator alloc(100);
+  EXPECT_EQ(alloc.Free(90, 20).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(alloc.Free(0, 0).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ContentMapTest, WriteReadErase) {
+  ContentMap map;
+  map.Write(100, 10, 5000);
+  EXPECT_EQ(*map.Read(100), 5000u);
+  EXPECT_EQ(*map.Read(109), 5009u);
+  EXPECT_FALSE(map.Read(110).ok());
+  EXPECT_EQ(map.stored_pages(), 10u);
+  map.Erase(103, 4);
+  EXPECT_EQ(map.stored_pages(), 6u);
+  EXPECT_TRUE(map.Read(102).ok());
+  EXPECT_FALSE(map.Read(103).ok());
+  EXPECT_FALSE(map.Read(106).ok());
+  EXPECT_EQ(*map.Read(107), 5007u);
+}
+
+TEST(ContentMapTest, OverwriteReplacesRange) {
+  ContentMap map;
+  map.Write(0, 10, 100);
+  map.Write(5, 10, 900);
+  EXPECT_EQ(*map.Read(4), 104u);
+  EXPECT_EQ(*map.Read(5), 900u);
+  EXPECT_EQ(*map.Read(14), 909u);
+  EXPECT_EQ(map.stored_pages(), 15u);
+}
+
+TEST(CxlPoolTest, PortLimitEnforced) {
+  CxlPool pool(kGiB, /*port_count=*/2);
+  EXPECT_TRUE(pool.AttachNode(1).ok());
+  EXPECT_TRUE(pool.AttachNode(2).ok());
+  EXPECT_EQ(pool.AttachNode(3).code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(pool.AttachNode(1).code(), StatusCode::kAlreadyExists);
+  EXPECT_TRUE(pool.DetachNode(1).ok());
+  EXPECT_TRUE(pool.AttachNode(3).ok());
+}
+
+TEST(CxlPoolTest, ByteAddressableWithSubMicrosecondLoads) {
+  CxlPool pool(kGiB);
+  EXPECT_TRUE(pool.byte_addressable());
+  EXPECT_LT(pool.DirectLoadLatency().nanos(), 1000);
+  EXPECT_GT(pool.DirectLoadLatency(), cost::kLocalDramLatency);
+}
+
+TEST(RdmaPoolTest, NotByteAddressable) {
+  RdmaPool pool(kGiB);
+  EXPECT_FALSE(pool.byte_addressable());
+  EXPECT_GT(pool.FetchCpuPerPage(), SimDuration::Zero());
+}
+
+TEST(RdmaPoolTest, FetchLatencyNearBaseWhenIdle) {
+  RdmaPool pool(kGiB, 42);
+  double total_us = 0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    total_us += pool.FetchLatency(1).micros();
+  }
+  // Lognormal jitter is mean-1, so the average should be close to 6 us.
+  EXPECT_NEAR(total_us / n, cost::kRdmaPageFetchBase.micros(), 1.0);
+}
+
+TEST(RdmaPoolTest, LatencyInflatesUnderLoad) {
+  RdmaPool pool(kGiB, 42);
+  EXPECT_DOUBLE_EQ(pool.LoadFactor(), 1.0);
+  for (uint32_t i = 0; i < cost::kRdmaLoadFreeStreams + 10; ++i) {
+    pool.BeginStream();
+  }
+  EXPECT_GT(pool.LoadFactor(), 2.0);
+  for (uint32_t i = 0; i < cost::kRdmaLoadFreeStreams + 10; ++i) {
+    pool.EndStream();
+  }
+  EXPECT_DOUBLE_EQ(pool.LoadFactor(), 1.0);
+}
+
+TEST(RdmaPoolTest, TailHeavierThanMedian) {
+  RdmaPool pool(kGiB, 7);
+  std::vector<double> lat;
+  for (int i = 0; i < 5000; ++i) {
+    lat.push_back(pool.FetchLatency(1).micros());
+  }
+  std::sort(lat.begin(), lat.end());
+  const double p50 = lat[lat.size() / 2];
+  const double p99 = lat[static_cast<size_t>(static_cast<double>(lat.size()) * 0.99)];
+  EXPECT_GT(p99 / p50, 2.0);  // pronounced tail (section 9.5)
+}
+
+TEST(NasPoolTest, FetchScalesLinearly) {
+  NasPool pool(kGiB);
+  EXPECT_EQ(pool.FetchLatency(10).nanos(), cost::kNasPageFetchBase.nanos() * 10);
+}
+
+TEST(DramPoolTest, FastestDirectLoad) {
+  DramPool dram(kGiB);
+  CxlPool cxl(kGiB);
+  EXPECT_LT(dram.DirectLoadLatency(), cxl.DirectLoadLatency());
+}
+
+TEST(BackendTest, ContentSurvivesAllocation) {
+  CxlPool pool(kGiB);
+  auto base = pool.AllocatePages(16);
+  ASSERT_TRUE(base.ok());
+  ASSERT_TRUE(pool.WriteContent(*base, 16, 12345).ok());
+  EXPECT_EQ(*pool.ReadContent(*base + 7), 12352u);
+  ASSERT_TRUE(pool.FreePages(*base, 16).ok());
+  EXPECT_FALSE(pool.ReadContent(*base).ok());
+}
+
+TEST(BackendRegistryTest, LookupByKind) {
+  CxlPool cxl(kGiB);
+  RdmaPool rdma(kGiB);
+  BackendRegistry reg;
+  reg.Register(&cxl);
+  reg.Register(&rdma);
+  EXPECT_EQ(reg.Get(PoolKind::kCxl), &cxl);
+  EXPECT_EQ(reg.Get(PoolKind::kRdma), &rdma);
+  EXPECT_EQ(reg.Get(PoolKind::kNas), nullptr);
+}
+
+class TieredPoolTest : public ::testing::Test {
+ protected:
+  TieredPoolTest() : cxl_(16 * kPageSize * 1024), rdma_(kGiB) {
+    tiered_.AddTier(&cxl_);
+    tiered_.AddTier(&rdma_);
+  }
+  CxlPool cxl_;
+  RdmaPool rdma_;
+  TieredPool tiered_;
+};
+
+TEST_F(TieredPoolTest, HotGoesToUpperTier) {
+  auto hot = tiered_.AllocatePages(64, /*hotness=*/1.0);
+  ASSERT_TRUE(hot.ok());
+  EXPECT_EQ(hot->kind, PoolKind::kCxl);
+  auto cold = tiered_.AllocatePages(64, /*hotness=*/0.0);
+  ASSERT_TRUE(cold.ok());
+  EXPECT_EQ(cold->kind, PoolKind::kRdma);
+}
+
+TEST_F(TieredPoolTest, SpillsWhenHotTierFull) {
+  // Exhaust the CXL tier.
+  auto big = tiered_.AllocatePages(16 * 1024, 1.0);
+  ASSERT_TRUE(big.ok());
+  ASSERT_EQ(big->kind, PoolKind::kCxl);
+  auto spill = tiered_.AllocatePages(64, 1.0);
+  ASSERT_TRUE(spill.ok());
+  EXPECT_EQ(spill->kind, PoolKind::kRdma);
+}
+
+TEST_F(TieredPoolTest, PromoteMovesUpAndPreservesContent) {
+  auto cold = tiered_.AllocatePages(32, 0.0);
+  ASSERT_TRUE(cold.ok());
+  ASSERT_EQ(cold->kind, PoolKind::kRdma);
+  ASSERT_TRUE(rdma_.WriteContent(cold->base, 32, 800).ok());
+  auto promoted = tiered_.Promote(*cold);
+  ASSERT_TRUE(promoted.ok());
+  EXPECT_EQ(promoted->placement.kind, PoolKind::kCxl);
+  EXPECT_EQ(*cxl_.ReadContent(promoted->placement.base + 3), 803u);
+  EXPECT_GT(promoted->copy_latency, SimDuration::Zero());
+  // Promoting from the top tier fails cleanly.
+  EXPECT_EQ(tiered_.Promote(promoted->placement).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(TieredPoolTest, FreeReturnsCapacity) {
+  auto p = tiered_.AllocatePages(128, 1.0);
+  ASSERT_TRUE(p.ok());
+  const uint64_t used = cxl_.used_bytes();
+  ASSERT_TRUE(tiered_.FreePages(*p).ok());
+  EXPECT_LT(cxl_.used_bytes(), used);
+}
+
+}  // namespace
+}  // namespace trenv

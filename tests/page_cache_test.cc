@@ -1,0 +1,104 @@
+// Tests for the file page-cache model used by the VM platform.
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/simkernel/page_cache.h"
+
+#include <set>
+
+namespace trenv {
+namespace {
+
+TEST(PageCacheTest, InsertDedupsResidentPages) {
+  PageCache cache("host");
+  EXPECT_EQ(cache.Insert(1, 0, 10), 10u);
+  EXPECT_EQ(cache.Insert(1, 5, 10), 5u);  // 5..9 already resident
+  EXPECT_EQ(cache.cached_pages(), 15u);
+  EXPECT_TRUE(cache.Contains(1, 0));
+  EXPECT_TRUE(cache.Contains(1, 14));
+  EXPECT_FALSE(cache.Contains(1, 15));
+}
+
+TEST(PageCacheTest, FilesAreIndependent) {
+  PageCache cache("host");
+  cache.Insert(1, 0, 10);
+  EXPECT_EQ(cache.Insert(2, 0, 10), 10u);
+  EXPECT_EQ(cache.cached_pages(), 20u);
+  EXPECT_EQ(cache.DropFile(1), 10u);
+  EXPECT_EQ(cache.cached_pages(), 10u);
+  EXPECT_FALSE(cache.Contains(1, 0));
+  EXPECT_TRUE(cache.Contains(2, 0));
+}
+
+TEST(PageCacheTest, ResidentInCountsPartialOverlap) {
+  PageCache cache("guest");
+  cache.Insert(7, 10, 10);
+  cache.Insert(7, 30, 5);
+  EXPECT_EQ(cache.ResidentIn(7, 0, 100), 15u);
+  EXPECT_EQ(cache.ResidentIn(7, 15, 20), 10u);  // 15..19 and 30..34
+  EXPECT_EQ(cache.ResidentIn(7, 20, 10), 0u);
+}
+
+TEST(PageCacheTest, InsertBridgingGapCoalesces) {
+  PageCache cache("host");
+  cache.Insert(1, 0, 5);
+  cache.Insert(1, 10, 5);
+  EXPECT_EQ(cache.Insert(1, 5, 5), 5u);
+  EXPECT_EQ(cache.cached_pages(), 15u);
+  EXPECT_EQ(cache.ResidentIn(1, 0, 15), 15u);
+}
+
+TEST(PageCacheTest, ClearReleasesEverything) {
+  PageCache cache("host");
+  cache.Insert(1, 0, 100);
+  cache.Insert(2, 0, 100);
+  cache.Clear();
+  EXPECT_EQ(cache.cached_pages(), 0u);
+  EXPECT_FALSE(cache.Contains(1, 50));
+}
+
+// Property test against a naive std::set model.
+class PageCacheFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PageCacheFuzzTest, MatchesSetModel) {
+  Rng rng(GetParam());
+  PageCache cache("fuzz");
+  std::set<std::pair<FileId, uint64_t>> model;
+  for (int op = 0; op < 400; ++op) {
+    const FileId file = static_cast<FileId>(rng.NextBounded(3));
+    const uint64_t start = rng.NextBounded(200);
+    const uint64_t len = 1 + rng.NextBounded(40);
+    if (rng.NextBool(0.8)) {
+      uint64_t expected_new = 0;
+      for (uint64_t p = start; p < start + len; ++p) {
+        if (model.insert({file, p}).second) {
+          ++expected_new;
+        }
+      }
+      EXPECT_EQ(cache.Insert(file, start, len), expected_new);
+    } else {
+      uint64_t expected_drop = 0;
+      for (auto it = model.begin(); it != model.end();) {
+        if (it->first == file) {
+          it = model.erase(it);
+          ++expected_drop;
+        } else {
+          ++it;
+        }
+      }
+      EXPECT_EQ(cache.DropFile(file), expected_drop);
+    }
+    EXPECT_EQ(cache.cached_pages(), model.size());
+  }
+  // Spot-check membership.
+  for (uint64_t p = 0; p < 240; ++p) {
+    for (FileId f = 0; f < 3; ++f) {
+      EXPECT_EQ(cache.Contains(f, p), model.contains({f, p})) << "file " << f << " page " << p;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PageCacheFuzzTest, ::testing::Values(11, 22, 33, 44, 55));
+
+}  // namespace
+}  // namespace trenv

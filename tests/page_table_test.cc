@@ -1,0 +1,252 @@
+// Tests for the run-compressed page table, including property-style sweeps
+// verifying the run representation matches a naive per-page reference model.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+
+#include "src/common/rng.h"
+#include "src/simkernel/page_table.h"
+
+namespace trenv {
+namespace {
+
+PteFlags LocalValid() {
+  PteFlags f;
+  f.valid = true;
+  f.pool = PoolKind::kLocalDram;
+  return f;
+}
+
+PteFlags CxlShared() {
+  PteFlags f;
+  f.valid = true;
+  f.write_protected = true;
+  f.pool = PoolKind::kCxl;
+  return f;
+}
+
+PteFlags RdmaLazy() {
+  PteFlags f;
+  f.valid = false;
+  f.write_protected = true;
+  f.pool = PoolKind::kRdma;
+  return f;
+}
+
+TEST(PageTableTest, LookupUnmappedIsEmpty) {
+  PageTable pt;
+  EXPECT_FALSE(pt.Lookup(0).has_value());
+  EXPECT_FALSE(pt.IsMapped(123));
+  EXPECT_EQ(pt.mapped_pages(), 0u);
+}
+
+TEST(PageTableTest, MapAndLookupProgression) {
+  PageTable pt;
+  pt.MapRange(100, 10, CxlShared(), 5000, 777);
+  ASSERT_TRUE(pt.IsMapped(100));
+  ASSERT_TRUE(pt.IsMapped(109));
+  EXPECT_FALSE(pt.IsMapped(110));
+  auto pte = pt.Lookup(103);
+  ASSERT_TRUE(pte.has_value());
+  EXPECT_EQ(pte->backing, 5003u);
+  EXPECT_EQ(pte->content, 780u);
+  EXPECT_TRUE(pte->flags.write_protected);
+  EXPECT_EQ(pte->flags.pool, PoolKind::kCxl);
+  EXPECT_EQ(pt.run_count(), 1u);
+}
+
+TEST(PageTableTest, ConstantContentRun) {
+  PageTable pt;
+  pt.MapRange(0, 8, LocalValid(), 100, 42, /*constant_content=*/true);
+  for (Vpn v = 0; v < 8; ++v) {
+    EXPECT_EQ(pt.Lookup(v)->content, 42u);
+  }
+}
+
+TEST(PageTableTest, OverwriteSplitsRuns) {
+  PageTable pt;
+  pt.MapRange(0, 100, CxlShared(), 0, 0);
+  // CoW the middle.
+  pt.MapRange(40, 20, LocalValid(), 9000, 5555);
+  EXPECT_EQ(pt.mapped_pages(), 100u);
+  EXPECT_EQ(pt.run_count(), 3u);
+  EXPECT_EQ(pt.Lookup(39)->flags.pool, PoolKind::kCxl);
+  EXPECT_EQ(pt.Lookup(40)->flags.pool, PoolKind::kLocalDram);
+  EXPECT_EQ(pt.Lookup(59)->backing, 9019u);
+  EXPECT_EQ(pt.Lookup(60)->flags.pool, PoolKind::kCxl);
+  EXPECT_EQ(pt.Lookup(60)->content, 60u);
+}
+
+TEST(PageTableTest, AdjacentCompatibleRunsMerge) {
+  PageTable pt;
+  pt.MapRange(0, 10, CxlShared(), 100, 200);
+  pt.MapRange(10, 10, CxlShared(), 110, 210);
+  EXPECT_EQ(pt.run_count(), 1u);
+  EXPECT_EQ(pt.mapped_pages(), 20u);
+}
+
+TEST(PageTableTest, AdjacentIncompatibleRunsStaySplit) {
+  PageTable pt;
+  pt.MapRange(0, 10, CxlShared(), 100, 200);
+  pt.MapRange(10, 10, CxlShared(), 500, 210);  // backing not contiguous
+  EXPECT_EQ(pt.run_count(), 2u);
+  pt.MapRange(20, 10, RdmaLazy(), 120, 220);  // different flags
+  EXPECT_EQ(pt.run_count(), 3u);
+}
+
+TEST(PageTableTest, ConstantRunsMergeOnlyOnEqualContent) {
+  PageTable pt;
+  pt.MapRange(0, 4, LocalValid(), kNoBacking, 7, true);
+  pt.MapRange(4, 4, LocalValid(), kNoBacking, 7, true);
+  EXPECT_EQ(pt.run_count(), 1u);
+  pt.MapRange(8, 4, LocalValid(), kNoBacking, 9, true);
+  EXPECT_EQ(pt.run_count(), 2u);
+}
+
+TEST(PageTableTest, UnmapMiddle) {
+  PageTable pt;
+  pt.MapRange(0, 30, CxlShared(), 0, 0);
+  EXPECT_EQ(pt.UnmapRange(10, 10), 10u);
+  EXPECT_EQ(pt.mapped_pages(), 20u);
+  EXPECT_TRUE(pt.IsMapped(9));
+  EXPECT_FALSE(pt.IsMapped(10));
+  EXPECT_FALSE(pt.IsMapped(19));
+  EXPECT_TRUE(pt.IsMapped(20));
+  // Remaining tail keeps its progression.
+  EXPECT_EQ(pt.Lookup(25)->content, 25u);
+}
+
+TEST(PageTableTest, UnmapReturnsOnlyMappedCount) {
+  PageTable pt;
+  pt.MapRange(5, 5, LocalValid(), 0, 0);
+  EXPECT_EQ(pt.UnmapRange(0, 20), 5u);
+}
+
+TEST(PageTableTest, ProtectRangeSetsWp) {
+  PageTable pt;
+  PteFlags writable = LocalValid();
+  pt.MapRange(0, 10, writable, 0, 0);
+  pt.ProtectRange(2, 3);
+  EXPECT_FALSE(pt.Lookup(1)->flags.write_protected);
+  EXPECT_TRUE(pt.Lookup(2)->flags.write_protected);
+  EXPECT_TRUE(pt.Lookup(4)->flags.write_protected);
+  EXPECT_FALSE(pt.Lookup(5)->flags.write_protected);
+}
+
+TEST(PageTableTest, CloneFromCopiesEverything) {
+  PageTable a;
+  a.MapRange(0, 10, CxlShared(), 100, 200);
+  a.MapRange(50, 5, RdmaLazy(), 300, 400);
+  PageTable b;
+  b.CloneFrom(a);
+  EXPECT_EQ(b.mapped_pages(), 15u);
+  EXPECT_EQ(b.Lookup(3)->backing, 103u);
+  EXPECT_EQ(b.Lookup(52)->flags.pool, PoolKind::kRdma);
+  // Clone is independent.
+  b.UnmapRange(0, 10);
+  EXPECT_EQ(a.mapped_pages(), 15u);
+}
+
+TEST(PageTableTest, ForEachRunClipsToRange) {
+  PageTable pt;
+  pt.MapRange(0, 100, CxlShared(), 1000, 2000);
+  uint64_t pages = 0;
+  Vpn first = 0;
+  uint64_t first_backing = 0;
+  pt.ForEachRunIn(30, 40, [&](Vpn vpn, const PteRun& run) {
+    first = vpn;
+    first_backing = run.backing_base;
+    pages += run.npages;
+  });
+  EXPECT_EQ(pages, 40u);
+  EXPECT_EQ(first, 30u);
+  EXPECT_EQ(first_backing, 1030u);
+}
+
+TEST(PageTableTest, CountPagesIf) {
+  PageTable pt;
+  pt.MapRange(0, 10, CxlShared(), 0, 0);
+  pt.MapRange(20, 5, LocalValid(), 0, 0);
+  EXPECT_EQ(pt.CountPagesIf([](const PteFlags& f) { return f.remote(); }), 10u);
+  EXPECT_EQ(pt.CountPagesIf([](const PteFlags& f) { return f.valid; }), 15u);
+}
+
+TEST(PageTableTest, MetadataBytesScalesWithPages) {
+  PageTable pt;
+  pt.MapRange(0, BytesToPages(70 * kMiB), CxlShared(), 0, 0);
+  // ~8 bytes per page for a 70 MiB image: ~143 KiB; well under 1 MiB.
+  EXPECT_GT(pt.MetadataBytes(), 100 * kKiB);
+  EXPECT_LT(pt.MetadataBytes(), kMiB);
+}
+
+// Property test: random operations must match a naive per-page model.
+class PageTableFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PageTableFuzzTest, MatchesReferenceModel) {
+  Rng rng(GetParam());
+  PageTable pt;
+  struct RefPte {
+    PteFlags flags;
+    uint64_t backing;
+    PageContent content;
+  };
+  std::map<Vpn, RefPte> ref;
+  constexpr Vpn kSpace = 512;
+
+  for (int op = 0; op < 300; ++op) {
+    const Vpn start = rng.NextBounded(kSpace);
+    const uint64_t len = 1 + rng.NextBounded(kSpace - start);
+    const int action = static_cast<int>(rng.NextBounded(3));
+    if (action == 0) {
+      PteFlags flags;
+      flags.valid = rng.NextBool(0.7);
+      flags.write_protected = rng.NextBool(0.5);
+      flags.pool = static_cast<PoolKind>(rng.NextBounded(4));
+      const bool constant = rng.NextBool(0.3);
+      const uint64_t backing = rng.NextBounded(1 << 20);
+      const PageContent content = rng.NextBounded(1 << 20);
+      pt.MapRange(start, len, flags, backing, content, constant);
+      for (uint64_t i = 0; i < len; ++i) {
+        ref[start + i] = RefPte{flags, backing + i, constant ? content : content + i};
+      }
+    } else if (action == 1) {
+      pt.UnmapRange(start, len);
+      for (uint64_t i = 0; i < len; ++i) {
+        ref.erase(start + i);
+      }
+    } else {
+      pt.ProtectRange(start, len);
+      for (uint64_t i = 0; i < len; ++i) {
+        auto it = ref.find(start + i);
+        if (it != ref.end()) {
+          it->second.flags.write_protected = true;
+        }
+      }
+    }
+  }
+
+  // Full-space comparison.
+  uint64_t ref_pages = ref.size();
+  EXPECT_EQ(pt.mapped_pages(), ref_pages);
+  for (Vpn v = 0; v < kSpace; ++v) {
+    auto got = pt.Lookup(v);
+    auto it = ref.find(v);
+    if (it == ref.end()) {
+      EXPECT_FALSE(got.has_value()) << "vpn " << v;
+    } else {
+      ASSERT_TRUE(got.has_value()) << "vpn " << v;
+      EXPECT_EQ(got->flags, it->second.flags) << "vpn " << v;
+      EXPECT_EQ(got->backing, it->second.backing) << "vpn " << v;
+      EXPECT_EQ(got->content, it->second.content) << "vpn " << v;
+    }
+  }
+  // Run compression must never exceed the page count.
+  EXPECT_LE(pt.run_count(), ref_pages + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PageTableFuzzTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+}  // namespace
+}  // namespace trenv

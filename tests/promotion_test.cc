@@ -1,0 +1,216 @@
+// Tests for the hot-chunk promotion policy across memory tiers.
+#include <gtest/gtest.h>
+
+#include "src/criu/trenv_engine.h"
+#include "src/mempool/cxl_pool.h"
+#include "src/mempool/promotion.h"
+#include "src/mempool/rdma_pool.h"
+#include "src/mmtemplate/api.h"
+#include "src/simkernel/fault_handler.h"
+
+namespace trenv {
+namespace {
+
+class PromotionTest : public ::testing::Test {
+ protected:
+  PromotionTest() : cxl_(1 * kGiB), rdma_(4 * kGiB), frames_(4 * kGiB), api_(&backends_) {
+    backends_.Register(&cxl_);
+    backends_.Register(&rdma_);
+    tiered_.AddTier(&cxl_);
+    tiered_.AddTier(&rdma_);
+  }
+
+  // Allocates an n-page chunk in RDMA holding content_base.. and builds a
+  // template mapping it at `addr`.
+  PoolPlacement MakeColdChunk(MmtId id, Vaddr addr, uint64_t npages, PageContent content) {
+    auto base = rdma_.AllocatePages(npages);
+    EXPECT_TRUE(base.ok());
+    EXPECT_TRUE(rdma_.WriteContent(*base, npages, content).ok());
+    EXPECT_TRUE(
+        api_.MmtAddMap(id, addr, npages * kPageSize, Protection::ReadWrite(), true, -1, 0).ok());
+    EXPECT_TRUE(api_.MmtSetupPt(id, addr, npages * kPageSize, *base, PoolKind::kRdma).ok());
+    return PoolPlacement{PoolKind::kRdma, *base, npages};
+  }
+
+  CxlPool cxl_;
+  RdmaPool rdma_;
+  FrameAllocator frames_;
+  BackendRegistry backends_;
+  TieredPool tiered_;
+  MmtApi api_;
+};
+
+constexpr Vaddr kAddr = 0x40000000;
+
+TEST_F(PromotionTest, ColdChunkPromotesAfterThreshold) {
+  PromotionManager manager(&tiered_, &api_.registry(),
+                           PromotionManager::Options{.promote_threshold = 3});
+  MmtId id = api_.MmtCreate("fn");
+  PoolPlacement cold = MakeColdChunk(id, kAddr, 32, 0x7007);
+
+  manager.RecordAccess(cold, 1);
+  EXPECT_TRUE(manager.Sweep().empty());  // below threshold
+  manager.RecordAccess(cold, 2);
+  auto moves = manager.Sweep();
+  ASSERT_EQ(moves.size(), 1u);
+  EXPECT_EQ(moves[0].from.kind, PoolKind::kRdma);
+  EXPECT_EQ(moves[0].to.kind, PoolKind::kCxl);
+  EXPECT_EQ(moves[0].templates_rewritten, 1u);
+  EXPECT_GT(moves[0].copy_latency, SimDuration::Zero());
+  // Content survived the migration.
+  EXPECT_EQ(*cxl_.ReadContent(moves[0].to.base + 5), 0x7007u + 5);
+  // Idempotent: nothing left to promote.
+  EXPECT_TRUE(manager.Sweep().empty());
+  EXPECT_EQ(manager.promoted_chunks(), 1u);
+}
+
+TEST_F(PromotionTest, PromotedTemplateServesDirectReads) {
+  PromotionManager manager(&tiered_, &api_.registry(),
+                           PromotionManager::Options{.promote_threshold = 1});
+  MmtId id = api_.MmtCreate("fn");
+  PoolPlacement cold = MakeColdChunk(id, kAddr, 16, 0xCAFE);
+  manager.RecordAccess(cold, 5);
+  ASSERT_EQ(manager.Sweep().size(), 1u);
+
+  // Fresh attach after the sweep: reads are now zero-fault CXL loads.
+  MmStruct mm;
+  ASSERT_TRUE(api_.MmtAttach(id, &mm).ok());
+  FaultHandler kernel(&frames_, &backends_);
+  auto outcome = kernel.Access(mm, kAddr + 3 * kPageSize, /*write=*/false);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->kind, AccessKind::kDirectRemote);
+  EXPECT_EQ(outcome->content, 0xCAFEu + 3);
+  EXPECT_EQ(mm.stats().major_faults, 0u);
+}
+
+TEST_F(PromotionTest, AlreadyAttachedTemplatesAreRewrittenToo) {
+  PromotionManager manager(&tiered_, &api_.registry(),
+                           PromotionManager::Options{.promote_threshold = 1});
+  MmtId id = api_.MmtCreate("fn");
+  PoolPlacement cold = MakeColdChunk(id, kAddr, 8, 0xBEAD);
+  manager.RecordAccess(cold, 9);
+  ASSERT_EQ(manager.Sweep().size(), 1u);
+  // The TEMPLATE is rewritten; an mm attached before the sweep keeps its
+  // lazy RDMA view until re-attached (templates are the unit of sharing).
+  auto tmpl = api_.registry().Lookup(id);
+  ASSERT_TRUE(tmpl.ok());
+  auto pte = (*tmpl)->page_table().Lookup(AddrToVpn(kAddr));
+  ASSERT_TRUE(pte.has_value());
+  EXPECT_EQ(pte->flags.pool, PoolKind::kCxl);
+  EXPECT_TRUE(pte->flags.valid);
+}
+
+TEST_F(PromotionTest, HottestFirstAndSweepBounded) {
+  PromotionManager manager(
+      &tiered_, &api_.registry(),
+      PromotionManager::Options{.promote_threshold = 1, .max_promotions_per_sweep = 1});
+  MmtId id = api_.MmtCreate("fn");
+  PoolPlacement lukewarm = MakeColdChunk(id, kAddr, 8, 0x1);
+  PoolPlacement blazing = MakeColdChunk(id, kAddr + kMiB, 8, 0x2);
+  manager.RecordAccess(lukewarm, 2);
+  manager.RecordAccess(blazing, 50);
+  auto moves = manager.Sweep();
+  ASSERT_EQ(moves.size(), 1u);
+  EXPECT_EQ(moves[0].from.base, blazing.base);  // hottest chosen first
+  EXPECT_EQ(manager.tracked_chunks(), 1u);      // lukewarm still tracked
+  EXPECT_EQ(manager.Sweep().size(), 1u);        // next sweep picks it up
+}
+
+TEST_F(PromotionTest, HotTierChunksNeverTracked) {
+  PromotionManager manager(&tiered_, &api_.registry());
+  manager.RecordAccess(PoolPlacement{PoolKind::kCxl, 0, 8}, 100);
+  EXPECT_EQ(manager.tracked_chunks(), 0u);
+}
+
+TEST_F(PromotionTest, FullHotTierLeavesChunkInPlace) {
+  // Fill CXL completely so promotion has nowhere to go.
+  auto filler = cxl_.AllocatePages(cxl_.capacity_bytes() / kPageSize);
+  ASSERT_TRUE(filler.ok());
+  PromotionManager manager(&tiered_, &api_.registry(),
+                           PromotionManager::Options{.promote_threshold = 1});
+  MmtId id = api_.MmtCreate("fn");
+  PoolPlacement cold = MakeColdChunk(id, kAddr, 8, 0x3);
+  manager.RecordAccess(cold, 10);
+  EXPECT_TRUE(manager.Sweep().empty());
+  // The template still points at RDMA and still works.
+  auto tmpl = api_.registry().Lookup(id);
+  auto pte = (*tmpl)->page_table().Lookup(AddrToVpn(kAddr));
+  EXPECT_EQ(pte->flags.pool, PoolKind::kRdma);
+}
+
+TEST(EnginePromotionTest, TieredEngineMigratesHotFunctionToCxl) {
+  // A T-Tiered engine with promotion enabled: a function whose image landed
+  // in RDMA gets pulled into CXL after enough executions.
+  CxlPool cxl(8 * kGiB);
+  RdmaPool rdma(8 * kGiB);
+  BackendRegistry backends;
+  backends.Register(&cxl);
+  backends.Register(&rdma);
+  TieredPool tiered;
+  tiered.AddTier(&cxl);
+  tiered.AddTier(&rdma);
+  SnapshotDedupStore dedup(&tiered);
+  SandboxFactory factory(std::make_shared<FsLayer>("base"));
+  SandboxPool pool;
+  MmtApi api(&backends);
+  PromotionManager promotion(&tiered, &api.registry(),
+                             PromotionManager::Options{.promote_threshold = 3,
+                                                       .max_promotions_per_sweep = 64});
+  TrEnvEngine engine(&factory, &pool, &api, &dedup);
+  engine.EnablePromotion(&promotion, /*interval=*/4);
+
+  FunctionProfile profile;
+  profile.name = "hot-fn";
+  profile.language = "python";
+  profile.image_bytes = 16 * kMiB;
+  profile.threads = 4;
+  ASSERT_TRUE(engine.Prepare(profile).ok());
+  FrameAllocator frames(8 * kGiB);
+  PidAllocator pids;
+  RestoreContext ctx{&frames, &backends, &pids, 0};
+
+  const uint64_t cxl_before = cxl.used_bytes();
+  // Execute repeatedly; sweeps run every 4 executions.
+  for (int i = 0; i < 12; ++i) {
+    auto outcome = engine.Restore(profile, ctx);
+    ASSERT_TRUE(outcome.ok());
+    ASSERT_TRUE(engine.OnExecute(profile, *outcome->instance, ctx).ok());
+    engine.OnExecuteDone(*outcome->instance);
+    engine.Retire(std::move(outcome->instance), ctx);
+  }
+  EXPECT_GT(promotion.promoted_chunks(), 0u);
+  EXPECT_GT(cxl.used_bytes(), cxl_before);
+  // Templates now map (at least partly) to CXL.
+  uint64_t cxl_pages = 0;
+  api.registry().ForEach([&](MmTemplate& tmpl) {
+    cxl_pages += tmpl.page_table().CountPagesIf(
+        [](const PteFlags& f) { return f.pool == PoolKind::kCxl; });
+  });
+  EXPECT_GT(cxl_pages, 0u);
+}
+
+TEST(RemapBackingTest, RewritesOnlyIntersectingSlices) {
+  PageTable table;
+  PteFlags rdma_lazy;
+  rdma_lazy.valid = false;
+  rdma_lazy.write_protected = true;
+  rdma_lazy.pool = PoolKind::kRdma;
+  // One run covering pool pages [100, 164); the moved chunk is [116, 132).
+  table.MapRange(0, 64, rdma_lazy, 100, 0x9000);
+  const PoolPlacement from{PoolKind::kRdma, 116, 16};
+  const PoolPlacement to{PoolKind::kCxl, 500, 16};
+  EXPECT_EQ(RemapBacking(table, from, to, /*to_byte_addressable=*/true), 16u);
+  // Pages before/after the chunk untouched.
+  EXPECT_EQ(table.Lookup(10)->flags.pool, PoolKind::kRdma);
+  EXPECT_EQ(table.Lookup(40)->flags.pool, PoolKind::kRdma);
+  // The slice moved, with backing and content progression intact.
+  auto moved = table.Lookup(20);
+  ASSERT_TRUE(moved.has_value());
+  EXPECT_EQ(moved->flags.pool, PoolKind::kCxl);
+  EXPECT_TRUE(moved->flags.valid);
+  EXPECT_EQ(moved->backing, 500u + 4);  // page 20 = chunk offset 4
+  EXPECT_EQ(moved->content, 0x9000u + 20);
+}
+
+}  // namespace
+}  // namespace trenv

@@ -1,0 +1,102 @@
+// Tests for function profiles and the execution model.
+#include <gtest/gtest.h>
+
+#include "src/common/cost_model.h"
+#include "src/runtime/execution_model.h"
+
+namespace trenv {
+namespace {
+
+TEST(FunctionProfileTest, TableFourMatchesPaper) {
+  const auto fns = Table4Functions();
+  ASSERT_EQ(fns.size(), 10u);
+  // Spot-check the Table 4 columns.
+  const FunctionProfile* ir = FindTable4Function("IR");
+  ASSERT_NE(ir, nullptr);
+  EXPECT_EQ(ir->language, "python");
+  EXPECT_NEAR(static_cast<double>(ir->image_bytes) / static_cast<double>(kMiB), 855, 1);
+  EXPECT_EQ(ir->threads, 141u);
+  const FunctionProfile* pr = FindTable4Function("PR");
+  EXPECT_EQ(pr->threads, 395u);
+  const FunctionProfile* cr = FindTable4Function("CR");
+  EXPECT_EQ(cr->language, "nodejs");
+  EXPECT_EQ(FindTable4Function("nope"), nullptr);
+}
+
+TEST(FunctionProfileTest, ReadOnlyRatiosSpanPaperRange) {
+  double lo = 1.0;
+  double hi = 0.0;
+  for (const auto& fn : Table4Functions()) {
+    const double ratio = fn.pages.ReadOnlyRatio();
+    lo = std::min(lo, ratio);
+    hi = std::max(hi, ratio);
+    EXPECT_GT(ratio, 0.0) << fn.name;
+    EXPECT_LT(ratio, 1.0) << fn.name;
+  }
+  // Fig 10: 24% (IFR) to 90% (IR).
+  EXPECT_LT(lo, 0.30);
+  EXPECT_GT(hi, 0.85);
+}
+
+TEST(FunctionProfileTest, FractionsAreSane) {
+  for (const auto& fn : Table4Functions()) {
+    EXPECT_GT(fn.pages.read_fraction, 0.0) << fn.name;
+    EXPECT_LE(fn.pages.read_fraction, 1.0) << fn.name;
+    EXPECT_GT(fn.pages.write_fraction, 0.0) << fn.name;
+    EXPECT_LE(fn.pages.write_fraction, 1.0) << fn.name;
+    EXPECT_GT(fn.pages.working_set_fraction, 0.0) << fn.name;
+    EXPECT_LE(fn.pages.working_set_fraction, 1.0) << fn.name;
+    EXPECT_GT(fn.exec_cpu, SimDuration::Zero()) << fn.name;
+    EXPECT_GE(fn.bootstrap, cost::kBootstrapFloor) << fn.name;
+  }
+}
+
+TEST(ExecutionModelTest, NoiseIsUnitMean) {
+  ExecutionModel model(42);
+  FunctionProfile profile;
+  profile.exec_cpu = SimDuration::Millis(100);
+  profile.exec_noise_cv = 0.1;
+  double sum = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    sum += model.Plan(profile, ExecutionOverheads{}).cpu_work.millis();
+  }
+  EXPECT_NEAR(sum / n, 100.0, 1.0);
+}
+
+TEST(ExecutionModelTest, ZeroCvIsDeterministic) {
+  ExecutionModel model(1);
+  FunctionProfile profile;
+  profile.exec_cpu = SimDuration::Millis(50);
+  profile.exec_noise_cv = 0.0;
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(model.Plan(profile, ExecutionOverheads{}).cpu_work.millis(), 50.0);
+  }
+}
+
+TEST(ExecutionModelTest, OverheadsComposeCorrectly) {
+  ExecutionModel model(2);
+  FunctionProfile profile;
+  profile.exec_cpu = SimDuration::Millis(100);
+  profile.exec_io = SimDuration::Millis(20);
+  profile.exec_noise_cv = 0.0;
+  ExecutionOverheads overheads;
+  overheads.cpu_multiplier = 1.5;
+  overheads.added_cpu = SimDuration::Millis(10);
+  overheads.added_latency = SimDuration::Millis(7);
+  const ExecutionPlan plan = model.Plan(profile, overheads);
+  EXPECT_DOUBLE_EQ(plan.cpu_work.millis(), 160.0);  // 100*1.5 + 10
+  EXPECT_DOUBLE_EQ(plan.io_wait.millis(), 20.0);
+  EXPECT_DOUBLE_EQ(plan.fault_latency.millis(), 7.0);
+}
+
+TEST(ExecutionModelTest, CxlMultiplierMatchesPaperAnchors) {
+  // DH/IR nearly double; the rest gain ~10% (section 9.2.1).
+  EXPECT_NEAR(ExecutionModel::CxlCpuMultiplier(*FindTable4Function("DH")), 1.9, 0.05);
+  EXPECT_NEAR(ExecutionModel::CxlCpuMultiplier(*FindTable4Function("IR")), 1.85, 0.05);
+  EXPECT_NEAR(ExecutionModel::CxlCpuMultiplier(*FindTable4Function("CH")), 1.07, 0.05);
+  EXPECT_NEAR(ExecutionModel::CxlCpuMultiplier(*FindTable4Function("JS")), 1.10, 0.05);
+}
+
+}  // namespace
+}  // namespace trenv

@@ -1,0 +1,216 @@
+// Tests for the discrete-event core: scheduler, processor-sharing CPU,
+// counting resources.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/cpu.h"
+#include "src/sim/event_scheduler.h"
+#include "src/sim/semaphore.h"
+
+namespace trenv {
+namespace {
+
+TEST(EventSchedulerTest, RunsInTimeOrder) {
+  EventScheduler sched;
+  std::vector<int> order;
+  sched.ScheduleAt(SimTime(30), [&] { order.push_back(3); });
+  sched.ScheduleAt(SimTime(10), [&] { order.push_back(1); });
+  sched.ScheduleAt(SimTime(20), [&] { order.push_back(2); });
+  sched.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sched.now(), SimTime(30));
+}
+
+TEST(EventSchedulerTest, SameInstantRunsInScheduleOrder) {
+  EventScheduler sched;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sched.ScheduleAt(SimTime(100), [&order, i] { order.push_back(i); });
+  }
+  sched.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventSchedulerTest, CancelPreventsExecution) {
+  EventScheduler sched;
+  bool ran = false;
+  EventId id = sched.ScheduleAfter(SimDuration::Millis(1), [&] { ran = true; });
+  EXPECT_TRUE(sched.Cancel(id));
+  EXPECT_FALSE(sched.Cancel(id));  // double cancel
+  sched.RunUntilIdle();
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventSchedulerTest, EventsCanScheduleEvents) {
+  EventScheduler sched;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    if (++count < 5) {
+      sched.ScheduleAfter(SimDuration::Millis(10), tick);
+    }
+  };
+  sched.ScheduleAfter(SimDuration::Millis(10), tick);
+  sched.RunUntilIdle();
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(sched.now(), SimTime(SimDuration::Millis(50).nanos()));
+}
+
+TEST(EventSchedulerTest, RunUntilStopsAtBoundary) {
+  EventScheduler sched;
+  int count = 0;
+  sched.ScheduleAt(SimTime(10), [&] { ++count; });
+  sched.ScheduleAt(SimTime(20), [&] { ++count; });
+  sched.RunUntil(SimTime(15));
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(sched.now(), SimTime(15));
+  sched.RunUntilIdle();
+  EXPECT_EQ(count, 2);
+}
+
+TEST(FairShareCpuTest, SingleTaskRunsAtFullSpeed) {
+  EventScheduler sched;
+  FairShareCpu cpu(&sched, 4);
+  SimTime done;
+  cpu.Submit(SimDuration::Seconds(2), [&] { done = sched.now(); });
+  sched.RunUntilIdle();
+  EXPECT_EQ(done, SimTime(SimDuration::Seconds(2).nanos()));
+}
+
+TEST(FairShareCpuTest, ContentionSlowsTasksDown) {
+  EventScheduler sched;
+  FairShareCpu cpu(&sched, 1);
+  std::vector<double> finish_s;
+  for (int i = 0; i < 2; ++i) {
+    cpu.Submit(SimDuration::Seconds(1), [&] { finish_s.push_back(sched.now().seconds()); });
+  }
+  sched.RunUntilIdle();
+  ASSERT_EQ(finish_s.size(), 2u);
+  // Two equal 1s tasks sharing one core both finish at ~2s.
+  EXPECT_NEAR(finish_s[0], 2.0, 1e-6);
+  EXPECT_NEAR(finish_s[1], 2.0, 1e-6);
+}
+
+TEST(FairShareCpuTest, NoContentionBelowCoreCount) {
+  EventScheduler sched;
+  FairShareCpu cpu(&sched, 8);
+  std::vector<double> finish_s;
+  for (int i = 0; i < 4; ++i) {
+    cpu.Submit(SimDuration::Seconds(1), [&] { finish_s.push_back(sched.now().seconds()); });
+  }
+  sched.RunUntilIdle();
+  for (double f : finish_s) {
+    EXPECT_NEAR(f, 1.0, 1e-6);
+  }
+}
+
+TEST(FairShareCpuTest, LateArrivalSharesRemainingWork) {
+  EventScheduler sched;
+  FairShareCpu cpu(&sched, 1);
+  double first_done = 0;
+  double second_done = 0;
+  cpu.Submit(SimDuration::Seconds(2), [&] { first_done = sched.now().seconds(); });
+  sched.ScheduleAt(SimTime(SimDuration::Seconds(1).nanos()), [&] {
+    cpu.Submit(SimDuration::Seconds(1), [&] { second_done = sched.now().seconds(); });
+  });
+  sched.RunUntilIdle();
+  // Task A: 1s alone (1s work done), then shares: each gets 0.5/s. A has 1s
+  // left -> done at t=3. B has 1s work, gets 0.5/s until A finishes... both
+  // have equal remaining at t=1, so both finish at t=3.
+  EXPECT_NEAR(first_done, 3.0, 1e-6);
+  EXPECT_NEAR(second_done, 3.0, 1e-6);
+}
+
+TEST(FairShareCpuTest, WeightedTaskGetsProportionalShare) {
+  EventScheduler sched;
+  FairShareCpu cpu(&sched, 1);
+  double heavy_done = 0;
+  double light_done = 0;
+  cpu.SubmitWeighted(SimDuration::Seconds(3), 3.0,
+                     [&] { heavy_done = sched.now().seconds(); });
+  cpu.SubmitWeighted(SimDuration::Seconds(1), 1.0,
+                     [&] { light_done = sched.now().seconds(); });
+  sched.RunUntilIdle();
+  // Heavy gets 3/4 of the core, light 1/4: both need 4 seconds.
+  EXPECT_NEAR(heavy_done, 4.0, 1e-6);
+  EXPECT_NEAR(light_done, 4.0, 1e-6);
+}
+
+TEST(FairShareCpuTest, CancelRemovesTask) {
+  EventScheduler sched;
+  FairShareCpu cpu(&sched, 1);
+  bool cancelled_ran = false;
+  double other_done = 0;
+  CpuTaskId id = cpu.Submit(SimDuration::Seconds(10), [&] { cancelled_ran = true; });
+  cpu.Submit(SimDuration::Seconds(1), [&] { other_done = sched.now().seconds(); });
+  sched.ScheduleAt(SimTime(SimDuration::Millis(500).nanos()), [&] { cpu.Cancel(id); });
+  sched.RunUntilIdle();
+  EXPECT_FALSE(cancelled_ran);
+  // Other task: 0.5s at half speed (0.25 done), then full speed for 0.75s.
+  EXPECT_NEAR(other_done, 1.25, 1e-6);
+}
+
+TEST(FairShareCpuTest, UtilizationTracksConsumption) {
+  EventScheduler sched;
+  FairShareCpu cpu(&sched, 2);
+  cpu.Submit(SimDuration::Seconds(1), [] {});
+  cpu.Submit(SimDuration::Seconds(1), [] {});
+  sched.RunUntilIdle();
+  EXPECT_NEAR(cpu.consumed_cpu_seconds(sched.now()), 2.0, 1e-6);
+}
+
+TEST(FairShareCpuTest, ZeroWorkCompletesImmediately) {
+  EventScheduler sched;
+  FairShareCpu cpu(&sched, 1);
+  bool done = false;
+  cpu.Submit(SimDuration::Zero(), [&] { done = true; });
+  sched.RunUntilIdle();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(sched.now(), SimTime(0));
+}
+
+TEST(CountingResourceTest, TryAcquireRespectsCapacity) {
+  CountingResource res(10);
+  EXPECT_TRUE(res.TryAcquire(6));
+  EXPECT_FALSE(res.TryAcquire(5));
+  EXPECT_TRUE(res.TryAcquire(4));
+  EXPECT_EQ(res.available(), 0u);
+}
+
+TEST(CountingResourceTest, WaitersGrantedFifoOnRelease) {
+  CountingResource res(10);
+  ASSERT_TRUE(res.TryAcquire(10));
+  std::vector<int> grants;
+  res.Acquire(5, [&] { grants.push_back(1); });
+  res.Acquire(3, [&] { grants.push_back(2); });
+  EXPECT_TRUE(grants.empty());
+  res.Release(6);
+  EXPECT_EQ(grants, (std::vector<int>{1}));
+  res.Release(4);
+  EXPECT_EQ(grants, (std::vector<int>{1, 2}));
+}
+
+TEST(CountingResourceTest, FifoHeadOfLineBlocks) {
+  CountingResource res(10);
+  ASSERT_TRUE(res.TryAcquire(8));
+  std::vector<int> grants;
+  res.Acquire(5, [&] { grants.push_back(1); });  // needs 5, only 2 free
+  res.Acquire(1, [&] { grants.push_back(2); });  // would fit but queued FIFO
+  EXPECT_TRUE(grants.empty());
+  res.Release(3);  // 5 free -> waiter 1 granted, resource full again
+  EXPECT_EQ(grants, (std::vector<int>{1}));
+  res.Release(1);
+  EXPECT_EQ(grants, (std::vector<int>{1, 2}));
+}
+
+TEST(CountingResourceTest, CapacityGrowthDrainsWaiters) {
+  CountingResource res(2);
+  ASSERT_TRUE(res.TryAcquire(2));
+  bool granted = false;
+  res.Acquire(2, [&] { granted = true; });
+  res.SetCapacity(4);
+  EXPECT_TRUE(granted);
+}
+
+}  // namespace
+}  // namespace trenv

@@ -1,0 +1,112 @@
+// Unit tests for the microVM building blocks: startup breakdown fields,
+// system configurations, and per-VM memory accounting.
+#include <gtest/gtest.h>
+
+#include "src/common/cost_model.h"
+#include "src/vm/micro_vm.h"
+
+namespace trenv {
+namespace {
+
+const AgentProfile& Blackjack() { return *FindAgent("Blackjack"); }
+
+TEST(VmConfigTest, PresetsEncodeTheRightMechanisms) {
+  const VmSystemConfig e2b = E2bConfig();
+  EXPECT_FALSE(e2b.pooled_sandbox);
+  EXPECT_EQ(e2b.storage, VmSystemConfig::Storage::kVirtioBlk);
+  EXPECT_FALSE(e2b.share_guest_memory);
+
+  const VmSystemConfig e2b_plus = E2bPlusConfig();
+  EXPECT_EQ(e2b_plus.storage, VmSystemConfig::Storage::kRundRootfs);
+  // RunD's memfd-backed sharing is incompatible with CoW guest-memory
+  // sharing (section 6.1) — the config must reflect that.
+  EXPECT_FALSE(e2b_plus.share_guest_memory);
+
+  const VmSystemConfig ch = VanillaChConfig();
+  EXPECT_EQ(ch.mem_restore, VmSystemConfig::MemRestore::kFullCopy);
+
+  const VmSystemConfig trenv = TrEnvVmConfig();
+  EXPECT_TRUE(trenv.pooled_sandbox);
+  EXPECT_TRUE(trenv.clone_into_cgroup);
+  EXPECT_EQ(trenv.mem_restore, VmSystemConfig::MemRestore::kMmapTemplate);
+  EXPECT_TRUE(trenv.share_guest_memory);
+  EXPECT_EQ(trenv.storage, VmSystemConfig::Storage::kPmemUnionFs);
+  EXPECT_FALSE(trenv.browser_sharing);
+
+  const VmSystemConfig trenv_s = TrEnvSConfig();
+  EXPECT_TRUE(trenv_s.browser_sharing);
+  EXPECT_EQ(trenv_s.agents_per_browser, 10u);
+}
+
+TEST(VmStartupBreakdownTest, ComponentsMatchPaperNumbers) {
+  const auto e2b = ComputeVmStartup(E2bConfig(), Blackjack(), 0, false);
+  // Section 9.6.1: ~97 ms network setup, ~63 ms cgroup migration.
+  EXPECT_NEAR(e2b.network.millis(), 97, 1);
+  EXPECT_NEAR(e2b.cgroup.millis(), 63, 1);
+  EXPECT_GT(e2b.vmm.millis(), 20);
+  EXPECT_EQ(e2b.guest, cost::kVmGuestResume);
+  EXPECT_DOUBLE_EQ(e2b.Total().millis(), (e2b.network + e2b.cgroup + e2b.vmm + e2b.memory +
+                                          e2b.guest)
+                                             .millis());
+
+  const auto trenv = ComputeVmStartup(TrEnvVmConfig(), Blackjack(), 0, true);
+  // Repurposed sandbox: sub-millisecond netns + cgroup.
+  EXPECT_LT(trenv.network.millis(), 1.0);
+  EXPECT_LT(trenv.cgroup.millis(), 1.0);
+  EXPECT_LT(trenv.memory.millis(), 10.0);
+}
+
+TEST(VmStartupBreakdownTest, FullCopyScalesWithGuestSize) {
+  AgentProfile small = Blackjack();
+  small.vm_memory_bytes = 1 * kGiB;
+  AgentProfile big = Blackjack();
+  big.vm_memory_bytes = 4 * kGiB;
+  const auto copy_small = ComputeVmStartup(VanillaChConfig(), small, 0, false);
+  const auto copy_big = ComputeVmStartup(VanillaChConfig(), big, 0, false);
+  EXPECT_NEAR(copy_big.memory.millis() / copy_small.memory.millis(), 4.0, 0.01);
+  // Template restore does NOT scale with guest size.
+  const auto tmpl_small = ComputeVmStartup(TrEnvVmConfig(), small, 0, true);
+  const auto tmpl_big = ComputeVmStartup(TrEnvVmConfig(), big, 0, true);
+  EXPECT_EQ(tmpl_small.memory.nanos(), tmpl_big.memory.nanos());
+}
+
+TEST(MicroVmTest, SharedGuestMemoryKeepsReadOnlyFractionRemote) {
+  const VmSystemConfig trenv = TrEnvVmConfig();
+  PageCache host("host");
+  MicroVm vm(1, &Blackjack(), &trenv, &host, 100);
+  // Blackjack: 60% of dynamic memory is read-only-shareable.
+  const int64_t delta = vm.ApplyMemoryDelta(100 * kMiB);
+  EXPECT_NEAR(static_cast<double>(delta), 40.0 * static_cast<double>(kMiB),
+              static_cast<double>(kMiB));
+  EXPECT_EQ(vm.anon_local_bytes(), static_cast<uint64_t>(delta));
+}
+
+TEST(MicroVmTest, UnsharedGuestMemoryIsFullyLocal) {
+  const VmSystemConfig e2b = E2bConfig();
+  PageCache host("host");
+  MicroVm vm(1, &Blackjack(), &e2b, &host, 100);
+  EXPECT_EQ(vm.ApplyMemoryDelta(100 * kMiB), static_cast<int64_t>(100 * kMiB));
+}
+
+TEST(MicroVmTest, ReleaseNeverUnderflows) {
+  const VmSystemConfig e2b = E2bConfig();
+  PageCache host("host");
+  MicroVm vm(1, &Blackjack(), &e2b, &host, 100);
+  vm.ApplyMemoryDelta(10 * kMiB);
+  // Release more than resident: clamps at zero.
+  const int64_t released = vm.ApplyMemoryDelta(-static_cast<int64_t>(50 * kMiB));
+  EXPECT_EQ(released, -static_cast<int64_t>(10 * kMiB));
+  EXPECT_EQ(vm.anon_local_bytes(), 0u);
+}
+
+TEST(MicroVmTest, LocalBytesIncludesOverheadAndCaches) {
+  const VmSystemConfig e2b = E2bConfig();
+  PageCache host("host");
+  MicroVm vm(1, &Blackjack(), &e2b, &host, 100);
+  vm.ApplyMemoryDelta(16 * kMiB);
+  vm.storage().ReadBase(0, BytesToPages(8 * kMiB));
+  EXPECT_EQ(vm.LocalBytes(), 16 * kMiB + 8 * kMiB + cost::kVmGuestOverheadBytes);
+}
+
+}  // namespace
+}  // namespace trenv

@@ -1,0 +1,215 @@
+// Tests for the VM-based agent platform: startup model (Fig 23), page-cache
+// behaviour (Fig 25/26), browser sharing under overcommit (Fig 24).
+#include <gtest/gtest.h>
+
+#include "src/common/cost_model.h"
+#include "src/vm/vm_platform.h"
+
+namespace trenv {
+namespace {
+
+const AgentProfile& Blackjack() { return *FindAgent("Blackjack"); }
+
+TEST(VmStartupTest, TrEnvFasterThanE2bWhichIsFasterThanCh) {
+  const auto e2b = ComputeVmStartup(E2bConfig(), Blackjack(), 0, false);
+  const auto e2b_plus = ComputeVmStartup(E2bPlusConfig(), Blackjack(), 0, false);
+  const auto ch = ComputeVmStartup(VanillaChConfig(), Blackjack(), 0, false);
+  const auto trenv = ComputeVmStartup(TrEnvVmConfig(), Blackjack(), 0, true);
+
+  // Fig 23 ordering: TrEnv < E2B < E2B+ < CH; CH memory copy alone >700 ms.
+  EXPECT_LT(trenv.Total(), e2b.Total());
+  EXPECT_LT(e2b.Total(), e2b_plus.Total());
+  EXPECT_LT(e2b_plus.Total(), ch.Total());
+  EXPECT_GT(ch.memory.millis(), 700.0);
+  // TrEnv reduces startup by roughly 40-60% vs E2B (paper: ~40-45%).
+  const double reduction = 1.0 - trenv.Total().seconds() / e2b.Total().seconds();
+  EXPECT_GT(reduction, 0.35);
+  EXPECT_LT(reduction, 0.70);
+  EXPECT_TRUE(trenv.sandbox_repurposed);
+}
+
+TEST(VmStartupTest, ConcurrencyInflatesE2bNotTrEnv) {
+  const auto e2b_alone = ComputeVmStartup(E2bConfig(), Blackjack(), 0, false);
+  const auto e2b_10 = ComputeVmStartup(E2bConfig(), Blackjack(), 10, false);
+  const auto trenv_alone = ComputeVmStartup(TrEnvVmConfig(), Blackjack(), 0, true);
+  const auto trenv_10 = ComputeVmStartup(TrEnvVmConfig(), Blackjack(), 10, true);
+  EXPECT_GT(e2b_10.Total().millis(), e2b_alone.Total().millis() + 100.0);
+  EXPECT_NEAR(trenv_10.Total().millis(), trenv_alone.Total().millis(), 1.0);
+}
+
+TEST(VmStartupTest, TrEnvWithoutPooledSandboxFallsBackToColdPath) {
+  const auto hit = ComputeVmStartup(TrEnvVmConfig(), Blackjack(), 0, true);
+  const auto miss = ComputeVmStartup(TrEnvVmConfig(), Blackjack(), 0, false);
+  EXPECT_FALSE(miss.sandbox_repurposed);
+  EXPECT_GT(miss.Total(), hit.Total());
+}
+
+TEST(GuestStorageTest, VirtioBlkDoubleCaches) {
+  PageCache host("host");
+  GuestStorage storage(VmSystemConfig::Storage::kVirtioBlk, &host, 100, 1);
+  const auto outcome = storage.ReadBase(0, 1000);
+  EXPECT_EQ(outcome.guest_cache_new_bytes, 1000 * kPageSize);
+  EXPECT_EQ(outcome.host_cache_new_bytes, 1000 * kPageSize);
+  // Re-reading is free (both caches warm).
+  const auto again = storage.ReadBase(0, 1000);
+  EXPECT_EQ(again.guest_cache_new_bytes, 0u);
+  EXPECT_EQ(again.host_cache_new_bytes, 0u);
+}
+
+TEST(GuestStorageTest, VirtioBlkDoesNotShareAcrossVms) {
+  PageCache host("host");
+  GuestStorage vm1(VmSystemConfig::Storage::kVirtioBlk, &host, 100, 1);
+  GuestStorage vm2(VmSystemConfig::Storage::kVirtioBlk, &host, 100, 2);
+  vm1.ReadBase(0, 500);
+  const auto outcome = vm2.ReadBase(0, 500);
+  // Same logical content, but per-VM rootfs files: cached again.
+  EXPECT_EQ(outcome.host_cache_new_bytes, 500 * kPageSize);
+}
+
+TEST(GuestStorageTest, PmemUnionSharesHostCopyAndBypassesGuest) {
+  PageCache host("host");
+  GuestStorage vm1(VmSystemConfig::Storage::kPmemUnionFs, &host, 100, 1);
+  GuestStorage vm2(VmSystemConfig::Storage::kPmemUnionFs, &host, 100, 2);
+  const auto first = vm1.ReadBase(0, 500);
+  EXPECT_EQ(first.guest_cache_new_bytes, 0u);  // guest cache bypassed
+  EXPECT_EQ(first.host_cache_new_bytes, 500 * kPageSize);
+  const auto second = vm2.ReadBase(0, 500);
+  EXPECT_EQ(second.host_cache_new_bytes, 0u);  // shared host copy
+}
+
+TEST(GuestStorageTest, PmemWritableDeviceBypassesHostCache) {
+  PageCache host("host");
+  GuestStorage trenv(VmSystemConfig::Storage::kPmemUnionFs, &host, 100, 1);
+  const auto outcome = trenv.WriteAndReadBack(200);
+  EXPECT_EQ(outcome.host_cache_new_bytes, 0u);  // O_DIRECT
+  EXPECT_EQ(outcome.guest_cache_new_bytes, 200 * kPageSize);
+
+  GuestStorage e2b(VmSystemConfig::Storage::kVirtioBlk, &host, 100, 2);
+  const auto dup = e2b.WriteAndReadBack(200);
+  EXPECT_EQ(dup.host_cache_new_bytes, 200 * kPageSize);  // duplicated
+}
+
+TEST(GuestStorageTest, DropCachesKeepsSharedBaseResident) {
+  PageCache host("host");
+  GuestStorage vm1(VmSystemConfig::Storage::kPmemUnionFs, &host, 100, 1);
+  vm1.ReadBase(0, 100);
+  vm1.WriteAndReadBack(50);
+  const auto [guest_released, host_released] = vm1.DropCaches();
+  EXPECT_EQ(guest_released, 50 * kPageSize);
+  EXPECT_EQ(host_released, 0u);  // O_DIRECT never cached; base is shared
+  EXPECT_EQ(host.cached_bytes(), 100 * kPageSize);
+}
+
+class AgentPlatformTest : public ::testing::Test {
+ protected:
+  static std::unique_ptr<AgentVmPlatform> MakePlatform(VmSystemConfig config) {
+    auto platform = std::make_unique<AgentVmPlatform>(std::move(config));
+    for (const auto& agent : Table2Agents()) {
+      EXPECT_TRUE(platform->DeployAgent(agent).ok());
+    }
+    return platform;
+  }
+};
+
+TEST_F(AgentPlatformTest, SingleAgentRunsAtNominalLatency) {
+  auto platform = MakePlatform(TrEnvVmConfig());
+  ASSERT_TRUE(platform->SubmitLaunch(SimTime::Zero(), "Blackjack").ok());
+  platform->RunToCompletion();
+  ASSERT_EQ(platform->completed_runs(), 1u);
+  const auto& metrics = platform->metrics().at("Blackjack");
+  // Uncontended: e2e close to the Table 2 measurement.
+  EXPECT_NEAR(metrics.e2e_s.Mean(), Blackjack().e2e_latency.seconds(), 0.4);
+}
+
+TEST_F(AgentPlatformTest, OvercommitInflatesLatency) {
+  // 200 Game-design agents on 20 physical cores (section 6.1: the paper
+  // measures ~25% execution-latency inflation in this configuration).
+  auto run = [&](int count) {
+    auto platform = MakePlatform(TrEnvVmConfig());
+    for (int i = 0; i < count; ++i) {
+      EXPECT_TRUE(platform
+                      ->SubmitLaunch(SimTime::Zero() + SimDuration::Millis(i * 15),
+                                     "Game design")
+                      .ok());
+    }
+    platform->RunToCompletion();
+    return platform->metrics().at("Game design").e2e_s.Mean();
+  };
+  const double alone = run(1);
+  const double crowded = run(200);
+  EXPECT_GT(crowded, alone * 1.04);
+  EXPECT_LT(crowded, alone * 1.8);
+}
+
+TEST_F(AgentPlatformTest, BrowserSharingReducesLatencyForBrowserHeavyAgents) {
+  auto p99_of = [&](VmSystemConfig config, const std::string& agent) {
+    auto platform = MakePlatform(std::move(config));
+    for (int i = 0; i < 50; ++i) {
+      EXPECT_TRUE(
+          platform->SubmitLaunch(SimTime::Zero() + SimDuration::Millis(i * 40), agent).ok());
+    }
+    platform->RunToCompletion();
+    return platform->metrics().at(agent).e2e_s.P99();
+  };
+  const double blog_plain = p99_of(TrEnvVmConfig(), "Blog summary");
+  const double blog_shared = p99_of(TrEnvSConfig(), "Blog summary");
+  EXPECT_LT(blog_shared, blog_plain);
+  // Game design barely benefits (low browser CPU) — Fig 24c.
+  const double game_plain = p99_of(TrEnvVmConfig(), "Game design");
+  const double game_shared = p99_of(TrEnvSConfig(), "Game design");
+  const double game_gain = 1.0 - game_shared / game_plain;
+  const double blog_gain = 1.0 - blog_shared / blog_plain;
+  EXPECT_GT(blog_gain, game_gain);
+}
+
+TEST_F(AgentPlatformTest, TrEnvUsesLessMemoryThanE2b) {
+  auto peak = [&](VmSystemConfig config) {
+    auto platform = MakePlatform(std::move(config));
+    for (int i = 0; i < 30; ++i) {
+      EXPECT_TRUE(platform
+                      ->SubmitLaunch(SimTime::Zero() + SimDuration::Millis(i * 25),
+                                     "Blog summary")
+                      .ok());
+    }
+    platform->RunToCompletion();
+    return platform->memory_gauge().peak();
+  };
+  const double e2b = peak(E2bConfig());
+  const double e2b_plus = peak(E2bPlusConfig());
+  const double trenv = peak(TrEnvSConfig());
+  // Fig 25 ordering: TrEnv < E2B+ < E2B, with 10-61% savings vs E2B.
+  EXPECT_LT(e2b_plus, e2b);
+  EXPECT_LT(trenv, e2b_plus);
+  const double saving = 1.0 - trenv / e2b;
+  EXPECT_GT(saving, 0.10);
+  EXPECT_LT(saving, 0.75);
+}
+
+TEST_F(AgentPlatformTest, SandboxPoolGrowsAndGetsReused) {
+  auto platform = MakePlatform(TrEnvVmConfig());
+  ASSERT_TRUE(platform->SubmitLaunch(SimTime::Zero(), "Blackjack").ok());
+  ASSERT_TRUE(
+      platform->SubmitLaunch(SimTime::Zero() + SimDuration::Seconds(10), "Bug fixer").ok());
+  platform->RunToCompletion();
+  EXPECT_EQ(platform->metrics().at("Blackjack").repurposed, 0u);
+  EXPECT_EQ(platform->metrics().at("Bug fixer").repurposed, 1u);
+  // The second run reused the first run's sandbox: only one exists.
+  EXPECT_EQ(platform->pooled_sandboxes(), 1u);
+}
+
+TEST_F(AgentPlatformTest, MemoryReturnsToZeroAfterAllRuns) {
+  auto platform = MakePlatform(TrEnvSConfig());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(
+        platform->SubmitLaunch(SimTime::Zero() + SimDuration::Seconds(i), "Shop assistant")
+            .ok());
+  }
+  platform->RunToCompletion();
+  // VMs torn down, browsers reaped; only the shared host-cached base stays.
+  EXPECT_EQ(platform->browsers().browser_count(), 0u);
+  const double final_mem = platform->memory_gauge().current();
+  EXPECT_LE(final_mem, static_cast<double>(platform->host_cache().cached_bytes()) + 1.0);
+}
+
+}  // namespace
+}  // namespace trenv
