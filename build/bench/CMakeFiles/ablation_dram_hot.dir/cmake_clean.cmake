@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dram_hot.dir/ablation_dram_hot.cc.o"
+  "CMakeFiles/ablation_dram_hot.dir/ablation_dram_hot.cc.o.d"
+  "ablation_dram_hot"
+  "ablation_dram_hot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dram_hot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

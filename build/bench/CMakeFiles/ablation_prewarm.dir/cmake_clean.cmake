@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_prewarm.dir/ablation_prewarm.cc.o"
+  "CMakeFiles/ablation_prewarm.dir/ablation_prewarm.cc.o.d"
+  "ablation_prewarm"
+  "ablation_prewarm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_prewarm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

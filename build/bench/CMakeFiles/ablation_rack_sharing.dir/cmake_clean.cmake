@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_rack_sharing.dir/ablation_rack_sharing.cc.o"
+  "CMakeFiles/ablation_rack_sharing.dir/ablation_rack_sharing.cc.o.d"
+  "ablation_rack_sharing"
+  "ablation_rack_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rack_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_w1_w2_cdf.dir/fig17_w1_w2_cdf.cc.o"
+  "CMakeFiles/fig17_w1_w2_cdf.dir/fig17_w1_w2_cdf.cc.o.d"
+  "fig17_w1_w2_cdf"
+  "fig17_w1_w2_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_w1_w2_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

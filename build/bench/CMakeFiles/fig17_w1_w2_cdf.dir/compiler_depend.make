@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig17_w1_w2_cdf.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig17_w1_w2_cdf.
+# This may be replaced when dependencies are built.

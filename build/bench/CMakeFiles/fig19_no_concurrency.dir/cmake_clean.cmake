@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_no_concurrency.dir/fig19_no_concurrency.cc.o"
+  "CMakeFiles/fig19_no_concurrency.dir/fig19_no_concurrency.cc.o.d"
+  "fig19_no_concurrency"
+  "fig19_no_concurrency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_no_concurrency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

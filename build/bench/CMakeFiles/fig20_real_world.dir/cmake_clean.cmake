@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_real_world.dir/fig20_real_world.cc.o"
+  "CMakeFiles/fig20_real_world.dir/fig20_real_world.cc.o.d"
+  "fig20_real_world"
+  "fig20_real_world.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_real_world.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig21_opt_breakdown.dir/fig21_opt_breakdown.cc.o"
+  "CMakeFiles/fig21_opt_breakdown.dir/fig21_opt_breakdown.cc.o.d"
+  "fig21_opt_breakdown"
+  "fig21_opt_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig21_opt_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig22_cxl_vs_rdma.dir/fig22_cxl_vs_rdma.cc.o"
+  "CMakeFiles/fig22_cxl_vs_rdma.dir/fig22_cxl_vs_rdma.cc.o.d"
+  "fig22_cxl_vs_rdma"
+  "fig22_cxl_vs_rdma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig22_cxl_vs_rdma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

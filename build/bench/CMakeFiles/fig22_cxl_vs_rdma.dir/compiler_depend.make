@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig22_cxl_vs_rdma.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig23_vm_startup.dir/fig23_vm_startup.cc.o"
+  "CMakeFiles/fig23_vm_startup.dir/fig23_vm_startup.cc.o.d"
+  "fig23_vm_startup"
+  "fig23_vm_startup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig23_vm_startup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

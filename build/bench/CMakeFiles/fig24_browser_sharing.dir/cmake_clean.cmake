@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig24_browser_sharing.dir/fig24_browser_sharing.cc.o"
+  "CMakeFiles/fig24_browser_sharing.dir/fig24_browser_sharing.cc.o.d"
+  "fig24_browser_sharing"
+  "fig24_browser_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig24_browser_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig25_agent_peak_memory.dir/fig25_agent_peak_memory.cc.o"
+  "CMakeFiles/fig25_agent_peak_memory.dir/fig25_agent_peak_memory.cc.o.d"
+  "fig25_agent_peak_memory"
+  "fig25_agent_peak_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig25_agent_peak_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig25_agent_peak_memory.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig26_memory_timeline.dir/fig26_memory_timeline.cc.o"
+  "CMakeFiles/fig26_memory_timeline.dir/fig26_memory_timeline.cc.o.d"
+  "fig26_memory_timeline"
+  "fig26_memory_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig26_memory_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

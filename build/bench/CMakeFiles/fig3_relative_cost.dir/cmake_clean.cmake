@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_relative_cost.dir/fig3_relative_cost.cc.o"
+  "CMakeFiles/fig3_relative_cost.dir/fig3_relative_cost.cc.o.d"
+  "fig3_relative_cost"
+  "fig3_relative_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_relative_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_ops_bench.dir/micro_ops_bench.cc.o"
+  "CMakeFiles/micro_ops_bench.dir/micro_ops_bench.cc.o.d"
+  "micro_ops_bench"
+  "micro_ops_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_ops_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

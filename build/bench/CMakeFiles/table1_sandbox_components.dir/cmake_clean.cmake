@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_sandbox_components.dir/table1_sandbox_components.cc.o"
+  "CMakeFiles/table1_sandbox_components.dir/table1_sandbox_components.cc.o.d"
+  "table1_sandbox_components"
+  "table1_sandbox_components.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_sandbox_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_token_usage.dir/table3_token_usage.cc.o"
+  "CMakeFiles/table3_token_usage.dir/table3_token_usage.cc.o.d"
+  "table3_token_usage"
+  "table3_token_usage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_token_usage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agent_sandbox.dir/agent_sandbox.cpp.o"
+  "CMakeFiles/agent_sandbox.dir/agent_sandbox.cpp.o.d"
+  "agent_sandbox"
+  "agent_sandbox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agent_sandbox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

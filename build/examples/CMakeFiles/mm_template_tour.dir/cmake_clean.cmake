@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mm_template_tour.dir/mm_template_tour.cpp.o"
+  "CMakeFiles/mm_template_tour.dir/mm_template_tour.cpp.o.d"
+  "mm_template_tour"
+  "mm_template_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mm_template_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

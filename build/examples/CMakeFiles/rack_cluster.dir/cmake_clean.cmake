@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rack_cluster.dir/rack_cluster.cpp.o"
+  "CMakeFiles/rack_cluster.dir/rack_cluster.cpp.o.d"
+  "rack_cluster"
+  "rack_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rack_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serverless_bursty.dir/serverless_bursty.cpp.o"
+  "CMakeFiles/serverless_bursty.dir/serverless_bursty.cpp.o.d"
+  "serverless_bursty"
+  "serverless_bursty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serverless_bursty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trenv_sim.dir/trenv_sim.cpp.o"
+  "CMakeFiles/trenv_sim.dir/trenv_sim.cpp.o.d"
+  "trenv_sim"
+  "trenv_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trenv_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

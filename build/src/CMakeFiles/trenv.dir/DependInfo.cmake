@@ -1,0 +1,79 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/agents/agent_executor.cc" "src/CMakeFiles/trenv.dir/agents/agent_executor.cc.o" "gcc" "src/CMakeFiles/trenv.dir/agents/agent_executor.cc.o.d"
+  "/root/repo/src/agents/agent_profile.cc" "src/CMakeFiles/trenv.dir/agents/agent_profile.cc.o" "gcc" "src/CMakeFiles/trenv.dir/agents/agent_profile.cc.o.d"
+  "/root/repo/src/agents/browser.cc" "src/CMakeFiles/trenv.dir/agents/browser.cc.o" "gcc" "src/CMakeFiles/trenv.dir/agents/browser.cc.o.d"
+  "/root/repo/src/agents/cost_model.cc" "src/CMakeFiles/trenv.dir/agents/cost_model.cc.o" "gcc" "src/CMakeFiles/trenv.dir/agents/cost_model.cc.o.d"
+  "/root/repo/src/agents/llm_trace.cc" "src/CMakeFiles/trenv.dir/agents/llm_trace.cc.o" "gcc" "src/CMakeFiles/trenv.dir/agents/llm_trace.cc.o.d"
+  "/root/repo/src/common/histogram.cc" "src/CMakeFiles/trenv.dir/common/histogram.cc.o" "gcc" "src/CMakeFiles/trenv.dir/common/histogram.cc.o.d"
+  "/root/repo/src/common/log.cc" "src/CMakeFiles/trenv.dir/common/log.cc.o" "gcc" "src/CMakeFiles/trenv.dir/common/log.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/trenv.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/trenv.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/trenv.dir/common/status.cc.o" "gcc" "src/CMakeFiles/trenv.dir/common/status.cc.o.d"
+  "/root/repo/src/common/table.cc" "src/CMakeFiles/trenv.dir/common/table.cc.o" "gcc" "src/CMakeFiles/trenv.dir/common/table.cc.o.d"
+  "/root/repo/src/common/units.cc" "src/CMakeFiles/trenv.dir/common/units.cc.o" "gcc" "src/CMakeFiles/trenv.dir/common/units.cc.o.d"
+  "/root/repo/src/criu/checkpointer.cc" "src/CMakeFiles/trenv.dir/criu/checkpointer.cc.o" "gcc" "src/CMakeFiles/trenv.dir/criu/checkpointer.cc.o.d"
+  "/root/repo/src/criu/deduplicator.cc" "src/CMakeFiles/trenv.dir/criu/deduplicator.cc.o" "gcc" "src/CMakeFiles/trenv.dir/criu/deduplicator.cc.o.d"
+  "/root/repo/src/criu/lazy_engines.cc" "src/CMakeFiles/trenv.dir/criu/lazy_engines.cc.o" "gcc" "src/CMakeFiles/trenv.dir/criu/lazy_engines.cc.o.d"
+  "/root/repo/src/criu/process_image.cc" "src/CMakeFiles/trenv.dir/criu/process_image.cc.o" "gcc" "src/CMakeFiles/trenv.dir/criu/process_image.cc.o.d"
+  "/root/repo/src/criu/restore_engine.cc" "src/CMakeFiles/trenv.dir/criu/restore_engine.cc.o" "gcc" "src/CMakeFiles/trenv.dir/criu/restore_engine.cc.o.d"
+  "/root/repo/src/criu/trenv_engine.cc" "src/CMakeFiles/trenv.dir/criu/trenv_engine.cc.o" "gcc" "src/CMakeFiles/trenv.dir/criu/trenv_engine.cc.o.d"
+  "/root/repo/src/mempool/backend.cc" "src/CMakeFiles/trenv.dir/mempool/backend.cc.o" "gcc" "src/CMakeFiles/trenv.dir/mempool/backend.cc.o.d"
+  "/root/repo/src/mempool/block_allocator.cc" "src/CMakeFiles/trenv.dir/mempool/block_allocator.cc.o" "gcc" "src/CMakeFiles/trenv.dir/mempool/block_allocator.cc.o.d"
+  "/root/repo/src/mempool/cxl_pool.cc" "src/CMakeFiles/trenv.dir/mempool/cxl_pool.cc.o" "gcc" "src/CMakeFiles/trenv.dir/mempool/cxl_pool.cc.o.d"
+  "/root/repo/src/mempool/dram_pool.cc" "src/CMakeFiles/trenv.dir/mempool/dram_pool.cc.o" "gcc" "src/CMakeFiles/trenv.dir/mempool/dram_pool.cc.o.d"
+  "/root/repo/src/mempool/nas_pool.cc" "src/CMakeFiles/trenv.dir/mempool/nas_pool.cc.o" "gcc" "src/CMakeFiles/trenv.dir/mempool/nas_pool.cc.o.d"
+  "/root/repo/src/mempool/promotion.cc" "src/CMakeFiles/trenv.dir/mempool/promotion.cc.o" "gcc" "src/CMakeFiles/trenv.dir/mempool/promotion.cc.o.d"
+  "/root/repo/src/mempool/rdma_pool.cc" "src/CMakeFiles/trenv.dir/mempool/rdma_pool.cc.o" "gcc" "src/CMakeFiles/trenv.dir/mempool/rdma_pool.cc.o.d"
+  "/root/repo/src/mempool/tiered_pool.cc" "src/CMakeFiles/trenv.dir/mempool/tiered_pool.cc.o" "gcc" "src/CMakeFiles/trenv.dir/mempool/tiered_pool.cc.o.d"
+  "/root/repo/src/mmtemplate/api.cc" "src/CMakeFiles/trenv.dir/mmtemplate/api.cc.o" "gcc" "src/CMakeFiles/trenv.dir/mmtemplate/api.cc.o.d"
+  "/root/repo/src/mmtemplate/mm_template.cc" "src/CMakeFiles/trenv.dir/mmtemplate/mm_template.cc.o" "gcc" "src/CMakeFiles/trenv.dir/mmtemplate/mm_template.cc.o.d"
+  "/root/repo/src/mmtemplate/registry.cc" "src/CMakeFiles/trenv.dir/mmtemplate/registry.cc.o" "gcc" "src/CMakeFiles/trenv.dir/mmtemplate/registry.cc.o.d"
+  "/root/repo/src/platform/cluster.cc" "src/CMakeFiles/trenv.dir/platform/cluster.cc.o" "gcc" "src/CMakeFiles/trenv.dir/platform/cluster.cc.o.d"
+  "/root/repo/src/platform/function_registry.cc" "src/CMakeFiles/trenv.dir/platform/function_registry.cc.o" "gcc" "src/CMakeFiles/trenv.dir/platform/function_registry.cc.o.d"
+  "/root/repo/src/platform/keep_alive_pool.cc" "src/CMakeFiles/trenv.dir/platform/keep_alive_pool.cc.o" "gcc" "src/CMakeFiles/trenv.dir/platform/keep_alive_pool.cc.o.d"
+  "/root/repo/src/platform/metrics.cc" "src/CMakeFiles/trenv.dir/platform/metrics.cc.o" "gcc" "src/CMakeFiles/trenv.dir/platform/metrics.cc.o.d"
+  "/root/repo/src/platform/platform.cc" "src/CMakeFiles/trenv.dir/platform/platform.cc.o" "gcc" "src/CMakeFiles/trenv.dir/platform/platform.cc.o.d"
+  "/root/repo/src/platform/prewarm.cc" "src/CMakeFiles/trenv.dir/platform/prewarm.cc.o" "gcc" "src/CMakeFiles/trenv.dir/platform/prewarm.cc.o.d"
+  "/root/repo/src/platform/testbed.cc" "src/CMakeFiles/trenv.dir/platform/testbed.cc.o" "gcc" "src/CMakeFiles/trenv.dir/platform/testbed.cc.o.d"
+  "/root/repo/src/runtime/execution_model.cc" "src/CMakeFiles/trenv.dir/runtime/execution_model.cc.o" "gcc" "src/CMakeFiles/trenv.dir/runtime/execution_model.cc.o.d"
+  "/root/repo/src/runtime/function_profile.cc" "src/CMakeFiles/trenv.dir/runtime/function_profile.cc.o" "gcc" "src/CMakeFiles/trenv.dir/runtime/function_profile.cc.o.d"
+  "/root/repo/src/runtime/process.cc" "src/CMakeFiles/trenv.dir/runtime/process.cc.o" "gcc" "src/CMakeFiles/trenv.dir/runtime/process.cc.o.d"
+  "/root/repo/src/sandbox/cgroup.cc" "src/CMakeFiles/trenv.dir/sandbox/cgroup.cc.o" "gcc" "src/CMakeFiles/trenv.dir/sandbox/cgroup.cc.o.d"
+  "/root/repo/src/sandbox/mount_namespace.cc" "src/CMakeFiles/trenv.dir/sandbox/mount_namespace.cc.o" "gcc" "src/CMakeFiles/trenv.dir/sandbox/mount_namespace.cc.o.d"
+  "/root/repo/src/sandbox/net_namespace.cc" "src/CMakeFiles/trenv.dir/sandbox/net_namespace.cc.o" "gcc" "src/CMakeFiles/trenv.dir/sandbox/net_namespace.cc.o.d"
+  "/root/repo/src/sandbox/sandbox.cc" "src/CMakeFiles/trenv.dir/sandbox/sandbox.cc.o" "gcc" "src/CMakeFiles/trenv.dir/sandbox/sandbox.cc.o.d"
+  "/root/repo/src/sandbox/sandbox_pool.cc" "src/CMakeFiles/trenv.dir/sandbox/sandbox_pool.cc.o" "gcc" "src/CMakeFiles/trenv.dir/sandbox/sandbox_pool.cc.o.d"
+  "/root/repo/src/sandbox/union_fs.cc" "src/CMakeFiles/trenv.dir/sandbox/union_fs.cc.o" "gcc" "src/CMakeFiles/trenv.dir/sandbox/union_fs.cc.o.d"
+  "/root/repo/src/sim/cpu.cc" "src/CMakeFiles/trenv.dir/sim/cpu.cc.o" "gcc" "src/CMakeFiles/trenv.dir/sim/cpu.cc.o.d"
+  "/root/repo/src/sim/event_scheduler.cc" "src/CMakeFiles/trenv.dir/sim/event_scheduler.cc.o" "gcc" "src/CMakeFiles/trenv.dir/sim/event_scheduler.cc.o.d"
+  "/root/repo/src/sim/semaphore.cc" "src/CMakeFiles/trenv.dir/sim/semaphore.cc.o" "gcc" "src/CMakeFiles/trenv.dir/sim/semaphore.cc.o.d"
+  "/root/repo/src/simkernel/fault_handler.cc" "src/CMakeFiles/trenv.dir/simkernel/fault_handler.cc.o" "gcc" "src/CMakeFiles/trenv.dir/simkernel/fault_handler.cc.o.d"
+  "/root/repo/src/simkernel/frame_allocator.cc" "src/CMakeFiles/trenv.dir/simkernel/frame_allocator.cc.o" "gcc" "src/CMakeFiles/trenv.dir/simkernel/frame_allocator.cc.o.d"
+  "/root/repo/src/simkernel/mm_struct.cc" "src/CMakeFiles/trenv.dir/simkernel/mm_struct.cc.o" "gcc" "src/CMakeFiles/trenv.dir/simkernel/mm_struct.cc.o.d"
+  "/root/repo/src/simkernel/page_cache.cc" "src/CMakeFiles/trenv.dir/simkernel/page_cache.cc.o" "gcc" "src/CMakeFiles/trenv.dir/simkernel/page_cache.cc.o.d"
+  "/root/repo/src/simkernel/page_table.cc" "src/CMakeFiles/trenv.dir/simkernel/page_table.cc.o" "gcc" "src/CMakeFiles/trenv.dir/simkernel/page_table.cc.o.d"
+  "/root/repo/src/simkernel/vma.cc" "src/CMakeFiles/trenv.dir/simkernel/vma.cc.o" "gcc" "src/CMakeFiles/trenv.dir/simkernel/vma.cc.o.d"
+  "/root/repo/src/vm/guest_memory.cc" "src/CMakeFiles/trenv.dir/vm/guest_memory.cc.o" "gcc" "src/CMakeFiles/trenv.dir/vm/guest_memory.cc.o.d"
+  "/root/repo/src/vm/micro_vm.cc" "src/CMakeFiles/trenv.dir/vm/micro_vm.cc.o" "gcc" "src/CMakeFiles/trenv.dir/vm/micro_vm.cc.o.d"
+  "/root/repo/src/vm/virtio_device.cc" "src/CMakeFiles/trenv.dir/vm/virtio_device.cc.o" "gcc" "src/CMakeFiles/trenv.dir/vm/virtio_device.cc.o.d"
+  "/root/repo/src/vm/vm_configs.cc" "src/CMakeFiles/trenv.dir/vm/vm_configs.cc.o" "gcc" "src/CMakeFiles/trenv.dir/vm/vm_configs.cc.o.d"
+  "/root/repo/src/vm/vm_platform.cc" "src/CMakeFiles/trenv.dir/vm/vm_platform.cc.o" "gcc" "src/CMakeFiles/trenv.dir/vm/vm_platform.cc.o.d"
+  "/root/repo/src/workload/arrival.cc" "src/CMakeFiles/trenv.dir/workload/arrival.cc.o" "gcc" "src/CMakeFiles/trenv.dir/workload/arrival.cc.o.d"
+  "/root/repo/src/workload/trace_csv.cc" "src/CMakeFiles/trenv.dir/workload/trace_csv.cc.o" "gcc" "src/CMakeFiles/trenv.dir/workload/trace_csv.cc.o.d"
+  "/root/repo/src/workload/traces.cc" "src/CMakeFiles/trenv.dir/workload/traces.cc.o" "gcc" "src/CMakeFiles/trenv.dir/workload/traces.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/criu_test.dir/criu_test.cc.o"
+  "CMakeFiles/criu_test.dir/criu_test.cc.o.d"
+  "criu_test"
+  "criu_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/criu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for criu_test.
+# This may be replaced when dependencies are built.

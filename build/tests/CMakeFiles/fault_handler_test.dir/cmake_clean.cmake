@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_handler_test.dir/fault_handler_test.cc.o"
+  "CMakeFiles/fault_handler_test.dir/fault_handler_test.cc.o.d"
+  "fault_handler_test"
+  "fault_handler_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_handler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/guest_memory_test.dir/guest_memory_test.cc.o"
+  "CMakeFiles/guest_memory_test.dir/guest_memory_test.cc.o.d"
+  "guest_memory_test"
+  "guest_memory_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/guest_memory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmtemplate_test.dir/mmtemplate_test.cc.o"
+  "CMakeFiles/mmtemplate_test.dir/mmtemplate_test.cc.o.d"
+  "mmtemplate_test"
+  "mmtemplate_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmtemplate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prewarm_test.dir/prewarm_test.cc.o"
+  "CMakeFiles/prewarm_test.dir/prewarm_test.cc.o.d"
+  "prewarm_test"
+  "prewarm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prewarm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/promotion_test.dir/promotion_test.cc.o"
+  "CMakeFiles/promotion_test.dir/promotion_test.cc.o.d"
+  "promotion_test"
+  "promotion_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/promotion_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sandbox_test.dir/sandbox_test.cc.o"
+  "CMakeFiles/sandbox_test.dir/sandbox_test.cc.o.d"
+  "sandbox_test"
+  "sandbox_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sandbox_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

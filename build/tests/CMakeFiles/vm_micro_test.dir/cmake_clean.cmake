@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vm_micro_test.dir/vm_micro_test.cc.o"
+  "CMakeFiles/vm_micro_test.dir/vm_micro_test.cc.o.d"
+  "vm_micro_test"
+  "vm_micro_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vm_micro_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vm_platform_test.dir/vm_platform_test.cc.o"
+  "CMakeFiles/vm_platform_test.dir/vm_platform_test.cc.o.d"
+  "vm_platform_test"
+  "vm_platform_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vm_platform_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
