@@ -5,14 +5,90 @@
 #include <iostream>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/common/table.h"
+#include "src/obs/export.h"
+#include "src/obs/trace.h"
 #include "src/platform/testbed.h"
 #include "src/workload/traces.h"
 
 namespace trenv {
 namespace bench {
+
+// Observability wiring shared by the figure benches: `--trace-out=<file>`
+// dumps a Chrome trace_event JSON (chrome://tracing, ui.perfetto.dev) of
+// every platform the bench ran; `--metrics-out=<file>` dumps the process-wide
+// registry in Prometheus text format. With neither flag the tracer stays
+// disabled and instrumentation costs a null check.
+struct BenchEnv {
+  obs::Tracer tracer;
+  std::string trace_out;
+  std::string metrics_out;
+
+  BenchEnv(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string_view arg = argv[i];
+      if (arg.rfind("--trace-out=", 0) == 0) {
+        trace_out = std::string(arg.substr(12));
+      } else if (arg.rfind("--metrics-out=", 0) == 0) {
+        metrics_out = std::string(arg.substr(14));
+      } else {
+        std::cerr << "unknown flag: " << arg
+                  << " (supported: --trace-out=<file> --metrics-out=<file>)\n";
+      }
+    }
+    tracer.set_enabled(!trace_out.empty());
+  }
+
+  // Handed to PlatformConfig::tracer; null when tracing is off so the
+  // instrumented code takes its zero-cost path.
+  obs::Tracer* tracer_or_null() { return trace_out.empty() ? nullptr : &tracer; }
+
+  bool wants_output() const { return !trace_out.empty() || !metrics_out.empty(); }
+
+  // Folds a platform-owned registry into the process-wide one under
+  // `prefix.` — benches that build several short-lived testbeds call this
+  // before each testbed dies so Finish() still sees its totals.
+  void AbsorbRegistry(std::string_view prefix, const obs::Registry& registry) {
+    if (!wants_output()) {
+      return;
+    }
+    obs::Registry& sink = obs::DefaultRegistry();
+    for (const auto& [name, counter] : registry.counters()) {
+      sink.GetCounter(std::string(prefix) + "." + name)->Add(counter->value());
+    }
+    for (const auto& [name, gauge] : registry.gauges()) {
+      sink.GetGauge(std::string(prefix) + "." + name)->Set(gauge->value());
+    }
+  }
+
+  // Writes the requested outputs; call once after the bench body. `registry`
+  // defaults to the process-wide one (pool/mmt stats of non-testbed setups).
+  void Finish(const obs::Registry* registry = nullptr) {
+    if (registry == nullptr) {
+      registry = &obs::DefaultRegistry();
+    }
+    if (!trace_out.empty()) {
+      const Status status = obs::WriteChromeTraceFile(tracer, trace_out, registry);
+      if (status.ok()) {
+        std::cout << "trace written to " << trace_out << " (" << tracer.spans().size()
+                  << " spans; open in chrome://tracing or ui.perfetto.dev)\n";
+      } else {
+        std::cerr << "trace export failed: " << status << "\n";
+      }
+    }
+    if (!metrics_out.empty()) {
+      const Status status = obs::WritePrometheusFile(*registry, metrics_out);
+      if (status.ok()) {
+        std::cout << "metrics written to " << metrics_out << "\n";
+      } else {
+        std::cerr << "metrics export failed: " << status << "\n";
+      }
+    }
+  }
+};
 
 // Container-platform experiment: deploy Table 4, run a warm-up, clear
 // metrics, run the measured workload, and return the testbed for inspection.

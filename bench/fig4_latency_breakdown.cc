@@ -8,24 +8,39 @@
 namespace trenv {
 namespace {
 
-void RunOne(SystemKind kind, Table& table) {
-  Testbed bed(kind);
+void RunOne(SystemKind kind, Table& table, bench::BenchEnv& env) {
+  PlatformConfig config;
+  config.tracer = env.tracer_or_null();
+  Testbed bed(kind, config);
   if (!bed.DeployTable4Functions().ok()) {
     return;
   }
   // Run one invocation for the E2E column, then retire it so TrEnv's pool
-  // holds a repurposable sandbox (its steady state).
+  // holds a repurposable sandbox (its steady state). With --trace-out the
+  // platform emits this invocation's spans (restore.* phases, fault.touch,
+  // exec) under the process named after the system.
   (void)bed.platform().Run(Schedule{{SimTime::Zero(), "JS"}});
   bed.platform().EvictAllIdle();
-  // Reconstruct the phases from a direct engine call for the breakdown.
+  // Reconstruct the phases from a direct engine call for the breakdown; the
+  // engine-level detail spans land on a dedicated "breakdown" track.
   RestoreContext ctx;
   FrameAllocator frames(8ULL * kGiB);
   PidAllocator pids;
   ctx.frames = &frames;
   ctx.backends = &bed.backends();
   ctx.pids = &pids;
+  obs::SpanId breakdown_span = obs::kInvalidSpanId;
+  if (env.tracer_or_null() != nullptr) {
+    ctx.tracer = env.tracer_or_null();
+    ctx.trace_loc = {bed.platform().trace_pid(), /*track=*/1000000};
+    breakdown_span = ctx.tracer->StartSpan(ctx.trace_loc, "restore.breakdown", "restore");
+    ctx.trace_parent = breakdown_span;
+  }
   const FunctionProfile* profile = FindTable4Function("JS");
   auto outcome = bed.engine().Restore(*profile, ctx);
+  if (ctx.tracer != nullptr) {
+    ctx.tracer->EndSpan(breakdown_span);
+  }
   if (!outcome.ok()) {
     std::cerr << "restore failed\n";
     return;
@@ -37,15 +52,16 @@ void RunOne(SystemKind kind, Table& table) {
                                        : Table::Ms(startup.process.millis()),
                 Table::Ms(startup.memory.millis()), Table::Ms(startup.Total().millis()),
                 Table::Ms(e2e.Mean())});
+  env.AbsorbRegistry(SystemName(kind), bed.platform().metrics().registry());
 }
 
-void Run() {
+void Run(bench::BenchEnv& env) {
   PrintBanner(std::cout,
               "Figure 4: startup-latency breakdown for a Python function (JS, ~95 MiB image)");
   Table table({"System", "Sandbox", "Process/Bootstrap", "Memory", "Startup total", "E2E"});
-  RunOne(SystemKind::kFaasd, table);
-  RunOne(SystemKind::kCriu, table);
-  RunOne(SystemKind::kTrEnvCxl, table);
+  RunOne(SystemKind::kFaasd, table, env);
+  RunOne(SystemKind::kCriu, table, env);
+  RunOne(SystemKind::kTrEnvCxl, table, env);
   table.Print(std::cout);
   std::cout << "Paper reference: sandbox creation rivals or exceeds execution; CRIU's "
                "memory copy alone is >60 ms for a 60 MiB image; TrEnv repurposes in "
@@ -55,7 +71,9 @@ void Run() {
 }  // namespace
 }  // namespace trenv
 
-int main() {
-  trenv::Run();
+int main(int argc, char** argv) {
+  trenv::bench::BenchEnv env(argc, argv);
+  trenv::Run(env);
+  env.Finish();
   return 0;
 }

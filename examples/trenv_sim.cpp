@@ -7,6 +7,7 @@
 //             [--workload=w1|w2|azure|huawei|poisson] [--minutes=N]
 //             [--rate=R] [--seed=S] [--mem-cap-gib=G] [--trace=file.csv]
 //             [--per-function] [--export-trace=file.csv]
+//             [--trace-out=file.json] [--metrics-out=file.prom]
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -14,6 +15,8 @@
 #include <string>
 
 #include "src/common/table.h"
+#include "src/obs/export.h"
+#include "src/obs/trace.h"
 #include "src/platform/testbed.h"
 #include "src/workload/trace_csv.h"
 #include "src/workload/traces.h"
@@ -30,6 +33,8 @@ struct CliOptions {
   std::optional<uint64_t> mem_cap_gib;
   std::string trace_path;
   std::string export_path;
+  std::string trace_out;    // Chrome trace_event JSON of this run's spans
+  std::string metrics_out;  // Prometheus text dump of the run's counters
   bool per_function = false;
 };
 
@@ -47,6 +52,7 @@ void PrintUsage() {
   std::cout << "usage: trenv_sim [--system=NAME] [--workload=w1|w2|azure|huawei|poisson]\n"
                "                 [--minutes=N] [--rate=R] [--seed=S] [--mem-cap-gib=G]\n"
                "                 [--trace=FILE.csv] [--export-trace=FILE.csv]\n"
+               "                 [--trace-out=FILE.json] [--metrics-out=FILE.prom]\n"
                "                 [--per-function]\n"
                "systems: ";
   for (const auto& [flag, kind] : SystemsByFlag()) {
@@ -91,6 +97,10 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       options->trace_path = *t;
     } else if (auto e = value_of("--export-trace=")) {
       options->export_path = *e;
+    } else if (auto o = value_of("--trace-out=")) {
+      options->trace_out = *o;
+    } else if (auto mo = value_of("--metrics-out=")) {
+      options->metrics_out = *mo;
     } else {
       std::cerr << "unknown argument: " << arg << "\n";
       PrintUsage();
@@ -138,6 +148,10 @@ int Main(int argc, char** argv) {
   config.seed = options.seed;
   if (options.mem_cap_gib.has_value()) {
     config.soft_mem_cap_bytes = *options.mem_cap_gib * kGiB;
+  }
+  obs::Tracer tracer;
+  if (!options.trace_out.empty()) {
+    config.tracer = &tracer;
   }
   Testbed bed(options.system, config);
   if (Status status = bed.DeployTable4Functions(); !status.ok()) {
@@ -192,6 +206,24 @@ int Main(int argc, char** argv) {
                      Table::Num(metrics.startup_ms.empty() ? 0 : metrics.startup_ms.P99())});
     }
     per_fn.Print(std::cout);
+  }
+
+  const obs::Registry& stats = bed.platform().metrics().registry();
+  if (!options.trace_out.empty()) {
+    if (Status status = obs::WriteChromeTraceFile(tracer, options.trace_out, &stats);
+        status.ok()) {
+      std::cout << "trace written to " << options.trace_out << " (" << tracer.spans().size()
+                << " spans; open in chrome://tracing or ui.perfetto.dev)\n";
+    } else {
+      std::cerr << "trace export failed: " << status << "\n";
+    }
+  }
+  if (!options.metrics_out.empty()) {
+    if (Status status = obs::WritePrometheusFile(stats, options.metrics_out); !status.ok()) {
+      std::cerr << "metrics export failed: " << status << "\n";
+    } else {
+      std::cout << "metrics written to " << options.metrics_out << "\n";
+    }
   }
   return 0;
 }

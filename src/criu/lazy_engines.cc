@@ -66,6 +66,16 @@ Result<RestoreOutcome> ReapEngine::Restore(const FunctionProfile& profile, Resto
   const uint64_t overhead_pages = BytesToPages(cost::kVmGuestOverheadBytes);
   TRENV_RETURN_IF_ERROR(ctx.frames->AllocatePages(overhead_pages).status());
   outcome.instance->overhead_pages = overhead_pages;
+
+  const SimTime t0 = ctx.tracer != nullptr ? ctx.tracer->now(ctx.trace_loc.pid) : SimTime();
+  TracePhase(ctx, "sandbox.vm_jailer", t0, outcome.startup.sandbox);
+  TracePhase(ctx, "vm.snapshot_load", t0 + outcome.startup.sandbox, outcome.startup.process);
+  const obs::SpanId prefetch =
+      TracePhase(ctx, "vm.eager_prefetch", t0 + outcome.startup.sandbox + outcome.startup.process,
+                 outcome.startup.memory);
+  if (ctx.tracer != nullptr) {
+    ctx.tracer->Annotate(prefetch, "eager_pages", static_cast<int64_t>(eager_pages_total));
+  }
   return outcome;
 }
 
@@ -89,6 +99,13 @@ Result<ExecutionOverheads> ReapEngine::OnExecute(const FunctionProfile& profile,
   overheads.added_cpu = fault_total * 0.5;
   overheads.added_latency = fault_total * 0.5 * (1.0 - options_.hidden_fault_fraction) +
                             cost::kCowFault * static_cast<double>(stats.cow_faults);
+  if (ctx.tracer != nullptr && faulted > 0) {
+    const obs::SpanId span = ctx.tracer->RecordSpanAt(
+        ctx.trace_loc, "uffd.pagework", "fault", ctx.tracer->now(ctx.trace_loc.pid),
+        fault_total, ctx.trace_parent);
+    ctx.tracer->Annotate(span, "faulted_pages", static_cast<int64_t>(faulted));
+    ctx.tracer->Annotate(span, "hidden_fraction", options_.hidden_fault_fraction);
+  }
   return overheads;
 }
 

@@ -68,7 +68,7 @@ Result<BulkAccessStats> RestoreEngine::TouchInvocationPages(const FunctionProfil
   if (snapshot == nullptr) {
     return Status::FailedPrecondition("function was never prepared: " + profile.name);
   }
-  FaultHandler handler(ctx.frames, ctx.backends);
+  FaultHandler handler(ctx.frames, ctx.backends, ctx.stats);
   BulkAccessStats total;
   // Write budget: write_fraction of the WHOLE image, distributed over the
   // writable regions (heap, stack, .data) until exhausted — interpreters
@@ -100,6 +100,22 @@ Result<BulkAccessStats> RestoreEngine::TouchInvocationPages(const FunctionProfil
         total.MergeFrom(stats);
       }
     }
+  }
+  // One "fault.touch" span per invocation's page work, annotated with the
+  // fault/fetch decomposition (the trace-level view of Fig 4's memory phase).
+  if (ctx.tracer != nullptr) {
+    const obs::SpanId span =
+        ctx.tracer->RecordSpanAt(ctx.trace_loc, "fault.touch", "fault",
+                                 ctx.tracer->now(ctx.trace_loc.pid), total.latency,
+                                 ctx.trace_parent);
+    ctx.tracer->Annotate(span, "pages", static_cast<int64_t>(total.pages));
+    ctx.tracer->Annotate(span, "minor_faults", static_cast<int64_t>(total.minor_faults));
+    ctx.tracer->Annotate(span, "major_faults", static_cast<int64_t>(total.major_faults));
+    ctx.tracer->Annotate(span, "cow_faults", static_cast<int64_t>(total.cow_faults));
+    ctx.tracer->Annotate(span, "bytes_fetched", static_cast<int64_t>(total.bytes_fetched));
+    ctx.tracer->Annotate(span, "direct_remote", static_cast<int64_t>(total.direct_remote));
+    ctx.tracer->Annotate(span, "direct_local", static_cast<int64_t>(total.direct_local));
+    ctx.tracer->Annotate(span, "fetch_cpu_ms", total.fetch_cpu.millis());
   }
   return total;
 }
@@ -140,6 +156,14 @@ Result<RestoreOutcome> ColdStartEngine::Restore(const FunctionProfile& profile,
   outcome.startup.sandbox = created.cost.Total();
   outcome.startup.process = profile.bootstrap;
   outcome.startup.process_is_cpu = true;
+
+  const SimTime t0 = ctx.tracer != nullptr ? ctx.tracer->now(ctx.trace_loc.pid) : SimTime();
+  TracePhase(ctx, "sandbox.cold", t0, outcome.startup.sandbox);
+  const obs::SpanId boot = TracePhase(ctx, "bootstrap", t0 + outcome.startup.sandbox,
+                                      outcome.startup.process);
+  if (ctx.tracer != nullptr) {
+    ctx.tracer->Annotate(boot, "image_bytes", static_cast<int64_t>(snapshot->TotalBytes()));
+  }
   return outcome;
 }
 
@@ -173,6 +197,17 @@ Result<RestoreOutcome> VanillaCriuEngine::Restore(const FunctionProfile& profile
   // Copy-based memory restoration from the tmpfs snapshot.
   outcome.startup.memory = SimDuration::FromSecondsF(
       static_cast<double>(snapshot->TotalBytes()) / cost::kCriuMemCopyBytesPerSec);
+
+  const SimTime t0 = ctx.tracer != nullptr ? ctx.tracer->now(ctx.trace_loc.pid) : SimTime();
+  TracePhase(ctx, "sandbox.cold", t0, outcome.startup.sandbox);
+  TracePhase(ctx, "criu.process_state", t0 + outcome.startup.sandbox, outcome.startup.process);
+  const obs::SpanId copy = TracePhase(
+      ctx, "criu.memcopy", t0 + outcome.startup.sandbox + outcome.startup.process,
+      outcome.startup.memory);
+  if (ctx.tracer != nullptr) {
+    ctx.tracer->Annotate(copy, "bytes", static_cast<int64_t>(snapshot->TotalBytes()));
+    ctx.tracer->Annotate(copy, "vmas", static_cast<int64_t>(vma_count));
+  }
   return outcome;
 }
 

@@ -21,6 +21,8 @@
 
 #include "src/common/status.h"
 #include "src/criu/checkpointer.h"
+#include "src/obs/registry.h"
+#include "src/obs/trace.h"
 #include "src/criu/process_image.h"
 #include "src/runtime/execution_model.h"
 #include "src/runtime/function_profile.h"
@@ -83,12 +85,31 @@ struct RestoreContext {
   PidAllocator* pids = nullptr;
   // Startups currently in flight (drives kernel-lock contention models).
   uint32_t concurrent_startups = 0;
+  // Observability: engines record phase-detail spans under `trace_parent` at
+  // `trace_loc` and bump counters in `stats`. All optional — a null tracer /
+  // registry costs one branch per site.
+  obs::Tracer* tracer = nullptr;
+  obs::Loc trace_loc;
+  obs::SpanId trace_parent = obs::kInvalidSpanId;
+  obs::Registry* stats = nullptr;
 };
 
 struct RestoreOutcome {
   std::unique_ptr<FunctionInstance> instance;
   StartupBreakdown startup;
 };
+
+// Records one completed restore-phase detail span ("sandbox.cold",
+// "mmt.attach", ...) under ctx.trace_parent. Returns the span for further
+// annotation (kInvalidSpanId when tracing is off).
+inline obs::SpanId TracePhase(RestoreContext& ctx, std::string_view name, SimTime start,
+                              SimDuration duration) {
+  if (ctx.tracer == nullptr) {
+    return obs::kInvalidSpanId;
+  }
+  return ctx.tracer->RecordSpanAt(ctx.trace_loc, name, "restore", start, duration,
+                                  ctx.trace_parent);
+}
 
 class RestoreEngine {
  public:

@@ -76,6 +76,7 @@ Result<RestoreOutcome> TrEnvEngine::Restore(const FunctionProfile& profile,
     return Status::FailedPrecondition("function was never prepared: " + profile.name);
   }
   RestoreOutcome outcome;
+  const SimTime t0 = ctx.tracer != nullptr ? ctx.tracer->now(ctx.trace_loc.pid) : SimTime();
 
   // --- Step B2: sandbox (repurpose if possible). ---
   std::unique_ptr<Sandbox> sandbox;
@@ -102,12 +103,16 @@ Result<RestoreOutcome> TrEnvEngine::Restore(const FunctionProfile& profile,
     outcome.startup.sandbox = created.cost.Total();
   }
   outcome.instance = std::make_unique<FunctionInstance>(profile.name, std::move(sandbox));
+  TracePhase(ctx, outcome.startup.sandbox_repurposed ? "sandbox.repurpose" : "sandbox.cold", t0,
+             outcome.startup.sandbox);
 
   // --- Step B3: CRIU repurpose request (non-memory process state). ---
   outcome.startup.process =
       cost::kCriuRepurposeRequest +
       cost::kCriuPerThreadClone * static_cast<double>(snapshot->TotalThreads()) +
       cost::kCriuPerOpenFd * static_cast<double>(profile.open_fds);
+  TracePhase(ctx, "criu.process_state", t0 + outcome.startup.sandbox, outcome.startup.process);
+  SimTime phase_start = t0 + outcome.startup.sandbox + outcome.startup.process;
 
   // --- Step B4: memory state. ---
   if (options_.use_mm_template) {
@@ -118,6 +123,14 @@ Result<RestoreOutcome> TrEnvEngine::Restore(const FunctionProfile& profile,
     for (auto& process : outcome.instance->processes()) {
       TRENV_ASSIGN_OR_RETURN(MmtAttachResult attach, mmt_->MmtAttach(ids[p++], &process->mm()));
       outcome.startup.memory += attach.latency;
+      const obs::SpanId span = TracePhase(ctx, "mmt.attach", phase_start, attach.latency);
+      if (ctx.tracer != nullptr) {
+        ctx.tracer->Annotate(span, "process", process->name());
+        ctx.tracer->Annotate(span, "metadata_bytes",
+                             static_cast<int64_t>(attach.metadata_bytes));
+        ctx.tracer->Annotate(span, "mapped_pages", static_cast<int64_t>(attach.mapped_pages));
+      }
+      phase_start = phase_start + attach.latency;
     }
   } else {
     // Ablation: repurposed sandbox but copy-based memory restoration.
@@ -130,6 +143,10 @@ Result<RestoreOutcome> TrEnvEngine::Restore(const FunctionProfile& profile,
         SimDuration::FromSecondsF(static_cast<double>(snapshot->TotalBytes()) /
                                   cost::kCriuMemCopyBytesPerSec) +
         cost::kMmapSyscall * static_cast<double>(vma_count);
+    const obs::SpanId span = TracePhase(ctx, "criu.memcopy", phase_start, outcome.startup.memory);
+    if (ctx.tracer != nullptr) {
+      ctx.tracer->Annotate(span, "bytes", static_cast<int64_t>(snapshot->TotalBytes()));
+    }
   }
   return outcome;
 }
@@ -154,6 +171,11 @@ Result<ExecutionOverheads> TrEnvEngine::OnExecute(const FunctionProfile& profile
       }
       TRENV_ASSIGN_OR_RETURN(MmtAttachResult attach, mmt_->MmtAttach(ids[p++], &mm));
       rollback_cost += attach.latency;
+    }
+    if (ctx.tracer != nullptr && rollback_cost > SimDuration::Zero()) {
+      ctx.tracer->RecordSpanAt(ctx.trace_loc, "mmt.rollback", "restore",
+                               ctx.tracer->now(ctx.trace_loc.pid), rollback_cost,
+                               ctx.trace_parent);
     }
   }
   // Open fetch streams on any message-model pools backing this instance, so

@@ -61,6 +61,25 @@ uint64_t ContentMap::stored_pages() const {
   return total;
 }
 
+SimDuration MemoryBackend::FetchLatency(uint64_t npages) {
+  if (npages > 0 && fetch_ops_ != nullptr) {
+    fetch_ops_->Increment();
+    fetch_pages_->Add(static_cast<double>(npages));
+  }
+  return ComputeFetchLatency(npages);
+}
+
+void MemoryBackend::BindStats(obs::Registry* stats) {
+  if (stats == nullptr) {
+    fetch_ops_ = nullptr;
+    fetch_pages_ = nullptr;
+    return;
+  }
+  const std::string prefix = "pool." + std::string(name());
+  fetch_ops_ = stats->GetCounter(prefix + ".fetch_ops");
+  fetch_pages_ = stats->GetCounter(prefix + ".fetch_pages");
+}
+
 Status MemoryBackend::FreePages(PoolOffset base, uint64_t n) {
   TRENV_RETURN_IF_ERROR(allocator_.Free(base, n));
   content_.Erase(base, n);

@@ -11,11 +11,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <string>
 #include <string_view>
 
 #include "src/common/status.h"
 #include "src/common/time.h"
 #include "src/mempool/block_allocator.h"
+#include "src/obs/registry.h"
 #include "src/simkernel/types.h"
 
 namespace trenv {
@@ -61,8 +63,12 @@ class MemoryBackend {
   uint64_t stored_pages() const { return content_.stored_pages(); }
 
   // Fault-path fetch of n pages (RDMA read, NAS block I/O, or a memcpy out of
-  // a byte-addressable pool). Includes fabric contention effects.
-  virtual SimDuration FetchLatency(uint64_t npages) = 0;
+  // a byte-addressable pool). Includes fabric contention effects. Counts
+  // into the stats registry bound with BindStats, if any.
+  SimDuration FetchLatency(uint64_t npages);
+  // Binds "pool.<name>.fetch_ops" / "pool.<name>.fetch_pages" counters so
+  // every fetch through this tier shows up in telemetry dumps.
+  void BindStats(obs::Registry* stats);
   // Per-load latency for direct access; only meaningful if byte_addressable().
   virtual SimDuration DirectLoadLatency() const = 0;
   // CPU time the host burns per fetched page (e.g. RDMA completion handling);
@@ -79,9 +85,14 @@ class MemoryBackend {
   explicit MemoryBackend(uint64_t capacity_bytes)
       : allocator_(capacity_bytes / kPageSize) {}
 
+  // The pool-specific latency model behind FetchLatency.
+  virtual SimDuration ComputeFetchLatency(uint64_t npages) = 0;
+
  private:
   BlockAllocator allocator_;
   ContentMap content_;
+  obs::Counter* fetch_ops_ = nullptr;
+  obs::Counter* fetch_pages_ = nullptr;
 };
 
 // Maps PoolKind -> backend for the fault handler. Does not own the backends.

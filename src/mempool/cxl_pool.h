@@ -32,14 +32,15 @@ class CxlPool : public MemoryBackend {
   uint32_t attached_nodes() const { return static_cast<uint32_t>(attached_.size()); }
   uint32_t port_count() const { return port_count_; }
 
+  SimDuration DirectLoadLatency() const override { return cost::kCxlLoadLatency; }
+
+ protected:
   // Fault-path fetch (used when CoW copies a CXL page to local DRAM):
   // streaming copy at CXL link bandwidth.
-  SimDuration FetchLatency(uint64_t npages) override {
+  SimDuration ComputeFetchLatency(uint64_t npages) override {
     const double bytes = static_cast<double>(npages) * static_cast<double>(kPageSize);
     return SimDuration::FromSecondsF(bytes / cost::kCxlBandwidthBytesPerSec);
   }
-
-  SimDuration DirectLoadLatency() const override { return cost::kCxlLoadLatency; }
 
  private:
   uint32_t port_count_;

@@ -17,14 +17,15 @@ class DramPool : public MemoryBackend {
   std::string_view name() const override { return "dram-tmpfs"; }
   bool byte_addressable() const override { return true; }
 
-  SimDuration FetchLatency(uint64_t npages) override {
+  SimDuration DirectLoadLatency() const override { return cost::kLocalDramLatency; }
+
+ protected:
+  SimDuration ComputeFetchLatency(uint64_t npages) override {
     // memcpy out of local DRAM at memory bandwidth.
     constexpr double kDramCopyBytesPerSec = 12.0 * static_cast<double>(kGiB);
     const double bytes = static_cast<double>(npages) * static_cast<double>(kPageSize);
     return SimDuration::FromSecondsF(bytes / kDramCopyBytesPerSec);
   }
-
-  SimDuration DirectLoadLatency() const override { return cost::kLocalDramLatency; }
 };
 
 }  // namespace trenv

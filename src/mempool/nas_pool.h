@@ -16,12 +16,12 @@ class NasPool : public MemoryBackend {
   std::string_view name() const override { return "nas"; }
   bool byte_addressable() const override { return false; }
 
-  SimDuration FetchLatency(uint64_t npages) override {
-    return SimDuration(cost::kNasPageFetchBase.nanos() * static_cast<int64_t>(npages));
-  }
   SimDuration DirectLoadLatency() const override { return cost::kNasPageFetchBase; }
 
- private:
+ protected:
+  SimDuration ComputeFetchLatency(uint64_t npages) override {
+    return SimDuration(cost::kNasPageFetchBase.nanos() * static_cast<int64_t>(npages));
+  }
 };
 
 }  // namespace trenv

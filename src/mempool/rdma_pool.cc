@@ -12,7 +12,7 @@ double RdmaPool::LoadFactor() const {
   return 1.0 + cost::kRdmaLoadLatencyFactor * excess;
 }
 
-SimDuration RdmaPool::FetchLatency(uint64_t npages) {
+SimDuration RdmaPool::ComputeFetchLatency(uint64_t npages) {
   if (npages == 0) {
     return SimDuration::Zero();
   }

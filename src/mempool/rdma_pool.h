@@ -25,7 +25,6 @@ class RdmaPool : public MemoryBackend {
   std::string_view name() const override { return "rdma"; }
   bool byte_addressable() const override { return false; }
 
-  SimDuration FetchLatency(uint64_t npages) override;
   SimDuration DirectLoadLatency() const override {
     // Direct loads are impossible; callers must fault. Returning the fetch
     // base keeps misuse visible in traces rather than silently free.
@@ -43,6 +42,9 @@ class RdmaPool : public MemoryBackend {
 
   // Current contention multiplier (exposed for tests/benches).
   double LoadFactor() const;
+
+ protected:
+  SimDuration ComputeFetchLatency(uint64_t npages) override;
 
  private:
   Rng rng_;

@@ -12,9 +12,30 @@ Status PrivilegeError() {
 }
 }  // namespace
 
+MmtApi::MmtApi(const BackendRegistry* backends, obs::Registry* stats) : backends_(backends) {
+  BindStats(stats != nullptr ? stats : &obs::DefaultRegistry());
+}
+
+void MmtApi::BindStats(obs::Registry* stats) {
+  if (stats == nullptr) {
+    creates_ = destroys_ = setup_pt_calls_ = attach_calls_ = nullptr;
+    attach_metadata_bytes_ = attached_pages_ = nullptr;
+    return;
+  }
+  creates_ = stats->GetCounter("mmt.creates");
+  destroys_ = stats->GetCounter("mmt.destroys");
+  setup_pt_calls_ = stats->GetCounter("mmt.setup_pt_calls");
+  attach_calls_ = stats->GetCounter("mmt.attach_calls");
+  attach_metadata_bytes_ = stats->GetCounter("mmt.attach_metadata_bytes");
+  attached_pages_ = stats->GetCounter("mmt.attached_pages");
+}
+
 MmtId MmtApi::MmtCreate(std::string name) {
   if (!privileged_) {
     return kInvalidMmtId;
+  }
+  if (creates_ != nullptr) {
+    creates_->Increment();
   }
   return registry_.Create(std::move(name));
 }
@@ -71,6 +92,9 @@ Result<MmtSetupResult> MmtApi::MmtSetupPt(MmtId id, Vaddr addr, uint64_t length,
 
   MmtSetupResult result;
   result.latency = cost::kMmtSetupPtPerRun + cost::kMmtIoctl;
+  if (setup_pt_calls_ != nullptr) {
+    setup_pt_calls_->Increment();
+  }
   return result;
 }
 
@@ -102,12 +126,20 @@ Result<MmtAttachResult> MmtApi::MmtAttach(MmtId id, MmStruct* target) {
   result.latency =
       cost::kMmtIoctl + SimDuration::FromSecondsF(static_cast<double>(result.metadata_bytes) /
                                                   cost::kMmtAttachCopyBytesPerSec);
+  if (attach_calls_ != nullptr) {
+    attach_calls_->Increment();
+    attach_metadata_bytes_->Add(static_cast<double>(result.metadata_bytes));
+    attached_pages_->Add(static_cast<double>(result.mapped_pages));
+  }
   return result;
 }
 
 Status MmtApi::MmtDestroy(MmtId id) {
   if (!privileged_) {
     return PrivilegeError();
+  }
+  if (destroys_ != nullptr) {
+    destroys_->Increment();
   }
   return registry_.Destroy(id);
 }

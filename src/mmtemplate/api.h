@@ -21,6 +21,7 @@
 #include "src/common/time.h"
 #include "src/mempool/backend.h"
 #include "src/mmtemplate/registry.h"
+#include "src/obs/registry.h"
 #include "src/simkernel/mm_struct.h"
 
 namespace trenv {
@@ -39,7 +40,12 @@ struct MmtSetupResult {
 
 class MmtApi {
  public:
-  explicit MmtApi(const BackendRegistry* backends) : backends_(backends) {}
+  // Stats land in `stats` (defaults to the process-wide obs::DefaultRegistry()
+  // — the zero-plumbing path for layers no MetricsCollector reaches).
+  explicit MmtApi(const BackendRegistry* backends, obs::Registry* stats = nullptr);
+
+  // Re-points the mmt.* counters at another registry (e.g. a platform's own).
+  void BindStats(obs::Registry* stats);
 
   // The real pseudo-device is accessible only to root (paper section 8.1).
   // Dropping privilege makes every call fail with PERMISSION_DENIED.
@@ -79,6 +85,12 @@ class MmtApi {
   const BackendRegistry* backends_;
   MmTemplateRegistry registry_;
   bool privileged_ = true;
+  obs::Counter* creates_ = nullptr;
+  obs::Counter* destroys_ = nullptr;
+  obs::Counter* setup_pt_calls_ = nullptr;
+  obs::Counter* attach_calls_ = nullptr;
+  obs::Counter* attach_metadata_bytes_ = nullptr;
+  obs::Counter* attached_pages_ = nullptr;
 };
 
 }  // namespace trenv

@@ -1,0 +1,41 @@
+// Trace/metric exporters:
+//
+//   WriteChromeTrace  - Chrome trace_event JSON ("X"/"i" phases, virtual
+//                       microseconds). Open the file in chrome://tracing or
+//                       https://ui.perfetto.dev to see each invocation's
+//                       restore/fault/fetch phases on its own track.
+//   WritePrometheusText - Prometheus exposition-format dump of a Registry
+//                       (counter/gauge totals at end of run).
+#ifndef TRENV_OBS_EXPORT_H_
+#define TRENV_OBS_EXPORT_H_
+
+#include <ostream>
+#include <string>
+
+#include "src/common/status.h"
+#include "src/obs/registry.h"
+#include "src/obs/trace.h"
+
+namespace trenv {
+namespace obs {
+
+// Writes the tracer's spans as Chrome trace_event JSON. If `registry` is
+// non-null its counters/gauges are embedded as one final "C" sample per
+// instrument so Perfetto shows end-of-run totals alongside the spans.
+void WriteChromeTrace(const Tracer& tracer, std::ostream& out,
+                      const Registry* registry = nullptr);
+Status WriteChromeTraceFile(const Tracer& tracer, const std::string& path,
+                            const Registry* registry = nullptr);
+
+// Prometheus text exposition format. Instrument names are sanitized to
+// [a-zA-Z0-9_:] ("pool.rdma.fetch_pages" -> "pool_rdma_fetch_pages").
+void WritePrometheusText(const Registry& registry, std::ostream& out);
+Status WritePrometheusFile(const Registry& registry, const std::string& path);
+
+// JSON string escaping (shared with tests that parse the output back).
+std::string JsonEscape(std::string_view s);
+
+}  // namespace obs
+}  // namespace trenv
+
+#endif  // TRENV_OBS_EXPORT_H_

@@ -9,6 +9,9 @@ Cluster::Cluster(ClusterConfig config)
   backends_.Register(cxl_.get());
   tiered_.AddTier(cxl_.get());
   dedup_ = std::make_unique<SnapshotDedupStore>(&tiered_);
+  // The shared device belongs to no single node; its fetch stats go to the
+  // process-wide registry.
+  cxl_->BindStats(&obs::DefaultRegistry());
 
   for (uint32_t i = 0; i < config_.nodes; ++i) {
     // Each node occupies one port of the multi-headed device.
@@ -23,8 +26,14 @@ Cluster::Cluster(ClusterConfig config)
                                                  dedup_.get());
     PlatformConfig node_config = config_.node_config;
     node_config.seed ^= 0x900d + i;
+    if (node_config.tracer != nullptr) {
+      // Each node is its own trace process (clock domain): one swim lane per
+      // node in the exported view.
+      node_config.trace_process = "node" + std::to_string(i);
+    }
     node->platform =
         std::make_unique<ServerlessPlatform>(node_config, node->engine.get(), &backends_);
+    node->mmt->BindStats(&node->platform->metrics().registry());
     nodes_.push_back(std::move(node));
   }
 }
@@ -72,7 +81,16 @@ size_t Cluster::PickNode(const std::string& function) {
 }
 
 Status Cluster::Submit(SimTime arrival, const std::string& function) {
-  return nodes_[PickNode(function)]->platform->Submit(arrival, function);
+  const size_t node_index = PickNode(function);
+  ServerlessPlatform& platform = *nodes_[node_index]->platform;
+  if (platform.tracer() != nullptr) {
+    // Dispatch marker on the chosen node's control track (track 0).
+    const obs::SpanId id =
+        platform.tracer()->Instant({platform.trace_pid(), 0}, "dispatch", "cluster");
+    platform.tracer()->Annotate(id, "function", function);
+    platform.tracer()->Annotate(id, "node", static_cast<int64_t>(node_index));
+  }
+  return platform.Submit(arrival, function);
 }
 
 Status Cluster::Run(const Schedule& schedule) {

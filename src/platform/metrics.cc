@@ -2,6 +2,9 @@
 
 namespace trenv {
 
+MetricsCollector::MetricsCollector()
+    : fetch_cpu_(registry_.GetCounter("platform.fetch_cpu_seconds")) {}
+
 FunctionMetrics MetricsCollector::Aggregate() const {
   FunctionMetrics total;
   for (const auto& [name, metrics] : per_function_) {
@@ -20,7 +23,7 @@ FunctionMetrics MetricsCollector::Aggregate() const {
 void MetricsCollector::Clear() {
   per_function_.clear();
   memory_gauge_ = TimeSeriesGauge();
-  fetch_cpu_seconds = 0;
+  registry_.Reset();  // keeps instruments (and cached pointers) alive
 }
 
 }  // namespace trenv

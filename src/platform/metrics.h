@@ -8,6 +8,7 @@
 
 #include "src/common/histogram.h"
 #include "src/common/time.h"
+#include "src/obs/registry.h"
 
 namespace trenv {
 
@@ -24,6 +25,10 @@ struct FunctionMetrics {
 
 class MetricsCollector {
  public:
+  MetricsCollector();
+  MetricsCollector(const MetricsCollector&) = delete;
+  MetricsCollector& operator=(const MetricsCollector&) = delete;
+
   FunctionMetrics& ForFunction(const std::string& name) { return per_function_[name]; }
   const std::map<std::string, FunctionMetrics>& per_function() const { return per_function_; }
 
@@ -34,14 +39,24 @@ class MetricsCollector {
   const TimeSeriesGauge& memory_gauge() const { return memory_gauge_; }
   uint64_t peak_memory_bytes() const { return static_cast<uint64_t>(memory_gauge_.peak()); }
 
-  // Extra CPU-seconds burned on fetch handling (RDMA completions etc.).
-  double fetch_cpu_seconds = 0;
+  // Named-counter/gauge registry shared by the whole node: the platform's own
+  // accounting lives here alongside whatever any layer records, and the
+  // Prometheus/Chrome exporters read it.
+  obs::Registry& registry() { return registry_; }
+  const obs::Registry& registry() const { return registry_; }
+
+  // Extra CPU-seconds burned on fetch handling (RDMA completions etc.) —
+  // backed by the "platform.fetch_cpu_seconds" registry counter.
+  void AddFetchCpuSeconds(double seconds) { fetch_cpu_->Add(seconds); }
+  double fetch_cpu_seconds() const { return fetch_cpu_->value(); }
 
   void Clear();
 
  private:
   std::map<std::string, FunctionMetrics> per_function_;
   TimeSeriesGauge memory_gauge_;
+  obs::Registry registry_;
+  obs::Counter* fetch_cpu_;  // owned by registry_
 };
 
 }  // namespace trenv

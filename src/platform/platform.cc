@@ -15,7 +15,13 @@ ServerlessPlatform::ServerlessPlatform(PlatformConfig config, RestoreEngine* eng
                   [this](std::unique_ptr<FunctionInstance> instance) {
                     RetireInstance(std::move(instance));
                   }),
-      exec_model_(config.seed ^ 0xE1EC) {}
+      exec_model_(config.seed ^ 0xE1EC) {
+  if (config_.tracer != nullptr) {
+    tracer_ = config_.tracer;
+    trace_pid_ = tracer_->RegisterProcess(config_.trace_process,
+                                          [this] { return scheduler_.now(); });
+  }
+}
 
 RestoreContext ServerlessPlatform::MakeContext() {
   RestoreContext ctx;
@@ -23,6 +29,7 @@ RestoreContext ServerlessPlatform::MakeContext() {
   ctx.backends = backends_;
   ctx.pids = &pids_;
   ctx.concurrent_startups = concurrent_startups_;
+  ctx.stats = &metrics_.registry();
   return ctx;
 }
 
@@ -80,12 +87,19 @@ void ServerlessPlatform::StartInvocation(const std::string& function) {
   InFlight& flight = inflight_[token];
   flight.function = function;
   flight.arrival = scheduler_.now();
+  if (tracer_ != nullptr) {
+    flight.root_span = tracer_->StartSpan(TraceLoc(token), "invocation", "invocation");
+    tracer_->Annotate(flight.root_span, "function", function);
+  }
 
   // Warm hit: reuse a cached instance of the same function immediately.
   if (auto warm = keep_alive_.TakeWarm(function); warm != nullptr) {
     flight.instance = std::move(warm);
     flight.warm = true;
     metrics_.ForFunction(function).warm_starts += 1;
+    if (tracer_ != nullptr) {
+      tracer_->Instant(TraceLoc(token), "warm.hit", "invocation");
+    }
     BeginExecution(token);
     return;
   }
@@ -93,11 +107,18 @@ void ServerlessPlatform::StartInvocation(const std::string& function) {
   EnforceMemoryCap();
   ++concurrent_startups_;
   RestoreContext ctx = MakeContext();
+  ctx.tracer = tracer_;
+  ctx.trace_loc = TraceLoc(token);
+  ctx.trace_parent = flight.root_span;
   auto outcome = engine_->Restore(profile, ctx);
   if (!outcome.ok()) {
     TRENV_WARN << "restore failed for " << function << ": " << outcome.status();
     --concurrent_startups_;
     ++failed_invocations_;
+    if (tracer_ != nullptr) {
+      tracer_->Annotate(flight.root_span, "failed", std::string("restore"));
+      tracer_->EndSpan(flight.root_span);
+    }
     inflight_.erase(token);
     return;
   }
@@ -115,14 +136,27 @@ void ServerlessPlatform::StartInvocation(const std::string& function) {
 
 void ServerlessPlatform::BeginStartupPhases(uint64_t token) {
   InFlight& flight = inflight_.at(token);
+  if (tracer_ != nullptr) {
+    flight.phase_span = tracer_->StartSpan(TraceLoc(token), "restore.sandbox", "restore");
+    tracer_->Annotate(flight.phase_span, "repurposed",
+                      static_cast<int64_t>(flight.startup.sandbox_repurposed ? 1 : 0));
+  }
   // Phase 1: sandbox setup (wall latency; holds the contention window).
   scheduler_.ScheduleAfter(flight.startup.sandbox, [this, token] {
     --concurrent_startups_;
     InFlight& f = inflight_.at(token);
+    if (tracer_ != nullptr) {
+      tracer_->EndSpan(f.phase_span);
+      f.phase_span = tracer_->StartSpan(TraceLoc(token), "restore.process", "restore");
+    }
     // Phase 2: process state (bootstrap burns CPU; CRIU restore is mostly
     // kernel-side latency).
     auto then_memory = [this, token] {
       InFlight& f2 = inflight_.at(token);
+      if (tracer_ != nullptr) {
+        tracer_->EndSpan(f2.phase_span);
+        f2.phase_span = tracer_->StartSpan(TraceLoc(token), "restore.memory", "restore");
+      }
       // Phase 3: memory restoration (copy or attach).
       scheduler_.ScheduleAfter(f2.startup.memory, [this, token] { BeginExecution(token); });
     };
@@ -141,28 +175,60 @@ void ServerlessPlatform::BeginExecution(uint64_t token) {
   const FunctionProfile& profile = **profile_or;
 
   RestoreContext ctx = MakeContext();
+  if (tracer_ != nullptr) {
+    tracer_->EndSpan(flight.phase_span);  // close restore.memory (cold path)
+    flight.phase_span = tracer_->StartSpan(TraceLoc(token), "exec", "invocation");
+    ctx.tracer = tracer_;
+    ctx.trace_loc = TraceLoc(token);
+    ctx.trace_parent = flight.phase_span;
+  }
   auto overheads_or = engine_->OnExecute(profile, *flight.instance, ctx);
   if (!overheads_or.ok()) {
     TRENV_WARN << "execution page work failed: " << overheads_or.status();
     ++failed_invocations_;
+    if (tracer_ != nullptr) {
+      tracer_->EndSpan(flight.phase_span);
+      tracer_->Annotate(flight.root_span, "failed", std::string("exec"));
+      tracer_->EndSpan(flight.root_span);
+    }
     RetireInstance(std::move(flight.instance));
     inflight_.erase(token);
     return;
   }
   SampleMemory();
   const ExecutionPlan plan = exec_model_.Plan(profile, *overheads_or);
-  metrics_.fetch_cpu_seconds += overheads_or->added_cpu.seconds();
+  metrics_.AddFetchCpuSeconds(overheads_or->added_cpu.seconds());
 
+  obs::SpanId cpu_span = obs::kInvalidSpanId;
+  if (tracer_ != nullptr) {
+    tracer_->Annotate(flight.phase_span, "added_cpu_ms", overheads_or->added_cpu.millis());
+    tracer_->Annotate(flight.phase_span, "fault_ms", plan.fault_latency.millis());
+    cpu_span = tracer_->StartSpan(TraceLoc(token), "exec.cpu", "exec");
+  }
   // CPU burst first; fault latency and I/O wait extend wall time afterwards.
-  cpu_.Submit(plan.cpu_work, [this, token, plan] {
-    scheduler_.ScheduleAfter(plan.io_wait + plan.fault_latency,
-                             [this, token] { Complete(token); });
+  cpu_.Submit(plan.cpu_work, [this, token, plan, cpu_span] {
+    obs::SpanId wait_span = obs::kInvalidSpanId;
+    if (tracer_ != nullptr) {
+      tracer_->EndSpan(cpu_span);
+      wait_span = tracer_->StartSpan(TraceLoc(token), "exec.wait", "exec");
+    }
+    scheduler_.ScheduleAfter(plan.io_wait + plan.fault_latency, [this, token, wait_span] {
+      if (tracer_ != nullptr) {
+        tracer_->EndSpan(wait_span);
+      }
+      Complete(token);
+    });
   });
 }
 
 void ServerlessPlatform::Complete(uint64_t token) {
   InFlight& flight = inflight_.at(token);
   engine_->OnExecuteDone(*flight.instance);
+  if (tracer_ != nullptr) {
+    tracer_->EndSpan(flight.phase_span);  // close exec
+    tracer_->Annotate(flight.root_span, "warm", static_cast<int64_t>(flight.warm ? 1 : 0));
+    tracer_->EndSpan(flight.root_span);
+  }
 
   auto& fn_metrics = metrics_.ForFunction(flight.function);
   fn_metrics.invocations += 1;
@@ -200,9 +266,23 @@ void ServerlessPlatform::PrewarmNow(const std::string& function) {
     return;
   }
   EnforceMemoryCap();
+  // Pre-warms run off the invocation-token track space but still burn a
+  // token, so every trace track maps to exactly one startup.
+  const uint64_t track = next_token_++;
+  obs::SpanId span = obs::kInvalidSpanId;
   RestoreContext ctx = MakeContext();
+  if (tracer_ != nullptr) {
+    span = tracer_->StartSpan(TraceLoc(track), "prewarm", "invocation");
+    tracer_->Annotate(span, "function", function);
+    ctx.tracer = tracer_;
+    ctx.trace_loc = TraceLoc(track);
+    ctx.trace_parent = span;
+  }
   auto outcome = engine_->Restore(**profile_or, ctx);
   if (!outcome.ok()) {
+    if (tracer_ != nullptr) {
+      tracer_->EndSpan(span);
+    }
     return;
   }
   metrics_.ForFunction(function).prewarm_starts += 1;
@@ -212,7 +292,10 @@ void ServerlessPlatform::PrewarmNow(const std::string& function) {
   const SimDuration ttl = config_.prewarm != nullptr
                               ? config_.prewarm->KeepAliveFor(function)
                               : config_.keep_alive_ttl;
-  scheduler_.ScheduleAfter(outcome->startup.Total(), [this, shared, ttl] {
+  scheduler_.ScheduleAfter(outcome->startup.Total(), [this, shared, ttl, span] {
+    if (tracer_ != nullptr) {
+      tracer_->EndSpan(span);
+    }
     keep_alive_.Put(std::move(*shared), scheduler_.now(), ttl);
     SampleMemory();
   });

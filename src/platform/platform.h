@@ -40,6 +40,10 @@ struct PlatformConfig {
   // the caching-strategy baseline of section 10. Null = fixed TTL, no
   // pre-warming (the paper's default policy). Not owned.
   PrewarmPolicy* prewarm = nullptr;
+  // Optional tracer; the platform registers itself as one trace process
+  // (named `trace_process`) clocked by its own scheduler. Not owned.
+  obs::Tracer* tracer = nullptr;
+  std::string trace_process = "platform";
 };
 
 class ServerlessPlatform {
@@ -68,6 +72,8 @@ class ServerlessPlatform {
   const FunctionRegistry& registry() { return registry_; }
   uint32_t concurrent_startups() const { return concurrent_startups_; }
   uint64_t failed_invocations() const { return failed_invocations_; }
+  obs::Tracer* tracer() const { return tracer_; }
+  obs::ProcessId trace_pid() const { return trace_pid_; }
 
   // Drains the keep-alive pool (end-of-experiment accounting).
   void EvictAllIdle();
@@ -80,9 +86,15 @@ class ServerlessPlatform {
     StartupBreakdown startup;
     std::unique_ptr<FunctionInstance> instance;
     bool warm = false;
+    // Root "invocation" span and the currently open phase child — span ids
+    // persist across the scheduler callbacks that play the phases out.
+    obs::SpanId root_span = obs::kInvalidSpanId;
+    obs::SpanId phase_span = obs::kInvalidSpanId;
   };
 
   RestoreContext MakeContext();
+  // The (process, track) pair all of one invocation's spans live on.
+  obs::Loc TraceLoc(uint64_t token) const { return {trace_pid_, token}; }
   void StartInvocation(const std::string& function);
   void BeginStartupPhases(uint64_t token);
   void BeginExecution(uint64_t token);
@@ -106,6 +118,9 @@ class ServerlessPlatform {
   KeepAlivePool keep_alive_;
   MetricsCollector metrics_;
   ExecutionModel exec_model_;
+
+  obs::Tracer* tracer_ = nullptr;
+  obs::ProcessId trace_pid_ = 0;
 
   std::map<uint64_t, InFlight> inflight_;
   uint64_t next_token_ = 1;

@@ -126,7 +126,20 @@ Testbed::Testbed(SystemKind system, PlatformConfig config)
                                .use_mm_template = false});
       break;
   }
+  // The trace process defaults to the evaluated system's name, so multi-
+  // testbed comparisons show up as separate processes in one trace.
+  if (config.tracer != nullptr && config.trace_process == "platform") {
+    config.trace_process = SystemName(system_);
+  }
   platform_ = std::make_unique<ServerlessPlatform>(config, engine_.get(), &backends_);
+
+  // Route pool / mm-template stats into the platform's own registry, so one
+  // dump covers the whole stack of this testbed.
+  obs::Registry* stats = &platform_->metrics().registry();
+  cxl_->BindStats(stats);
+  rdma_->BindStats(stats);
+  tmpfs_->BindStats(stats);
+  mmt_->BindStats(stats);
 }
 
 Status Testbed::DeployTable4Functions() {

@@ -7,6 +7,31 @@
 
 namespace trenv {
 
+FaultHandler::FaultHandler(FrameAllocator* frames, const BackendRegistry* backends,
+                           obs::Registry* stats)
+    : frames_(frames), backends_(backends) {
+  if (stats != nullptr) {
+    minor_ = stats->GetCounter("faults.minor");
+    major_ = stats->GetCounter("faults.major");
+    cow_ = stats->GetCounter("faults.cow");
+    fetched_bytes_ = stats->GetCounter("fetch.bytes");
+    direct_remote_ = stats->GetCounter("reads.direct_remote");
+    direct_local_ = stats->GetCounter("reads.direct_local");
+  }
+}
+
+void FaultHandler::Count(const BulkAccessStats& stats) {
+  if (minor_ == nullptr) {
+    return;
+  }
+  minor_->Add(static_cast<double>(stats.minor_faults));
+  major_->Add(static_cast<double>(stats.major_faults));
+  cow_->Add(static_cast<double>(stats.cow_faults));
+  fetched_bytes_->Add(static_cast<double>(stats.bytes_fetched));
+  direct_remote_->Add(static_cast<double>(stats.direct_remote));
+  direct_local_->Add(static_cast<double>(stats.direct_local));
+}
+
 void BulkAccessStats::MergeFrom(const BulkAccessStats& other) {
   pages += other.pages;
   direct_local += other.direct_local;
@@ -54,6 +79,10 @@ Result<AccessOutcome> FaultHandler::Access(MmStruct& mm, Vaddr addr, bool write,
     mm.page_table().MapRange(vpn, 1, flags, frame, content);
     mm.stats().major_faults += 1;
     mm.stats().local_pages += 1;
+    if (major_ != nullptr) {
+      major_->Increment();
+      fetched_bytes_->Add(static_cast<double>(kPageSize));
+    }
     AccessOutcome outcome;
     outcome.kind = AccessKind::kMajorFault;
     outcome.latency = cost::kMajorFaultEntry + backend->FetchLatency(1);
@@ -73,9 +102,15 @@ Result<AccessOutcome> FaultHandler::Access(MmStruct& mm, Vaddr addr, bool write,
       outcome.kind = AccessKind::kDirectRemote;
       outcome.latency = backend->DirectLoadLatency();
       mm.stats().direct_remote_reads += 1;
+      if (direct_remote_ != nullptr) {
+        direct_remote_->Increment();
+      }
     } else {
       outcome.kind = AccessKind::kDirectLocal;
       outcome.latency = cost::kLocalDramLatency;
+      if (direct_local_ != nullptr) {
+        direct_local_->Increment();
+      }
     }
     return outcome;
   }
@@ -87,6 +122,9 @@ Result<AccessOutcome> FaultHandler::Access(MmStruct& mm, Vaddr addr, bool write,
   // Direct local write: update the page's content in place.
   PteFlags flags = pte->flags;
   mm.page_table().MapRange(vpn, 1, flags, pte->backing, new_content);
+  if (direct_local_ != nullptr) {
+    direct_local_->Increment();
+  }
   AccessOutcome outcome;
   outcome.kind = AccessKind::kDirectLocal;
   outcome.latency = cost::kLocalDramLatency;
@@ -108,6 +146,9 @@ Result<AccessOutcome> FaultHandler::HandleUnpopulated(MmStruct& mm, const Vma& v
   mm.page_table().MapRange(vpn, 1, flags, frame, content, /*constant_content=*/!write);
   mm.stats().minor_faults += 1;
   mm.stats().local_pages += 1;
+  if (minor_ != nullptr) {
+    minor_->Increment();
+  }
   AccessOutcome outcome;
   outcome.kind = AccessKind::kMinorFault;
   outcome.latency = cost::kMinorFault;
@@ -136,6 +177,12 @@ Result<AccessOutcome> FaultHandler::HandleCow(MmStruct& mm, Vpn vpn, const PteVi
   mm.page_table().MapRange(vpn, 1, flags, frame, new_content);
   mm.stats().cow_faults += 1;
   mm.stats().local_pages += 1;
+  if (cow_ != nullptr) {
+    cow_->Increment();
+    if (pte.flags.remote()) {
+      fetched_bytes_->Add(static_cast<double>(kPageSize));
+    }
+  }
   AccessOutcome outcome;
   outcome.kind = AccessKind::kCowFault;
   outcome.latency = latency;
@@ -278,6 +325,7 @@ Result<BulkAccessStats> FaultHandler::AccessRange(MmStruct& mm, Vaddr addr, uint
     TRENV_RETURN_IF_ERROR(handle_gap(cursor, range_end - cursor));
   }
   stats.pages = npages;
+  Count(stats);
   return stats;
 }
 

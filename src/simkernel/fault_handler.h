@@ -17,6 +17,7 @@
 #include "src/common/status.h"
 #include "src/common/time.h"
 #include "src/mempool/backend.h"
+#include "src/obs/registry.h"
 #include "src/simkernel/frame_allocator.h"
 #include "src/simkernel/mm_struct.h"
 
@@ -54,8 +55,10 @@ struct BulkAccessStats {
 
 class FaultHandler {
  public:
-  FaultHandler(FrameAllocator* frames, const BackendRegistry* backends)
-      : frames_(frames), backends_(backends) {}
+  // `stats` (optional) receives per-kind fault/fetch counters under the
+  // "faults." / "fetch." / "reads." prefixes.
+  FaultHandler(FrameAllocator* frames, const BackendRegistry* backends,
+               obs::Registry* stats = nullptr);
 
   // Touches one page. `write` requests write access. new_content is the
   // content a write stores (ignored for reads).
@@ -75,9 +78,19 @@ class FaultHandler {
   Result<AccessOutcome> HandleCow(MmStruct& mm, Vpn vpn, const PteView& pte, bool write,
                                   PageContent new_content);
 
+  // Applies a BulkAccessStats delta to the bound counters (no-op unbound).
+  void Count(const BulkAccessStats& stats);
+
   FrameAllocator* frames_;
   const BackendRegistry* backends_;
   uint64_t write_seed_ = 0x57a7e;  // distinguishes freshly written content
+  // Telemetry counters, cached once so the hot path pays one add each.
+  obs::Counter* minor_ = nullptr;
+  obs::Counter* major_ = nullptr;
+  obs::Counter* cow_ = nullptr;
+  obs::Counter* fetched_bytes_ = nullptr;
+  obs::Counter* direct_remote_ = nullptr;
+  obs::Counter* direct_local_ = nullptr;
 };
 
 }  // namespace trenv

@@ -1,6 +1,7 @@
 #include "src/vm/vm_platform.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "src/common/cost_model.h"
 #include "src/common/log.h"
@@ -24,7 +25,13 @@ AgentVmPlatform::AgentVmPlatform(VmSystemConfig system, AgentPlatformConfig conf
       config_(config),
       cpu_(&scheduler_, config.cores),
       host_cache_("host"),
-      browsers_(system_.agents_per_browser) {}
+      browsers_(system_.agents_per_browser) {
+  if (config_.tracer != nullptr) {
+    tracer_ = config_.tracer;
+    trace_pid_ = tracer_->RegisterProcess(config_.trace_process,
+                                          [this] { return scheduler_.now(); });
+  }
+}
 
 Status AgentVmPlatform::DeployAgent(const AgentProfile& profile) {
   if (deployments_.contains(profile.name)) {
@@ -68,6 +75,24 @@ void AgentVmPlatform::StartRun(uint64_t token) {
   }
   ++concurrent_startups_;
 
+  if (tracer_ != nullptr) {
+    const obs::Loc loc{trace_pid_, token};
+    run.root_span = tracer_->StartSpan(loc, "agent.run", "agent");
+    tracer_->Annotate(run.root_span, "agent", profile.name);
+    tracer_->Annotate(run.root_span, "repurposed",
+                      static_cast<int64_t>(run.startup.sandbox_repurposed ? 1 : 0));
+    // Boot phases play out back-to-back starting now (Fig 23 decomposition).
+    SimTime t = scheduler_.now();
+    const std::pair<const char*, SimDuration> phases[] = {
+        {"boot.network", run.startup.network}, {"boot.cgroup", run.startup.cgroup},
+        {"boot.vmm", run.startup.vmm},         {"boot.memory", run.startup.memory},
+        {"boot.guest", run.startup.guest}};
+    for (const auto& [name, duration] : phases) {
+      tracer_->RecordSpanAt(loc, name, "boot", t, duration, run.root_span);
+      t = t + duration;
+    }
+  }
+
   run.vm = std::make_unique<MicroVm>(next_vm_id_++, &profile, &system_, &host_cache_,
                                      run.deployment->base_file);
   // The in-VM browser share moves into the shared browser when sharing is on.
@@ -108,6 +133,10 @@ void AgentVmPlatform::AdvanceStep(uint64_t token) {
 
   if (const auto* llm = std::get_if<LlmCallStep>(&step)) {
     // Waiting on the (replayed) inference server: no CPU consumed.
+    if (tracer_ != nullptr) {
+      tracer_->RecordSpanAt({trace_pid_, token}, "llm.call", "agent", scheduler_.now(),
+                            llm->response_latency, run.root_span);
+    }
     scheduler_.ScheduleAfter(llm->response_latency, [this, token] { AdvanceStep(token); });
     return;
   }
@@ -138,8 +167,20 @@ void AgentVmPlatform::AdvanceStep(uint64_t token) {
     cpu_factor = kSharedBrowserCpuFactor;
   }
   const SimDuration cpu_work = tool.cpu * cpu_factor;
-  cpu_.Submit(cpu_work, [this, token, io_latency] {
-    scheduler_.ScheduleAfter(io_latency, [this, token] { AdvanceStep(token); });
+  obs::SpanId tool_span = obs::kInvalidSpanId;
+  if (tracer_ != nullptr) {
+    tool_span = tracer_->StartSpan({trace_pid_, token}, "tool.step", "agent");
+    tracer_->Annotate(tool_span, "io_ms", io_latency.millis());
+    tracer_->Annotate(tool_span, "read_bytes", static_cast<int64_t>(tool.file_read_bytes));
+    tracer_->Annotate(tool_span, "browser", static_cast<int64_t>(tool.uses_browser ? 1 : 0));
+  }
+  cpu_.Submit(cpu_work, [this, token, io_latency, tool_span] {
+    scheduler_.ScheduleAfter(io_latency, [this, token, tool_span] {
+      if (tracer_ != nullptr) {
+        tracer_->EndSpan(tool_span);
+      }
+      AdvanceStep(token);
+    });
   });
 }
 
@@ -152,6 +193,9 @@ void AgentVmPlatform::FinishRun(uint64_t token) {
   metrics.peak_local_bytes = std::max(metrics.peak_local_bytes, run.vm->LocalBytes());
   ++completed_;
 
+  if (tracer_ != nullptr) {
+    tracer_->EndSpan(run.root_span);
+  }
   if (run.browser != nullptr) {
     browsers_.Release(run.browser);
     run.browser = nullptr;

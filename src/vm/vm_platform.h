@@ -17,6 +17,7 @@
 #include "src/agents/llm_trace.h"
 #include "src/common/histogram.h"
 #include "src/common/status.h"
+#include "src/obs/trace.h"
 #include "src/sim/cpu.h"
 #include "src/sim/event_scheduler.h"
 #include "src/vm/micro_vm.h"
@@ -26,6 +27,9 @@ namespace trenv {
 struct AgentPlatformConfig {
   double cores = 20;  // overcommit target of section 9.6
   uint64_t seed = 42;
+  // Optional tracer; the platform registers as one trace process. Not owned.
+  obs::Tracer* tracer = nullptr;
+  std::string trace_process = "agent-vm";
 };
 
 struct AgentMetrics {
@@ -77,6 +81,7 @@ class AgentVmPlatform {
     VmStartupBreakdown startup;
     Browser* browser = nullptr;
     double memory_scale = 1.0;  // shaves the in-VM browser share when shared
+    obs::SpanId root_span = obs::kInvalidSpanId;
   };
 
   void StartRun(uint64_t token);
@@ -87,6 +92,8 @@ class AgentVmPlatform {
 
   VmSystemConfig system_;
   AgentPlatformConfig config_;
+  obs::Tracer* tracer_ = nullptr;
+  obs::ProcessId trace_pid_ = 0;
   EventScheduler scheduler_;
   FairShareCpu cpu_;
   PageCache host_cache_;

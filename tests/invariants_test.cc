@@ -84,7 +84,10 @@ TEST(SecurityInvariantTest, AslrLimitationIsReal) {
   ASSERT_TRUE(bed.DeployTable4Functions().ok());
   FrameAllocator frames(8 * kGiB);
   PidAllocator pids;
-  RestoreContext ctx{&frames, &bed.backends(), &pids, 0};
+  RestoreContext ctx;
+  ctx.frames = &frames;
+  ctx.backends = &bed.backends();
+  ctx.pids = &pids;
   auto* engine = static_cast<TrEnvEngine*>(&bed.engine());
   const FunctionProfile* js = FindTable4Function("JS");
   auto a = engine->Restore(*js, ctx);
@@ -115,7 +118,10 @@ TEST(SecurityInvariantTest, GroundhogRollbackDropsWrittenState) {
   ASSERT_TRUE(engine.Prepare(*js).ok());
   FrameAllocator frames(8 * kGiB);
   PidAllocator pids;
-  RestoreContext ctx{&frames, &bed.backends(), &pids, 0};
+  RestoreContext ctx;
+  ctx.frames = &frames;
+  ctx.backends = &bed.backends();
+  ctx.pids = &pids;
   auto outcome = engine.Restore(*js, ctx);
   ASSERT_TRUE(outcome.ok());
   ASSERT_TRUE(engine.OnExecute(*js, *outcome->instance, ctx).ok());
@@ -230,7 +236,10 @@ TEST(DramHotTest, HotRegionsAvoidCxlPenalty) {
     EXPECT_TRUE(bed.DeployTable4Functions().ok());
     FrameAllocator frames(16 * kGiB);
     PidAllocator pids;
-    RestoreContext ctx{&frames, &bed.backends(), &pids, 0};
+    RestoreContext ctx;
+    ctx.frames = &frames;
+    ctx.backends = &bed.backends();
+    ctx.pids = &pids;
     const FunctionProfile* dh = FindTable4Function("DH");
     auto outcome = bed.engine().Restore(*dh, ctx);
     EXPECT_TRUE(outcome.ok());

@@ -167,7 +167,10 @@ TEST(EnginePromotionTest, TieredEngineMigratesHotFunctionToCxl) {
   ASSERT_TRUE(engine.Prepare(profile).ok());
   FrameAllocator frames(8 * kGiB);
   PidAllocator pids;
-  RestoreContext ctx{&frames, &backends, &pids, 0};
+  RestoreContext ctx;
+  ctx.frames = &frames;
+  ctx.backends = &backends;
+  ctx.pids = &pids;
 
   const uint64_t cxl_before = cxl.used_bytes();
   // Execute repeatedly; sweeps run every 4 executions.
