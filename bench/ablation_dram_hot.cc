@@ -4,7 +4,8 @@
 //
 // Compares T-CXL (everything on CXL) against T-DRAM-hot (file-backed hot
 // regions pinned in node DRAM, private regions on CXL) on execution latency
-// and on the node-memory bill for that pinning.
+// and on the node-memory bill for that pinning. The two system runs are
+// independent simulations and execute as one ParallelSweep.
 #include <iostream>
 
 #include "bench/bench_util.h"
@@ -12,7 +13,9 @@
 namespace trenv {
 namespace {
 
-void Run() {
+const SystemKind kSystems[] = {SystemKind::kTrEnvCxl, SystemKind::kTrEnvDramHot};
+
+void Run(bench::BenchEnv& env) {
   PrintBanner(std::cout, "Ablation: hot regions in local DRAM vs all-CXL");
   Rng rng(404);
   Schedule schedule =
@@ -25,17 +28,22 @@ void Run() {
     uint64_t pinned_bytes = 0;
     uint64_t peak_mem = 0;
   };
+  std::vector<Row> per_system =
+      bench::ParallelSweep(std::size(kSystems), env.jobs, [&](size_t i) {
+        auto run =
+            bench::RunContainerWorkload(kSystems[i], schedule, config, bench::Table4Names());
+        Row row;
+        for (const auto& [fn, metrics] : run.bed->platform().metrics().per_function()) {
+          row.exec[fn] = metrics.exec_ms;
+        }
+        row.peak_mem = run.peak_memory;
+        // Pinned hot regions live in the node's DRAM pool (shared, one copy).
+        row.pinned_bytes = run.bed->tmpfs().used_bytes();
+        return row;
+      });
   std::map<std::string, Row> rows;
-  for (SystemKind kind : {SystemKind::kTrEnvCxl, SystemKind::kTrEnvDramHot}) {
-    auto run = bench::RunContainerWorkload(kind, schedule, config, bench::Table4Names());
-    Row row;
-    for (const auto& [fn, metrics] : run.bed->platform().metrics().per_function()) {
-      row.exec[fn] = metrics.exec_ms;
-    }
-    row.peak_mem = run.peak_memory;
-    // Pinned hot regions live in the node's DRAM pool (shared, one copy).
-    row.pinned_bytes = run.bed->tmpfs().used_bytes();
-    rows[SystemName(kind)] = std::move(row);
+  for (size_t i = 0; i < std::size(kSystems); ++i) {
+    rows[SystemName(kSystems[i])] = std::move(per_system[i]);
   }
 
   Table table({"Func", "T-CXL exec p50 (ms)", "T-DRAM-hot exec p50 (ms)", "speedup"});
@@ -60,7 +68,9 @@ void Run() {
 }  // namespace
 }  // namespace trenv
 
-int main() {
-  trenv::Run();
+int main(int argc, char** argv) {
+  trenv::bench::BenchEnv env(argc, argv);
+  trenv::Run(env);
+  env.Finish();
   return 0;
 }

@@ -63,7 +63,7 @@ RunResult RunOne(SystemKind kind, bool with_prewarm, const Schedule& schedule) {
   return result;
 }
 
-void Run() {
+void Run(bench::BenchEnv& env) {
   PrintBanner(std::cout, "Ablation: prediction-based pre-warming vs TrEnv");
   Rng rng(1717);
   Schedule schedule = MixedWorkload(rng);
@@ -79,9 +79,14 @@ void Run() {
   const Config configs[] = {{SystemKind::kCriu, false, "CRIU (fixed keep-alive)"},
                             {SystemKind::kCriu, true, "CRIU + histogram pre-warm"},
                             {SystemKind::kTrEnvCxl, false, "T-CXL (no prediction)"}};
-  for (const Config& config : configs) {
-    const RunResult r = RunOne(config.kind, config.prewarm, schedule);
-    table.AddRow({config.label, Table::Num(r.p99_ms), Table::Num(r.mean_ms),
+  // The three configurations are independent simulations — one ParallelSweep.
+  std::vector<RunResult> results =
+      bench::ParallelSweep(std::size(configs), env.jobs, [&](size_t i) {
+        return RunOne(configs[i].kind, configs[i].prewarm, schedule);
+      });
+  for (size_t i = 0; i < std::size(configs); ++i) {
+    const RunResult& r = results[i];
+    table.AddRow({configs[i].label, Table::Num(r.p99_ms), Table::Num(r.mean_ms),
                   std::to_string(r.cold), std::to_string(r.warm), std::to_string(r.prewarmed),
                   Table::Num(r.peak_gib, 2)});
   }
@@ -94,7 +99,9 @@ void Run() {
 }  // namespace
 }  // namespace trenv
 
-int main() {
-  trenv::Run();
+int main(int argc, char** argv) {
+  trenv::bench::BenchEnv env(argc, argv);
+  trenv::Run(env);
+  env.Finish();
   return 0;
 }

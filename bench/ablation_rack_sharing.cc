@@ -2,68 +2,102 @@
 // Scales a TrEnv cluster from 1 to 12 nodes (one CXL MHD port each) and
 // measures where the memory lives: one pool copy per rack plus thin
 // per-node CoW state, versus the per-node-everything world of the
-// baselines (modelled as nodes x a standalone CRIU testbed).
+// baselines (modelled as nodes x a standalone CRIU testbed). The CRIU
+// baseline and the five cluster sizes are six independent simulations
+// (each Cluster owns its stats registry), run as one ParallelSweep.
 #include <iostream>
 
-#include "src/common/table.h"
+#include "bench/bench_util.h"
 #include "src/platform/cluster.h"
-#include "src/platform/testbed.h"
 
 namespace trenv {
 namespace {
 
-void Run() {
+const uint32_t kNodeCounts[] = {1u, 2u, 4u, 8u, 12u};
+
+struct RackRow {
+  double pool_gib = 0;
+  double dram_gib = 0;
+  double dedup_ratio = 0;
+  bool ok = false;
+};
+
+// Baseline: what N independent CRIU nodes would hold for the same load
+// (each node keeps full per-instance images locally).
+double CriuNodePeakGib() {
+  Testbed bed(SystemKind::kCriu);
+  (void)bed.DeployTable4Functions();
+  Schedule schedule;
+  for (int i = 0; i < 8; ++i) {
+    schedule.push_back({SimTime::Zero() + SimDuration::Millis(i * 5), i % 2 ? "IR" : "JS"});
+  }
+  (void)bed.platform().Run(schedule);
+  return static_cast<double>(bed.platform().metrics().peak_memory_bytes()) /
+         static_cast<double>(kGiB);
+}
+
+RackRow RunCluster(uint32_t nodes) {
+  RackRow row;
+  ClusterConfig config;
+  config.nodes = nodes;
+  Cluster cluster(config);
+  if (!cluster.DeployTable4Functions().ok()) {
+    return row;
+  }
+  // Every node serves the same mix concurrently.
+  Schedule schedule;
+  for (uint32_t n = 0; n < nodes; ++n) {
+    for (int i = 0; i < 8; ++i) {
+      schedule.push_back(
+          {SimTime::Zero() + SimDuration::Millis(n * 40 + i * 5), i % 2 ? "IR" : "JS"});
+    }
+  }
+  SortSchedule(schedule);
+  if (!cluster.Run(schedule).ok()) {
+    return row;
+  }
+  uint64_t dram_peak = 0;
+  for (size_t i = 0; i < cluster.node_count(); ++i) {
+    dram_peak += cluster.node(i).metrics().peak_memory_bytes();
+  }
+  row.pool_gib = static_cast<double>(cluster.PoolBytes()) / static_cast<double>(kGiB);
+  row.dram_gib = static_cast<double>(dram_peak) / static_cast<double>(kGiB);
+  row.dedup_ratio = cluster.dedup().DedupRatio();
+  row.ok = true;
+  return row;
+}
+
+void Run(bench::BenchEnv& env) {
   PrintBanner(std::cout, "Ablation: rack-level sharing across nodes (GiB)");
 
-  // Baseline: what N independent CRIU nodes would hold for the same load
-  // (each node keeps full per-instance images locally).
-  auto criu_node_peak = [] {
-    Testbed bed(SystemKind::kCriu);
-    (void)bed.DeployTable4Functions();
-    Schedule schedule;
-    for (int i = 0; i < 8; ++i) {
-      schedule.push_back({SimTime::Zero() + SimDuration::Millis(i * 5), i % 2 ? "IR" : "JS"});
-    }
-    (void)bed.platform().Run(schedule);
-    return static_cast<double>(bed.platform().metrics().peak_memory_bytes()) /
-           static_cast<double>(kGiB);
-  }();
+  // Slot 0 is the CRIU baseline; slots 1..N are the cluster sizes.
+  double criu_node_peak = 0;
+  std::vector<RackRow> rows =
+      bench::ParallelSweep(1 + std::size(kNodeCounts), env.jobs, [&](size_t idx) {
+        if (idx == 0) {
+          RackRow row;
+          row.pool_gib = CriuNodePeakGib();
+          row.ok = true;
+          return row;
+        }
+        return RunCluster(kNodeCounts[idx - 1]);
+      });
+  criu_node_peak = rows[0].pool_gib;
 
   Table table({"Nodes", "Pool copy", "Node DRAM (sum)", "Rack total", "CRIU rack equiv",
                "saving", "dedup ratio"});
-  for (uint32_t nodes : {1u, 2u, 4u, 8u, 12u}) {
-    ClusterConfig config;
-    config.nodes = nodes;
-    Cluster cluster(config);
-    if (!cluster.DeployTable4Functions().ok()) {
-      std::cerr << "deploy failed\n";
+  for (size_t i = 0; i < std::size(kNodeCounts); ++i) {
+    const uint32_t nodes = kNodeCounts[i];
+    const RackRow& row = rows[1 + i];
+    if (!row.ok) {
+      std::cerr << "cluster run failed for " << nodes << " nodes\n";
       return;
     }
-    // Every node serves the same mix concurrently.
-    Schedule schedule;
-    for (uint32_t n = 0; n < nodes; ++n) {
-      for (int i = 0; i < 8; ++i) {
-        schedule.push_back({SimTime::Zero() + SimDuration::Millis(n * 40 + i * 5),
-                            i % 2 ? "IR" : "JS"});
-      }
-    }
-    SortSchedule(schedule);
-    if (!cluster.Run(schedule).ok()) {
-      std::cerr << "run failed\n";
-      return;
-    }
-    uint64_t dram_peak = 0;
-    for (size_t i = 0; i < cluster.node_count(); ++i) {
-      dram_peak += cluster.node(i).metrics().peak_memory_bytes();
-    }
-    const double pool_gib = static_cast<double>(cluster.PoolBytes()) / static_cast<double>(kGiB);
-    const double dram_gib = static_cast<double>(dram_peak) / static_cast<double>(kGiB);
-    const double rack = pool_gib + dram_gib;
+    const double rack = row.pool_gib + row.dram_gib;
     const double criu_rack = criu_node_peak * nodes;
-    table.AddRow({std::to_string(nodes), Table::Num(pool_gib, 2), Table::Num(dram_gib, 2),
-                  Table::Num(rack, 2), Table::Num(criu_rack, 2),
-                  Table::Pct(1.0 - rack / criu_rack),
-                  Table::Num(cluster.dedup().DedupRatio(), 3)});
+    table.AddRow({std::to_string(nodes), Table::Num(row.pool_gib, 2),
+                  Table::Num(row.dram_gib, 2), Table::Num(rack, 2), Table::Num(criu_rack, 2),
+                  Table::Pct(1.0 - rack / criu_rack), Table::Num(row.dedup_ratio, 3)});
   }
   table.Print(std::cout);
   std::cout << "Paper reference (8.2): read-only state needs one copy per rack; memory "
@@ -73,7 +107,9 @@ void Run() {
 }  // namespace
 }  // namespace trenv
 
-int main() {
-  trenv::Run();
+int main(int argc, char** argv) {
+  trenv::bench::BenchEnv env(argc, argv);
+  trenv::Run(env);
+  env.Finish();
   return 0;
 }

@@ -2,30 +2,39 @@
 #ifndef TRENV_BENCH_BENCH_UTIL_H_
 #define TRENV_BENCH_BENCH_UTIL_H_
 
+#include <cstdlib>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <string>
 #include <string_view>
+#include <type_traits>
 #include <vector>
 
 #include "src/common/table.h"
 #include "src/obs/export.h"
 #include "src/obs/trace.h"
 #include "src/platform/testbed.h"
+#include "src/sim/thread_pool.h"
 #include "src/workload/traces.h"
 
 namespace trenv {
 namespace bench {
 
-// Observability wiring shared by the figure benches: `--trace-out=<file>`
-// dumps a Chrome trace_event JSON (chrome://tracing, ui.perfetto.dev) of
-// every platform the bench ran; `--metrics-out=<file>` dumps the process-wide
-// registry in Prometheus text format. With neither flag the tracer stays
-// disabled and instrumentation costs a null check.
+// Observability and concurrency wiring shared by the figure benches:
+//   --trace-out=<file>    dump a Chrome trace_event JSON (chrome://tracing,
+//                         ui.perfetto.dev) of every platform the bench ran
+//   --metrics-out=<file>  dump the process-wide registry in Prometheus text
+//   --jobs=N              worker threads for ParallelSweep (default: all
+//                         hardware threads); --jobs=1 forces serial sweeps
+// With neither output flag the tracer stays disabled and instrumentation
+// costs a null check. Unknown flags are an error (exit 2) so typos cannot
+// silently run a multi-minute sweep with default settings.
 struct BenchEnv {
   obs::Tracer tracer;
   std::string trace_out;
   std::string metrics_out;
+  unsigned jobs = ThreadPool::DefaultThreads();
 
   BenchEnv(int argc, char** argv) {
     for (int i = 1; i < argc; ++i) {
@@ -34,23 +43,54 @@ struct BenchEnv {
         trace_out = std::string(arg.substr(12));
       } else if (arg.rfind("--metrics-out=", 0) == 0) {
         metrics_out = std::string(arg.substr(14));
+      } else if (arg.rfind("--jobs=", 0) == 0) {
+        const int parsed = std::atoi(std::string(arg.substr(7)).c_str());
+        if (parsed < 1) {
+          std::cerr << "invalid --jobs value: " << arg << " (want an integer >= 1)\n";
+          std::exit(2);
+        }
+        jobs = static_cast<unsigned>(parsed);
       } else {
         std::cerr << "unknown flag: " << arg
-                  << " (supported: --trace-out=<file> --metrics-out=<file>)\n";
+                  << " (supported: --trace-out=<file> --metrics-out=<file> --jobs=<n>)\n";
+        std::exit(2);
       }
     }
     tracer.set_enabled(!trace_out.empty());
   }
 
   // Handed to PlatformConfig::tracer; null when tracing is off so the
-  // instrumented code takes its zero-cost path.
+  // instrumented code takes its zero-cost path. Parallel sweep runs must NOT
+  // use this shared tracer — they record into a private one (see
+  // MakeRunTracer) and merge it back with AbsorbTracer.
   obs::Tracer* tracer_or_null() { return trace_out.empty() ? nullptr : &tracer; }
 
+  bool tracing() const { return !trace_out.empty(); }
   bool wants_output() const { return !trace_out.empty() || !metrics_out.empty(); }
+
+  // A private tracer for one sweep run, enabled iff --trace-out was given;
+  // null when tracing is off. The caller keeps it alive until AbsorbTracer.
+  std::unique_ptr<obs::Tracer> MakeRunTracer() const {
+    if (trace_out.empty()) {
+      return nullptr;
+    }
+    auto run_tracer = std::make_unique<obs::Tracer>();
+    run_tracer->set_enabled(true);
+    return run_tracer;
+  }
+
+  // Merges a per-run tracer into the shared one. Call on the main thread, in
+  // config-index order, after the sweep has joined.
+  void AbsorbTracer(const obs::Tracer* run_tracer) {
+    if (run_tracer != nullptr && tracing()) {
+      tracer.MergeFrom(*run_tracer);
+    }
+  }
 
   // Folds a platform-owned registry into the process-wide one under
   // `prefix.` — benches that build several short-lived testbeds call this
-  // before each testbed dies so Finish() still sees its totals.
+  // before each testbed dies so Finish() still sees its totals. Call on the
+  // main thread only (after parallel sweeps have joined).
   void AbsorbRegistry(std::string_view prefix, const obs::Registry& registry) {
     if (!wants_output()) {
       return;
@@ -89,6 +129,38 @@ struct BenchEnv {
     }
   }
 };
+
+// Runs fn(0), ..., fn(count-1) concurrently on up to `jobs` threads and
+// returns the results in index order. The sweep body must be self-contained:
+// each call builds its own EventScheduler / Testbed / Registry / Tracer and
+// must not print or touch process-wide state (stdout, DefaultRegistry, the
+// shared BenchEnv tracer) — do all printing and merging from the results
+// afterwards, which keeps output and metric order deterministic regardless
+// of which run finishes first. With jobs <= 1 the runs execute inline, which
+// is also the bitwise reference behavior the parallel path must match.
+template <typename Fn>
+auto ParallelSweep(size_t count, unsigned jobs, Fn&& fn)
+    -> std::vector<std::invoke_result_t<Fn&, size_t>> {
+  using Result = std::invoke_result_t<Fn&, size_t>;
+  static_assert(std::is_default_constructible_v<Result>,
+                "sweep results are slot-assigned and must be default-constructible");
+  std::vector<Result> results(count);
+  if (count == 0) {
+    return results;
+  }
+  if (jobs <= 1 || count == 1) {
+    for (size_t i = 0; i < count; ++i) {
+      results[i] = fn(i);
+    }
+    return results;
+  }
+  ThreadPool pool(std::min<unsigned>(jobs, static_cast<unsigned>(count)));
+  for (size_t i = 0; i < count; ++i) {
+    pool.Submit([&results, &fn, i] { results[i] = fn(i); });
+  }
+  pool.Wait();
+  return results;
+}
 
 // Container-platform experiment: deploy Table 4, run a warm-up, clear
 // metrics, run the measured workload, and return the testbed for inspection.

@@ -1,6 +1,7 @@
 // Figure 17: CDF of per-function end-to-end latency under the two
 // representative workloads — W1 (bursty, inter-burst gap > keep-alive) and
-// W2 (diurnal, tight 32 GiB memory cap) — across all six systems.
+// W2 (diurnal, tight 32 GiB memory cap) — across all six systems. The six
+// system runs are independent simulations and execute as one ParallelSweep.
 #include <iostream>
 
 #include "bench/bench_util.h"
@@ -12,7 +13,8 @@ const SystemKind kSystems[] = {SystemKind::kFaasd,       SystemKind::kCriu,
                                SystemKind::kReapPlus,    SystemKind::kFaasnapPlus,
                                SystemKind::kTrEnvCxl,    SystemKind::kTrEnvRdma};
 
-void RunWorkload(const std::string& label, const Schedule& schedule, PlatformConfig config) {
+void RunWorkload(const std::string& label, const Schedule& schedule, PlatformConfig config,
+                 bench::BenchEnv& env) {
   PrintBanner(std::cout, "Figure 17 (" + label + "): E2E latency per system");
   std::cout << "invocations scheduled: " << schedule.size() << "\n";
 
@@ -20,15 +22,27 @@ void RunWorkload(const std::string& label, const Schedule& schedule, PlatformCon
     std::string name;
     FunctionMetrics aggregate;
     std::map<std::string, FunctionMetrics> per_function;
+    std::unique_ptr<obs::Tracer> tracer;
+    std::unique_ptr<Testbed> bed;
   };
-  std::vector<SystemResult> results;
-  for (SystemKind kind : kSystems) {
-    auto run = bench::RunContainerWorkload(kind, schedule, config, bench::Table4Names());
-    SystemResult result;
-    result.name = SystemName(kind);
-    result.aggregate = run.bed->platform().metrics().Aggregate();
-    result.per_function = run.bed->platform().metrics().per_function();
-    results.push_back(std::move(result));
+  const size_t n_systems = std::size(kSystems);
+  std::vector<SystemResult> results =
+      bench::ParallelSweep(n_systems, env.jobs, [&](size_t i) {
+        const SystemKind kind = kSystems[i];
+        SystemResult result;
+        result.tracer = env.MakeRunTracer();
+        PlatformConfig run_config = config;
+        run_config.tracer = result.tracer.get();
+        auto run = bench::RunContainerWorkload(kind, schedule, run_config, bench::Table4Names());
+        result.name = SystemName(kind);
+        result.aggregate = run.bed->platform().metrics().Aggregate();
+        result.per_function = run.bed->platform().metrics().per_function();
+        result.bed = std::move(run.bed);
+        return result;
+      });
+  for (const auto& result : results) {
+    env.AbsorbTracer(result.tracer.get());
+    env.AbsorbRegistry(label + "." + result.name, result.bed->platform().metrics().registry());
   }
 
   Table table({"System", "n", "P50 (ms)", "P90 (ms)", "P99 (ms)", "mean (ms)"});
@@ -89,14 +103,14 @@ void RunWorkload(const std::string& label, const Schedule& schedule, PlatformCon
             << "x\n";
 }
 
-void Run() {
+void Run(bench::BenchEnv& env) {
   Rng rng(2024);
   BurstyOptions w1;
   w1.duration = SimDuration::Minutes(30);
   w1.burst_size = 20;
   Schedule schedule_w1 = MakeBurstyWorkload(bench::Table4Names(), w1, rng);
   PlatformConfig config_w1;
-  RunWorkload("W1 bursty", schedule_w1, config_w1);
+  RunWorkload("W1 bursty", schedule_w1, config_w1, env);
 
   DiurnalOptions w2;
   w2.duration = SimDuration::Minutes(30);
@@ -105,7 +119,7 @@ void Run() {
   Schedule schedule_w2 = MakeDiurnalWorkload(bench::Table4Names(), w2, rng);
   PlatformConfig config_w2;
   config_w2.soft_mem_cap_bytes = cost::kW2SoftMemCap;  // tight 32 GiB cap
-  RunWorkload("W2 diurnal, 32 GiB cap", schedule_w2, config_w2);
+  RunWorkload("W2 diurnal, 32 GiB cap", schedule_w2, config_w2, env);
 
   std::cout << "\nPaper reference: T-CXL achieves 1.11x-5.69x (W1/W2) P99 speedup vs REAP+ "
                "and 1.17x-18x vs FaaSnap+; faasd/CRIU are dominated by startup.\n";
@@ -114,7 +128,9 @@ void Run() {
 }  // namespace
 }  // namespace trenv
 
-int main() {
-  trenv::Run();
+int main(int argc, char** argv) {
+  trenv::bench::BenchEnv env(argc, argv);
+  trenv::Run(env);
+  env.Finish();
   return 0;
 }

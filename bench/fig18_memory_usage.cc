@@ -1,5 +1,7 @@
 // Figure 18: (a) peak memory usage during the four workload tests;
 // (b) memory usage when starting 50 instances of IR and IFR.
+// Every (system, workload) cell is an independent simulation, so part (a)
+// sweeps all 24 cells and part (b) all 8 cells in parallel.
 #include <iostream>
 
 #include "bench/bench_util.h"
@@ -10,8 +12,9 @@ namespace {
 const SystemKind kSystems[] = {SystemKind::kFaasd,    SystemKind::kCriu,
                                SystemKind::kReapPlus, SystemKind::kFaasnapPlus,
                                SystemKind::kTrEnvCxl, SystemKind::kTrEnvRdma};
+const char* const kWorkloads[] = {"W1", "W2", "Azure", "Huawei"};
 
-void PartA() {
+void PartA(bench::BenchEnv& env) {
   PrintBanner(std::cout, "Figure 18a: peak memory usage during four workloads (GiB)");
   Rng rng(77);
   const auto functions = bench::Table4Names();
@@ -26,24 +29,33 @@ void PartA() {
   workloads["Azure"] = MakeAzureLikeWorkload(functions, rng);
   workloads["Huawei"] = MakeHuaweiLikeWorkload(functions, rng);
 
+  const size_t n_workloads = std::size(kWorkloads);
+  const size_t n_cells = std::size(kSystems) * n_workloads;
+  std::vector<double> cell_gib = bench::ParallelSweep(n_cells, env.jobs, [&](size_t idx) {
+    const SystemKind kind = kSystems[idx / n_workloads];
+    const std::string workload = kWorkloads[idx % n_workloads];
+    PlatformConfig config;
+    if (workload == "W2") {
+      config.soft_mem_cap_bytes = cost::kW2SoftMemCap;
+    }
+    auto run = bench::RunContainerWorkload(kind, workloads[workload], config, functions);
+    return static_cast<double>(run.peak_memory) / static_cast<double>(kGiB);
+  });
+
   Table table({"System", "W1", "W2", "Azure", "Huawei"});
   std::map<std::string, std::map<std::string, double>> peaks;
+  size_t idx = 0;
   for (SystemKind kind : kSystems) {
     std::vector<std::string> row{SystemName(kind)};
-    for (const auto& name : {"W1", "W2", "Azure", "Huawei"}) {
-      PlatformConfig config;
-      if (std::string(name) == "W2") {
-        config.soft_mem_cap_bytes = cost::kW2SoftMemCap;
-      }
-      auto run = bench::RunContainerWorkload(kind, workloads[name], config, functions);
-      const double gib = static_cast<double>(run.peak_memory) / static_cast<double>(kGiB);
-      peaks[SystemName(kind)][name] = gib;
+    for (const char* workload : kWorkloads) {
+      const double gib = cell_gib[idx++];
+      peaks[SystemName(kind)][workload] = gib;
       row.push_back(Table::Num(gib, 2));
     }
     table.AddRow(row);
   }
   table.Print(std::cout);
-  for (const auto& name : {"W1", "W2", "Azure", "Huawei"}) {
+  for (const char* name : kWorkloads) {
     const double tcxl = peaks["T-CXL"][name];
     std::cout << name << ": T-CXL saves " << Table::Pct(1.0 - tcxl / peaks["CRIU"][name])
               << " vs CRIU, " << Table::Pct(1.0 - tcxl / peaks["REAP+"][name]) << " vs REAP+, "
@@ -51,26 +63,36 @@ void PartA() {
   }
 }
 
-void PartB() {
+void PartB(bench::BenchEnv& env) {
   PrintBanner(std::cout, "Figure 18b: memory when starting 50 instances of IR / IFR (GiB)");
+  const SystemKind systems[] = {SystemKind::kReapPlus, SystemKind::kFaasnapPlus,
+                                SystemKind::kTrEnvCxl, SystemKind::kTrEnvRdma};
+  const char* const fns[] = {"IR", "IFR"};
+
+  const size_t n_cells = std::size(systems) * std::size(fns);
+  std::vector<double> cell_gib = bench::ParallelSweep(n_cells, env.jobs, [&](size_t idx) {
+    const SystemKind kind = systems[idx / std::size(fns)];
+    const std::string fn = fns[idx % std::size(fns)];
+    Testbed bed(kind);
+    if (!bed.DeployTable4Functions().ok()) {
+      return 0.0;
+    }
+    Schedule schedule;
+    for (int i = 0; i < 50; ++i) {
+      schedule.push_back({SimTime::Zero() + SimDuration::Millis(i * 10), fn});
+    }
+    (void)bed.platform().Run(schedule);
+    return static_cast<double>(bed.platform().metrics().peak_memory_bytes()) /
+           static_cast<double>(kGiB);
+  });
+
   Table table({"System", "IR x50", "IFR x50"});
   std::map<std::string, std::map<std::string, double>> peaks;
-  for (SystemKind kind :
-       {SystemKind::kReapPlus, SystemKind::kFaasnapPlus, SystemKind::kTrEnvCxl,
-        SystemKind::kTrEnvRdma}) {
+  size_t idx = 0;
+  for (SystemKind kind : systems) {
     std::vector<std::string> row{SystemName(kind)};
-    for (const std::string fn : {"IR", "IFR"}) {
-      Testbed bed(kind);
-      if (!bed.DeployTable4Functions().ok()) {
-        continue;
-      }
-      Schedule schedule;
-      for (int i = 0; i < 50; ++i) {
-        schedule.push_back({SimTime::Zero() + SimDuration::Millis(i * 10), fn});
-      }
-      (void)bed.platform().Run(schedule);
-      const double gib = static_cast<double>(bed.platform().metrics().peak_memory_bytes()) /
-                         static_cast<double>(kGiB);
+    for (const char* fn : fns) {
+      const double gib = cell_gib[idx++];
       peaks[SystemName(kind)][fn] = gib;
       row.push_back(Table::Num(gib, 2));
     }
@@ -87,8 +109,10 @@ void PartB() {
 }  // namespace
 }  // namespace trenv
 
-int main() {
-  trenv::PartA();
-  trenv::PartB();
+int main(int argc, char** argv) {
+  trenv::bench::BenchEnv env(argc, argv);
+  trenv::PartA(env);
+  trenv::PartB(env);
+  env.Finish();
   return 0;
 }

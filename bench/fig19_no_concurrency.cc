@@ -1,5 +1,6 @@
 // Figure 19: normalized E2E latency without concurrency; the hatched region
-// is startup time. One cold-path invocation per function per system.
+// is startup time. One cold-path invocation per function per system; the
+// five system runs are independent and execute as one ParallelSweep.
 #include <iostream>
 
 #include "bench/bench_util.h"
@@ -7,42 +8,55 @@
 namespace trenv {
 namespace {
 
-void Run() {
+const SystemKind kSystems[] = {SystemKind::kCriu, SystemKind::kReapPlus,
+                               SystemKind::kFaasnapPlus, SystemKind::kTrEnvCxl,
+                               SystemKind::kTrEnvRdma};
+
+void Run(bench::BenchEnv& env) {
   PrintBanner(std::cout,
               "Figure 19: E2E latency without concurrency (startup | exec, normalized to CRIU)");
-  const SystemKind systems[] = {SystemKind::kCriu, SystemKind::kReapPlus,
-                                SystemKind::kFaasnapPlus, SystemKind::kTrEnvCxl,
-                                SystemKind::kTrEnvRdma};
+  // Per system: function -> (startup_ms, e2e_ms).
+  using SystemResult = std::map<std::string, std::pair<double, double>>;
+  std::vector<SystemResult> per_system =
+      bench::ParallelSweep(std::size(kSystems), env.jobs, [&](size_t i) {
+        const SystemKind kind = kSystems[i];
+        SystemResult measured;
+        Testbed bed(kind);
+        if (!bed.DeployTable4Functions().ok()) {
+          return measured;
+        }
+        // Sequential, spaced past keep-alive so every start is a non-warm start;
+        // precede each with a decoy invocation of another function so TrEnv has
+        // a sandbox to repurpose (its steady state).
+        SimTime t = SimTime::Zero();
+        for (const auto& fn : bench::Table4Names()) {
+          const std::string decoy = fn == "DH" ? "JS" : "DH";
+          (void)bed.platform().Submit(t, decoy);
+          t += SimDuration::Minutes(11);
+          (void)bed.platform().Submit(t, fn);
+          t += SimDuration::Minutes(11);
+          bed.platform().RunToCompletion();
+        }
+        for (const auto& fn : bench::Table4Names()) {
+          const auto& m = bed.platform().metrics().per_function().at(fn);
+          // Min picks the steady-state (non-decoy) run for every system.
+          measured[fn] = {m.startup_ms.Min(), m.e2e_ms.Min()};
+        }
+        return measured;
+      });
+
   // function -> system -> (startup_ms, e2e_ms)
   std::map<std::string, std::map<std::string, std::pair<double, double>>> results;
-  for (SystemKind kind : systems) {
-    Testbed bed(kind);
-    if (!bed.DeployTable4Functions().ok()) {
-      continue;
-    }
-    // Sequential, spaced past keep-alive so every start is a non-warm start;
-    // precede each with a decoy invocation of another function so TrEnv has
-    // a sandbox to repurpose (its steady state).
-    SimTime t = SimTime::Zero();
-    for (const auto& fn : bench::Table4Names()) {
-      const std::string decoy = fn == "DH" ? "JS" : "DH";
-      (void)bed.platform().Submit(t, decoy);
-      t += SimDuration::Minutes(11);
-      (void)bed.platform().Submit(t, fn);
-      t += SimDuration::Minutes(11);
-      bed.platform().RunToCompletion();
-    }
-    for (const auto& fn : bench::Table4Names()) {
-      const auto& m = bed.platform().metrics().per_function().at(fn);
-      // Min picks the steady-state (non-decoy) run for every system.
-      results[fn][SystemName(kind)] = {m.startup_ms.Min(), m.e2e_ms.Min()};
+  for (size_t i = 0; i < std::size(kSystems); ++i) {
+    for (const auto& [fn, pair] : per_system[i]) {
+      results[fn][SystemName(kSystems[i])] = pair;
     }
   }
 
   Table table({"Func", "System", "Startup (ms)", "Exec (ms)", "E2E (ms)", "E2E / CRIU"});
   for (const auto& fn : bench::Table4Names()) {
     const double criu_e2e = results[fn]["CRIU"].second;
-    for (SystemKind kind : systems) {
+    for (SystemKind kind : kSystems) {
       const auto& [startup, e2e] = results[fn][SystemName(kind)];
       table.AddRow({fn, SystemName(kind), Table::Num(startup), Table::Num(e2e - startup),
                     Table::Num(e2e), Table::Num(e2e / criu_e2e, 3)});
@@ -56,7 +70,9 @@ void Run() {
 }  // namespace
 }  // namespace trenv
 
-int main() {
-  trenv::Run();
+int main(int argc, char** argv) {
+  trenv::bench::BenchEnv env(argc, argv);
+  trenv::Run(env);
+  env.Finish();
   return 0;
 }

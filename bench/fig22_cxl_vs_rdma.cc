@@ -1,5 +1,6 @@
 // Figure 22: normalized execution latency of T-CXL vs T-RDMA (P75 and P99),
-// plus the tiered (CXL-hot + RDMA-cold) configuration of section 9.5.
+// plus the tiered (CXL-hot + RDMA-cold) configuration of section 9.5. The
+// three system runs are independent and execute as one ParallelSweep.
 #include <iostream>
 
 #include "bench/bench_util.h"
@@ -7,7 +8,10 @@
 namespace trenv {
 namespace {
 
-void Run() {
+const SystemKind kSystems[] = {SystemKind::kTrEnvCxl, SystemKind::kTrEnvRdma,
+                               SystemKind::kTrEnvTiered};
+
+void Run(bench::BenchEnv& env) {
   PrintBanner(std::cout, "Figure 22: T-CXL vs T-RDMA execution latency (P75 / P99)");
   Rng rng(99);
   // Steady moderate load: enough concurrency to stress the RDMA fabric.
@@ -19,14 +23,20 @@ void Run() {
   // invocation a fresh attach, as in the paper's burst-dominated runs.
   PlatformConfig config;
   config.keep_alive_ttl = SimDuration::Seconds(1);
+  using ExecByFn = std::map<std::string, Histogram>;
+  std::vector<ExecByFn> per_system =
+      bench::ParallelSweep(std::size(kSystems), env.jobs, [&](size_t i) {
+        auto run = bench::RunContainerWorkload(kSystems[i], schedule, config,
+                                               bench::Table4Names());
+        ExecByFn hists;
+        for (const auto& [fn, metrics] : run.bed->platform().metrics().per_function()) {
+          hists[fn] = metrics.exec_ms;
+        }
+        return hists;
+      });
   std::map<std::string, std::map<std::string, Histogram>> exec;  // system -> fn -> hist
-  for (SystemKind kind :
-       {SystemKind::kTrEnvCxl, SystemKind::kTrEnvRdma, SystemKind::kTrEnvTiered}) {
-    auto run =
-        bench::RunContainerWorkload(kind, schedule, config, bench::Table4Names());
-    for (const auto& [fn, metrics] : run.bed->platform().metrics().per_function()) {
-      exec[SystemName(kind)][fn] = metrics.exec_ms;
-    }
+  for (size_t i = 0; i < std::size(kSystems); ++i) {
+    exec[SystemName(kSystems[i])] = std::move(per_system[i]);
   }
 
   Table table({"Func", "T-CXL p75", "T-RDMA p75", "p75 speedup", "T-CXL p99", "T-RDMA p99",
@@ -53,7 +63,9 @@ void Run() {
 }  // namespace
 }  // namespace trenv
 
-int main() {
-  trenv::Run();
+int main(int argc, char** argv) {
+  trenv::bench::BenchEnv env(argc, argv);
+  trenv::Run(env);
+  env.Finish();
   return 0;
 }

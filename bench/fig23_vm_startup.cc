@@ -1,8 +1,10 @@
 // Figure 23: startup latency of the Blackjack agent on the VM platforms —
-// (a) sequential single launches, (b) 10 concurrent launches.
+// (a) sequential single launches, (b) 10 concurrent launches. Each
+// (system, concurrency) cell is an independent AgentVmPlatform simulation,
+// so all 8 cells execute as one ParallelSweep.
 #include <iostream>
 
-#include "src/common/table.h"
+#include "bench/bench_util.h"
 #include "src/vm/vm_platform.h"
 
 namespace trenv {
@@ -29,22 +31,30 @@ double MeasureStartup(const VmSystemConfig& config, int concurrent) {
   return platform.MetricsFor("Blackjack").startup_ms.Mean();
 }
 
-void Run() {
+void Run(bench::BenchEnv& env) {
   PrintBanner(std::cout, "Figure 23: Blackjack VM startup latency (ms)");
   const VmSystemConfig configs[] = {E2bConfig(), E2bPlusConfig(), VanillaChConfig(),
                                     TrEnvVmConfig()};
+  const int concurrency[] = {1, 10};
+  const size_t n_cells = std::size(configs) * std::size(concurrency);
+  std::vector<double> cells = bench::ParallelSweep(n_cells, env.jobs, [&](size_t idx) {
+    return MeasureStartup(configs[idx / std::size(concurrency)],
+                          concurrency[idx % std::size(concurrency)]);
+  });
+
   Table table({"System", "Single launch", "10 concurrent", "vs E2B (single)"});
   double e2b_single = 0;
   std::vector<std::array<double, 2>> rows;
+  size_t idx = 0;
   for (const auto& config : configs) {
-    const double single = MeasureStartup(config, 1);
-    const double ten = MeasureStartup(config, 10);
+    const double single = cells[idx++];
+    const double ten = cells[idx++];
     if (config.name == "E2B") {
       e2b_single = single;
     }
     rows.push_back({single, ten});
   }
-  size_t idx = 0;
+  idx = 0;
   for (const auto& config : configs) {
     table.AddRow({config.name, Table::Ms(rows[idx][0]), Table::Ms(rows[idx][1]),
                   Table::Pct(1.0 - rows[idx][0] / e2b_single)});
@@ -59,7 +69,9 @@ void Run() {
 }  // namespace
 }  // namespace trenv
 
-int main() {
-  trenv::Run();
+int main(int argc, char** argv) {
+  trenv::bench::BenchEnv env(argc, argv);
+  trenv::Run(env);
+  env.Finish();
   return 0;
 }

@@ -1,6 +1,8 @@
 // Figure 4: breakdown of the startup latency for a Python-based function:
 // cold start (sandbox + bootstrap) vs CRIU restore (sandbox + process + mem)
-// vs TrEnv, highlighting the sandbox overhead.
+// vs TrEnv, highlighting the sandbox overhead. The three system runs are
+// independent simulations and execute as one ParallelSweep; each records
+// into a private tracer/registry that is merged afterwards in system order.
 #include <iostream>
 
 #include "bench/bench_util.h"
@@ -8,12 +10,25 @@
 namespace trenv {
 namespace {
 
-void RunOne(SystemKind kind, Table& table, bench::BenchEnv& env) {
+const SystemKind kSystems[] = {SystemKind::kFaasd, SystemKind::kCriu, SystemKind::kTrEnvCxl};
+
+struct SystemRun {
+  std::string name;
+  std::vector<std::string> row;  // empty on failure
+  std::unique_ptr<obs::Tracer> tracer;
+  std::unique_ptr<Testbed> bed;
+};
+
+SystemRun RunOne(SystemKind kind, const bench::BenchEnv& env) {
+  SystemRun result;
+  result.name = SystemName(kind);
+  result.tracer = env.MakeRunTracer();
   PlatformConfig config;
-  config.tracer = env.tracer_or_null();
-  Testbed bed(kind, config);
+  config.tracer = result.tracer.get();
+  result.bed = std::make_unique<Testbed>(kind, config);
+  Testbed& bed = *result.bed;
   if (!bed.DeployTable4Functions().ok()) {
-    return;
+    return result;
   }
   // Run one invocation for the E2E column, then retire it so TrEnv's pool
   // holds a repurposable sandbox (its steady state). With --trace-out the
@@ -30,8 +45,8 @@ void RunOne(SystemKind kind, Table& table, bench::BenchEnv& env) {
   ctx.backends = &bed.backends();
   ctx.pids = &pids;
   obs::SpanId breakdown_span = obs::kInvalidSpanId;
-  if (env.tracer_or_null() != nullptr) {
-    ctx.tracer = env.tracer_or_null();
+  if (result.tracer != nullptr) {
+    ctx.tracer = result.tracer.get();
     ctx.trace_loc = {bed.platform().trace_pid(), /*track=*/1000000};
     breakdown_span = ctx.tracer->StartSpan(ctx.trace_loc, "restore.breakdown", "restore");
     ctx.trace_parent = breakdown_span;
@@ -43,25 +58,33 @@ void RunOne(SystemKind kind, Table& table, bench::BenchEnv& env) {
   }
   if (!outcome.ok()) {
     std::cerr << "restore failed\n";
-    return;
+    return result;
   }
   const auto& startup = outcome->startup;
   const auto& e2e = bed.platform().metrics().per_function().at("JS").e2e_ms;
-  table.AddRow({SystemName(kind), Table::Ms(startup.sandbox.millis()),
+  result.row = {SystemName(kind), Table::Ms(startup.sandbox.millis()),
                 startup.process_is_cpu ? Table::Ms(startup.process.millis()) + " (bootstrap)"
                                        : Table::Ms(startup.process.millis()),
                 Table::Ms(startup.memory.millis()), Table::Ms(startup.Total().millis()),
-                Table::Ms(e2e.Mean())});
-  env.AbsorbRegistry(SystemName(kind), bed.platform().metrics().registry());
+                Table::Ms(e2e.Mean())};
+  return result;
 }
 
 void Run(bench::BenchEnv& env) {
   PrintBanner(std::cout,
               "Figure 4: startup-latency breakdown for a Python function (JS, ~95 MiB image)");
   Table table({"System", "Sandbox", "Process/Bootstrap", "Memory", "Startup total", "E2E"});
-  RunOne(SystemKind::kFaasd, table, env);
-  RunOne(SystemKind::kCriu, table, env);
-  RunOne(SystemKind::kTrEnvCxl, table, env);
+  std::vector<SystemRun> runs = bench::ParallelSweep(
+      std::size(kSystems), env.jobs, [&](size_t i) { return RunOne(kSystems[i], env); });
+  for (const auto& run : runs) {
+    if (!run.row.empty()) {
+      table.AddRow(run.row);
+    }
+    env.AbsorbTracer(run.tracer.get());
+    if (run.bed != nullptr) {
+      env.AbsorbRegistry(run.name, run.bed->platform().metrics().registry());
+    }
+  }
   table.Print(std::cout);
   std::cout << "Paper reference: sandbox creation rivals or exceeds execution; CRIU's "
                "memory copy alone is >60 ms for a 60 MiB image; TrEnv repurposes in "

@@ -1,8 +1,21 @@
 // Micro-operation benchmarks (google-benchmark): throughput of the hot
 // simulator primitives — page-table bulk faults, mm-template attach, dedup
-// ingestion, DES event dispatch. These guard the simulator's own
-// performance; the paper-figure benches above depend on them being fast.
+// ingestion, DES event dispatch and schedule/cancel churn. These guard the
+// simulator's own performance; the paper-figure benches above depend on them
+// being fast.
+//
+// Besides the console output, every run appends one JSON-lines record to
+// BENCH_micro.json (override with --bench-json=PATH, disable with
+// --bench-json=), so the performance trajectory across PRs accumulates in
+// one comparable file. See docs/performance.md.
 #include <benchmark/benchmark.h>
+
+#include <ctime>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "src/criu/deduplicator.h"
 #include "src/criu/checkpointer.h"
@@ -90,20 +103,51 @@ void BM_SnapshotDedupIngest(benchmark::State& state) {
 }
 BENCHMARK(BM_SnapshotDedupIngest);
 
+// Full event lifecycle — schedule 1000 timers at interleaved deadlines, then
+// dispatch them all. This is what every simulated invocation pays per event:
+// one ScheduleAt/ScheduleAfter plus one dispatch.
 void BM_EventSchedulerDispatch(benchmark::State& state) {
+  EventScheduler sched;
+  int sink = 0;
   for (auto _ : state) {
-    state.PauseTiming();
-    EventScheduler sched;
-    int sink = 0;
+    const SimTime base = sched.now();
     for (int i = 0; i < 1000; ++i) {
-      sched.ScheduleAt(SimTime(i), [&sink] { ++sink; });
+      // Interleaved deadlines (not arrival order) so the queue really sorts.
+      sched.ScheduleAt(base + SimDuration::Micros((i * 37) % 1000), [&sink] { ++sink; });
     }
-    state.ResumeTiming();
     sched.RunUntilIdle();
-    benchmark::DoNotOptimize(sink);
   }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() * 1000);
 }
 BENCHMARK(BM_EventSchedulerDispatch);
+
+// Keep-alive churn: platform.cc re-arms expiry timers on every completion
+// (schedule, later cancel, reschedule — 8 call sites feed this pattern), so
+// most scheduled events never run. 64 outstanding timers, 2000 re-arms per
+// iteration, periodic clock advances between them.
+void BM_EventSchedulerChurn(benchmark::State& state) {
+  EventScheduler sched;
+  int sink = 0;
+  std::vector<EventId> expiry(64, kInvalidEventId);
+  for (auto _ : state) {
+    for (int i = 0; i < 2000; ++i) {
+      const size_t slot = static_cast<size_t>(i) % expiry.size();
+      if (expiry[slot] != kInvalidEventId) {
+        sched.Cancel(expiry[slot]);
+      }
+      expiry[slot] = sched.ScheduleAfter(SimDuration::Minutes(10), [&sink] { ++sink; });
+      if (i % 16 == 0) {
+        sched.RunUntil(sched.now() + SimDuration::Millis(50));
+      }
+    }
+    sched.RunUntilIdle();
+    expiry.assign(expiry.size(), kInvalidEventId);
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_EventSchedulerChurn);
 
 void BM_FairShareCpuChurn(benchmark::State& state) {
   for (auto _ : state) {
@@ -119,7 +163,116 @@ void BM_FairShareCpuChurn(benchmark::State& state) {
 }
 BENCHMARK(BM_FairShareCpuChurn);
 
+// Collects per-benchmark results while delegating display to the console
+// reporter, so the run can be appended to the BENCH_micro.json trajectory.
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  struct Entry {
+    std::string name;
+    double real_ns = 0;
+    double cpu_ns = 0;
+    int64_t iterations = 0;
+  };
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) {
+        continue;
+      }
+      Entry entry;
+      entry.name = run.benchmark_name();
+      entry.real_ns = run.GetAdjustedRealTime();
+      entry.cpu_ns = run.GetAdjustedCPUTime();
+      entry.iterations = run.iterations;
+      entries_.push_back(std::move(entry));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  const std::vector<Entry>& entries() const { return entries_; }
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string UtcNow() {
+  char buf[32];
+  const std::time_t t = std::time(nullptr);
+  std::tm tm_utc{};
+  gmtime_r(&t, &tm_utc);
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
+  return buf;
+}
+
+// Appends one JSON-lines record: {"utc":...,"label":...,"benchmarks":{name:
+// {"real_ns":...,"cpu_ns":...,"iterations":...}}}.
+bool AppendJsonRecord(const std::string& path, const std::string& label,
+                      const std::vector<CollectingReporter::Entry>& entries) {
+  std::ofstream out(path, std::ios::app);
+  if (!out) {
+    return false;
+  }
+  out << "{\"utc\":\"" << UtcNow() << "\",\"label\":\"" << JsonEscape(label)
+      << "\",\"benchmarks\":{";
+  bool first = true;
+  for (const auto& entry : entries) {
+    if (!first) {
+      out << ",";
+    }
+    first = false;
+    out << "\"" << JsonEscape(entry.name) << "\":{\"real_ns\":" << entry.real_ns
+        << ",\"cpu_ns\":" << entry.cpu_ns << ",\"iterations\":" << entry.iterations << "}";
+  }
+  out << "}}\n";
+  return static_cast<bool>(out);
+}
+
 }  // namespace
 }  // namespace trenv
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string json_path = "BENCH_micro.json";
+  std::string label;
+  // Peel off our flags; everything else goes to google-benchmark (which
+  // rejects unknown flags itself).
+  std::vector<char*> passthrough;
+  passthrough.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind("--bench-json=", 0) == 0) {
+      json_path = std::string(arg.substr(13));
+    } else if (arg.rfind("--bench-label=", 0) == 0) {
+      label = std::string(arg.substr(14));
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  int pass_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&pass_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(pass_argc, passthrough.data())) {
+    return 1;
+  }
+  trenv::CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (!json_path.empty() && !reporter.entries().empty()) {
+    if (trenv::AppendJsonRecord(json_path, label, reporter.entries())) {
+      std::cout << "appended record to " << json_path << "\n";
+    } else {
+      std::cerr << "failed to append record to " << json_path << "\n";
+      return 1;
+    }
+  }
+  return 0;
+}

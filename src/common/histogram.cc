@@ -9,14 +9,15 @@ namespace trenv {
 
 void Histogram::Record(double value) {
   samples_.push_back(value);
+  sum_ += value;
+  sum_sq_ += value * value;
   sorted_ = false;
 }
 
 void Histogram::EnsureSorted() const {
   if (!sorted_) {
-    auto& mutable_samples = const_cast<std::vector<double>&>(samples_);
-    std::sort(mutable_samples.begin(), mutable_samples.end());
-    const_cast<bool&>(sorted_) = true;
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
   }
 }
 
@@ -36,23 +37,20 @@ double Histogram::Mean() const {
   if (samples_.empty()) {
     return 0;
   }
-  double sum = 0;
-  for (double s : samples_) {
-    sum += s;
-  }
-  return sum / static_cast<double>(samples_.size());
+  return sum_ / static_cast<double>(samples_.size());
 }
 
 double Histogram::Stddev() const {
-  if (samples_.size() < 2) {
+  const size_t n = samples_.size();
+  if (n < 2) {
     return 0;
   }
-  const double mean = Mean();
-  double acc = 0;
-  for (double s : samples_) {
-    acc += (s - mean) * (s - mean);
-  }
-  return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+  // Sample variance from the running moments: (Σx² - n·mean²) / (n-1),
+  // clamped at 0 against cancellation when all samples are (nearly) equal.
+  const double mean = sum_ / static_cast<double>(n);
+  const double var =
+      (sum_sq_ - static_cast<double>(n) * mean * mean) / static_cast<double>(n - 1);
+  return var > 0 ? std::sqrt(var) : 0;
 }
 
 double Histogram::Percentile(double p) const {
@@ -90,11 +88,15 @@ std::vector<std::pair<double, double>> Histogram::Cdf(size_t max_points) const {
 
 void Histogram::Clear() {
   samples_.clear();
+  sum_ = 0;
+  sum_sq_ = 0;
   sorted_ = true;
 }
 
 void Histogram::MergeFrom(const Histogram& other) {
   samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
+  sum_ += other.sum_;
+  sum_sq_ += other.sum_sq_;
   sorted_ = false;
 }
 

@@ -14,6 +14,9 @@
 namespace trenv {
 
 // Stores raw samples; suitable for the sample counts in this repo (<= millions).
+// Mean/Stddev are O(1) from running moments; order statistics (Min/Max/
+// Percentile/Cdf) sort lazily on first query after a mutation, so querying
+// only the moments never pays for a sort.
 class Histogram {
  public:
   void Record(double value);
@@ -43,8 +46,12 @@ class Histogram {
  private:
   void EnsureSorted() const;
 
-  std::vector<double> samples_;
+  // mutable: EnsureSorted reorders in place from const accessors (logical
+  // state — the multiset of samples — is unchanged).
+  mutable std::vector<double> samples_;
   mutable bool sorted_ = true;
+  double sum_ = 0;     // running Σx, maintained by Record/Clear/MergeFrom
+  double sum_sq_ = 0;  // running Σx²
 };
 
 // Tracks a quantity over virtual time (e.g. memory in use) and reports the

@@ -4,6 +4,7 @@ namespace trenv {
 namespace obs {
 
 Counter* Registry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_.emplace(std::string(name), std::unique_ptr<Counter>(new Counter(std::string(name))))
@@ -13,6 +14,7 @@ Counter* Registry::GetCounter(std::string_view name) {
 }
 
 Gauge* Registry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_.emplace(std::string(name), std::unique_ptr<Gauge>(new Gauge(std::string(name))))
@@ -22,16 +24,19 @@ Gauge* Registry::GetGauge(std::string_view name) {
 }
 
 const Counter* Registry::FindCounter(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = counters_.find(name);
   return it == counters_.end() ? nullptr : it->second.get();
 }
 
 const Gauge* Registry::FindGauge(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = gauges_.find(name);
   return it == gauges_.end() ? nullptr : it->second.get();
 }
 
 void Registry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, counter] : counters_) {
     counter->Reset();
   }

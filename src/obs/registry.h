@@ -7,12 +7,22 @@
 // DefaultRegistry() exists for layers with no natural owner (the mm-template
 // device, memory pools); components that want isolated accounting (the
 // platform's MetricsCollector, tests) own a Registry of their own.
+//
+// Threading: instrument creation/lookup (GetCounter, GetGauge, Find*, Reset)
+// is guarded by a mutex so concurrent sweep runs may touch the shared
+// DefaultRegistry() — e.g. transient default bindings during construction —
+// without racing. Instrument *mutation* (Add/Set) is deliberately lock-free:
+// each concurrent simulation must own its instruments (its platform's
+// registry), never bump a shared one. The counters()/gauges() iteration
+// accessors likewise require external quiescence (exporters run after the
+// sweeps have joined).
 #ifndef TRENV_OBS_REGISTRY_H_
 #define TRENV_OBS_REGISTRY_H_
 
 #include <algorithm>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 
@@ -93,6 +103,7 @@ class Registry {
   }
 
  private:
+  mutable std::mutex mu_;  // guards the maps, not the instrument values
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
 };

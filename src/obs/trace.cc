@@ -107,6 +107,29 @@ void Tracer::Annotate(SpanId id, std::string_view key, AnnotationValue value) {
   span->args.emplace_back(std::string(key), std::move(value));
 }
 
+void Tracer::MergeFrom(const Tracer& other) {
+  if (!enabled_) {
+    return;
+  }
+  std::map<ProcessId, ProcessId> pid_map;
+  for (const auto& [pid, name] : other.process_names_) {
+    pid_map[pid] = RegisterProcess(name, nullptr);
+  }
+  const SpanId id_base = spans_.size();
+  for (const Span& span : other.spans_) {
+    Span copy = span;
+    copy.id += id_base;
+    if (copy.parent != kInvalidSpanId) {
+      copy.parent += id_base;
+    }
+    auto it = pid_map.find(copy.loc.pid);
+    if (it != pid_map.end()) {
+      copy.loc.pid = it->second;
+    }
+    spans_.push_back(std::move(copy));
+  }
+}
+
 const Span* Tracer::Find(SpanId id) const {
   if (id == kInvalidSpanId || id > spans_.size()) {
     return nullptr;

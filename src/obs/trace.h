@@ -110,6 +110,14 @@ class Tracer {
   // Attaches a key/value to a span. No-op on kInvalidSpanId.
   void Annotate(SpanId id, std::string_view key, AnnotationValue value);
 
+  // Appends everything `other` recorded, remapping its process and span ids
+  // into this tracer. Parallel sweeps use this: each run records into a
+  // private tracer, and the per-run tracers merge into the main one in
+  // deterministic run order after the sweep joins. All of `other`'s spans
+  // should be closed; merged processes carry no clock (spans keep their
+  // recorded times, but new spans at those pids would stamp time Zero).
+  void MergeFrom(const Tracer& other);
+
   // Introspection (exporters, tests).
   const std::vector<Span>& spans() const { return spans_; }
   const Span* Find(SpanId id) const;

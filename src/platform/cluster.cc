@@ -10,8 +10,9 @@ Cluster::Cluster(ClusterConfig config)
   tiered_.AddTier(cxl_.get());
   dedup_ = std::make_unique<SnapshotDedupStore>(&tiered_);
   // The shared device belongs to no single node; its fetch stats go to the
-  // process-wide registry.
-  cxl_->BindStats(&obs::DefaultRegistry());
+  // cluster-owned registry (never the process-wide one: concurrent clusters
+  // in a parallel sweep would race on it).
+  cxl_->BindStats(&stats_);
 
   for (uint32_t i = 0; i < config_.nodes; ++i) {
     // Each node occupies one port of the multi-headed device.

@@ -16,6 +16,7 @@
 #include "src/criu/trenv_engine.h"
 #include "src/mempool/cxl_pool.h"
 #include "src/mempool/rdma_pool.h"
+#include "src/obs/registry.h"
 #include "src/platform/platform.h"
 
 namespace trenv {
@@ -47,6 +48,10 @@ class Cluster {
   ServerlessPlatform& node(size_t i) { return *nodes_[i]->platform; }
   CxlPool& cxl() { return *cxl_; }
   const SnapshotDedupStore& dedup() const { return *dedup_; }
+  // Stats of the shared pool devices (fetches, fetch CPU). Cluster-owned so
+  // concurrent clusters never race on the process-wide DefaultRegistry().
+  obs::Registry& registry() { return stats_; }
+  const obs::Registry& registry() const { return stats_; }
 
   // Rack-level memory accounting: one shared pool copy + per-node DRAM.
   uint64_t PoolBytes() const { return cxl_->used_bytes(); }
@@ -72,6 +77,7 @@ class Cluster {
   void RunAllToCompletion();
 
   ClusterConfig config_;
+  obs::Registry stats_;
   std::shared_ptr<FsLayer> base_layer_;
   std::unique_ptr<CxlPool> cxl_;
   BackendRegistry backends_;

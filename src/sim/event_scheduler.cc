@@ -1,15 +1,31 @@
 #include "src/sim/event_scheduler.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace trenv {
 
+namespace {
+constexpr uint64_t kSlotMask = 0xffffffffULL;
+}  // namespace
+
 EventId EventScheduler::ScheduleAt(SimTime t, std::function<void()> fn) {
   assert(t >= now_ && "cannot schedule in the past");
-  const EventId id = next_id_++;
-  events_.emplace(Key{t, id}, std::move(fn));
-  id_to_time_.emplace(id, t);
-  return id;
+  uint32_t slot_index;
+  if (!free_slots_.empty()) {
+    slot_index = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot_index = static_cast<uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& slot = slots_[slot_index];
+  slot.fn = std::move(fn);
+  slot.live = true;
+  heap_.push_back(HeapEntry{t, next_seq_++, slot_index, slot.generation});
+  std::push_heap(heap_.begin(), heap_.end(), RunsAfter{});
+  ++live_count_;
+  return (static_cast<EventId>(slot.generation) << 32) | (slot_index + 1);
 }
 
 EventId EventScheduler::ScheduleAfter(SimDuration delay, std::function<void()> fn) {
@@ -20,28 +36,68 @@ EventId EventScheduler::ScheduleAfter(SimDuration delay, std::function<void()> f
 }
 
 bool EventScheduler::Cancel(EventId id) {
-  auto it = id_to_time_.find(id);
-  if (it == id_to_time_.end()) {
+  if (id == kInvalidEventId || (id & kSlotMask) == 0) {
     return false;
   }
-  events_.erase(Key{it->second, id});
-  id_to_time_.erase(it);
+  const uint32_t slot_index = static_cast<uint32_t>((id & kSlotMask) - 1);
+  const uint32_t generation = static_cast<uint32_t>(id >> 32);
+  if (slot_index >= slots_.size()) {
+    return false;
+  }
+  Slot& slot = slots_[slot_index];
+  if (!slot.live || slot.generation != generation) {
+    return false;  // already ran, already cancelled, or never scheduled
+  }
+  ReleaseSlot(slot_index);
+  --live_count_;
+  // The heap entry stays behind as a 24-byte tombstone (the callback is gone
+  // already); bound their number so cancel-heavy workloads (keep-alive
+  // timers) don't accumulate dead entries.
+  if (heap_.size() > 64 && heap_.size() > 2 * live_count_) {
+    Compact();
+  }
   return true;
 }
 
-bool EventScheduler::RunNext() {
-  if (events_.empty()) {
-    return false;
+void EventScheduler::ReleaseSlot(uint32_t index) {
+  Slot& slot = slots_[index];
+  slot.fn = nullptr;
+  slot.live = false;
+  ++slot.generation;  // invalidates the id and any heap tombstone
+  free_slots_.push_back(index);
+}
+
+void EventScheduler::Compact() {
+  std::erase_if(heap_, [this](const HeapEntry& entry) { return !IsLive(entry); });
+  std::make_heap(heap_.begin(), heap_.end(), RunsAfter{});
+}
+
+void EventScheduler::PruneCancelledTop() {
+  while (!heap_.empty() && !IsLive(heap_.front())) {
+    std::pop_heap(heap_.begin(), heap_.end(), RunsAfter{});
+    heap_.pop_back();
   }
-  auto it = events_.begin();
-  const Key key = it->first;
-  std::function<void()> fn = std::move(it->second);
-  events_.erase(it);
-  id_to_time_.erase(key.second);
-  now_ = key.first;
-  ++executed_;
-  fn();
-  return true;
+}
+
+bool EventScheduler::RunNext() {
+  for (;;) {
+    if (heap_.empty()) {
+      return false;
+    }
+    std::pop_heap(heap_.begin(), heap_.end(), RunsAfter{});
+    const HeapEntry entry = heap_.back();
+    heap_.pop_back();
+    if (!IsLive(entry)) {
+      continue;  // tombstone
+    }
+    std::function<void()> fn = std::move(slots_[entry.slot].fn);
+    ReleaseSlot(entry.slot);
+    --live_count_;
+    now_ = entry.time;
+    ++executed_;
+    fn();
+    return true;
+  }
 }
 
 void EventScheduler::RunUntilIdle() {
@@ -50,7 +106,11 @@ void EventScheduler::RunUntilIdle() {
 }
 
 void EventScheduler::RunUntil(SimTime t) {
-  while (!events_.empty() && events_.begin()->first.first <= t) {
+  for (;;) {
+    PruneCancelledTop();
+    if (heap_.empty() || t < heap_.front().time) {
+      break;
+    }
     RunNext();
   }
   if (now_ < t) {

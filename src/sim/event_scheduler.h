@@ -4,18 +4,31 @@
 // keep-alive expiry) are events on one virtual timeline. Events scheduled for
 // the same instant execute in scheduling order, which keeps runs
 // deterministic for a fixed seed.
+//
+// Implementation: a vector-backed binary min-heap keyed by (time, insertion
+// sequence) — identical dispatch order to the previous red-black-tree
+// implementation, without its two node allocations per ScheduleAt. Heap
+// entries are 24-byte PODs; callbacks live in a free-listed slot arena, and
+// the EventId encodes (slot, generation) so Cancel and the liveness test at
+// pop are O(1) array accesses with no hashing. Cancellation is lazy: Cancel
+// destroys the callback and bumps the slot generation; the heap entry stays
+// behind as a tombstone, recognized at pop by its stale generation and
+// skipped. Compact() bounds tombstone growth so a schedule/cancel-heavy
+// workload (the keep-alive pattern) cannot bloat the heap past ~2x the live
+// event count.
 #ifndef TRENV_SIM_EVENT_SCHEDULER_H_
 #define TRENV_SIM_EVENT_SCHEDULER_H_
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <utility>
+#include <vector>
 
 #include "src/common/time.h"
 
 namespace trenv {
 
+// Encodes (generation << 32) | (slot + 1); 0 is never a valid id.
 using EventId = uint64_t;
 inline constexpr EventId kInvalidEventId = 0;
 
@@ -34,8 +47,8 @@ class EventScheduler {
   // Cancels a pending event. Returns false if it already ran or was cancelled.
   bool Cancel(EventId id);
 
-  bool HasPending() const { return !events_.empty(); }
-  size_t pending_count() const { return events_.size(); }
+  bool HasPending() const { return live_count_ > 0; }
+  size_t pending_count() const { return live_count_; }
 
   // Runs the earliest pending event, advancing the clock. Returns false if
   // there was nothing to run.
@@ -48,14 +61,46 @@ class EventScheduler {
   uint64_t executed_count() const { return executed_; }
 
  private:
-  // Key orders by (time, insertion sequence) for determinism.
-  using Key = std::pair<SimTime, EventId>;
+  struct HeapEntry {
+    SimTime time;
+    uint64_t seq = 0;  // insertion order; tie-break at equal times
+    uint32_t slot = 0;
+    uint32_t generation = 0;
+  };
+  // std::push_heap/pop_heap build a max-heap on "less", so "a after b" as the
+  // comparator yields a min-heap on (time, seq).
+  struct RunsAfter {
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+      return b.time < a.time || (b.time == a.time && b.seq < a.seq);
+    }
+  };
+  struct Slot {
+    std::function<void()> fn;
+    uint32_t generation = 0;
+    bool live = false;
+  };
+
+  bool IsLive(const HeapEntry& entry) const {
+    const Slot& slot = slots_[entry.slot];
+    return slot.live && slot.generation == entry.generation;
+  }
+  // Releases a slot back to the free list, invalidating outstanding ids and
+  // heap tombstones pointing at it.
+  void ReleaseSlot(uint32_t index);
+  // Pops tombstones (cancelled entries) off the heap top so front() — when it
+  // exists — is the earliest live event.
+  void PruneCancelledTop();
+  // Rebuilds the heap without tombstones; called when tombstones outnumber
+  // live events.
+  void Compact();
 
   SimTime now_;
-  EventId next_id_ = 1;
+  uint64_t next_seq_ = 1;
   uint64_t executed_ = 0;
-  std::map<Key, std::function<void()>> events_;
-  std::map<EventId, SimTime> id_to_time_;
+  size_t live_count_ = 0;
+  std::vector<HeapEntry> heap_;
+  std::vector<Slot> slots_;
+  std::vector<uint32_t> free_slots_;
 };
 
 }  // namespace trenv

@@ -1,0 +1,62 @@
+// Fixed-size worker pool for running independent simulations concurrently.
+//
+// The simulator itself is single-threaded by design — one EventScheduler, one
+// virtual clock. Parallelism lives a level up: experiment sweeps (one
+// Testbed / VM platform per configuration) are embarrassingly parallel as
+// long as each run owns its scheduler, registry, and tracer. This pool is the
+// substrate for bench::ParallelSweep; it makes no attempt at work stealing or
+// priorities because sweep tasks are few (5-30) and long (whole simulations).
+//
+// Tasks must not throw: an escaped exception would terminate the process
+// (the sim layer reports failures through Status, not exceptions).
+#ifndef TRENV_SIM_THREAD_POOL_H_
+#define TRENV_SIM_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace trenv {
+
+class ThreadPool {
+ public:
+  // Spawns `threads` workers (clamped to >= 1).
+  explicit ThreadPool(unsigned threads);
+  // Joins after draining the queue.
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues a task. Safe to call from any thread, including from a task.
+  void Submit(std::function<void()> task);
+
+  // Blocks until the queue is empty and every worker is idle. Completed-task
+  // side effects are visible to the caller afterwards (the mutex orders
+  // them), so results written from tasks can be read without further
+  // synchronization.
+  void Wait();
+
+  unsigned thread_count() const { return static_cast<unsigned>(workers_.size()); }
+
+  // hardware_concurrency with a floor of 1 (it may return 0).
+  static unsigned DefaultThreads();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_idle_;
+  std::deque<std::function<void()>> tasks_;
+  std::vector<std::thread> workers_;
+  unsigned active_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace trenv
+
+#endif  // TRENV_SIM_THREAD_POOL_H_

@@ -177,6 +177,15 @@ void PageTable::ForEachRun(const std::function<void(Vpn, const PteRun&)>& fn) co
 }
 
 void PageTable::CloneFrom(const PageTable& other) {
+  if (runs_.empty()) {
+    // Fresh clone (the mm-template attach path): the source runs are already
+    // disjoint, sorted, and maximally merged, so copy them straight across
+    // with end hints — O(n) with no split/merge/search work per run.
+    for (const auto& [vpn, run] : other.runs_) {
+      runs_.emplace_hint(runs_.end(), vpn, run);
+    }
+    return;
+  }
   for (const auto& [vpn, run] : other.runs_) {
     MapRange(vpn, run.npages, run.flags, run.backing_base, run.content_base,
              run.constant_content);

@@ -1,0 +1,145 @@
+// Tests for the sweep-level concurrency layer: ThreadPool, ParallelSweep,
+// and the invariant the parallel figure benches rely on — running N
+// independent simulations on worker threads yields bitwise-identical
+// metrics to running them serially.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/obs/trace.h"
+#include "src/platform/testbed.h"
+#include "src/sim/thread_pool.h"
+#include "src/workload/traces.h"
+
+namespace trenv {
+namespace {
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.thread_count(), 4u);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 1000; ++i) {
+    pool.Submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 1000);
+}
+
+TEST(ThreadPoolTest, WaitIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.Submit([&count] { ++count; });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 1);
+  pool.Submit([&count] { ++count; });
+  pool.Submit([&count] { ++count; });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ThreadPoolTest, ClampsZeroThreadsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.thread_count(), 1u);
+  std::atomic<bool> ran{false};
+  pool.Submit([&ran] { ran = true; });
+  pool.Wait();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ParallelSweepTest, ResultsComeBackInIndexOrder) {
+  std::vector<size_t> squares = bench::ParallelSweep(
+      100, /*jobs=*/8, [](size_t i) { return i * i; });
+  ASSERT_EQ(squares.size(), 100u);
+  for (size_t i = 0; i < squares.size(); ++i) {
+    EXPECT_EQ(squares[i], i * i);
+  }
+}
+
+TEST(ParallelSweepTest, EmptySweepReturnsEmpty) {
+  std::vector<int> none = bench::ParallelSweep(0, 4, [](size_t) { return 1; });
+  EXPECT_TRUE(none.empty());
+}
+
+// One simulation run distilled to exactly-comparable numbers. Doubles are
+// compared with ==: a deterministic single-threaded sim must produce the
+// same bits no matter which OS thread hosts it.
+struct RunDigest {
+  uint64_t invocations = 0;
+  uint64_t cold = 0;
+  uint64_t warm = 0;
+  uint64_t peak_memory = 0;
+  double e2e_mean = 0;
+  double e2e_p99 = 0;
+
+  bool operator==(const RunDigest& other) const = default;
+};
+
+std::vector<RunDigest> RunSweep(unsigned jobs) {
+  const SystemKind kinds[] = {SystemKind::kCriu, SystemKind::kTrEnvCxl,
+                              SystemKind::kTrEnvRdma};
+  return bench::ParallelSweep(std::size(kinds), jobs, [&](size_t i) {
+    Rng rng(7);  // same seed per config: determinism must come from the sim
+    Schedule schedule =
+        MakePoissonWorkload({"DH", "JS", "IR"}, 4.0, SimDuration::Minutes(2), 0.3, rng);
+    Testbed bed(kinds[i]);
+    if (!bed.DeployTable4Functions().ok()) {
+      return RunDigest{};
+    }
+    (void)bed.platform().Run(schedule);
+    const FunctionMetrics agg = bed.platform().metrics().Aggregate();
+    RunDigest digest;
+    digest.invocations = agg.invocations;
+    digest.cold = agg.cold_starts;
+    digest.warm = agg.warm_starts;
+    digest.peak_memory = bed.platform().metrics().peak_memory_bytes();
+    digest.e2e_mean = agg.e2e_ms.Mean();
+    digest.e2e_p99 = agg.e2e_ms.P99();
+    return digest;
+  });
+}
+
+TEST(ParallelSweepTest, ConcurrentSimulationsMatchSerialBitwise) {
+  const std::vector<RunDigest> serial = RunSweep(/*jobs=*/1);
+  const std::vector<RunDigest> parallel = RunSweep(/*jobs=*/3);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_GT(serial[i].invocations, 0u) << "config " << i << " ran nothing";
+    EXPECT_EQ(serial[i], parallel[i]) << "config " << i << " diverged under threading";
+  }
+  // Repeat the parallel sweep: still identical (no run-to-run jitter).
+  EXPECT_EQ(RunSweep(/*jobs=*/3), parallel);
+}
+
+TEST(TracerMergeTest, RemapsProcessAndSpanIds) {
+  obs::Tracer sink;
+  sink.set_enabled(true);
+  const obs::ProcessId sink_pid = sink.RegisterProcess("main", nullptr);
+  const obs::SpanId root = sink.StartSpan({sink_pid, 0}, "root", "x");
+  sink.EndSpan(root);
+
+  obs::Tracer run;
+  run.set_enabled(true);
+  const obs::ProcessId run_pid = run.RegisterProcess("worker", nullptr);
+  const obs::SpanId parent = run.StartSpan({run_pid, 0}, "parent", "x");
+  const obs::SpanId child = run.StartSpan({run_pid, 0}, "child", "x", parent);
+  run.EndSpan(child);
+  run.EndSpan(parent);
+
+  sink.MergeFrom(run);
+  ASSERT_EQ(sink.spans().size(), 3u);
+  const auto& merged_parent = sink.spans()[1];
+  const auto& merged_child = sink.spans()[2];
+  // Span ids and parent links shifted past the sink's existing spans.
+  EXPECT_EQ(merged_parent.id, root + 1);
+  EXPECT_EQ(merged_child.parent, merged_parent.id);
+  // The run's process got a fresh pid in the sink, distinct from "main".
+  EXPECT_NE(merged_parent.loc.pid, sink_pid);
+  EXPECT_EQ(merged_parent.loc.pid, merged_child.loc.pid);
+}
+
+}  // namespace
+}  // namespace trenv

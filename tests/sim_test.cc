@@ -68,6 +68,103 @@ TEST(EventSchedulerTest, RunUntilStopsAtBoundary) {
   EXPECT_EQ(count, 2);
 }
 
+TEST(EventSchedulerTest, SameInstantOrderSurvivesCancellation) {
+  // Cancelling an interleaved subset of same-instant events must not perturb
+  // the insertion order of the survivors (the heap tie-breaks on sequence
+  // number, and tombstones are skipped at pop).
+  EventScheduler sched;
+  std::vector<int> order;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 10; ++i) {
+    ids.push_back(sched.ScheduleAt(SimTime(100), [&order, i] { order.push_back(i); }));
+  }
+  for (int i = 1; i < 10; i += 2) {
+    EXPECT_TRUE(sched.Cancel(ids[i]));
+  }
+  sched.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{0, 2, 4, 6, 8}));
+}
+
+TEST(EventSchedulerTest, CancelThenRescheduleKeepsDeterministicOrder) {
+  // The keep-alive pattern: cancel a pending timer and re-arm it. The new
+  // event must run in the order implied by its (time, new insertion index),
+  // not by any recycled identity of the cancelled one.
+  EventScheduler sched;
+  std::vector<int> order;
+  EventId timer = sched.ScheduleAt(SimTime(50), [&] { order.push_back(1); });
+  sched.ScheduleAt(SimTime(50), [&] { order.push_back(2); });
+  EXPECT_TRUE(sched.Cancel(timer));
+  sched.ScheduleAt(SimTime(50), [&] { order.push_back(3); });  // re-armed after event 2
+  sched.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{2, 3}));
+}
+
+TEST(EventSchedulerTest, StaleIdDoesNotCancelRecycledSlot) {
+  // After heavy cancel/reschedule churn, internal slots are recycled; an
+  // EventId from a previous occupant must never cancel the new one.
+  EventScheduler sched;
+  bool ran = false;
+  EventId old_id = sched.ScheduleAt(SimTime(10), [] {});
+  EXPECT_TRUE(sched.Cancel(old_id));
+  // The new event likely reuses the old slot; the stale id must stay dead.
+  EventId new_id = sched.ScheduleAt(SimTime(10), [&] { ran = true; });
+  EXPECT_FALSE(sched.Cancel(old_id));
+  EXPECT_NE(old_id, new_id);
+  sched.RunUntilIdle();
+  EXPECT_TRUE(ran);
+}
+
+TEST(EventSchedulerTest, RunUntilBoundaryWithCancelledHead) {
+  // RunUntil must not stop early (or advance time past t) when the earliest
+  // heap entries are tombstones.
+  EventScheduler sched;
+  int count = 0;
+  EventId head = sched.ScheduleAt(SimTime(5), [&] { ++count; });
+  sched.ScheduleAt(SimTime(10), [&] { ++count; });
+  sched.ScheduleAt(SimTime(20), [&] { ++count; });
+  EXPECT_TRUE(sched.Cancel(head));
+  sched.RunUntil(SimTime(15));
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(sched.now(), SimTime(15));
+  EXPECT_TRUE(sched.HasPending());
+  sched.RunUntilIdle();
+  EXPECT_EQ(count, 2);
+}
+
+TEST(EventSchedulerTest, RunUntilAtExactEventTimeRunsTheEvent) {
+  EventScheduler sched;
+  int count = 0;
+  sched.ScheduleAt(SimTime(10), [&] { ++count; });
+  sched.ScheduleAt(SimTime(11), [&] { ++count; });
+  sched.RunUntil(SimTime(10));  // inclusive boundary
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(sched.now(), SimTime(10));
+}
+
+TEST(EventSchedulerTest, CancelChurnKeepsPendingCountExact) {
+  // Long-lived keep-alive timers that are almost always cancelled: the
+  // scheduler must report only live events and eventually run exactly the
+  // survivors, regardless of internal tombstone compaction.
+  EventScheduler sched;
+  int ran = 0;
+  for (int round = 0; round < 100; ++round) {
+    std::vector<EventId> batch;
+    for (int i = 0; i < 64; ++i) {
+      batch.push_back(sched.ScheduleAfter(SimDuration::Minutes(10 + i), [&] { ++ran; }));
+    }
+    // Cancel all but the last of this round's batch.
+    for (size_t i = 0; i + 1 < batch.size(); ++i) {
+      EXPECT_TRUE(sched.Cancel(batch[i]));
+    }
+    EXPECT_EQ(sched.pending_count(), static_cast<size_t>(round + 1));
+  }
+  EXPECT_TRUE(sched.HasPending());
+  sched.RunUntilIdle();
+  EXPECT_EQ(ran, 100);
+  EXPECT_FALSE(sched.HasPending());
+  EXPECT_EQ(sched.pending_count(), 0u);
+}
+
 TEST(FairShareCpuTest, SingleTaskRunsAtFullSpeed) {
   EventScheduler sched;
   FairShareCpu cpu(&sched, 4);
