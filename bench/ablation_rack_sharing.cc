@@ -20,6 +20,8 @@ struct RackRow {
   double dram_gib = 0;
   double dedup_ratio = 0;
   bool ok = false;
+  // On failure: the cluster's error, which names the rejecting node.
+  std::string error;
 };
 
 // Baseline: what N independent CRIU nodes would hold for the same load
@@ -41,7 +43,8 @@ RackRow RunCluster(uint32_t nodes) {
   ClusterConfig config;
   config.nodes = nodes;
   Cluster cluster(config);
-  if (!cluster.DeployTable4Functions().ok()) {
+  if (const Status status = cluster.DeployTable4Functions(); !status.ok()) {
+    row.error = status.message();
     return row;
   }
   // Every node serves the same mix concurrently.
@@ -53,7 +56,8 @@ RackRow RunCluster(uint32_t nodes) {
     }
   }
   SortSchedule(schedule);
-  if (!cluster.Run(schedule).ok()) {
+  if (const Status status = cluster.Run(schedule); !status.ok()) {
+    row.error = status.message();
     return row;
   }
   uint64_t dram_peak = 0;
@@ -90,7 +94,7 @@ void Run(bench::BenchEnv& env) {
     const uint32_t nodes = kNodeCounts[i];
     const RackRow& row = rows[1 + i];
     if (!row.ok) {
-      std::cerr << "cluster run failed for " << nodes << " nodes\n";
+      std::cerr << "cluster run failed for " << nodes << " nodes: " << row.error << "\n";
       return;
     }
     const double rack = row.pool_gib + row.dram_gib;

@@ -2,7 +2,17 @@
 
 #include <algorithm>
 
+#include "src/common/rng.h"
+
 namespace trenv {
+
+uint64_t SnapshotDedupStore::Fingerprint(PageContent content_base, uint64_t npages) {
+  uint64_t hash = 0x5ead0b6c0de5ULL;
+  for (uint64_t i = 0; i < npages; ++i) {
+    hash = MixU64(hash ^ (content_base + i));
+  }
+  return hash;
+}
 
 namespace {
 

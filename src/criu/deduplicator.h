@@ -50,6 +50,12 @@ class SnapshotDedupStore {
 
   Result<ConsolidatedImage> Store(const FunctionSnapshot& snapshot);
 
+  // Content hash of a chunk run, mixing every page's logical content. This
+  // is what catches injected page-fetch corruption: a payload whose
+  // fingerprint disagrees with the stored chunk's is discarded and refetched
+  // (see MemoryBackend::FetchLatency's retry loop).
+  static uint64_t Fingerprint(PageContent content_base, uint64_t npages);
+
   // Global dedup statistics.
   uint64_t total_ingested_pages() const { return total_ingested_pages_; }
   uint64_t stored_unique_pages() const { return stored_unique_pages_; }

@@ -133,6 +133,11 @@ class RestoreEngine {
   // Called when the invocation's execution finishes (closes fetch streams).
   virtual void OnExecuteDone(FunctionInstance& instance);
 
+  // Called when the node hosting this engine crashes: discard any
+  // per-instance bookkeeping (open fetch streams) without orderly teardown.
+  // Prepared snapshots/templates survive — they live in the shared pool.
+  virtual void OnCrash() {}
+
   // Tears an instance down (keep-alive eviction), releasing local memory.
   // Engines that pool sandboxes reclaim them here.
   virtual void Retire(std::unique_ptr<FunctionInstance> instance, RestoreContext& ctx);

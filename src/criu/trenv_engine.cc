@@ -266,6 +266,17 @@ void TrEnvEngine::OnExecuteDone(FunctionInstance& instance) {
   open_streams_.erase(it);
 }
 
+void TrEnvEngine::OnCrash() {
+  // The node died: close whatever fetch streams its instances had open so
+  // the shared pools' contention model doesn't count ghost readers forever.
+  for (auto& [instance, backends] : open_streams_) {
+    for (MemoryBackend* backend : backends) {
+      backend->EndStream();
+    }
+  }
+  open_streams_.clear();
+}
+
 void TrEnvEngine::Retire(std::unique_ptr<FunctionInstance> instance, RestoreContext& ctx) {
   OnExecuteDone(*instance);
   ctx.frames->FreePages(instance->ResidentLocalPages());

@@ -64,6 +64,7 @@ class TrEnvEngine : public RestoreEngine {
   Result<ExecutionOverheads> OnExecute(const FunctionProfile& profile,
                                        FunctionInstance& instance, RestoreContext& ctx) override;
   void OnExecuteDone(FunctionInstance& instance) override;
+  void OnCrash() override;
   // Step B1: cleanse the sandbox and park it in the universal pool.
   void Retire(std::unique_ptr<FunctionInstance> instance, RestoreContext& ctx) override;
 

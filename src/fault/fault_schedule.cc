@@ -1,0 +1,59 @@
+#include "src/fault/fault_schedule.h"
+
+namespace trenv {
+
+std::string_view FaultDomainName(FaultDomain domain) {
+  switch (domain) {
+    case FaultDomain::kNodeCrash:
+      return "node-crash";
+    case FaultDomain::kRdmaFlap:
+      return "rdma-flap";
+    case FaultDomain::kRdmaDegrade:
+      return "rdma-degrade";
+    case FaultDomain::kCxlPortDegrade:
+      return "cxl-port-degrade";
+    case FaultDomain::kNasStall:
+      return "nas-stall";
+    case FaultDomain::kPageCorruption:
+      return "page-corruption";
+    case FaultDomain::kPoolPressure:
+      return "pool-pressure";
+  }
+  return "unknown";
+}
+
+FaultWindow NodeCrashWindow(SimTime start, SimTime end, double probability, uint32_t node,
+                            SimDuration restart_after) {
+  FaultWindow w;
+  w.domain = FaultDomain::kNodeCrash;
+  w.start = start;
+  w.end = end;
+  w.probability = probability;
+  w.target = node;
+  w.restart_after = restart_after;
+  return w;
+}
+
+FaultWindow LinkFaultWindow(FaultDomain domain, SimTime start, SimTime end, double probability,
+                            double severity) {
+  FaultWindow w;
+  w.domain = domain;
+  w.start = start;
+  w.end = end;
+  w.probability = probability;
+  w.severity = severity;
+  return w;
+}
+
+FaultWindow PoolPressureWindow(SimTime start, SimTime end, double cap_scale, uint32_t node) {
+  FaultWindow w;
+  w.domain = FaultDomain::kPoolPressure;
+  w.start = start;
+  w.end = end;
+  w.probability = 1.0;
+  w.target = node;
+  w.severity = cap_scale;
+  return w;
+}
+
+}  // namespace trenv

@@ -1,0 +1,32 @@
+#include "src/fault/retry_policy.h"
+
+#include <algorithm>
+
+namespace trenv {
+
+SimDuration RetryPolicy::BackoffFor(uint32_t attempt) const {
+  if (attempt == 0) return SimDuration::Zero();
+  double backoff = static_cast<double>(initial_backoff.nanos());
+  for (uint32_t i = 1; i < attempt; ++i) {
+    backoff *= backoff_multiplier;
+    if (backoff >= static_cast<double>(max_backoff.nanos())) {
+      return max_backoff;
+    }
+  }
+  return std::min(SimDuration(static_cast<int64_t>(backoff)), max_backoff);
+}
+
+SimDuration RetryPolicy::OverheadBound() const {
+  SimDuration total;
+  for (uint32_t attempt = 1; attempt < max_attempts; ++attempt) {
+    total += attempt_timeout + BackoffFor(attempt);
+    if (total >= deadline) {
+      // The deadline cuts retries short; the last attempt that crossed it may
+      // still have spent a full timeout + backoff.
+      return deadline + attempt_timeout + max_backoff;
+    }
+  }
+  return total;
+}
+
+}  // namespace trenv

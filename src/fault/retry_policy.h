@@ -1,0 +1,39 @@
+// RetryPolicy: capped exponential backoff with a total deadline, all in
+// virtual time. Wrapped around remote fetches so an RDMA flap or NAS stall
+// costs a bounded, deterministic amount of latency instead of either failing
+// the invocation or hanging it forever.
+#ifndef TRENV_FAULT_RETRY_POLICY_H_
+#define TRENV_FAULT_RETRY_POLICY_H_
+
+#include <cstdint>
+
+#include "src/common/time.h"
+
+namespace trenv {
+
+struct RetryPolicy {
+  // Attempts per fetch including the first; after the last the fetch is
+  // served fail-open (the fabric eventually delivers, we just stop modelling
+  // further flaps for it).
+  uint32_t max_attempts = 4;
+  // A failed/stalled attempt is declared dead after this long.
+  SimDuration attempt_timeout = SimDuration::Micros(500);
+  // Backoff before retry k is initial_backoff * backoff_multiplier^(k-1),
+  // capped at max_backoff.
+  SimDuration initial_backoff = SimDuration::Micros(200);
+  double backoff_multiplier = 2.0;
+  SimDuration max_backoff = SimDuration::Millis(10);
+  // Total overhead budget: once timeouts + backoffs reach the deadline, stop
+  // retrying and serve fail-open.
+  SimDuration deadline = SimDuration::Millis(50);
+
+  // Backoff slept before attempt `attempt` (1-based count of retries).
+  SimDuration BackoffFor(uint32_t attempt) const;
+  // Worst-case retry overhead a single fetch can accumulate on top of its
+  // successful transfer: the tests use this to bound chaos-run latency.
+  SimDuration OverheadBound() const;
+};
+
+}  // namespace trenv
+
+#endif  // TRENV_FAULT_RETRY_POLICY_H_

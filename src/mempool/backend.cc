@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "src/fault/fault_injector.h"
+
 namespace trenv {
 
 void ContentMap::SplitAt(PoolOffset page) {
@@ -66,7 +68,44 @@ SimDuration MemoryBackend::FetchLatency(uint64_t npages) {
     fetch_ops_->Increment();
     fetch_pages_->Add(static_cast<double>(npages));
   }
-  return ComputeFetchLatency(npages);
+  if (injector_ == nullptr || !injector_->Active() || npages == 0) {
+    return ComputeFetchLatency(npages);
+  }
+  // Chaos path: each attempt may flap (costs a timeout, then backoff + retry)
+  // or deliver a corrupted payload (full transfer latency wasted — the dedup
+  // store's content hash rejects it — then refetch). The loop is fail-open:
+  // once attempts or the deadline are exhausted the fabric is assumed to
+  // deliver, so injected faults degrade latency but never lose pages.
+  const RetryPolicy& policy = injector_->retry_policy();
+  SimDuration overhead;
+  for (uint32_t attempt = 0;; ++attempt) {
+    const FaultInjector::FetchFault fault =
+        injector_->OnFetchAttempt(kind(), active_streams());
+    const SimDuration transfer = ComputeFetchLatency(npages) * fault.latency_multiplier;
+    if (!fault.fail && !fault.corrupt) {
+      return overhead + transfer;
+    }
+    if (fault.corrupt) {
+      injector_->CountCorrupt();
+      overhead += transfer;  // the bad payload crossed the wire before the hash caught it
+    } else {
+      overhead += policy.attempt_timeout;
+    }
+    if (attempt + 1 >= policy.max_attempts || overhead >= policy.deadline) {
+      injector_->CountExhausted();
+      return overhead + ComputeFetchLatency(npages) * fault.latency_multiplier;
+    }
+    overhead += policy.BackoffFor(attempt + 1);
+    injector_->CountRetry();
+  }
+}
+
+SimDuration MemoryBackend::EffectiveDirectLoadLatency() const {
+  const SimDuration base = DirectLoadLatency();
+  if (injector_ == nullptr || !injector_->Active()) {
+    return base;
+  }
+  return base * injector_->DirectLoadMultiplier(kind());
 }
 
 void MemoryBackend::BindStats(obs::Registry* stats) {

@@ -22,6 +22,8 @@
 
 namespace trenv {
 
+class FaultInjector;
+
 // Remembers logical page contents stored into a pool, run-compressed the same
 // way the page table is (content of page base+i is content_base+i).
 class ContentMap {
@@ -54,23 +56,32 @@ class MemoryBackend {
   uint64_t free_pages() const { return allocator_.free_pages(); }
 
   // Block management.
-  Result<PoolOffset> AllocatePages(uint64_t n) { return allocator_.Allocate(n); }
-  Status FreePages(PoolOffset base, uint64_t n);
+  [[nodiscard]] Result<PoolOffset> AllocatePages(uint64_t n) { return allocator_.Allocate(n); }
+  [[nodiscard]] Status FreePages(PoolOffset base, uint64_t n);
 
   // Content store.
-  Status WriteContent(PoolOffset page, uint64_t npages, PageContent content_base);
+  [[nodiscard]] Status WriteContent(PoolOffset page, uint64_t npages, PageContent content_base);
   Result<PageContent> ReadContent(PoolOffset page) const { return content_.Read(page); }
   uint64_t stored_pages() const { return content_.stored_pages(); }
 
   // Fault-path fetch of n pages (RDMA read, NAS block I/O, or a memcpy out of
-  // a byte-addressable pool). Includes fabric contention effects. Counts
-  // into the stats registry bound with BindStats, if any.
+  // a byte-addressable pool). Includes fabric contention effects and, when a
+  // FaultInjector is bound, injected flaps/stalls/corruption with retry +
+  // capped exponential backoff charged in virtual time. Counts into the
+  // stats registry bound with BindStats, if any.
   SimDuration FetchLatency(uint64_t npages);
   // Binds "pool.<name>.fetch_ops" / "pool.<name>.fetch_pages" counters so
   // every fetch through this tier shows up in telemetry dumps.
   void BindStats(obs::Registry* stats);
+  // Attaches the rack's fault injector; nullptr detaches. With no injector
+  // (or an idle one) fetch latencies are bit-identical to the fault-free
+  // model.
+  void BindFaultInjector(FaultInjector* injector) { injector_ = injector; }
+  FaultInjector* fault_injector() const { return injector_; }
   // Per-load latency for direct access; only meaningful if byte_addressable().
   virtual SimDuration DirectLoadLatency() const = 0;
+  // DirectLoadLatency scaled by any active CXL port-degrade fault window.
+  SimDuration EffectiveDirectLoadLatency() const;
   // CPU time the host burns per fetched page (e.g. RDMA completion handling);
   // zero for byte-addressable pools.
   virtual SimDuration FetchCpuPerPage() const { return SimDuration::Zero(); }
@@ -91,6 +102,7 @@ class MemoryBackend {
  private:
   BlockAllocator allocator_;
   ContentMap content_;
+  FaultInjector* injector_ = nullptr;
   obs::Counter* fetch_ops_ = nullptr;
   obs::Counter* fetch_pages_ = nullptr;
 };

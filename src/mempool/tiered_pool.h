@@ -29,8 +29,8 @@ class TieredPool {
 
   // Allocates n pages for a block with the given hotness in [0, 1]; hotter
   // blocks prefer upper tiers. Falls through to any tier with space.
-  Result<PoolPlacement> AllocatePages(uint64_t n, double hotness);
-  Status FreePages(const PoolPlacement& placement);
+  [[nodiscard]] Result<PoolPlacement> AllocatePages(uint64_t n, double hotness);
+  [[nodiscard]] Status FreePages(const PoolPlacement& placement);
 
   // Moves a block one tier up (if space allows); returns the new placement
   // and models the inter-tier copy as the destination's fetch latency.
@@ -38,7 +38,7 @@ class TieredPool {
     PoolPlacement placement;
     SimDuration copy_latency;
   };
-  Result<PromotionResult> Promote(const PoolPlacement& placement);
+  [[nodiscard]] Result<PromotionResult> Promote(const PoolPlacement& placement);
 
  private:
   size_t TierIndex(PoolKind kind) const;

@@ -1,5 +1,7 @@
 #include "src/platform/cluster.h"
 
+#include <algorithm>
+
 namespace trenv {
 
 Cluster::Cluster(ClusterConfig config)
@@ -13,6 +15,11 @@ Cluster::Cluster(ClusterConfig config)
   // cluster-owned registry (never the process-wide one: concurrent clusters
   // in a parallel sweep would race on it).
   cxl_->BindStats(&stats_);
+  if (!config_.faults.empty()) {
+    injector_ = std::make_unique<FaultInjector>(config_.faults, &stats_);
+    injector_->set_retry_policy(config_.retry);
+    cxl_->BindFaultInjector(injector_.get());
+  }
 
   for (uint32_t i = 0; i < config_.nodes; ++i) {
     // Each node occupies one port of the multi-headed device.
@@ -57,24 +64,42 @@ Status Cluster::DeployTable4Functions() {
   return Status::Ok();
 }
 
+bool Cluster::AnyAlive() const {
+  for (const auto& node : nodes_) {
+    if (node->alive) {
+      return true;
+    }
+  }
+  return false;
+}
+
 size_t Cluster::PickNode(const std::string& function) {
+  // Callers guarantee at least one node is alive.
   (void)function;
   if (config_.dispatch == ClusterConfig::Dispatch::kRoundRobin) {
+    while (!nodes_[next_node_]->alive) {
+      next_node_ = (next_node_ + 1) % nodes_.size();
+    }
     const size_t node = next_node_;
     next_node_ = (next_node_ + 1) % nodes_.size();
     return node;
   }
   // Least-loaded: fewest in-flight startups, then least DRAM in use — the
   // "dispatch to whichever node has available CPU" ideal of section 3.2.
-  size_t best = 0;
-  for (size_t i = 1; i < nodes_.size(); ++i) {
-    const auto& candidate = nodes_[i];
-    const auto& incumbent = nodes_[best];
+  size_t best = nodes_.size();
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (!nodes_[i]->alive) {
+      continue;
+    }
+    if (best == nodes_.size()) {
+      best = i;
+      continue;
+    }
     const auto key = [](const Node& n) {
       return std::make_pair(n.platform->concurrent_startups(),
                             n.platform->frames().used_bytes());
     };
-    if (key(*candidate) < key(*incumbent)) {
+    if (key(*nodes_[i]) < key(*nodes_[best])) {
       best = i;
     }
   }
@@ -82,6 +107,24 @@ size_t Cluster::PickNode(const std::string& function) {
 }
 
 Status Cluster::Submit(SimTime arrival, const std::string& function) {
+  const Status status = Dispatch(arrival, function);
+  if (status.ok()) {
+    ++accepted_;
+  }
+  return status;
+}
+
+Status Cluster::Dispatch(SimTime arrival, const std::string& function) {
+  if (!AnyAlive()) {
+    if (injector_ == nullptr) {
+      return Status::Unavailable("no node alive to accept invocation of '" + function + "'");
+    }
+    // Whole-rack outage mid-chaos: park the invocation; the next restart
+    // flushes the deferred queue.
+    deferred_.push_back(Deferred{arrival, function});
+    injector_->CountDeferred();
+    return Status::Ok();
+  }
   const size_t node_index = PickNode(function);
   ServerlessPlatform& platform = *nodes_[node_index]->platform;
   if (platform.tracer() != nullptr) {
@@ -91,25 +134,131 @@ Status Cluster::Submit(SimTime arrival, const std::string& function) {
     platform.tracer()->Annotate(id, "function", function);
     platform.tracer()->Annotate(id, "node", static_cast<int64_t>(node_index));
   }
-  return platform.Submit(arrival, function);
+  const Status status = platform.Submit(arrival, function);
+  if (!status.ok()) {
+    // Name the rejecting node: "invocation failed" without a culprit is
+    // useless in a rack-sized log.
+    return Status(status.code(), "node " + std::to_string(node_index) +
+                                     " rejected invocation of '" + function +
+                                     "': " + status.message());
+  }
+  return status;
+}
+
+void Cluster::FocusNode(size_t i) {
+  if (injector_ == nullptr) {
+    return;
+  }
+  injector_->BindClock(&nodes_[i]->platform->scheduler());
+  injector_->SetActiveNode(static_cast<uint32_t>(i));
+}
+
+void Cluster::AdvanceAllTo(SimTime t) {
+  // Dead nodes advance too (their queue is empty; only the clock moves), so
+  // a restarted node rejoins at the cluster-wide instant.
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    FocusNode(i);
+    nodes_[i]->platform->scheduler().RunUntil(t);
+  }
+}
+
+void Cluster::CrashNode(size_t i, SimTime when) {
+  Node& node = *nodes_[i];
+  if (!node.alive) {
+    return;
+  }
+  node.alive = false;
+  injector_->RecordInjection(when, FaultDomain::kNodeCrash, static_cast<uint32_t>(i));
+  std::vector<LostInvocation> lost = node.platform->Crash();
+  node.sandbox_pool->Clear();
+  // Failover: everything the dead node had accepted restarts on a survivor
+  // once the dispatcher's health check fires. TrEnv restores from the shared
+  // snapshot (redeploy_penalty zero); the cold-redeploy baseline pays a
+  // snapshot pull per recovered invocation first.
+  const SimTime redispatch =
+      when + config_.failover.detection_latency + config_.failover.redeploy_penalty;
+  for (LostInvocation& invocation : lost) {
+    injector_->CountFailover(redispatch - invocation.arrival);
+    (void)Dispatch(redispatch, invocation.function);
+  }
+}
+
+void Cluster::RestartNode(size_t i, SimTime when) {
+  Node& node = *nodes_[i];
+  if (node.alive) {
+    return;
+  }
+  node.alive = true;
+  injector_->CountRestart();
+  if (deferred_.empty()) {
+    return;
+  }
+  // Flush invocations parked during a whole-rack outage.
+  std::vector<Deferred> parked;
+  parked.swap(deferred_);
+  const SimTime ready = when + config_.failover.detection_latency;
+  for (Deferred& d : parked) {
+    injector_->CountFailover(ready - d.arrival);
+    (void)Dispatch(std::max(ready, d.arrival), d.function);
+  }
+}
+
+void Cluster::ApplyNodeEvent(const FaultInjector::NodeEvent& event) {
+  switch (event.kind) {
+    case FaultInjector::NodeEvent::Kind::kCrash:
+      if (event.node < nodes_.size()) {
+        CrashNode(event.node, event.time);
+      }
+      break;
+    case FaultInjector::NodeEvent::Kind::kRestart:
+      if (event.node < nodes_.size()) {
+        RestartNode(event.node, event.time);
+      }
+      break;
+    case FaultInjector::NodeEvent::Kind::kPressureStart:
+    case FaultInjector::NodeEvent::Kind::kPressureEnd:
+      for (size_t i = 0; i < nodes_.size(); ++i) {
+        if (event.node == kAnyTarget || event.node == i) {
+          FocusNode(i);
+          nodes_[i]->platform->SetSoftMemCapScale(event.severity);
+        }
+      }
+      break;
+  }
 }
 
 Status Cluster::Run(const Schedule& schedule) {
   // Dispatch decisions use the load at submission time, so interleave:
-  // advance every node up to each arrival before placing it.
+  // advance every node up to each arrival before placing it. Node-level
+  // fault events (crashes, restarts, pressure windows) merge into the same
+  // timeline so their ordering against arrivals is exact.
+  std::vector<FaultInjector::NodeEvent> plan;
+  if (injector_ != nullptr) {
+    plan = injector_->PlanNodeEvents(static_cast<uint32_t>(nodes_.size()));
+  }
+  size_t next_event = 0;
   for (const Invocation& invocation : schedule) {
-    for (auto& node : nodes_) {
-      node->platform->scheduler().RunUntil(invocation.arrival);
+    while (next_event < plan.size() && plan[next_event].time <= invocation.arrival) {
+      AdvanceAllTo(plan[next_event].time);
+      ApplyNodeEvent(plan[next_event]);
+      ++next_event;
     }
+    AdvanceAllTo(invocation.arrival);
     TRENV_RETURN_IF_ERROR(Submit(invocation.arrival, invocation.function));
+  }
+  while (next_event < plan.size()) {
+    AdvanceAllTo(plan[next_event].time);
+    ApplyNodeEvent(plan[next_event]);
+    ++next_event;
   }
   RunAllToCompletion();
   return Status::Ok();
 }
 
 void Cluster::RunAllToCompletion() {
-  for (auto& node : nodes_) {
-    node->platform->RunToCompletion();
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    FocusNode(i);
+    nodes_[i]->platform->RunToCompletion();
   }
 }
 

@@ -11,9 +11,11 @@
 #define TRENV_PLATFORM_CLUSTER_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/criu/trenv_engine.h"
+#include "src/fault/fault_injector.h"
 #include "src/mempool/cxl_pool.h"
 #include "src/mempool/rdma_pool.h"
 #include "src/obs/registry.h"
@@ -21,12 +23,30 @@
 
 namespace trenv {
 
+// How the rack reacts to a node death. Recovered invocations restart from
+// the shared snapshot on a survivor; the only question is how long detection
+// and (for the cold-redeploy baseline) snapshot re-distribution take.
+struct FailoverPolicy {
+  // Health-check lag before the dispatcher notices a dead node and
+  // re-dispatches its accepted-but-incomplete invocations.
+  SimDuration detection_latency = SimDuration::Millis(50);
+  // Extra delay charged per recovered invocation before it can restart.
+  // Zero for TrEnv (the template is already in the shared pool); set it to
+  // a snapshot-pull cost to model conventional per-node re-deployment.
+  SimDuration redeploy_penalty;
+};
+
 struct ClusterConfig {
   uint32_t nodes = 4;
   PlatformConfig node_config;
   uint64_t cxl_pool_bytes = 512 * kGiB;  // the 7.5 TB-class MHD, scaled down
   enum class Dispatch { kRoundRobin, kLeastLoaded };
   Dispatch dispatch = Dispatch::kLeastLoaded;
+  // Fault-injection campaign; an empty schedule means the fault-free fabric
+  // (bit-identical behaviour to a cluster with no injector at all).
+  FaultSchedule faults;
+  RetryPolicy retry;
+  FailoverPolicy failover;
 };
 
 class Cluster {
@@ -37,17 +57,25 @@ class Cluster {
 
   // Deploys a function on every node; the snapshot dedups into the shared
   // pool, so the rack stores one copy regardless of node count.
-  Status Deploy(const FunctionProfile& profile);
-  Status DeployTable4Functions();
+  [[nodiscard]] Status Deploy(const FunctionProfile& profile);
+  [[nodiscard]] Status DeployTable4Functions();
 
-  // Dispatches an invocation to a node per the configured policy.
-  Status Submit(SimTime arrival, const std::string& function);
-  Status Run(const Schedule& schedule);
+  // Dispatches an invocation to a node per the configured policy. If every
+  // node is down (mid-crash-window), the invocation is parked and
+  // re-dispatched when a node restarts. Errors name the rejecting node.
+  [[nodiscard]] Status Submit(SimTime arrival, const std::string& function);
+  [[nodiscard]] Status Run(const Schedule& schedule);
 
   size_t node_count() const { return nodes_.size(); }
   ServerlessPlatform& node(size_t i) { return *nodes_[i]->platform; }
+  bool node_alive(size_t i) const { return nodes_[i]->alive; }
   CxlPool& cxl() { return *cxl_; }
   const SnapshotDedupStore& dedup() const { return *dedup_; }
+  // Null when the configured FaultSchedule is empty.
+  FaultInjector* fault_injector() { return injector_.get(); }
+  // Invocations the cluster accepted via Submit — the chaos bench's
+  // zero-loss check compares this against completed counts.
+  uint64_t accepted_invocations() const { return accepted_; }
   // Stats of the shared pool devices (fetches, fetch CPU). Cluster-owned so
   // concurrent clusters never race on the process-wide DefaultRegistry().
   obs::Registry& registry() { return stats_; }
@@ -69,9 +97,28 @@ class Cluster {
     std::unique_ptr<MmtApi> mmt;
     std::unique_ptr<TrEnvEngine> engine;
     std::unique_ptr<ServerlessPlatform> platform;
+    bool alive = true;
   };
 
+  // An invocation accepted while every node was down, parked until restart.
+  struct Deferred {
+    SimTime arrival;  // the invocation's original arrival
+    std::string function;
+  };
+
+  bool AnyAlive() const;
   size_t PickNode(const std::string& function);
+  // Submit minus acceptance accounting: used both for fresh arrivals and for
+  // re-dispatching recovered invocations (which were already counted).
+  Status Dispatch(SimTime arrival, const std::string& function);
+  // Points the injector's clock and CXL-port scope at node i before its
+  // scheduler is drained (node clocks diverge during RunAllToCompletion).
+  void FocusNode(size_t i);
+  // Runs every node's scheduler up to t in lock-step.
+  void AdvanceAllTo(SimTime t);
+  void ApplyNodeEvent(const FaultInjector::NodeEvent& event);
+  void CrashNode(size_t i, SimTime when);
+  void RestartNode(size_t i, SimTime when);
   // One virtual timeline shared by all nodes: Run drains schedulers in
   // lock-step so cross-node ordering stays deterministic.
   void RunAllToCompletion();
@@ -83,8 +130,11 @@ class Cluster {
   BackendRegistry backends_;
   TieredPool tiered_;
   std::unique_ptr<SnapshotDedupStore> dedup_;
+  std::unique_ptr<FaultInjector> injector_;
   std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<Deferred> deferred_;
   size_t next_node_ = 0;
+  uint64_t accepted_ = 0;
 };
 
 }  // namespace trenv

@@ -89,6 +89,11 @@ void KeepAlivePool::EvictAll() {
   }
 }
 
+void KeepAlivePool::Drop() {
+  lru_.clear();
+  by_function_.clear();
+}
+
 size_t KeepAlivePool::CountFor(const std::string& function) const {
   auto it = by_function_.find(function);
   return it == by_function_.end() ? 0 : it->second.size();

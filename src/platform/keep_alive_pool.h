@@ -33,6 +33,9 @@ class KeepAlivePool {
   // Evicts every instance idle since before `now - ttl`.
   size_t ExpireStale(SimTime now);
   void EvictAll();
+  // Discards every parked instance WITHOUT running the evict callback: the
+  // node crashed, so there is nothing orderly to tear down.
+  void Drop();
 
   size_t size() const { return lru_.size(); }
   size_t CountFor(const std::string& function) const;

@@ -1,5 +1,7 @@
 #include "src/platform/platform.h"
 
+#include <algorithm>
+
 #include "src/common/log.h"
 
 namespace trenv {
@@ -40,7 +42,17 @@ Status ServerlessPlatform::Deploy(const FunctionProfile& profile) {
 
 Status ServerlessPlatform::Submit(SimTime arrival, const std::string& function) {
   TRENV_RETURN_IF_ERROR(registry_.Find(function).status());
-  scheduler_.ScheduleAt(arrival, [this, function] { StartInvocation(function); });
+  // Track the invocation from acceptance, not from its arrival event: if the
+  // node crashes first, Crash() finds it in queued_ and hands it back for
+  // re-dispatch instead of silently losing it with the event queue.
+  const uint64_t ticket = next_ticket_++;
+  queued_.emplace(ticket, LostInvocation{function, arrival});
+  scheduler_.ScheduleAt(arrival, [this, ticket] {
+    auto it = queued_.find(ticket);
+    const std::string fn = std::move(it->second.function);
+    queued_.erase(it);
+    StartInvocation(fn);
+  });
   return Status::Ok();
 }
 
@@ -66,8 +78,53 @@ void ServerlessPlatform::RetireInstance(std::unique_ptr<FunctionInstance> instan
 
 void ServerlessPlatform::EnforceMemoryCap() {
   // Soft cap: evict idle instances (LRU first) until under the cap or empty.
-  while (frames_.used_bytes() > config_.soft_mem_cap_bytes && keep_alive_.EvictLru()) {
+  // The scale==1.0 branch keeps the fault-free path free of floating-point
+  // arithmetic so runs without pressure windows stay byte-identical.
+  const uint64_t cap =
+      mem_cap_scale_ == 1.0
+          ? config_.soft_mem_cap_bytes
+          : static_cast<uint64_t>(static_cast<double>(config_.soft_mem_cap_bytes) *
+                                  mem_cap_scale_);
+  while (frames_.used_bytes() > cap && keep_alive_.EvictLru()) {
   }
+}
+
+void ServerlessPlatform::SetSoftMemCapScale(double scale) {
+  mem_cap_scale_ = scale;
+  EnforceMemoryCap();
+  SampleMemory();
+}
+
+std::vector<LostInvocation> ServerlessPlatform::Crash() {
+  std::vector<LostInvocation> lost;
+  lost.reserve(queued_.size() + inflight_.size());
+  for (auto& [ticket, invocation] : queued_) {
+    lost.push_back(std::move(invocation));
+  }
+  for (auto& [token, flight] : inflight_) {
+    if (tracer_ != nullptr && flight.root_span != obs::kInvalidSpanId) {
+      tracer_->Annotate(flight.root_span, "failed", std::string("node-crash"));
+      tracer_->EndSpan(flight.root_span);
+    }
+    lost.push_back(LostInvocation{flight.function, flight.arrival});
+  }
+  // Ticket/token maps iterate in acceptance order, so a stable sort by
+  // arrival keeps equal-arrival invocations in acceptance order too —
+  // re-dispatch order is deterministic.
+  std::stable_sort(lost.begin(), lost.end(),
+                   [](const LostInvocation& a, const LostInvocation& b) {
+                     return a.arrival < b.arrival;
+                   });
+  queued_.clear();
+  inflight_.clear();
+  concurrent_startups_ = 0;
+  keep_alive_.Drop();
+  engine_->OnCrash();
+  scheduler_.Clear();
+  cpu_.Reset();
+  frames_.FreePages(frames_.used_pages());
+  SampleMemory();
+  return lost;
 }
 
 void ServerlessPlatform::StartInvocation(const std::string& function) {
@@ -78,6 +135,12 @@ void ServerlessPlatform::StartInvocation(const std::string& function) {
   }
   const FunctionProfile& profile = **profile_or;
   keep_alive_.ExpireStale(scheduler_.now());
+  if (mem_cap_scale_ != 1.0) {
+    // Under an injected pressure window the squeezed cap applies before the
+    // warm lookup, so parked instances are evicted rather than reused. The
+    // scale==1.0 guard keeps the fault-free path untouched.
+    EnforceMemoryCap();
+  }
   if (config_.prewarm != nullptr) {
     config_.prewarm->RecordArrival(function, scheduler_.now());
     MaybeSchedulePrewarm(function);

@@ -16,6 +16,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "src/common/cost_model.h"
 #include "src/criu/restore_engine.h"
@@ -46,6 +47,13 @@ struct PlatformConfig {
   std::string trace_process = "platform";
 };
 
+// An invocation a crashed node accepted but had not completed: the cluster
+// re-dispatches these to surviving nodes.
+struct LostInvocation {
+  std::string function;
+  SimTime arrival;
+};
+
 class ServerlessPlatform {
  public:
   ServerlessPlatform(PlatformConfig config, RestoreEngine* engine,
@@ -54,14 +62,25 @@ class ServerlessPlatform {
   ServerlessPlatform& operator=(const ServerlessPlatform&) = delete;
 
   // Deploys a function: registers it and runs the engine's preprocessing.
-  Status Deploy(const FunctionProfile& profile);
+  [[nodiscard]] Status Deploy(const FunctionProfile& profile);
 
   // Schedules one invocation at `arrival` (absolute virtual time).
-  Status Submit(SimTime arrival, const std::string& function);
+  [[nodiscard]] Status Submit(SimTime arrival, const std::string& function);
   // Schedules a whole workload and runs the simulation to completion.
-  Status Run(const Schedule& schedule);
+  [[nodiscard]] Status Run(const Schedule& schedule);
   // Runs whatever is scheduled without submitting more work.
   void RunToCompletion();
+
+  // Node failure: drops all node-local state (pending events, CPU bursts,
+  // warm instances, sandboxes' frames) and returns every accepted-but-
+  // incomplete invocation, sorted by arrival, for re-dispatch elsewhere.
+  // Deployed functions and engine snapshots survive — they live in the
+  // shared pool / control plane, which is the paper's cross-node story.
+  std::vector<LostInvocation> Crash();
+
+  // Scales the soft memory cap (injected pool pressure); 1.0 restores the
+  // configured cap and is exactly the fault-free behaviour.
+  void SetSoftMemCapScale(double scale);
 
   MetricsCollector& metrics() { return metrics_; }
   const MetricsCollector& metrics() const { return metrics_; }
@@ -123,9 +142,14 @@ class ServerlessPlatform {
   obs::ProcessId trace_pid_ = 0;
 
   std::map<uint64_t, InFlight> inflight_;
+  // Accepted invocations whose arrival event has not fired yet, keyed by
+  // ticket. Tracked so a crash can recover work that was only queued.
+  std::map<uint64_t, LostInvocation> queued_;
   uint64_t next_token_ = 1;
+  uint64_t next_ticket_ = 1;
   uint32_t concurrent_startups_ = 0;
   uint64_t failed_invocations_ = 0;
+  double mem_cap_scale_ = 1.0;
 };
 
 }  // namespace trenv

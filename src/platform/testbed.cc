@@ -1,5 +1,7 @@
 #include "src/platform/testbed.h"
 
+#include "src/fault/fault_injector.h"
+
 namespace trenv {
 
 std::string SystemName(SystemKind kind) {
@@ -149,6 +151,15 @@ Status Testbed::DeployTable4Functions() {
     TRENV_RETURN_IF_ERROR(platform_->Deploy(profile));
   }
   return Status::Ok();
+}
+
+void Testbed::BindFaultInjector(FaultInjector* injector) {
+  if (injector != nullptr) {
+    injector->BindClock(&platform_->scheduler());
+  }
+  cxl_->BindFaultInjector(injector);
+  rdma_->BindFaultInjector(injector);
+  tmpfs_->BindFaultInjector(injector);
 }
 
 }  // namespace trenv

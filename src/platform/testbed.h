@@ -54,7 +54,11 @@ class Testbed {
   SnapshotDedupStore* dedup() { return dedup_.get(); }
 
   // Deploys all ten Table-4 functions.
-  Status DeployTable4Functions();
+  [[nodiscard]] Status DeployTable4Functions();
+
+  // Attaches a fault injector to every backend and clocks it off this
+  // platform's scheduler. nullptr detaches.
+  void BindFaultInjector(FaultInjector* injector);
 
  private:
   SystemKind system_;

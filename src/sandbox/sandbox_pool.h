@@ -38,6 +38,14 @@ class SandboxPool {
                              std::shared_ptr<const FsLayer> layer);
   size_t cached_overlay_count(const std::string& function) const;
 
+  // Crash reset: drops idle sandboxes and cached overlays (node-local state
+  // that died with the node) but keeps the function-layer registry — layer
+  // definitions come from deployment, which survives in the control plane.
+  void Clear() {
+    idle_.clear();
+    overlay_cache_.clear();
+  }
+
  private:
   size_t max_idle_;
   std::deque<std::unique_ptr<Sandbox>> idle_;

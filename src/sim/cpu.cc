@@ -75,6 +75,12 @@ bool FairShareCpu::Cancel(CpuTaskId id) {
   return true;
 }
 
+void FairShareCpu::Reset() {
+  tasks_.clear();
+  pending_event_ = kInvalidEventId;
+  last_sync_ = scheduler_->now();
+}
+
 void FairShareCpu::Sync() {
   const SimTime now = scheduler_->now();
   const double elapsed_ns = static_cast<double>((now - last_sync_).nanos());

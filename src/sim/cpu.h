@@ -36,6 +36,11 @@ class FairShareCpu {
   // Cancels an in-flight burst (its callback never fires).
   bool Cancel(CpuTaskId id);
 
+  // Drops every runnable task without completing it (crash recovery). The
+  // pending completion event is assumed already gone — call this only after
+  // the owning scheduler was Clear()ed.
+  void Reset();
+
   double cores() const { return cores_; }
   size_t runnable_count() const { return tasks_.size(); }
   // Current aggregate demand (sum of weights of runnable tasks).

@@ -105,6 +105,18 @@ void EventScheduler::RunUntilIdle() {
   }
 }
 
+void EventScheduler::Clear() {
+  // Release slot-by-slot (not slots_.clear()) so generations keep advancing
+  // and stale EventIds held by callers still fail Cancel's liveness check.
+  for (uint32_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].live) {
+      ReleaseSlot(i);
+    }
+  }
+  heap_.clear();
+  live_count_ = 0;
+}
+
 void EventScheduler::RunUntil(SimTime t) {
   for (;;) {
     PruneCancelledTop();

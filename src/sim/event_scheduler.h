@@ -58,6 +58,11 @@ class EventScheduler {
   // Runs all events with time <= t, then advances the clock to exactly t.
   void RunUntil(SimTime t);
 
+  // Drops every pending event without running it; the clock does not move.
+  // Outstanding EventIds become stale (Cancel on them returns false). Models
+  // a node crash: whatever the dead node had queued simply never happens.
+  void Clear();
+
   uint64_t executed_count() const { return executed_; }
 
  private:

@@ -100,7 +100,7 @@ Result<AccessOutcome> FaultHandler::Access(MmStruct& mm, Vaddr addr, bool write,
         return Status::Internal("no backend registered for pool");
       }
       outcome.kind = AccessKind::kDirectRemote;
-      outcome.latency = backend->DirectLoadLatency();
+      outcome.latency = backend->EffectiveDirectLoadLatency();
       mm.stats().direct_remote_reads += 1;
       if (direct_remote_ != nullptr) {
         direct_remote_->Increment();

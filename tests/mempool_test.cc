@@ -224,5 +224,65 @@ TEST_F(TieredPoolTest, FreeReturnsCapacity) {
   EXPECT_LT(cxl_.used_bytes(), used);
 }
 
+// Fallback ordering when a tier errors: the preferred tier is tried first,
+// then colder tiers in order, then warmer ones as a last resort.
+class TieredFallbackTest : public ::testing::Test {
+ protected:
+  TieredFallbackTest()
+      : cxl_(64 * kPageSize), rdma_(64 * kPageSize), nas_(64 * kPageSize) {
+    tiered_.AddTier(&cxl_);
+    tiered_.AddTier(&rdma_);
+    tiered_.AddTier(&nas_);
+  }
+  // Fills a backend so its next AllocatePages errors.
+  static void Exhaust(MemoryBackend& backend) {
+    ASSERT_TRUE(backend.AllocatePages(64).ok());
+    ASSERT_FALSE(backend.AllocatePages(1).ok());
+  }
+  CxlPool cxl_;
+  RdmaPool rdma_;
+  NasPool nas_;
+  TieredPool tiered_;
+};
+
+TEST_F(TieredFallbackTest, ErroringPreferredTierFallsColderFirst) {
+  // hotness 0.5 with three tiers prefers the middle (RDMA) tier.
+  Exhaust(rdma_);
+  auto spill = tiered_.AllocatePages(8, 0.5);
+  ASSERT_TRUE(spill.ok());
+  EXPECT_EQ(spill->kind, PoolKind::kNas);
+}
+
+TEST_F(TieredFallbackTest, FallsBackUpwardWhenAllColderTiersError) {
+  Exhaust(rdma_);
+  Exhaust(nas_);
+  auto spill = tiered_.AllocatePages(8, 0.5);
+  ASSERT_TRUE(spill.ok());
+  EXPECT_EQ(spill->kind, PoolKind::kCxl);
+}
+
+TEST_F(TieredFallbackTest, AllTiersErroringReportsOutOfMemory) {
+  Exhaust(cxl_);
+  Exhaust(rdma_);
+  Exhaust(nas_);
+  auto spill = tiered_.AllocatePages(8, 0.5);
+  ASSERT_FALSE(spill.ok());
+  EXPECT_EQ(spill.status().code(), StatusCode::kOutOfMemory);
+}
+
+TEST_F(TieredFallbackTest, PromoteFailsCleanlyWhenUpperTierErrors) {
+  auto cold = tiered_.AllocatePages(8, 0.0);
+  ASSERT_TRUE(cold.ok());
+  ASSERT_EQ(cold->kind, PoolKind::kNas);
+  ASSERT_TRUE(nas_.WriteContent(cold->base, 8, 900).ok());
+  // The tier above (RDMA) has no room: promotion must surface the error and
+  // leave the original placement intact — content readable, pages freeable.
+  Exhaust(rdma_);
+  auto promoted = tiered_.Promote(*cold);
+  ASSERT_FALSE(promoted.ok());
+  EXPECT_EQ(*nas_.ReadContent(cold->base), 900u);
+  EXPECT_TRUE(tiered_.FreePages(*cold).ok());
+}
+
 }  // namespace
 }  // namespace trenv

@@ -10,7 +10,10 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "src/fault/fault_injector.h"
+#include "src/fault/fault_schedule.h"
 #include "src/obs/trace.h"
+#include "src/platform/cluster.h"
 #include "src/platform/testbed.h"
 #include "src/sim/thread_pool.h"
 #include "src/workload/traces.h"
@@ -112,6 +115,72 @@ TEST(ParallelSweepTest, ConcurrentSimulationsMatchSerialBitwise) {
   }
   // Repeat the parallel sweep: still identical (no run-to-run jitter).
   EXPECT_EQ(RunSweep(/*jobs=*/3), parallel);
+}
+
+// Chaos variant of the sweep invariant: with an ACTIVE FaultSchedule
+// (crashes, restarts, CXL degradation) the injection sequence and recovery
+// metrics must still be bitwise-identical across worker threads.
+struct ChaosDigest {
+  std::vector<FaultInjector::Injection> injections;
+  uint64_t accepted = 0;
+  uint64_t invocations = 0;
+  uint64_t failovers = 0;
+  uint64_t crashes = 0;
+  double e2e_mean = 0;
+  double e2e_p99 = 0;
+
+  bool operator==(const ChaosDigest& other) const = default;
+};
+
+std::vector<ChaosDigest> RunChaosSweep(unsigned jobs) {
+  const uint64_t seeds[] = {11, 22, 33, 44};
+  return bench::ParallelSweep(std::size(seeds), jobs, [&](size_t i) {
+    ClusterConfig config;
+    config.nodes = 3;
+    config.dispatch = ClusterConfig::Dispatch::kRoundRobin;
+    config.faults.seed = seeds[i];
+    config.faults.Add(NodeCrashWindow(SimTime::Zero() + SimDuration::Seconds(1),
+                                      SimTime::Zero() + SimDuration::Seconds(2), 1.0,
+                                      kAnyTarget, SimDuration::Seconds(1)));
+    config.faults.Add(LinkFaultWindow(FaultDomain::kCxlPortDegrade,
+                                      SimTime::Zero() + SimDuration::Seconds(2),
+                                      SimTime::Zero() + SimDuration::Seconds(3), 1.0,
+                                      /*severity=*/2.0));
+    Cluster cluster(config);
+    if (!cluster.DeployTable4Functions().ok()) {
+      return ChaosDigest{};
+    }
+    Rng rng(seeds[i] ^ 0xC4A05);
+    Schedule schedule =
+        MakePoissonWorkload({"JS", "DH", "IR"}, 6.0, SimDuration::Seconds(5), 0.4, rng);
+    if (!cluster.Run(schedule).ok()) {
+      return ChaosDigest{};
+    }
+    const FunctionMetrics agg = cluster.AggregateMetrics();
+    ChaosDigest digest;
+    digest.injections = cluster.fault_injector()->injection_log();
+    digest.accepted = cluster.accepted_invocations();
+    digest.invocations = agg.invocations;
+    digest.failovers = cluster.fault_injector()->failovers();
+    digest.crashes = cluster.fault_injector()->crashes();
+    digest.e2e_mean = agg.e2e_ms.Mean();
+    digest.e2e_p99 = agg.e2e_ms.P99();
+    return digest;
+  });
+}
+
+TEST(ParallelSweepTest, ChaosSimulationsMatchSerialBitwise) {
+  const std::vector<ChaosDigest> serial = RunChaosSweep(/*jobs=*/1);
+  const std::vector<ChaosDigest> parallel = RunChaosSweep(/*jobs=*/4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_GT(serial[i].invocations, 0u) << "seed " << i << " ran nothing";
+    EXPECT_FALSE(serial[i].injections.empty()) << "seed " << i << " injected no faults";
+    EXPECT_EQ(serial[i].accepted, serial[i].invocations)
+        << "seed " << i << " lost accepted invocations";
+    EXPECT_EQ(serial[i], parallel[i]) << "seed " << i << " diverged under threading";
+  }
+  EXPECT_EQ(RunChaosSweep(/*jobs=*/4), parallel);
 }
 
 TEST(TracerMergeTest, RemapsProcessAndSpanIds) {

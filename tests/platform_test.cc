@@ -178,6 +178,103 @@ TEST(PlatformTest, CxlFasterThanRdmaAtP99) {
   EXPECT_LT(p99(SystemKind::kTrEnvCxl), p99(SystemKind::kTrEnvRdma));
 }
 
+TEST(KeepAlivePoolTest, EvictsLruFirstUnderPressure) {
+  std::vector<std::string> evicted;
+  KeepAlivePool pool(SimDuration::Minutes(10),
+                     [&evicted](std::unique_ptr<FunctionInstance> instance) {
+                       evicted.push_back(instance->function());
+                     });
+  SimTime now;
+  pool.Put(std::make_unique<FunctionInstance>("oldest", nullptr), now);
+  now += SimDuration::Seconds(1);
+  pool.Put(std::make_unique<FunctionInstance>("middle", nullptr), now);
+  now += SimDuration::Seconds(1);
+  pool.Put(std::make_unique<FunctionInstance>("newest", nullptr), now);
+  ASSERT_EQ(pool.size(), 3u);
+
+  // Memory pressure evicts in LRU order, one victim per call.
+  EXPECT_TRUE(pool.EvictLru());
+  EXPECT_TRUE(pool.EvictLru());
+  ASSERT_EQ(evicted.size(), 2u);
+  EXPECT_EQ(evicted[0], "oldest");
+  EXPECT_EQ(evicted[1], "middle");
+  EXPECT_EQ(pool.size(), 1u);
+  EXPECT_EQ(pool.CountFor("newest"), 1u);
+  // The survivor is still warm-takeable; the victims are gone.
+  EXPECT_EQ(pool.TakeWarm("oldest"), nullptr);
+  EXPECT_NE(pool.TakeWarm("newest"), nullptr);
+  // Draining an empty pool reports false instead of looping forever.
+  EXPECT_FALSE(pool.EvictLru());
+}
+
+TEST(KeepAlivePoolTest, ReuseRefreshesLruPosition) {
+  std::vector<std::string> evicted;
+  KeepAlivePool pool(SimDuration::Minutes(10),
+                     [&evicted](std::unique_ptr<FunctionInstance> instance) {
+                       evicted.push_back(instance->function());
+                     });
+  SimTime now;
+  pool.Put(std::make_unique<FunctionInstance>("a", nullptr), now);
+  now += SimDuration::Seconds(1);
+  pool.Put(std::make_unique<FunctionInstance>("b", nullptr), now);
+  // Take "a" warm and park it again: "b" becomes the LRU victim.
+  auto warm = pool.TakeWarm("a");
+  ASSERT_NE(warm, nullptr);
+  now += SimDuration::Seconds(1);
+  pool.Put(std::move(warm), now);
+  EXPECT_TRUE(pool.EvictLru());
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0], "b");
+}
+
+TEST(KeepAlivePoolTest, DropDiscardsWithoutEvictCallback) {
+  // Crash semantics: Drop() must NOT run the evict callback — the node is
+  // gone, there is no orderly teardown to perform.
+  int evict_calls = 0;
+  KeepAlivePool pool(SimDuration::Minutes(10),
+                     [&evict_calls](std::unique_ptr<FunctionInstance>) { ++evict_calls; });
+  SimTime now;
+  pool.Put(std::make_unique<FunctionInstance>("a", nullptr), now);
+  pool.Put(std::make_unique<FunctionInstance>("b", nullptr), now);
+  pool.Drop();
+  EXPECT_EQ(pool.size(), 0u);
+  EXPECT_EQ(evict_calls, 0);
+  EXPECT_EQ(pool.TakeWarm("a"), nullptr);
+  // The pool remains usable after a drop.
+  pool.Put(std::make_unique<FunctionInstance>("c", nullptr), now);
+  EXPECT_EQ(pool.size(), 1u);
+}
+
+TEST(PlatformTest, SoftMemCapPressureEvictsIdleInstances) {
+  // CRIU keeps warm instances fully resident in local DRAM, so the frame
+  // allocator directly reflects keep-alive pool occupancy. Probe mid-run
+  // (before the keep-alive TTL expiry event drains the pool at idle).
+  Testbed bed(SystemKind::kCriu);
+  ASSERT_TRUE(bed.DeployTable4Functions().ok());
+  ServerlessPlatform& platform = bed.platform();
+  uint64_t warm_bytes = 0;
+  uint64_t pressured_bytes = ~0ull;
+  uint64_t relieved_warm_starts = 0;
+  platform.scheduler().ScheduleAt(SimTime::Zero() + SimDuration::Seconds(10), [&] {
+    warm_bytes = platform.frames().used_bytes();
+    // Injected pool pressure: squeeze the cap to zero — every idle instance
+    // must be evicted and its DRAM returned.
+    platform.SetSoftMemCapScale(0.0);
+    pressured_bytes = platform.frames().used_bytes();
+    // Lifting the pressure restores normal keep-alive behaviour.
+    platform.SetSoftMemCapScale(1.0);
+  });
+  Schedule schedule{{SimTime::Zero(), "JS"},
+                    {SimTime::Zero() + SimDuration::Seconds(20), "JS"}};
+  ASSERT_TRUE(platform.Run(schedule).ok());
+  relieved_warm_starts = platform.metrics().per_function().at("JS").warm_starts;
+  EXPECT_GT(warm_bytes, 0u);
+  EXPECT_EQ(pressured_bytes, 0u);
+  // The instance parked at t=0 was evicted by the pressure window, so the
+  // t=20s invocation cold-starts even though it is well within the TTL.
+  EXPECT_EQ(relieved_warm_starts, 0u);
+}
+
 TEST(PlatformTest, DeterministicAcrossRuns) {
   auto digest = [] {
     Testbed bed(SystemKind::kTrEnvCxl);
