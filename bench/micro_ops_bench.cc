@@ -20,7 +20,10 @@
 #include "src/criu/deduplicator.h"
 #include "src/criu/checkpointer.h"
 #include "src/mempool/cxl_pool.h"
+#include "src/mempool/rdma_pool.h"
 #include "src/mmtemplate/api.h"
+#include "src/platform/keep_alive_pool.h"
+#include "src/platform/testbed.h"
 #include "src/sim/cpu.h"
 #include "src/simkernel/fault_handler.h"
 
@@ -81,6 +84,130 @@ void BM_MmtAttach855MiB(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MmtAttach855MiB);
+
+// Page-table fault storm: a 64 MiB lazy RDMA image is bulk-write-faulted in
+// 64-page chunks from both ends toward the middle (two advancing frontiers,
+// the shape a warm restore's demand paging produces), then torn down. Every
+// chunk is one AccessRange -> run split + splice + merge in the page table.
+void BM_PageTableFaultStorm(benchmark::State& state) {
+  FrameAllocator frames(8ULL * kGiB);
+  RdmaPool rdma(8ULL * kGiB);
+  BackendRegistry backends;
+  backends.Register(&rdma);
+  FaultHandler handler(&frames, &backends);
+  const uint64_t npages = BytesToPages(64 * kMiB);
+  const Vaddr base_addr = 0x10000000;
+  MmStruct mm;
+  (void)mm.AddVma(MakeAnonVma(base_addr, npages * kPageSize, Protection::ReadWrite(), "img"));
+  auto pool_base = rdma.AllocatePages(npages);
+  (void)rdma.WriteContent(*pool_base, npages, 1);
+  PteFlags lazy;
+  lazy.valid = false;
+  lazy.pool = PoolKind::kRdma;
+  const uint64_t chunk = 64;
+  const uint64_t nchunks = npages / chunk;
+  for (auto _ : state) {
+    mm.page_table().MapRange(AddrToVpn(base_addr), npages, lazy, *pool_base, 1);
+    for (uint64_t c = 0; c < nchunks; ++c) {
+      const uint64_t idx = (c % 2 == 0) ? c / 2 : nchunks - 1 - c / 2;
+      benchmark::DoNotOptimize(
+          handler.AccessRange(mm, base_addr + idx * chunk * kPageSize, chunk, true));
+    }
+    mm.page_table().UnmapRange(AddrToVpn(base_addr), npages);
+    frames.FreePages(frames.used_pages());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(npages));
+}
+BENCHMARK(BM_PageTableFaultStorm);
+
+// ContentMap churn: the write/partial-erase/read/full-erase cycle a pool's
+// content store sees as consolidated chunks come and go with keep-alive
+// turnover.
+void BM_ContentMapChurn(benchmark::State& state) {
+  const uint64_t nchunks = 128;
+  const uint64_t chunk = 512;
+  for (auto _ : state) {
+    ContentMap map;
+    for (uint64_t i = 0; i < nchunks; ++i) {
+      map.Write(i * chunk, chunk, static_cast<PageContent>(i * 100000));
+    }
+    for (uint64_t i = 1; i < nchunks; i += 2) {
+      map.Erase(i * chunk + chunk / 4, chunk / 2);  // partial erase: two splits
+    }
+    for (uint64_t i = 0; i < nchunks; ++i) {
+      benchmark::DoNotOptimize(map.Read(i * chunk + 7));
+    }
+    for (uint64_t i = 0; i < nchunks; ++i) {
+      map.Erase(i * chunk, chunk);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(nchunks));
+}
+BENCHMARK(BM_ContentMapChurn);
+
+// Full warm-restore cycle on the TrEnv engine: repurpose a pooled sandbox,
+// restore process state, mmt_attach, run one invocation's page work, retire.
+// This is the per-invocation unit the figure benches simulate millions of.
+void BM_RestoreInvoke(benchmark::State& state) {
+  Testbed bed(SystemKind::kTrEnvCxl);
+  if (!bed.DeployTable4Functions().ok()) {
+    state.SkipWithError("deploy failed");
+    return;
+  }
+  FrameAllocator frames(64ULL * kGiB);
+  PidAllocator pids;
+  RestoreContext ctx;
+  ctx.frames = &frames;
+  ctx.backends = &bed.backends();
+  ctx.pids = &pids;
+  const FunctionProfile* profile = FindTable4Function("JS");
+  for (auto _ : state) {
+    auto outcome = bed.engine().Restore(*profile, ctx);
+    if (!outcome.ok()) {
+      state.SkipWithError("restore failed");
+      return;
+    }
+    benchmark::DoNotOptimize(bed.engine().OnExecute(*profile, *outcome->instance, ctx));
+    bed.engine().OnExecuteDone(*outcome->instance);
+    bed.engine().Retire(std::move(outcome->instance), ctx);
+  }
+}
+BENCHMARK(BM_RestoreInvoke);
+
+// Keep-alive churn: TakeWarm/Put cycles over 16 functions with periodic
+// expiry sweeps — the park/reuse pattern every completed invocation drives.
+void BM_KeepAliveChurn(benchmark::State& state) {
+  KeepAlivePool pool(SimDuration::Minutes(10),
+                     [](std::unique_ptr<FunctionInstance>) {});
+  std::vector<std::string> functions;
+  for (int i = 0; i < 16; ++i) {
+    functions.push_back("fn-" + std::to_string(i));
+  }
+  SimTime now;
+  for (const auto& fn : functions) {
+    for (int i = 0; i < 4; ++i) {
+      pool.Put(std::make_unique<FunctionInstance>(fn, nullptr), now);
+    }
+  }
+  uint64_t hits = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 1024; ++i) {
+      const std::string& fn = functions[(static_cast<size_t>(i) * 7) % functions.size()];
+      now = now + SimDuration::Millis(1);
+      auto inst = pool.TakeWarm(fn);
+      if (inst != nullptr) {
+        ++hits;
+        pool.Put(std::move(inst), now);
+      }
+      if (i % 64 == 0) {
+        pool.ExpireStale(now - SimDuration::Minutes(5));
+      }
+    }
+  }
+  benchmark::DoNotOptimize(hits);
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_KeepAliveChurn);
 
 void BM_SnapshotDedupIngest(benchmark::State& state) {
   Checkpointer checkpointer;

@@ -1,0 +1,71 @@
+// Function-name interning: dense FunctionIds for the invocation hot path.
+//
+// Every simulated invocation used to re-hash its function's std::string
+// through half a dozen std::map<std::string, ...> lookups (registry, metrics,
+// keep-alive pool, engine snapshot/template/overlay stores). Interning the
+// name once — at deployment / instance creation — turns all of those into
+// vector indexing. String maps remain only at registration and reporting
+// boundaries, where names enter or leave the system.
+//
+// The interner is process-global and mutex-guarded: interning happens on
+// cold paths (deploy, instance construction), so the lock is uncontended in
+// steady state, and a single id space means engines, platforms, and pools
+// can never alias two different functions under one id — even when parallel
+// sweeps drive many platforms concurrently. Ids are dense but their numeric
+// order depends on interning order; nothing output-visible may iterate in id
+// order (reporting structures stay string-keyed and sorted).
+#ifndef TRENV_COMMON_INTERNER_H_
+#define TRENV_COMMON_INTERNER_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace trenv {
+
+using FunctionId = uint32_t;
+inline constexpr FunctionId kInvalidFunctionId = 0xFFFFFFFFu;
+
+// A string -> dense id table. Thread-safe; ids are assigned in interning
+// order and never change or disappear for the lifetime of the interner.
+class Interner {
+ public:
+  Interner() = default;
+  Interner(const Interner&) = delete;
+  Interner& operator=(const Interner&) = delete;
+
+  // Returns the id for `name`, assigning the next dense id on first sight.
+  FunctionId Intern(std::string_view name);
+  // Returns the id for `name` or kInvalidFunctionId if never interned.
+  FunctionId Find(std::string_view name) const;
+  // The interned string for `id`. `id` must have been returned by Intern.
+  std::string_view NameOf(FunctionId id) const;
+  size_t size() const;
+
+ private:
+  struct StringHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, FunctionId, StringHash, std::equal_to<>> index_;
+  // Pointers into index_ keys: stable for the table's lifetime.
+  std::vector<const std::string*> names_;
+};
+
+// The process-wide function-name id space.
+Interner& GlobalFunctionInterner();
+
+// Convenience wrappers over the global interner.
+FunctionId InternFunction(std::string_view name);
+std::string_view FunctionName(FunctionId id);
+
+}  // namespace trenv
+
+#endif  // TRENV_COMMON_INTERNER_H_

@@ -50,11 +50,17 @@ class SnapshotDedupStore {
 
   Result<ConsolidatedImage> Store(const FunctionSnapshot& snapshot);
 
-  // Content hash of a chunk run, mixing every page's logical content. This
-  // is what catches injected page-fetch corruption: a payload whose
-  // fingerprint disagrees with the stored chunk's is discarded and refetched
-  // (see MemoryBackend::FetchLatency's retry loop).
+  // Content hash of a chunk run, mixing every page's logical content
+  // (page i holds content_base + i). This is what catches injected
+  // page-fetch corruption: a payload whose fingerprint disagrees with the
+  // stored chunk's is discarded and refetched (see
+  // MemoryBackend::FetchLatency's retry loop). Repeated fingerprints of the
+  // same progression are memoized per thread, so re-hashing a shared chunk
+  // costs O(1) instead of O(npages).
   static uint64_t Fingerprint(PageContent content_base, uint64_t npages);
+  // Fingerprint of a constant-content chunk (every page holds `content`,
+  // the ChunkKey::constant representation). Memoized like Fingerprint.
+  static uint64_t FingerprintConstant(PageContent content, uint64_t npages);
 
   // Global dedup statistics.
   uint64_t total_ingested_pages() const { return total_ingested_pages_; }

@@ -7,7 +7,7 @@
 namespace trenv {
 
 Result<RestoreOutcome> ReapEngine::Restore(const FunctionProfile& profile, RestoreContext& ctx) {
-  const FunctionSnapshot* snapshot = SnapshotFor(profile.name);
+  const FunctionSnapshot* snapshot = SnapshotFor(profile);
   if (snapshot == nullptr) {
     return Status::FailedPrecondition("function was never prepared: " + profile.name);
   }

@@ -15,15 +15,18 @@ uint64_t FunctionInstance::ResidentLocalPages() const {
 }
 
 Status RestoreEngine::Prepare(const FunctionProfile& profile) {
-  if (!snapshots_.contains(profile.name)) {
-    snapshots_.emplace(profile.name, checkpointer_.Checkpoint(profile));
+  const FunctionId id = InternFunction(profile.name);
+  if (snapshots_.size() <= id) {
+    snapshots_.resize(id + 1);
+  }
+  if (snapshots_[id] == nullptr) {
+    snapshots_[id] = std::make_unique<FunctionSnapshot>(checkpointer_.Checkpoint(profile));
   }
   return Status::Ok();
 }
 
 const FunctionSnapshot* RestoreEngine::SnapshotFor(const std::string& function) const {
-  auto it = snapshots_.find(function);
-  return it == snapshots_.end() ? nullptr : &it->second;
+  return SnapshotById(GlobalFunctionInterner().Find(function));
 }
 
 Status RestoreEngine::MaterializeLayoutOnly(const FunctionSnapshot& snapshot,
@@ -64,7 +67,7 @@ Status RestoreEngine::MaterializeLocal(const FunctionSnapshot& snapshot,
 Result<BulkAccessStats> RestoreEngine::TouchInvocationPages(const FunctionProfile& profile,
                                                             FunctionInstance& instance,
                                                             RestoreContext& ctx) {
-  const FunctionSnapshot* snapshot = SnapshotFor(profile.name);
+  const FunctionSnapshot* snapshot = SnapshotFor(profile);
   if (snapshot == nullptr) {
     return Status::FailedPrecondition("function was never prepared: " + profile.name);
   }
@@ -140,11 +143,11 @@ void RestoreEngine::Retire(std::unique_ptr<FunctionInstance> instance, RestoreCo
 
 Result<RestoreOutcome> ColdStartEngine::Restore(const FunctionProfile& profile,
                                                 RestoreContext& ctx) {
-  const FunctionSnapshot* snapshot = SnapshotFor(profile.name);
+  const FunctionSnapshot* snapshot = SnapshotFor(profile);
   if (snapshot == nullptr) {
     return Status::FailedPrecondition("function was never prepared: " + profile.name);
   }
-  auto overlay = pool_->AcquireOverlay(profile.name);
+  auto overlay = pool_->AcquireOverlay(FunctionIdOf(profile));
   SandboxFactory::CreateResult created = factory_->CreateCold(
       profile.name, overlay, profile.limits, ctx.concurrent_startups, /*use_clone_into=*/false);
 
@@ -169,11 +172,11 @@ Result<RestoreOutcome> ColdStartEngine::Restore(const FunctionProfile& profile,
 
 Result<RestoreOutcome> VanillaCriuEngine::Restore(const FunctionProfile& profile,
                                                   RestoreContext& ctx) {
-  const FunctionSnapshot* snapshot = SnapshotFor(profile.name);
+  const FunctionSnapshot* snapshot = SnapshotFor(profile);
   if (snapshot == nullptr) {
     return Status::FailedPrecondition("function was never prepared: " + profile.name);
   }
-  auto overlay = pool_->AcquireOverlay(profile.name);
+  auto overlay = pool_->AcquireOverlay(FunctionIdOf(profile));
   SandboxFactory::CreateResult created = factory_->CreateCold(
       profile.name, overlay, profile.limits, ctx.concurrent_startups, /*use_clone_into=*/false);
 

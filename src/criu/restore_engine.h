@@ -13,12 +13,12 @@
 #ifndef TRENV_CRIU_RESTORE_ENGINE_H_
 #define TRENV_CRIU_RESTORE_ENGINE_H_
 
-#include <map>
 #include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "src/common/interner.h"
 #include "src/common/status.h"
 #include "src/criu/checkpointer.h"
 #include "src/obs/registry.h"
@@ -52,9 +52,12 @@ struct StartupBreakdown {
 class FunctionInstance {
  public:
   FunctionInstance(std::string function, std::unique_ptr<Sandbox> sandbox)
-      : function_(std::move(function)), sandbox_(std::move(sandbox)) {}
+      : function_(std::move(function)),
+        function_id_(InternFunction(function_)),
+        sandbox_(std::move(sandbox)) {}
 
   const std::string& function() const { return function_; }
+  FunctionId function_id() const { return function_id_; }
   Sandbox* sandbox() { return sandbox_.get(); }
   std::unique_ptr<Sandbox> TakeSandbox() { return std::move(sandbox_); }
 
@@ -74,6 +77,7 @@ class FunctionInstance {
 
  private:
   std::string function_;
+  FunctionId function_id_;  // initialized from function_; keep declared after it
   std::unique_ptr<Sandbox> sandbox_;
   std::vector<std::unique_ptr<Process>> processes_;
 };
@@ -145,7 +149,15 @@ class RestoreEngine {
  protected:
   explicit RestoreEngine(Checkpointer checkpointer) : checkpointer_(checkpointer) {}
 
+  // Registration-boundary lookup (string hash + interner lock).
   const FunctionSnapshot* SnapshotFor(const std::string& function) const;
+  // Hot-path lookup: vector index by the profile's interned id.
+  const FunctionSnapshot* SnapshotFor(const FunctionProfile& profile) const {
+    return SnapshotById(FunctionIdOf(profile));
+  }
+  const FunctionSnapshot* SnapshotById(FunctionId id) const {
+    return id < snapshots_.size() ? snapshots_[id].get() : nullptr;
+  }
 
   // Builds the instance's processes with all image pages resident in local
   // DRAM (what copy-based restoration produces).
@@ -162,7 +174,9 @@ class RestoreEngine {
                                                FunctionInstance& instance, RestoreContext& ctx);
 
   Checkpointer checkpointer_;
-  std::map<std::string, FunctionSnapshot> snapshots_;
+  // Indexed by FunctionId (global id space — may be sparse); null = never
+  // prepared. unique_ptr keeps snapshot addresses stable across growth.
+  std::vector<std::unique_ptr<FunctionSnapshot>> snapshots_;
 };
 
 // faasd-style cold start: full sandbox creation + interpreter bootstrap.

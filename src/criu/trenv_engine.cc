@@ -31,10 +31,12 @@ TrEnvEngine::TrEnvEngine(SandboxFactory* factory, SandboxPool* pool, MmtApi* mmt
 
 Status TrEnvEngine::Prepare(const FunctionProfile& profile) {
   TRENV_RETURN_IF_ERROR(RestoreEngine::Prepare(profile));
-  if (!options_.use_mm_template || templates_.contains(profile.name)) {
+  const FunctionId fid = FunctionIdOf(profile);
+  if (!options_.use_mm_template ||
+      (fid < prepared_.size() && prepared_[fid] != nullptr)) {
     return Status::Ok();
   }
-  const FunctionSnapshot* snapshot = SnapshotFor(profile.name);
+  const FunctionSnapshot* snapshot = SnapshotFor(profile);
   // Step A2: deduplicate the snapshot into the shared pool...
   TRENV_ASSIGN_OR_RETURN(ConsolidatedImage image, dedup_->Store(*snapshot));
   // ...and build one mm-template per process from the consolidated image.
@@ -59,19 +61,22 @@ Status TrEnvEngine::Prepare(const FunctionProfile& profile) {
     }
     ids.push_back(id);
   }
-  templates_.emplace(profile.name, std::move(ids));
-  images_.emplace(profile.name, std::move(image));
+  if (prepared_.size() <= fid) {
+    prepared_.resize(fid + 1);
+  }
+  prepared_[fid] = std::make_unique<Prepared>(Prepared{std::move(ids), std::move(image)});
   return Status::Ok();
 }
 
 const std::vector<MmtId>* TrEnvEngine::TemplatesFor(const std::string& function) const {
-  auto it = templates_.find(function);
-  return it == templates_.end() ? nullptr : &it->second;
+  const FunctionId id = GlobalFunctionInterner().Find(function);
+  return id < prepared_.size() && prepared_[id] != nullptr ? &prepared_[id]->templates
+                                                           : nullptr;
 }
 
 Result<RestoreOutcome> TrEnvEngine::Restore(const FunctionProfile& profile,
                                             RestoreContext& ctx) {
-  const FunctionSnapshot* snapshot = SnapshotFor(profile.name);
+  const FunctionSnapshot* snapshot = SnapshotFor(profile);
   if (snapshot == nullptr) {
     return Status::FailedPrecondition("function was never prepared: " + profile.name);
   }
@@ -84,7 +89,7 @@ Result<RestoreOutcome> TrEnvEngine::Restore(const FunctionProfile& profile,
     sandbox = pool_->Take();
   }
   if (sandbox != nullptr) {
-    auto overlay = pool_->AcquireOverlay(profile.name);
+    auto overlay = pool_->AcquireOverlay(FunctionIdOf(profile));
     TRENV_ASSIGN_OR_RETURN(SandboxCost cost,
                            sandbox->Repurpose(profile.name, overlay, profile.limits));
     outcome.startup.sandbox = cost.Total();
@@ -97,7 +102,7 @@ Result<RestoreOutcome> TrEnvEngine::Restore(const FunctionProfile& profile,
     outcome.startup.sandbox_repurposed = true;
   } else {
     SandboxFactory::CreateResult created =
-        factory_->CreateCold(profile.name, pool_->AcquireOverlay(profile.name), profile.limits,
+        factory_->CreateCold(profile.name, pool_->AcquireOverlay(FunctionIdOf(profile)), profile.limits,
                              ctx.concurrent_startups, options_.clone_into_cgroup);
     sandbox = std::move(created.sandbox);
     outcome.startup.sandbox = created.cost.Total();
@@ -118,7 +123,7 @@ Result<RestoreOutcome> TrEnvEngine::Restore(const FunctionProfile& profile,
   if (options_.use_mm_template) {
     TRENV_RETURN_IF_ERROR(
         MaterializeLayoutOnly(*snapshot, *outcome.instance, ctx, /*add_vmas=*/false));
-    const std::vector<MmtId>& ids = templates_.at(profile.name);
+    const std::vector<MmtId>& ids = PreparedFor(profile)->templates;
     size_t p = 0;
     for (auto& process : outcome.instance->processes()) {
       TRENV_ASSIGN_OR_RETURN(MmtAttachResult attach, mmt_->MmtAttach(ids[p++], &process->mm()));
@@ -157,7 +162,7 @@ Result<ExecutionOverheads> TrEnvEngine::OnExecute(const FunctionProfile& profile
   SimDuration rollback_cost;
   if (options_.groundhog_restore && options_.use_mm_template && instance.invocations > 0) {
     // Roll the memory state back to the pristine template before reuse.
-    const std::vector<MmtId>& ids = templates_.at(profile.name);
+    const std::vector<MmtId>& ids = PreparedFor(profile)->templates;
     size_t p = 0;
     for (auto& process : instance.processes()) {
       MmStruct& mm = process->mm();
@@ -221,9 +226,9 @@ Result<ExecutionOverheads> TrEnvEngine::OnExecute(const FunctionProfile& profile
   // Heat accounting for the tiered-promotion policy: every chunk of this
   // function's consolidated image was (potentially) touched.
   if (promotion_ != nullptr) {
-    auto image_it = images_.find(profile.name);
-    if (image_it != images_.end()) {
-      for (const auto& placed_regions : image_it->second.processes) {
+    const Prepared* prepared = PreparedFor(profile);
+    if (prepared != nullptr) {
+      for (const auto& placed_regions : prepared->image.processes) {
         for (const auto& placed : placed_regions) {
           for (const auto& chunk : placed.chunks) {
             promotion_->RecordAccess(PoolPlacement{chunk.pool, chunk.offset, chunk.npages}, 1);
@@ -236,7 +241,11 @@ Result<ExecutionOverheads> TrEnvEngine::OnExecute(const FunctionProfile& profile
       for (const PromotionManager::Move& move : promotion_->Sweep()) {
         // Future templates see the new placement; update the recorded image
         // so heat accounting follows the chunk.
-        for (auto& [fn, image] : images_) {
+        for (auto& entry : prepared_) {
+          if (entry == nullptr) {
+            continue;
+          }
+          ConsolidatedImage& image = entry->image;
           for (auto& placed_regions : image.processes) {
             for (auto& placed : placed_regions) {
               for (auto& chunk : placed.chunks) {
@@ -286,9 +295,8 @@ void TrEnvEngine::Retire(std::unique_ptr<FunctionInstance> instance, RestoreCont
   }
   // Step B1: cleanse (kill processes, purge upper dirs) and park.
   sandbox->Cleanse(static_cast<uint32_t>(instance->processes().size()));
-  const std::string function = instance->function();
   // Return the function overlay to its cache for the next instance.
-  pool_->ReleaseOverlay(function, sandbox->function_overlay());
+  pool_->ReleaseOverlay(instance->function_id(), sandbox->function_overlay());
   pool_->Put(std::move(sandbox));
 }
 

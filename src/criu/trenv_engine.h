@@ -12,6 +12,7 @@
 #define TRENV_CRIU_TRENV_ENGINE_H_
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -73,14 +74,26 @@ class TrEnvEngine : public RestoreEngine {
   const std::vector<MmtId>* TemplatesFor(const std::string& function) const;
 
  private:
+  // Per-function step-A products (one mm-template per process, plus the
+  // consolidated image driving promotion heat accounting).
+  struct Prepared {
+    std::vector<MmtId> templates;
+    ConsolidatedImage image;
+  };
+  const Prepared* PreparedFor(const FunctionProfile& profile) const {
+    const FunctionId id = FunctionIdOf(profile);
+    return id < prepared_.size() ? prepared_[id].get() : nullptr;
+  }
+
   SandboxFactory* factory_;
   SandboxPool* pool_;
   MmtApi* mmt_;
   SnapshotDedupStore* dedup_;
   Options options_;
   std::string name_;
-  std::map<std::string, std::vector<MmtId>> templates_;
-  std::map<std::string, ConsolidatedImage> images_;
+  // Indexed by FunctionId (global id space — may be sparse); null = not
+  // prepared with mm-templates.
+  std::vector<std::unique_ptr<Prepared>> prepared_;
   // Streams opened against non-byte-addressable pools during execution.
   std::map<FunctionInstance*, std::vector<MemoryBackend*>> open_streams_;
   PromotionManager* promotion_ = nullptr;

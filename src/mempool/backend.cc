@@ -1,63 +1,109 @@
 #include "src/mempool/backend.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "src/fault/fault_injector.h"
 
 namespace trenv {
 
-void ContentMap::SplitAt(PoolOffset page) {
-  auto it = runs_.upper_bound(page);
-  if (it == runs_.begin()) {
-    return;
+size_t ContentMap::FirstOverlapping(PoolOffset page) const {
+  const size_t hint = lookup_hint_;
+  if (hint < runs_.size() && runs_[hint].base <= page &&
+      page < runs_[hint].base + runs_[hint].npages) {
+    return hint;
   }
-  --it;
-  const PoolOffset start = it->first;
-  Run& run = it->second;
-  if (start == page || start + run.npages <= page) {
-    return;
+  const size_t i = static_cast<size_t>(
+      std::upper_bound(runs_.begin(), runs_.end(), page,
+                       [](PoolOffset p, const Run& r) { return p < r.base; }) -
+      runs_.begin());
+  if (i > 0 && runs_[i - 1].base + runs_[i - 1].npages > page) {
+    return i - 1;
   }
-  const uint64_t head = page - start;
-  Run tail{run.npages - head, run.content_base + head};
-  run.npages = head;
-  runs_.emplace(page, tail);
+  return i;
+}
+
+void ContentMap::SpliceWindow(size_t lo, size_t hi, const Run* repl, size_t count) {
+  const size_t old_count = hi - lo;
+  const size_t common = std::min(old_count, count);
+  std::copy(repl, repl + common, runs_.begin() + static_cast<ptrdiff_t>(lo));
+  if (count > old_count) {
+    runs_.insert(runs_.begin() + static_cast<ptrdiff_t>(hi), repl + common, repl + count);
+  } else if (old_count > count) {
+    runs_.erase(runs_.begin() + static_cast<ptrdiff_t>(lo + count),
+                runs_.begin() + static_cast<ptrdiff_t>(hi));
+  }
+  lookup_hint_ = lo;
 }
 
 void ContentMap::Write(PoolOffset page, uint64_t npages, PageContent content_base) {
   if (npages == 0) {
     return;
   }
-  Erase(page, npages);
-  runs_.emplace(page, Run{npages, content_base});
+  const PoolOffset end = page + npages;
+  const size_t lo = FirstOverlapping(page);
+  size_t hi = lo;
+  while (hi < runs_.size() && runs_[hi].base < end) {
+    ++hi;
+  }
+  Run repl[3];
+  size_t count = 0;
+  if (lo < hi) {
+    const Run& first = runs_[lo];
+    if (first.base < page) {
+      repl[count++] = Run{first.base, page - first.base, first.content_base};
+    }
+  }
+  repl[count++] = Run{page, npages, content_base};
+  if (lo < hi) {
+    const Run& last = runs_[hi - 1];
+    const PoolOffset last_end = last.base + last.npages;
+    if (last_end > end) {
+      repl[count++] = Run{end, last_end - end, last.content_base + (end - last.base)};
+    }
+  }
+  SpliceWindow(lo, hi, repl, count);
 }
 
 Result<PageContent> ContentMap::Read(PoolOffset page) const {
-  auto it = runs_.upper_bound(page);
-  if (it == runs_.begin()) {
+  const size_t i = FirstOverlapping(page);
+  if (i >= runs_.size() || runs_[i].base > page) {
     return Status::NotFound("no content stored at pool offset");
   }
-  --it;
-  if (page >= it->first + it->second.npages) {
-    return Status::NotFound("no content stored at pool offset");
-  }
-  return it->second.content_base + (page - it->first);
+  lookup_hint_ = i;
+  return runs_[i].content_base + (page - runs_[i].base);
 }
 
 void ContentMap::Erase(PoolOffset page, uint64_t npages) {
   if (npages == 0) {
     return;
   }
-  SplitAt(page);
-  SplitAt(page + npages);
-  auto it = runs_.lower_bound(page);
-  while (it != runs_.end() && it->first < page + npages) {
-    it = runs_.erase(it);
+  const PoolOffset end = page + npages;
+  const size_t lo = FirstOverlapping(page);
+  size_t hi = lo;
+  while (hi < runs_.size() && runs_[hi].base < end) {
+    ++hi;
   }
+  if (lo == hi) {
+    return;
+  }
+  Run repl[2];
+  size_t count = 0;
+  const Run& first = runs_[lo];
+  if (first.base < page) {
+    repl[count++] = Run{first.base, page - first.base, first.content_base};
+  }
+  const Run& last = runs_[hi - 1];
+  const PoolOffset last_end = last.base + last.npages;
+  if (last_end > end) {
+    repl[count++] = Run{end, last_end - end, last.content_base + (end - last.base)};
+  }
+  SpliceWindow(lo, hi, repl, count);
 }
 
 uint64_t ContentMap::stored_pages() const {
   uint64_t total = 0;
-  for (const auto& [base, run] : runs_) {
+  for (const Run& run : runs_) {
     total += run.npages;
   }
   return total;

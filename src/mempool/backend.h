@@ -13,6 +13,7 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "src/common/status.h"
 #include "src/common/time.h"
@@ -25,21 +26,42 @@ namespace trenv {
 class FaultInjector;
 
 // Remembers logical page contents stored into a pool, run-compressed the same
-// way the page table is (content of page base+i is content_base+i).
+// way the page table is (content of page base+i is content_base+i). Backed by
+// a sorted vector of runs: reads are a hinted binary search, writes and
+// erases splice the affected window in one pass, so the chunk-churn the
+// keep-alive pool drives performs no per-run node allocations. Semantics are
+// bit-identical to the original std::map store (runs are never merged;
+// pinned by tests/flat_store_equivalence_test.cc).
 class ContentMap {
  public:
   void Write(PoolOffset page, uint64_t npages, PageContent content_base);
   Result<PageContent> Read(PoolOffset page) const;
   void Erase(PoolOffset page, uint64_t npages);
   uint64_t stored_pages() const;
+  uint64_t run_count() const { return runs_.size(); }
+  // Invokes fn(base, npages, content_base) for every run in offset order
+  // (diagnostics and the store-equivalence test).
+  template <typename Fn>
+  void ForEachRun(Fn&& fn) const {
+    for (const Run& run : runs_) {
+      fn(run.base, run.npages, run.content_base);
+    }
+  }
 
  private:
   struct Run {
+    PoolOffset base;
     uint64_t npages;
     PageContent content_base;
   };
-  void SplitAt(PoolOffset page);
-  std::map<PoolOffset, Run> runs_;
+  // Index of the first run whose end lies past `page`; runs_.size() if none.
+  size_t FirstOverlapping(PoolOffset page) const;
+  // Replaces runs_[lo, hi) with repl[0, count).
+  void SpliceWindow(size_t lo, size_t hi, const Run* repl, size_t count);
+
+  // Runs sorted by base, pairwise disjoint.
+  std::vector<Run> runs_;
+  mutable size_t lookup_hint_ = 0;
 };
 
 class MemoryBackend {

@@ -7,21 +7,31 @@ namespace trenv {
 
 BlockAllocator::BlockAllocator(uint64_t total_pages) : total_pages_(total_pages) {
   if (total_pages > 0) {
-    free_list_.emplace(0, total_pages);
+    free_list_.push_back(Extent{0, total_pages});
   }
+}
+
+size_t BlockAllocator::LowerBound(PoolOffset base) const {
+  return static_cast<size_t>(
+      std::lower_bound(free_list_.begin(), free_list_.end(), base,
+                       [](const Extent& e, PoolOffset b) { return e.base < b; }) -
+      free_list_.begin());
 }
 
 Result<PoolOffset> BlockAllocator::Allocate(uint64_t n) {
   if (n == 0) {
     return Status::InvalidArgument("zero-page allocation");
   }
-  for (auto it = free_list_.begin(); it != free_list_.end(); ++it) {
-    if (it->second >= n) {
-      const PoolOffset base = it->first;
-      const uint64_t remaining = it->second - n;
-      free_list_.erase(it);
-      if (remaining > 0) {
-        free_list_.emplace(base + n, remaining);
+  for (size_t i = 0; i < free_list_.size(); ++i) {
+    Extent& extent = free_list_[i];
+    if (extent.len >= n) {
+      const PoolOffset base = extent.base;
+      // First fit: carve from the front of the extent. Shrinking in place
+      // keeps the list sorted with no erase + reinsert.
+      extent.base += n;
+      extent.len -= n;
+      if (extent.len == 0) {
+        free_list_.erase(free_list_.begin() + static_cast<ptrdiff_t>(i));
       }
       used_pages_ += n;
       return base;
@@ -35,47 +45,36 @@ Status BlockAllocator::Free(PoolOffset base, uint64_t n) {
     return Status::InvalidArgument("free range out of bounds");
   }
   // Validate against double-free: the range must not intersect the free list.
-  auto it = free_list_.upper_bound(base);
-  if (it != free_list_.end() && it->first < base + n) {
+  const size_t i = LowerBound(base + 1);  // first extent with base' > base
+  if (i < free_list_.size() && free_list_[i].base < base + n) {
     return Status::InvalidArgument("double free (overlaps free extent)");
   }
-  if (it != free_list_.begin()) {
-    auto prev = std::prev(it);
-    if (prev->first + prev->second > base) {
-      return Status::InvalidArgument("double free (overlaps free extent)");
-    }
+  if (i > 0 && free_list_[i - 1].base + free_list_[i - 1].len > base) {
+    return Status::InvalidArgument("double free (overlaps free extent)");
   }
-  free_list_.emplace(base, n);
   assert(used_pages_ >= n);
   used_pages_ -= n;
-  CoalesceAround(base);
-  return Status::Ok();
-}
 
-void BlockAllocator::CoalesceAround(PoolOffset base) {
-  auto it = free_list_.find(base);
-  assert(it != free_list_.end());
-  // Merge with predecessor.
-  if (it != free_list_.begin()) {
-    auto prev = std::prev(it);
-    if (prev->first + prev->second == it->first) {
-      prev->second += it->second;
-      free_list_.erase(it);
-      it = prev;
-    }
+  const bool merge_prev = i > 0 && free_list_[i - 1].base + free_list_[i - 1].len == base;
+  const bool merge_next = i < free_list_.size() && base + n == free_list_[i].base;
+  if (merge_prev && merge_next) {
+    free_list_[i - 1].len += n + free_list_[i].len;
+    free_list_.erase(free_list_.begin() + static_cast<ptrdiff_t>(i));
+  } else if (merge_prev) {
+    free_list_[i - 1].len += n;
+  } else if (merge_next) {
+    free_list_[i].base = base;
+    free_list_[i].len += n;
+  } else {
+    free_list_.insert(free_list_.begin() + static_cast<ptrdiff_t>(i), Extent{base, n});
   }
-  // Merge with successor.
-  auto next = std::next(it);
-  if (next != free_list_.end() && it->first + it->second == next->first) {
-    it->second += next->second;
-    free_list_.erase(next);
-  }
+  return Status::Ok();
 }
 
 uint64_t BlockAllocator::LargestFreeExtent() const {
   uint64_t largest = 0;
-  for (const auto& [base, len] : free_list_) {
-    largest = std::max(largest, len);
+  for (const Extent& extent : free_list_) {
+    largest = std::max(largest, extent.len);
   }
   return largest;
 }

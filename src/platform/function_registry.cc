@@ -9,7 +9,13 @@ Status FunctionRegistry::Deploy(FunctionProfile profile) {
   if (functions_.contains(profile.name)) {
     return Status::AlreadyExists("function already deployed: " + profile.name);
   }
-  functions_.emplace(profile.name, std::move(profile));
+  profile.id = InternFunction(profile.name);
+  auto [it, inserted] = functions_.emplace(profile.name, std::move(profile));
+  const FunctionId id = it->second.id;
+  if (by_id_.size() <= id) {
+    by_id_.resize(id + 1, nullptr);
+  }
+  by_id_[id] = &it->second;
   return Status::Ok();
 }
 

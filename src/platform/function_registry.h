@@ -1,4 +1,5 @@
-// FunctionRegistry: deployed functions, keyed by name.
+// FunctionRegistry: deployed functions, keyed by name at the deployment
+// boundary and by interned FunctionId on the invocation hot path.
 #ifndef TRENV_PLATFORM_FUNCTION_REGISTRY_H_
 #define TRENV_PLATFORM_FUNCTION_REGISTRY_H_
 
@@ -6,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/interner.h"
 #include "src/common/status.h"
 #include "src/runtime/function_profile.h"
 
@@ -13,13 +15,21 @@ namespace trenv {
 
 class FunctionRegistry {
  public:
+  // Interns the function name and stores the profile with its id set.
   Status Deploy(FunctionProfile profile);
   Result<const FunctionProfile*> Find(const std::string& name) const;
+  // O(1) hot-path lookup; nullptr if `id` was never deployed here.
+  const FunctionProfile* FindById(FunctionId id) const {
+    return id < by_id_.size() ? by_id_[id] : nullptr;
+  }
   std::vector<std::string> Names() const;
   size_t size() const { return functions_.size(); }
 
  private:
   std::map<std::string, FunctionProfile> functions_;
+  // Indexed by FunctionId (global id space, so the vector may be sparse when
+  // several registries coexist). Pointers into functions_ nodes are stable.
+  std::vector<const FunctionProfile*> by_id_;
 };
 
 }  // namespace trenv

@@ -4,6 +4,49 @@
 
 namespace trenv {
 
+uint32_t KeepAlivePool::AcquireSlot() {
+  if (!free_slots_.empty()) {
+    const uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    return slot;
+  }
+  slots_.emplace_back();
+  return static_cast<uint32_t>(slots_.size() - 1);
+}
+
+std::unique_ptr<FunctionInstance> KeepAlivePool::Detach(uint32_t slot) {
+  Slot& s = slots_[slot];
+  // Global LRU list.
+  if (s.lru_prev != kNil) {
+    slots_[s.lru_prev].lru_next = s.lru_next;
+  } else {
+    lru_head_ = s.lru_next;
+  }
+  if (s.lru_next != kNil) {
+    slots_[s.lru_next].lru_prev = s.lru_prev;
+  } else {
+    lru_tail_ = s.lru_prev;
+  }
+  // Per-function list.
+  FnList& fn = by_function_[s.function];
+  if (s.fn_prev != kNil) {
+    slots_[s.fn_prev].fn_next = s.fn_next;
+  } else {
+    fn.head = s.fn_next;
+  }
+  if (s.fn_next != kNil) {
+    slots_[s.fn_next].fn_prev = s.fn_prev;
+  } else {
+    fn.tail = s.fn_prev;
+  }
+  --fn.count;
+  --size_;
+  std::unique_ptr<FunctionInstance> instance = std::move(s.instance);
+  s = Slot{};
+  free_slots_.push_back(slot);
+  return instance;
+}
+
 void KeepAlivePool::Put(std::unique_ptr<FunctionInstance> instance, SimTime now) {
   Put(std::move(instance), now, ttl_);
 }
@@ -12,74 +55,65 @@ void KeepAlivePool::Put(std::unique_ptr<FunctionInstance> instance, SimTime now,
                         SimDuration ttl) {
   assert(instance != nullptr);
   instance->last_used = now;
-  const std::string function = instance->function();
-  lru_.push_back(Entry{std::move(instance), now + ttl});
-  by_function_[function].push_back(std::prev(lru_.end()));
+  const FunctionId function = instance->function_id();
+  const uint32_t slot = AcquireSlot();
+  Slot& s = slots_[slot];
+  s.instance = std::move(instance);
+  s.expiry = now + ttl;
+  s.function = function;
+  // Link at the global MRU position.
+  s.lru_prev = lru_tail_;
+  s.lru_next = kNil;
+  if (lru_tail_ != kNil) {
+    slots_[lru_tail_].lru_next = slot;
+  } else {
+    lru_head_ = slot;
+  }
+  lru_tail_ = slot;
+  // Link at the function's MRU position.
+  if (by_function_.size() <= function) {
+    by_function_.resize(function + 1);
+  }
+  FnList& fn = by_function_[function];
+  s.fn_prev = fn.tail;
+  s.fn_next = kNil;
+  if (fn.tail != kNil) {
+    slots_[fn.tail].fn_next = slot;
+  } else {
+    fn.head = slot;
+  }
+  fn.tail = slot;
+  ++fn.count;
+  ++size_;
 }
 
-std::unique_ptr<FunctionInstance> KeepAlivePool::TakeWarm(const std::string& function) {
-  auto it = by_function_.find(function);
-  if (it == by_function_.end() || it->second.empty()) {
+std::unique_ptr<FunctionInstance> KeepAlivePool::TakeWarm(FunctionId function) {
+  if (function >= by_function_.size() || by_function_[function].tail == kNil) {
     ++warm_misses_;
     return nullptr;
   }
   ++warm_hits_;
-  LruList::iterator entry_it = it->second.back();
-  it->second.pop_back();
-  if (it->second.empty()) {
-    by_function_.erase(it);
-  }
-  std::unique_ptr<FunctionInstance> instance = std::move(entry_it->instance);
-  lru_.erase(entry_it);
-  return instance;
+  return Detach(by_function_[function].tail);
 }
 
 bool KeepAlivePool::EvictLru() {
-  if (lru_.empty()) {
+  if (lru_head_ == kNil) {
     return false;
   }
-  auto entry_it = lru_.begin();
-  const std::string function = entry_it->instance->function();
-  auto& iters = by_function_[function];
-  for (auto it = iters.begin(); it != iters.end(); ++it) {
-    if (*it == entry_it) {
-      iters.erase(it);
-      break;
-    }
-  }
-  if (iters.empty()) {
-    by_function_.erase(function);
-  }
-  std::unique_ptr<FunctionInstance> instance = std::move(entry_it->instance);
-  lru_.erase(entry_it);
-  evict_(std::move(instance));
+  evict_(Detach(lru_head_));
   return true;
 }
 
 size_t KeepAlivePool::ExpireStale(SimTime now) {
   // Per-entry TTLs make expiry non-monotone in LRU order: scan the list.
   size_t evicted = 0;
-  for (auto it = lru_.begin(); it != lru_.end();) {
-    if (it->expiry <= now) {
-      auto expired = it++;
-      const std::string function = expired->instance->function();
-      auto& iters = by_function_[function];
-      for (auto fit = iters.begin(); fit != iters.end(); ++fit) {
-        if (*fit == expired) {
-          iters.erase(fit);
-          break;
-        }
-      }
-      if (iters.empty()) {
-        by_function_.erase(function);
-      }
-      std::unique_ptr<FunctionInstance> instance = std::move(expired->instance);
-      lru_.erase(expired);
-      evict_(std::move(instance));
+  for (uint32_t slot = lru_head_; slot != kNil;) {
+    const uint32_t next = slots_[slot].lru_next;
+    if (slots_[slot].expiry <= now) {
+      evict_(Detach(slot));
       ++evicted;
-    } else {
-      ++it;
     }
+    slot = next;
   }
   return evicted;
 }
@@ -90,13 +124,12 @@ void KeepAlivePool::EvictAll() {
 }
 
 void KeepAlivePool::Drop() {
-  lru_.clear();
+  slots_.clear();
+  free_slots_.clear();
   by_function_.clear();
-}
-
-size_t KeepAlivePool::CountFor(const std::string& function) const {
-  auto it = by_function_.find(function);
-  return it == by_function_.end() ? 0 : it->second.size();
+  lru_head_ = kNil;
+  lru_tail_ = kNil;
+  size_ = 0;
 }
 
 }  // namespace trenv

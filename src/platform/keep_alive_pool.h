@@ -1,15 +1,23 @@
 // KeepAlivePool: warm instances cached for reuse, LRU-ordered, with a fixed
 // TTL (10 minutes, like OpenWhisk) and memory-pressure eviction — the
 // scheduling policy all evaluated systems share (paper section 9.1).
+//
+// Storage is a slot arena: entries live in a vector of slots threaded onto
+// two intrusive doubly-linked lists (the global LRU order and the per-
+// function list, bucketed by interned FunctionId). Park/take/evict are all
+// pointer-free index relinks, so keep-alive churn — every completed
+// invocation parks here, every warm hit takes from here — performs no node
+// allocations and no string hashing. Eviction and expiry order are identical
+// to the original std::list + std::map implementation.
 #ifndef TRENV_PLATFORM_KEEP_ALIVE_POOL_H_
 #define TRENV_PLATFORM_KEEP_ALIVE_POOL_H_
 
 #include <functional>
-#include <list>
-#include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
+#include "src/common/interner.h"
 #include "src/common/time.h"
 #include "src/criu/restore_engine.h"
 
@@ -26,7 +34,10 @@ class KeepAlivePool {
   void Put(std::unique_ptr<FunctionInstance> instance, SimTime now);
   void Put(std::unique_ptr<FunctionInstance> instance, SimTime now, SimDuration ttl);
   // Takes a warm instance of `function` if any (MRU of that function).
-  std::unique_ptr<FunctionInstance> TakeWarm(const std::string& function);
+  std::unique_ptr<FunctionInstance> TakeWarm(FunctionId function);
+  std::unique_ptr<FunctionInstance> TakeWarm(const std::string& function) {
+    return TakeWarm(GlobalFunctionInterner().Find(function));
+  }
   // Evicts the single least-recently-used idle instance. Returns false if
   // the pool is empty.
   bool EvictLru();
@@ -37,24 +48,51 @@ class KeepAlivePool {
   // node crashed, so there is nothing orderly to tear down.
   void Drop();
 
-  size_t size() const { return lru_.size(); }
-  size_t CountFor(const std::string& function) const;
+  size_t size() const { return size_; }
+  size_t CountFor(FunctionId function) const {
+    return function < by_function_.size() ? by_function_[function].count : 0;
+  }
+  size_t CountFor(const std::string& function) const {
+    return CountFor(GlobalFunctionInterner().Find(function));
+  }
   uint64_t warm_hits() const { return warm_hits_; }
   uint64_t warm_misses() const { return warm_misses_; }
 
   SimDuration ttl() const { return ttl_; }
 
  private:
-  struct Entry {
+  static constexpr uint32_t kNil = 0xFFFFFFFFu;
+
+  struct Slot {
     std::unique_ptr<FunctionInstance> instance;
     SimTime expiry;
+    FunctionId function = kInvalidFunctionId;
+    // Global LRU list links (head = LRU, tail = MRU).
+    uint32_t lru_prev = kNil;
+    uint32_t lru_next = kNil;
+    // Per-function list links (tail = that function's MRU).
+    uint32_t fn_prev = kNil;
+    uint32_t fn_next = kNil;
   };
-  using LruList = std::list<Entry>;
+  struct FnList {
+    uint32_t head = kNil;
+    uint32_t tail = kNil;
+    size_t count = 0;
+  };
+
+  uint32_t AcquireSlot();
+  // Unlinks `slot` from both lists and pushes it onto the free list;
+  // returns its instance.
+  std::unique_ptr<FunctionInstance> Detach(uint32_t slot);
 
   SimDuration ttl_;
   EvictFn evict_;
-  LruList lru_;  // front = LRU, back = MRU
-  std::map<std::string, std::list<LruList::iterator>> by_function_;
+  std::vector<Slot> slots_;
+  std::vector<uint32_t> free_slots_;
+  std::vector<FnList> by_function_;  // indexed by FunctionId; may be sparse
+  uint32_t lru_head_ = kNil;
+  uint32_t lru_tail_ = kNil;
+  size_t size_ = 0;
   uint64_t warm_hits_ = 0;
   uint64_t warm_misses_ = 0;
 };

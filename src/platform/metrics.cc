@@ -20,8 +20,18 @@ FunctionMetrics MetricsCollector::Aggregate() const {
   return total;
 }
 
+FunctionMetrics& MetricsCollector::ForFunctionSlow(FunctionId id) {
+  FunctionMetrics& metrics = per_function_[std::string(FunctionName(id))];
+  if (by_id_.size() <= id) {
+    by_id_.resize(id + 1, nullptr);
+  }
+  by_id_[id] = &metrics;
+  return metrics;
+}
+
 void MetricsCollector::Clear() {
   per_function_.clear();
+  by_id_.clear();  // cached pointers died with the map nodes
   memory_gauge_ = TimeSeriesGauge();
   registry_.Reset();  // keeps instruments (and cached pointers) alive
 }

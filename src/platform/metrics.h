@@ -5,8 +5,10 @@
 
 #include <map>
 #include <string>
+#include <vector>
 
 #include "src/common/histogram.h"
+#include "src/common/interner.h"
 #include "src/common/time.h"
 #include "src/obs/registry.h"
 
@@ -30,6 +32,15 @@ class MetricsCollector {
   MetricsCollector& operator=(const MetricsCollector&) = delete;
 
   FunctionMetrics& ForFunction(const std::string& name) { return per_function_[name]; }
+  // Hot-path variant: one vector index once the id's entry is cached. The
+  // backing store stays the string-keyed map, so reporting (per_function())
+  // keeps its sorted-by-name iteration order.
+  FunctionMetrics& ForFunction(FunctionId id) {
+    if (id < by_id_.size() && by_id_[id] != nullptr) {
+      return *by_id_[id];
+    }
+    return ForFunctionSlow(id);
+  }
   const std::map<std::string, FunctionMetrics>& per_function() const { return per_function_; }
 
   // Merged view across all functions.
@@ -53,7 +64,12 @@ class MetricsCollector {
   void Clear();
 
  private:
+  FunctionMetrics& ForFunctionSlow(FunctionId id);
+
   std::map<std::string, FunctionMetrics> per_function_;
+  // Cache: FunctionId -> map node (stable std::map pointers). Cleared with
+  // per_function_ — the pointers die with the nodes.
+  std::vector<FunctionMetrics*> by_id_;
   TimeSeriesGauge memory_gauge_;
   obs::Registry registry_;
   obs::Counter* fetch_cpu_;  // owned by registry_

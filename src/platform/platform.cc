@@ -149,6 +149,8 @@ void ServerlessPlatform::StartInvocation(const std::string& function) {
   const uint64_t token = next_token_++;
   InFlight& flight = inflight_[token];
   flight.function = function;
+  flight.profile = &profile;
+  flight.fid = FunctionIdOf(profile);
   flight.arrival = scheduler_.now();
   if (tracer_ != nullptr) {
     flight.root_span = tracer_->StartSpan(TraceLoc(token), "invocation", "invocation");
@@ -156,10 +158,10 @@ void ServerlessPlatform::StartInvocation(const std::string& function) {
   }
 
   // Warm hit: reuse a cached instance of the same function immediately.
-  if (auto warm = keep_alive_.TakeWarm(function); warm != nullptr) {
+  if (auto warm = keep_alive_.TakeWarm(flight.fid); warm != nullptr) {
     flight.instance = std::move(warm);
     flight.warm = true;
-    metrics_.ForFunction(function).warm_starts += 1;
+    metrics_.ForFunction(flight.fid).warm_starts += 1;
     if (tracer_ != nullptr) {
       tracer_->Instant(TraceLoc(token), "warm.hit", "invocation");
     }
@@ -187,7 +189,7 @@ void ServerlessPlatform::StartInvocation(const std::string& function) {
   }
   flight.instance = std::move(outcome->instance);
   flight.startup = outcome->startup;
-  auto& fn_metrics = metrics_.ForFunction(function);
+  auto& fn_metrics = metrics_.ForFunction(flight.fid);
   if (outcome->startup.sandbox_repurposed) {
     fn_metrics.repurposed_starts += 1;
   } else {
@@ -234,8 +236,7 @@ void ServerlessPlatform::BeginStartupPhases(uint64_t token) {
 void ServerlessPlatform::BeginExecution(uint64_t token) {
   InFlight& flight = inflight_.at(token);
   flight.exec_start = scheduler_.now();
-  auto profile_or = registry_.Find(flight.function);
-  const FunctionProfile& profile = **profile_or;
+  const FunctionProfile& profile = *flight.profile;
 
   RestoreContext ctx = MakeContext();
   if (tracer_ != nullptr) {
@@ -293,7 +294,7 @@ void ServerlessPlatform::Complete(uint64_t token) {
     tracer_->EndSpan(flight.root_span);
   }
 
-  auto& fn_metrics = metrics_.ForFunction(flight.function);
+  auto& fn_metrics = metrics_.ForFunction(flight.fid);
   fn_metrics.invocations += 1;
   fn_metrics.e2e_ms.Record((scheduler_.now() - flight.arrival).millis());
   fn_metrics.startup_ms.Record(flight.warm ? 0.0 : flight.startup.Total().millis());

@@ -100,6 +100,11 @@ class ServerlessPlatform {
  private:
   struct InFlight {
     std::string function;
+    // Resolved once at acceptance: the deployed profile (stable std::map
+    // node) and its interned id, so the per-invocation callbacks do no
+    // string-map lookups.
+    const FunctionProfile* profile = nullptr;
+    FunctionId fid = kInvalidFunctionId;
     SimTime arrival;
     SimTime exec_start;
     StartupBreakdown startup;

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/interner.h"
 #include "src/common/time.h"
 #include "src/common/units.h"
 #include "src/sandbox/cgroup.h"
@@ -35,6 +36,10 @@ struct PageProfile {
 
 struct FunctionProfile {
   std::string name;
+  // Interned id for `name`, set at deployment (FunctionRegistry::Deploy).
+  // Profiles constructed by hand carry kInvalidFunctionId; hot-path consumers
+  // fall back to a global-interner lookup via FunctionIdOf below.
+  FunctionId id = kInvalidFunctionId;
   std::string language;  // "python" or "nodejs"
   std::string description;
 
@@ -59,6 +64,14 @@ struct FunctionProfile {
 
   uint64_t ImagePages() const { return BytesToPages(image_bytes); }
 };
+
+// The profile's interned id, resolving hand-built profiles (id unset) through
+// the global interner. Valid for any profile whose name has been interned —
+// i.e. after any engine's Prepare or a registry Deploy has seen it.
+inline FunctionId FunctionIdOf(const FunctionProfile& profile) {
+  return profile.id != kInvalidFunctionId ? profile.id
+                                          : GlobalFunctionInterner().Find(profile.name);
+}
 
 // The ten evaluated functions of Table 4 with calibrated profiles.
 std::vector<FunctionProfile> Table4Functions();

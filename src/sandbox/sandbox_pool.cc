@@ -21,39 +21,43 @@ std::unique_ptr<Sandbox> SandboxPool::Take() {
   return sandbox;
 }
 
-std::shared_ptr<UnionFs> SandboxPool::AcquireOverlay(const std::string& function) {
-  auto cache_it = overlay_cache_.find(function);
-  if (cache_it != overlay_cache_.end() && !cache_it->second.empty()) {
-    std::shared_ptr<UnionFs> overlay = std::move(cache_it->second.back());
-    cache_it->second.pop_back();
+std::shared_ptr<UnionFs> SandboxPool::AcquireOverlay(FunctionId function) {
+  if (function < overlay_cache_.size() && !overlay_cache_[function].empty()) {
+    std::shared_ptr<UnionFs> overlay = std::move(overlay_cache_[function].back());
+    overlay_cache_[function].pop_back();
     return overlay;
   }
   // Assemble a fresh overlay from the function's dependency layer.
   auto overlay = std::make_shared<UnionFs>();
-  auto layer_it = function_layers_.find(function);
-  if (layer_it != function_layers_.end()) {
-    overlay->PushLower(layer_it->second);
+  if (function < function_layers_.size() && function_layers_[function] != nullptr) {
+    overlay->PushLower(function_layers_[function]);
   }
   return overlay;
 }
 
-void SandboxPool::ReleaseOverlay(const std::string& function,
-                                 std::shared_ptr<UnionFs> overlay) {
-  if (overlay == nullptr) {
+void SandboxPool::ReleaseOverlay(FunctionId function, std::shared_ptr<UnionFs> overlay) {
+  if (overlay == nullptr || function == kInvalidFunctionId) {
     return;
   }
   overlay->PurgeUpper();
+  if (overlay_cache_.size() <= function) {
+    overlay_cache_.resize(function + 1);
+  }
   overlay_cache_[function].push_back(std::move(overlay));
 }
 
 void SandboxPool::RegisterFunctionLayer(const std::string& function,
                                         std::shared_ptr<const FsLayer> layer) {
-  function_layers_[function] = std::move(layer);
+  const FunctionId id = InternFunction(function);
+  if (function_layers_.size() <= id) {
+    function_layers_.resize(id + 1);
+  }
+  function_layers_[id] = std::move(layer);
 }
 
 size_t SandboxPool::cached_overlay_count(const std::string& function) const {
-  auto it = overlay_cache_.find(function);
-  return it == overlay_cache_.end() ? 0 : it->second.size();
+  const FunctionId id = GlobalFunctionInterner().Find(function);
+  return id < overlay_cache_.size() ? overlay_cache_[id].size() : 0;
 }
 
 }  // namespace trenv

@@ -1,15 +1,19 @@
 // SandboxPool: the universal (function-type-agnostic) pool of idle sandboxes
 // plus the per-function overlay cache (paper section 5.2.1: "maintaining a
 // pool of function-specific overlayfs, instead of discarding them").
+//
+// Overlay cache and layer registry are indexed by interned FunctionId on the
+// hot path; the string overloads intern/look up at the boundary and are kept
+// for registration-time callers and tests.
 #ifndef TRENV_SANDBOX_SANDBOX_POOL_H_
 #define TRENV_SANDBOX_SANDBOX_POOL_H_
 
 #include <deque>
-#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "src/common/interner.h"
 #include "src/sandbox/sandbox.h"
 #include "src/sandbox/union_fs.h"
 
@@ -31,8 +35,14 @@ class SandboxPool {
 
   // Overlay cache: function-specific union filesystems are expensive to
   // assemble (layer resolution) but cheap to reuse once purged.
-  std::shared_ptr<UnionFs> AcquireOverlay(const std::string& function);
-  void ReleaseOverlay(const std::string& function, std::shared_ptr<UnionFs> overlay);
+  std::shared_ptr<UnionFs> AcquireOverlay(FunctionId function);
+  std::shared_ptr<UnionFs> AcquireOverlay(const std::string& function) {
+    return AcquireOverlay(InternFunction(function));
+  }
+  void ReleaseOverlay(FunctionId function, std::shared_ptr<UnionFs> overlay);
+  void ReleaseOverlay(const std::string& function, std::shared_ptr<UnionFs> overlay) {
+    ReleaseOverlay(InternFunction(function), std::move(overlay));
+  }
   // Registers how to build a function's overlay (its dependency layer).
   void RegisterFunctionLayer(const std::string& function,
                              std::shared_ptr<const FsLayer> layer);
@@ -43,7 +53,9 @@ class SandboxPool {
   // definitions come from deployment, which survives in the control plane.
   void Clear() {
     idle_.clear();
-    overlay_cache_.clear();
+    for (auto& cache : overlay_cache_) {
+      cache.clear();
+    }
   }
 
  private:
@@ -51,8 +63,9 @@ class SandboxPool {
   std::deque<std::unique_ptr<Sandbox>> idle_;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
-  std::map<std::string, std::shared_ptr<const FsLayer>> function_layers_;
-  std::map<std::string, std::vector<std::shared_ptr<UnionFs>>> overlay_cache_;
+  // Indexed by FunctionId (global id space — may be sparse).
+  std::vector<std::shared_ptr<const FsLayer>> function_layers_;
+  std::vector<std::vector<std::shared_ptr<UnionFs>>> overlay_cache_;
 };
 
 }  // namespace trenv

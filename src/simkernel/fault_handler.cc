@@ -215,12 +215,10 @@ Result<BulkAccessStats> FaultHandler::AccessRange(MmStruct& mm, Vaddr addr, uint
   }
   const Vpn first_vpn = AddrToVpn(addr);
 
-  // Snapshot the runs (the loop below mutates the table).
-  struct Segment {
-    Vpn vpn;
-    PteRun run;
-  };
-  std::vector<Segment> segments;
+  // Snapshot the runs (the loop below mutates the table) into the reusable
+  // per-handler scratch buffer: steady state performs no allocation here.
+  std::vector<Segment>& segments = segments_scratch_;
+  segments.clear();
   mm.page_table().ForEachRunIn(first_vpn, npages, [&](Vpn vpn, const PteRun& run) {
     segments.push_back({vpn, run});
   });

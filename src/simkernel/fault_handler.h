@@ -13,6 +13,7 @@
 #define TRENV_SIMKERNEL_FAULT_HANDLER_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "src/common/status.h"
 #include "src/common/time.h"
@@ -73,6 +74,11 @@ class FaultHandler {
   Result<BulkAccessStats> AccessRange(MmStruct& mm, Vaddr addr, uint64_t npages, bool write);
 
  private:
+  struct Segment {
+    Vpn vpn;
+    PteRun run;
+  };
+
   Result<AccessOutcome> HandleUnpopulated(MmStruct& mm, const Vma& vma, Vpn vpn, bool write,
                                           PageContent new_content);
   Result<AccessOutcome> HandleCow(MmStruct& mm, Vpn vpn, const PteView& pte, bool write,
@@ -84,6 +90,9 @@ class FaultHandler {
   FrameAllocator* frames_;
   const BackendRegistry* backends_;
   uint64_t write_seed_ = 0x57a7e;  // distinguishes freshly written content
+  // Scratch for AccessRange's run snapshot, reused across calls so bulk
+  // accesses don't allocate once the buffer has grown to the working size.
+  std::vector<Segment> segments_scratch_;
   // Telemetry counters, cached once so the hot path pays one add each.
   obs::Counter* minor_ = nullptr;
   obs::Counter* major_ = nullptr;

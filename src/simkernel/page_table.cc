@@ -1,8 +1,6 @@
 #include "src/simkernel/page_table.h"
 
-#include <algorithm>
 #include <cassert>
-#include <iterator>
 
 namespace trenv {
 
@@ -39,52 +37,72 @@ bool PteRun::ContinuedBy(const PteRun& other, uint64_t gap) const {
   return backing_continues && content_continues;
 }
 
-void PageTable::SplitAt(Vpn vpn) {
-  auto it = runs_.upper_bound(vpn);
-  if (it == runs_.begin()) {
-    return;
-  }
-  --it;
-  const Vpn start = it->first;
-  PteRun& run = it->second;
-  if (start == vpn || start + run.npages <= vpn) {
-    return;  // vpn already begins a run, or lies past the run's end
-  }
-  const uint64_t head_pages = vpn - start;
-  PteRun tail = run;
-  tail.npages = run.npages - head_pages;
-  if (tail.backing_base != kNoBacking) {
-    tail.backing_base += head_pages;
-  }
-  if (!tail.constant_content) {
-    tail.content_base += head_pages;
-  }
-  run.npages = head_pages;
-  runs_.emplace(vpn, tail);
+size_t PageTable::LowerBound(Vpn vpn) const {
+  return static_cast<size_t>(
+      std::lower_bound(runs_.begin(), runs_.end(), vpn,
+                       [](const RunEntry& e, Vpn v) { return e.vpn < v; }) -
+      runs_.begin());
 }
 
-void PageTable::TryMergeAround(Vpn vpn) {
-  auto it = runs_.find(vpn);
-  if (it == runs_.end()) {
-    return;
-  }
-  // Merge with predecessor.
-  if (it != runs_.begin()) {
-    auto prev = std::prev(it);
-    if (prev->first + prev->second.npages == it->first &&
-        prev->second.ContinuedBy(it->second, prev->second.npages)) {
-      prev->second.npages += it->second.npages;
-      runs_.erase(it);
-      it = prev;
+size_t PageTable::FirstOverlapping(Vpn vpn) const {
+  // Hint: the run found by the last lookup, or its successor (the common
+  // next position for sequential access). A wrong hint just falls through to
+  // the binary search.
+  const size_t hint = lookup_hint_;
+  if (hint < runs_.size() && runs_[hint].vpn <= vpn) {
+    if (vpn < runs_[hint].vpn + runs_[hint].run.npages) {
+      return hint;
+    }
+    if (hint + 1 < runs_.size() && runs_[hint + 1].vpn <= vpn &&
+        vpn < runs_[hint + 1].vpn + runs_[hint + 1].run.npages) {
+      return hint + 1;
     }
   }
-  // Merge with successor.
-  auto next = std::next(it);
-  if (next != runs_.end() && it->first + it->second.npages == next->first &&
-      it->second.ContinuedBy(next->second, it->second.npages)) {
-    it->second.npages += next->second.npages;
-    runs_.erase(next);
+  const size_t i = static_cast<size_t>(
+      std::upper_bound(runs_.begin(), runs_.end(), vpn,
+                       [](Vpn v, const RunEntry& e) { return v < e.vpn; }) -
+      runs_.begin());
+  if (i > 0 && runs_[i - 1].vpn + runs_[i - 1].run.npages > vpn) {
+    return i - 1;
   }
+  return i;
+}
+
+void PageTable::SpliceWindow(size_t lo, size_t hi, const RunEntry* repl, size_t count) {
+  const size_t old_count = hi - lo;
+  const size_t common = std::min(old_count, count);
+  std::copy(repl, repl + common, runs_.begin() + static_cast<ptrdiff_t>(lo));
+  if (count > old_count) {
+    runs_.insert(runs_.begin() + static_cast<ptrdiff_t>(hi), repl + common, repl + count);
+  } else if (old_count > count) {
+    runs_.erase(runs_.begin() + static_cast<ptrdiff_t>(lo + count),
+                runs_.begin() + static_cast<ptrdiff_t>(hi));
+  }
+  lookup_hint_ = lo;
+}
+
+void PageTable::SplitAt(Vpn vpn) {
+  const size_t i = FirstOverlapping(vpn);
+  if (i >= runs_.size()) {
+    return;
+  }
+  RunEntry& entry = runs_[i];
+  if (entry.vpn >= vpn) {
+    return;  // vpn already begins a run, or lies before it
+  }
+  const uint64_t head_pages = vpn - entry.vpn;
+  RunEntry tail;
+  tail.vpn = vpn;
+  tail.run = entry.run;
+  tail.run.npages = entry.run.npages - head_pages;
+  if (tail.run.backing_base != kNoBacking) {
+    tail.run.backing_base += head_pages;
+  }
+  if (!tail.run.constant_content) {
+    tail.run.content_base += head_pages;
+  }
+  entry.run.npages = head_pages;
+  runs_.insert(runs_.begin() + static_cast<ptrdiff_t>(i + 1), tail);
 }
 
 void PageTable::MapRange(Vpn vpn, uint64_t npages, PteFlags flags, uint64_t backing_base,
@@ -92,103 +110,173 @@ void PageTable::MapRange(Vpn vpn, uint64_t npages, PteFlags flags, uint64_t back
   if (npages == 0) {
     return;
   }
-  UnmapRange(vpn, npages);
-  PteRun run;
-  run.npages = npages;
-  run.flags = flags;
-  run.backing_base = backing_base;
-  run.content_base = content_base;
-  run.constant_content = constant_content;
-  runs_.emplace(vpn, run);
-  TryMergeAround(vpn);
+  const Vpn end = vpn + npages;
+
+  // Splice window: every run overlapping [vpn, end).
+  const size_t lo = FirstOverlapping(vpn);
+  size_t hi = lo;
+  while (hi < runs_.size() && runs_[hi].vpn < end) {
+    ++hi;
+  }
+
+  // Remnants of partially-overlapped runs at the window edges.
+  RunEntry head{};
+  RunEntry tail{};
+  bool emit_head = false;
+  bool emit_tail = false;
+  if (lo < hi) {
+    const RunEntry& first = runs_[lo];
+    if (first.vpn < vpn) {
+      emit_head = true;
+      head.vpn = first.vpn;
+      head.run = first.run;
+      head.run.npages = vpn - first.vpn;
+    }
+    const RunEntry& last = runs_[hi - 1];
+    const Vpn last_end = last.vpn + last.run.npages;
+    if (last_end > end) {
+      emit_tail = true;
+      const uint64_t skip = end - last.vpn;
+      tail.vpn = end;
+      tail.run = last.run;
+      tail.run.npages = last_end - end;
+      if (tail.run.backing_base != kNoBacking) {
+        tail.run.backing_base += skip;
+      }
+      if (!tail.run.constant_content) {
+        tail.run.content_base += skip;
+      }
+    }
+  }
+
+  RunEntry cur;
+  cur.vpn = vpn;
+  cur.run.npages = npages;
+  cur.run.flags = flags;
+  cur.run.backing_base = backing_base;
+  cur.run.content_base = content_base;
+  cur.run.constant_content = constant_content;
+
+  size_t wlo = lo;
+  size_t whi = hi;
+  // Merge with the predecessor: the head remnant, or the untouched left
+  // neighbor ending exactly at vpn.
+  if (emit_head) {
+    if (head.run.ContinuedBy(cur.run, head.run.npages)) {
+      head.run.npages += cur.run.npages;
+      cur = head;
+      emit_head = false;
+    }
+  } else if (lo > 0) {
+    const RunEntry& pred = runs_[lo - 1];
+    if (pred.vpn + pred.run.npages == vpn && pred.run.ContinuedBy(cur.run, pred.run.npages)) {
+      RunEntry merged = pred;
+      merged.run.npages += cur.run.npages;
+      cur = merged;
+      wlo = lo - 1;
+    }
+  }
+  // Merge with the successor: the tail remnant, or the untouched right
+  // neighbor starting exactly at end.
+  if (emit_tail) {
+    if (cur.run.ContinuedBy(tail.run, cur.run.npages)) {
+      cur.run.npages += tail.run.npages;
+      emit_tail = false;
+    }
+  } else if (hi < runs_.size()) {
+    const RunEntry& succ = runs_[hi];
+    if (succ.vpn == end && cur.run.ContinuedBy(succ.run, cur.run.npages)) {
+      cur.run.npages += succ.run.npages;
+      whi = hi + 1;
+    }
+  }
+
+  RunEntry repl[3];
+  size_t count = 0;
+  if (emit_head) {
+    repl[count++] = head;
+  }
+  repl[count++] = cur;
+  if (emit_tail) {
+    repl[count++] = tail;
+  }
+  SpliceWindow(wlo, whi, repl, count);
 }
 
 uint64_t PageTable::UnmapRange(Vpn vpn, uint64_t npages) {
   if (npages == 0) {
     return 0;
   }
-  SplitAt(vpn);
-  SplitAt(vpn + npages);
+  const Vpn end = vpn + npages;
+  const size_t lo = FirstOverlapping(vpn);
+  size_t hi = lo;
   uint64_t removed = 0;
-  auto it = runs_.lower_bound(vpn);
-  while (it != runs_.end() && it->first < vpn + npages) {
-    removed += it->second.npages;
-    it = runs_.erase(it);
+  while (hi < runs_.size() && runs_[hi].vpn < end) {
+    const RunEntry& entry = runs_[hi];
+    removed += std::min(entry.vpn + entry.run.npages, end) - std::max(entry.vpn, vpn);
+    ++hi;
   }
+  if (lo == hi) {
+    return 0;
+  }
+
+  RunEntry repl[2];
+  size_t count = 0;
+  const RunEntry& first = runs_[lo];
+  if (first.vpn < vpn) {
+    RunEntry head;
+    head.vpn = first.vpn;
+    head.run = first.run;
+    head.run.npages = vpn - first.vpn;
+    repl[count++] = head;
+  }
+  const RunEntry& last = runs_[hi - 1];
+  const Vpn last_end = last.vpn + last.run.npages;
+  if (last_end > end) {
+    const uint64_t skip = end - last.vpn;
+    RunEntry tail;
+    tail.vpn = end;
+    tail.run = last.run;
+    tail.run.npages = last_end - end;
+    if (tail.run.backing_base != kNoBacking) {
+      tail.run.backing_base += skip;
+    }
+    if (!tail.run.constant_content) {
+      tail.run.content_base += skip;
+    }
+    repl[count++] = tail;
+  }
+  SpliceWindow(lo, hi, repl, count);
   return removed;
 }
 
 std::optional<PteView> PageTable::Lookup(Vpn vpn) const {
-  auto it = runs_.upper_bound(vpn);
-  if (it == runs_.begin()) {
+  const size_t i = FirstOverlapping(vpn);
+  if (i >= runs_.size() || runs_[i].vpn > vpn) {
     return std::nullopt;
   }
-  --it;
-  const Vpn start = it->first;
-  const PteRun& run = it->second;
-  if (vpn >= start + run.npages) {
-    return std::nullopt;
-  }
-  const uint64_t idx = vpn - start;
+  lookup_hint_ = i;
+  const RunEntry& entry = runs_[i];
+  const uint64_t idx = vpn - entry.vpn;
   PteView view;
-  view.flags = run.flags;
-  view.backing = run.backing_base == kNoBacking ? kNoBacking : run.backing_base + idx;
-  view.content = run.ContentAt(idx);
+  view.flags = entry.run.flags;
+  view.backing =
+      entry.run.backing_base == kNoBacking ? kNoBacking : entry.run.backing_base + idx;
+  view.content = entry.run.ContentAt(idx);
   return view;
-}
-
-void PageTable::ForEachRunIn(Vpn vpn, uint64_t npages,
-                             const std::function<void(Vpn, const PteRun&)>& fn) const {
-  if (npages == 0) {
-    return;
-  }
-  const Vpn end = vpn + npages;
-  auto it = runs_.upper_bound(vpn);
-  if (it != runs_.begin()) {
-    --it;
-  }
-  for (; it != runs_.end() && it->first < end; ++it) {
-    const Vpn run_start = it->first;
-    const PteRun& run = it->second;
-    const Vpn run_end = run_start + run.npages;
-    if (run_end <= vpn) {
-      continue;
-    }
-    // Clip to the requested range.
-    const Vpn clip_start = std::max(run_start, vpn);
-    const Vpn clip_end = std::min(run_end, end);
-    const uint64_t skip = clip_start - run_start;
-    PteRun clipped = run;
-    clipped.npages = clip_end - clip_start;
-    if (clipped.backing_base != kNoBacking) {
-      clipped.backing_base += skip;
-    }
-    if (!clipped.constant_content) {
-      clipped.content_base += skip;
-    }
-    fn(clip_start, clipped);
-  }
-}
-
-void PageTable::ForEachRun(const std::function<void(Vpn, const PteRun&)>& fn) const {
-  for (const auto& [vpn, run] : runs_) {
-    fn(vpn, run);
-  }
 }
 
 void PageTable::CloneFrom(const PageTable& other) {
   if (runs_.empty()) {
-    // Fresh clone (the mm-template attach path): the source runs are already
-    // disjoint, sorted, and maximally merged, so copy them straight across
-    // with end hints — O(n) with no split/merge/search work per run.
-    for (const auto& [vpn, run] : other.runs_) {
-      runs_.emplace_hint(runs_.end(), vpn, run);
-    }
+    // Fresh clone (the mm-template attach path): one contiguous copy of the
+    // source's already-disjoint, sorted, maximally-merged run array.
+    runs_ = other.runs_;
+    lookup_hint_ = 0;
     return;
   }
-  for (const auto& [vpn, run] : other.runs_) {
-    MapRange(vpn, run.npages, run.flags, run.backing_base, run.content_base,
-             run.constant_content);
+  for (const RunEntry& entry : other.runs_) {
+    MapRange(entry.vpn, entry.run.npages, entry.run.flags, entry.run.backing_base,
+             entry.run.content_base, entry.run.constant_content);
   }
 }
 
@@ -198,25 +286,15 @@ void PageTable::ProtectRange(Vpn vpn, uint64_t npages) {
   }
   SplitAt(vpn);
   SplitAt(vpn + npages);
-  for (auto it = runs_.lower_bound(vpn); it != runs_.end() && it->first < vpn + npages; ++it) {
-    it->second.flags.write_protected = true;
+  for (size_t i = LowerBound(vpn); i < runs_.size() && runs_[i].vpn < vpn + npages; ++i) {
+    runs_[i].run.flags.write_protected = true;
   }
 }
 
 uint64_t PageTable::mapped_pages() const {
   uint64_t total = 0;
-  for (const auto& [vpn, run] : runs_) {
-    total += run.npages;
-  }
-  return total;
-}
-
-uint64_t PageTable::CountPagesIf(const std::function<bool(const PteFlags&)>& pred) const {
-  uint64_t total = 0;
-  for (const auto& [vpn, run] : runs_) {
-    if (pred(run.flags)) {
-      total += run.npages;
-    }
+  for (const RunEntry& entry : runs_) {
+    total += entry.run.npages;
   }
   return total;
 }
@@ -228,8 +306,8 @@ uint64_t PageTable::MetadataBytes() const {
   constexpr uint64_t kPerRunBytes = 96;
   constexpr uint64_t kPerPageBytes = 8;
   uint64_t bytes = 0;
-  for (const auto& [vpn, run] : runs_) {
-    bytes += kPerRunBytes + kPerPageBytes * run.npages;
+  for (const RunEntry& entry : runs_) {
+    bytes += kPerRunBytes + kPerPageBytes * entry.run.npages;
   }
   return bytes;
 }

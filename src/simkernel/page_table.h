@@ -6,6 +6,16 @@
 // pages), so the simulator can model multi-GiB address spaces faithfully:
 // bulk faults split runs exactly where real hardware would install new PTEs.
 //
+// Storage is a cache-friendly sorted vector of runs (not a node-based map):
+// lookups are a hinted binary search over contiguous memory, and the bulk
+// operations (MapRange / UnmapRange / ProtectRange) splice the affected
+// window in one pass, so steady-state fault handling performs no per-page
+// work and no per-run node allocations. A one-entry lookup cache makes the
+// sequential access patterns restore paths produce O(1). The run-split and
+// run-merge semantics are bit-identical to the original std::map store
+// (pinned by tests/flat_store_equivalence_test.cc against the reference
+// implementation in tests/reference_stores.h).
+//
 // PTE states mirror the paper's mm-template design (section 5.1):
 //   - valid + !wp + local           : ordinary resident page
 //   - valid + wp + remote(CXL)      : direct-mapped shared CXL page, CoW armed
@@ -14,10 +24,10 @@
 #ifndef TRENV_SIMKERNEL_PAGE_TABLE_H_
 #define TRENV_SIMKERNEL_PAGE_TABLE_H_
 
+#include <algorithm>
 #include <cstdint>
-#include <functional>
-#include <map>
 #include <optional>
+#include <vector>
 
 #include "src/simkernel/types.h"
 
@@ -72,11 +82,45 @@ class PageTable {
   bool IsMapped(Vpn vpn) const { return Lookup(vpn).has_value(); }
 
   // Invokes fn(run_start_vpn, run) for every run overlapping the range; the
-  // run passed is clipped to the range. Must not mutate the table.
-  void ForEachRunIn(Vpn vpn, uint64_t npages,
-                    const std::function<void(Vpn, const PteRun&)>& fn) const;
+  // run passed is clipped to the range. Must not mutate the table. The
+  // visitor is a template parameter so hot callers (fault handling, stats
+  // sampling) pay a direct call instead of a std::function allocation.
+  template <typename Fn>
+  void ForEachRunIn(Vpn vpn, uint64_t npages, Fn&& fn) const {
+    if (npages == 0) {
+      return;
+    }
+    const Vpn end = vpn + npages;
+    for (size_t i = FirstOverlapping(vpn); i < runs_.size() && runs_[i].vpn < end; ++i) {
+      const Vpn run_start = runs_[i].vpn;
+      const PteRun& run = runs_[i].run;
+      const Vpn run_end = run_start + run.npages;
+      if (run_end <= vpn) {
+        continue;
+      }
+      // Clip to the requested range.
+      const Vpn clip_start = std::max(run_start, vpn);
+      const Vpn clip_end = std::min(run_end, end);
+      const uint64_t skip = clip_start - run_start;
+      PteRun clipped = run;
+      clipped.npages = clip_end - clip_start;
+      if (clipped.backing_base != kNoBacking) {
+        clipped.backing_base += skip;
+      }
+      if (!clipped.constant_content) {
+        clipped.content_base += skip;
+      }
+      fn(clip_start, clipped);
+    }
+  }
+
   // Invokes fn for every run in the table. Must not mutate the table.
-  void ForEachRun(const std::function<void(Vpn, const PteRun&)>& fn) const;
+  template <typename Fn>
+  void ForEachRun(Fn&& fn) const {
+    for (const RunEntry& entry : runs_) {
+      fn(entry.vpn, entry.run);
+    }
+  }
 
   // Copies all runs from `other` into this table (used by mmt_attach: the
   // metadata copy). Existing overlapping entries are replaced.
@@ -87,19 +131,46 @@ class PageTable {
 
   uint64_t run_count() const { return runs_.size(); }
   uint64_t mapped_pages() const;
-  uint64_t CountPagesIf(const std::function<bool(const PteFlags&)>& pred) const;
+
+  // Pages whose flags satisfy `pred` — templated for the same reason as the
+  // visitors: memory-timeline sampling calls this per sample.
+  template <typename Pred>
+  uint64_t CountPagesIf(Pred&& pred) const {
+    uint64_t total = 0;
+    for (const RunEntry& entry : runs_) {
+      if (pred(entry.run.flags)) {
+        total += entry.run.npages;
+      }
+    }
+    return total;
+  }
 
   // Approximate metadata footprint of this table (for mm-template sizing).
   uint64_t MetadataBytes() const;
 
  private:
+  struct RunEntry {
+    Vpn vpn;
+    PteRun run;
+  };
+
+  // Index of the first run whose end lies past `vpn` (i.e. the run containing
+  // vpn, or the first run after it). runs_.size() if none.
+  size_t FirstOverlapping(Vpn vpn) const;
+  // Index of the first run starting at or after `vpn`.
+  size_t LowerBound(Vpn vpn) const;
   // Splits any run straddling `vpn` so that `vpn` begins a run.
   void SplitAt(Vpn vpn);
-  // Merges the run at `it` with its successor if they are contiguous.
-  void TryMergeAround(Vpn vpn);
+  // Replaces runs_[lo, hi) with repl[0, count) in one pass. When the counts
+  // match (the steady-state fault pattern) this is an in-place overwrite
+  // with no element shifting and no allocation.
+  void SpliceWindow(size_t lo, size_t hi, const RunEntry* repl, size_t count);
 
-  // Key: first vpn of the run.
-  std::map<Vpn, PteRun> runs_;
+  // Runs sorted by vpn, pairwise disjoint.
+  std::vector<RunEntry> runs_;
+  // Hint: index of the run the last Lookup hit. Validated before use, so a
+  // stale value is only ever a missed shortcut, never a wrong answer.
+  mutable size_t lookup_hint_ = 0;
 };
 
 }  // namespace trenv

@@ -2,6 +2,8 @@
 // four backends, and tiered placement.
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "src/common/cost_model.h"
 #include "src/mempool/cxl_pool.h"
 #include "src/mempool/dram_pool.h"
@@ -78,6 +80,102 @@ TEST(ContentMapTest, OverwriteReplacesRange) {
   EXPECT_EQ(*map.Read(5), 900u);
   EXPECT_EQ(*map.Read(14), 909u);
   EXPECT_EQ(map.stored_pages(), 15u);
+}
+
+TEST(ContentMapTest, EraseSpanningMultipleRuns) {
+  ContentMap map;
+  map.Write(0, 10, 100);
+  map.Write(10, 10, 500);  // adjacent but distinct content: two runs
+  map.Write(30, 10, 900);
+  EXPECT_EQ(map.run_count(), 3u);
+  // Erase a window cutting into the first run, swallowing the second whole,
+  // crossing the gap, and cutting into the third.
+  map.Erase(5, 30);
+  EXPECT_EQ(map.run_count(), 2u);
+  EXPECT_EQ(map.stored_pages(), 10u);
+  EXPECT_EQ(*map.Read(4), 104u);
+  EXPECT_FALSE(map.Read(5).ok());
+  EXPECT_FALSE(map.Read(15).ok());
+  EXPECT_FALSE(map.Read(34).ok());
+  EXPECT_EQ(*map.Read(35), 905u);
+  EXPECT_EQ(*map.Read(39), 909u);
+}
+
+TEST(ContentMapTest, PartialRunEraseAtBothEnds) {
+  ContentMap map;
+  map.Write(100, 20, 7000);
+  // Front partial erase: run shrinks from the left.
+  map.Erase(95, 8);  // covers [100, 103)
+  EXPECT_FALSE(map.Read(102).ok());
+  EXPECT_EQ(*map.Read(103), 7003u);
+  EXPECT_EQ(map.stored_pages(), 17u);
+  // Tail partial erase: run shrinks from the right.
+  map.Erase(115, 10);  // covers [115, 120)
+  EXPECT_EQ(*map.Read(114), 7014u);
+  EXPECT_FALSE(map.Read(115).ok());
+  EXPECT_EQ(map.stored_pages(), 12u);
+  EXPECT_EQ(map.run_count(), 1u);
+}
+
+TEST(ContentMapTest, WriteOverSplitRun) {
+  ContentMap map;
+  map.Write(0, 20, 1000);
+  map.Erase(8, 4);  // split into [0,8) and [12,20)
+  EXPECT_EQ(map.run_count(), 2u);
+  // Overwrite a window straddling the hole and both fragments.
+  map.Write(6, 10, 5000);  // covers [6, 16)
+  EXPECT_EQ(*map.Read(5), 1005u);
+  EXPECT_EQ(*map.Read(6), 5000u);
+  EXPECT_EQ(*map.Read(15), 5009u);
+  EXPECT_EQ(*map.Read(16), 1016u);
+  EXPECT_EQ(map.stored_pages(), 20u);
+  EXPECT_EQ(map.run_count(), 3u);
+}
+
+TEST(ContentMapTest, EraseEverythingLeavesEmptyMap) {
+  ContentMap map;
+  map.Write(10, 5, 100);
+  map.Write(20, 5, 200);
+  map.Erase(0, 100);
+  EXPECT_EQ(map.stored_pages(), 0u);
+  EXPECT_EQ(map.run_count(), 0u);
+  EXPECT_FALSE(map.Read(12).ok());
+}
+
+TEST(BlockAllocatorTest, FreeListCoalescingUnderChurn) {
+  BlockAllocator alloc(1000);
+  // Allocate ten 100-page blocks, free them in an interleaved order, and
+  // check the free list coalesces back to a single extent at every point
+  // where adjacency allows.
+  std::vector<PoolOffset> blocks;
+  for (int i = 0; i < 10; ++i) {
+    auto b = alloc.Allocate(100);
+    ASSERT_TRUE(b.ok());
+    blocks.push_back(*b);
+  }
+  EXPECT_EQ(alloc.free_extent_count(), 0u);
+  // Free evens: five isolated extents, nothing adjacent.
+  for (int i = 0; i < 10; i += 2) {
+    ASSERT_TRUE(alloc.Free(blocks[static_cast<size_t>(i)], 100).ok());
+  }
+  EXPECT_EQ(alloc.free_extent_count(), 5u);
+  EXPECT_EQ(alloc.LargestFreeExtent(), 100u);
+  // Free odds: each merges with both neighbors; the list collapses to one.
+  for (int i = 1; i < 10; i += 2) {
+    ASSERT_TRUE(alloc.Free(blocks[static_cast<size_t>(i)], 100).ok());
+  }
+  EXPECT_EQ(alloc.free_extent_count(), 1u);
+  EXPECT_EQ(alloc.LargestFreeExtent(), 1000u);
+  // Keep-alive steady state: free one block, reallocate the same size —
+  // first fit hands back the same base and the extent count is unchanged.
+  auto a = alloc.Allocate(64);
+  ASSERT_TRUE(a.ok());
+  const uint64_t extents_before = alloc.free_extent_count();
+  ASSERT_TRUE(alloc.Free(*a, 64).ok());
+  auto again = alloc.Allocate(64);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*again, *a);
+  EXPECT_EQ(alloc.free_extent_count(), extents_before);
 }
 
 TEST(CxlPoolTest, PortLimitEnforced) {

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Perf-smoke guard: compare a fresh micro-benchmark record against the
+committed trajectory (BENCH_micro.json) and fail on large regressions.
+
+Both files are JSON lines; each record looks like
+
+    {"utc": "...", "label": "...", "benchmarks": {"BM_Foo": {"real_ns": ...}}}
+
+For every benchmark name present in the candidate record, the baseline is the
+*latest* committed entry that reports a numeric real_ns for the same name
+(records with nested, non-timing payloads — e.g. the chaos reports — are
+skipped). The check fails if candidate_real_ns > max_ratio * baseline_real_ns
+for any benchmark. Benchmarks with no committed baseline pass with a note:
+they gain a baseline when their record lands in BENCH_micro.json.
+
+Usage:
+    check_bench_regression.py --trajectory BENCH_micro.json \
+        --candidate BENCH_micro_ci.json [--max-ratio 2.0]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_records(path):
+    records = []
+    with open(path, "r", encoding="utf-8") as f:
+        for line_no, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as e:
+                raise SystemExit(f"{path}:{line_no}: invalid JSON: {e}")
+    return records
+
+
+def timing_entries(record):
+    """Yields (name, real_ns) for benchmarks that report a numeric real_ns."""
+    for name, data in record.get("benchmarks", {}).items():
+        if isinstance(data, dict) and isinstance(data.get("real_ns"), (int, float)):
+            yield name, float(data["real_ns"])
+
+
+def latest_baselines(records):
+    baselines = {}
+    for record in records:  # later lines overwrite earlier: latest entry wins
+        for name, real_ns in timing_entries(record):
+            baselines[name] = (real_ns, record.get("label", "?"))
+    return baselines
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trajectory", required=True,
+                        help="committed JSON-lines trajectory (BENCH_micro.json)")
+    parser.add_argument("--candidate", required=True,
+                        help="fresh JSON-lines record from this run")
+    parser.add_argument("--max-ratio", type=float, default=2.0,
+                        help="fail if candidate/baseline exceeds this (default 2.0)")
+    args = parser.parse_args()
+
+    baselines = latest_baselines(load_records(args.trajectory))
+    candidates = load_records(args.candidate)
+    if not candidates:
+        raise SystemExit(f"{args.candidate}: no records")
+
+    failures = []
+    rows = []
+    for record in candidates:
+        for name, real_ns in timing_entries(record):
+            if name not in baselines:
+                rows.append((name, real_ns, None, None, "no baseline (new)"))
+                continue
+            base_ns, base_label = baselines[name]
+            ratio = real_ns / base_ns if base_ns > 0 else float("inf")
+            verdict = "ok" if ratio <= args.max_ratio else "REGRESSED"
+            rows.append((name, real_ns, base_ns, ratio, f"{verdict} vs '{base_label}'"))
+            if ratio > args.max_ratio:
+                failures.append((name, ratio))
+
+    width = max((len(r[0]) for r in rows), default=10)
+    print(f"{'benchmark'.ljust(width)}  {'candidate':>12}  {'baseline':>12}  {'ratio':>6}")
+    for name, cand, base, ratio, note in rows:
+        base_s = f"{base:12.0f}" if base is not None else " " * 12
+        ratio_s = f"{ratio:6.2f}" if ratio is not None else " " * 6
+        print(f"{name.ljust(width)}  {cand:12.0f}  {base_s}  {ratio_s}  {note}")
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} benchmark(s) regressed more than "
+              f"{args.max_ratio}x:", file=sys.stderr)
+        for name, ratio in failures:
+            print(f"  {name}: {ratio:.2f}x", file=sys.stderr)
+        return 1
+    print(f"\nOK: no benchmark regressed more than {args.max_ratio}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
