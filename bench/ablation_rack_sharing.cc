@@ -5,7 +5,14 @@
 // baselines (modelled as nodes x a standalone CRIU testbed). The CRIU
 // baseline and the five cluster sizes are six independent simulations
 // (each Cluster owns its stats registry), run as one ParallelSweep.
+//
+// A second section turns the pool control plane on: the dedup'd template
+// chunks become consistent-hash shards across 4 pool nodes, and the table
+// shows how evenly the ring spreads them (primary min..max per pool node)
+// and how much attach traffic each dispatch policy actually pulls.
+#include <algorithm>
 #include <iostream>
+#include <numeric>
 
 #include "bench/bench_util.h"
 #include "src/platform/cluster.h"
@@ -38,6 +45,19 @@ double CriuNodePeakGib() {
          static_cast<double>(kGiB);
 }
 
+// Every node serves the same mix concurrently.
+Schedule ClusterSchedule(uint32_t nodes) {
+  Schedule schedule;
+  for (uint32_t n = 0; n < nodes; ++n) {
+    for (int i = 0; i < 8; ++i) {
+      schedule.push_back(
+          {SimTime::Zero() + SimDuration::Millis(n * 40 + i * 5), i % 2 ? "IR" : "JS"});
+    }
+  }
+  SortSchedule(schedule);
+  return schedule;
+}
+
 RackRow RunCluster(uint32_t nodes) {
   RackRow row;
   ClusterConfig config;
@@ -47,16 +67,7 @@ RackRow RunCluster(uint32_t nodes) {
     row.error = status.message();
     return row;
   }
-  // Every node serves the same mix concurrently.
-  Schedule schedule;
-  for (uint32_t n = 0; n < nodes; ++n) {
-    for (int i = 0; i < 8; ++i) {
-      schedule.push_back(
-          {SimTime::Zero() + SimDuration::Millis(n * 40 + i * 5), i % 2 ? "IR" : "JS"});
-    }
-  }
-  SortSchedule(schedule);
-  if (const Status status = cluster.Run(schedule); !status.ok()) {
+  if (const Status status = cluster.Run(ClusterSchedule(nodes)); !status.ok()) {
     row.error = status.message();
     return row;
   }
@@ -67,6 +78,54 @@ RackRow RunCluster(uint32_t nodes) {
   row.pool_gib = static_cast<double>(cluster.PoolBytes()) / static_cast<double>(kGiB);
   row.dram_gib = static_cast<double>(dram_peak) / static_cast<double>(kGiB);
   row.dedup_ratio = cluster.dedup().DedupRatio();
+  row.ok = true;
+  return row;
+}
+
+// One poolmgr-enabled run: where the ring put the shards and what the
+// dispatch policy pulled over the NICs for the same workload.
+struct PoolRow {
+  bool ok = false;
+  std::string error;
+  size_t shards = 0;
+  double stored_mib = 0;       // primaries + replicas across all pool nodes
+  double primary_min_mib = 0;  // least-loaded pool node, by primary pages
+  double primary_max_mib = 0;  // most-loaded pool node, by primary pages
+  double fetch_mib = 0;
+  uint64_t lease_hits = 0;
+  uint64_t lease_misses = 0;
+};
+
+constexpr double kPagesPerMiB = 256.0;  // 4 KiB pages
+
+PoolRow RunPoolCluster(uint32_t nodes, ClusterConfig::Dispatch dispatch) {
+  PoolRow row;
+  ClusterConfig config;
+  config.nodes = nodes;
+  config.dispatch = dispatch;
+  config.poolmgr.enabled = true;
+  Cluster cluster(config);
+  if (const Status status = cluster.DeployTable4Functions(); !status.ok()) {
+    row.error = status.message();
+    return row;
+  }
+  if (const Status status = cluster.Run(ClusterSchedule(nodes)); !status.ok()) {
+    row.error = status.message();
+    return row;
+  }
+  const PoolManager& mgr = *cluster.pool_manager();
+  row.shards = mgr.shard_count();
+  const std::vector<uint64_t> stored = mgr.ShardPagesPerNode();
+  const std::vector<uint64_t> primary = mgr.PrimaryPagesPerNode();
+  row.stored_mib = static_cast<double>(std::accumulate(stored.begin(), stored.end(),
+                                                       uint64_t{0})) /
+                   kPagesPerMiB;
+  const auto [min_it, max_it] = std::minmax_element(primary.begin(), primary.end());
+  row.primary_min_mib = static_cast<double>(*min_it) / kPagesPerMiB;
+  row.primary_max_mib = static_cast<double>(*max_it) / kPagesPerMiB;
+  row.fetch_mib = static_cast<double>(mgr.remote_fetch_pages()) / kPagesPerMiB;
+  row.lease_hits = mgr.lease_hits();
+  row.lease_misses = mgr.lease_misses();
   row.ok = true;
   return row;
 }
@@ -105,7 +164,39 @@ void Run(bench::BenchEnv& env) {
   }
   table.Print(std::cout);
   std::cout << "Paper reference (8.2): read-only state needs one copy per rack; memory "
-               "cost shrinks by roughly the machine count (~10x at rack scale).\n";
+               "cost shrinks by roughly the machine count (~10x at rack scale).\n\n";
+
+  PrintBanner(std::cout, "Pool control plane: shard placement and attach traffic (MiB)");
+  const uint32_t kPoolNodeCounts[] = {4u, 8u};
+  const ClusterConfig::Dispatch kPolicies[] = {ClusterConfig::Dispatch::kLeastLoaded,
+                                               ClusterConfig::Dispatch::kTemplateLocality};
+  const std::vector<PoolRow> pool_rows = bench::ParallelSweep(
+      std::size(kPoolNodeCounts) * std::size(kPolicies), env.jobs, [&](size_t idx) {
+        return RunPoolCluster(kPoolNodeCounts[idx / std::size(kPolicies)],
+                              kPolicies[idx % std::size(kPolicies)]);
+      });
+  Table pool_table({"Nodes", "Dispatch", "Shards", "Stored", "Primary min..max",
+                    "Fetched", "Lease hits", "Lease misses"});
+  for (size_t i = 0; i < pool_rows.size(); ++i) {
+    const PoolRow& row = pool_rows[i];
+    const uint32_t nodes = kPoolNodeCounts[i / std::size(kPolicies)];
+    const bool locality = kPolicies[i % std::size(kPolicies)] ==
+                          ClusterConfig::Dispatch::kTemplateLocality;
+    if (!row.ok) {
+      std::cerr << "pool cluster run failed for " << nodes << " nodes: " << row.error
+                << "\n";
+      return;
+    }
+    pool_table.AddRow({std::to_string(nodes), locality ? "locality" : "least-loaded",
+                       std::to_string(row.shards), Table::Num(row.stored_mib, 1),
+                       Table::Num(row.primary_min_mib, 1) + ".." +
+                           Table::Num(row.primary_max_mib, 1),
+                       Table::Num(row.fetch_mib, 1), std::to_string(row.lease_hits),
+                       std::to_string(row.lease_misses)});
+  }
+  pool_table.Print(std::cout);
+  std::cout << "Shard placement is pure consistent hashing (dispatch-independent); the "
+               "dispatch policy only decides how often workers must pull them.\n";
 }
 
 }  // namespace

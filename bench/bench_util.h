@@ -9,6 +9,7 @@
 #include <string>
 #include <string_view>
 #include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "src/common/table.h"
@@ -21,6 +22,14 @@
 namespace trenv {
 namespace bench {
 
+// A bench-specific flag BenchEnv should accept on behalf of the bench:
+// `prefix` is matched with rfind (include the '='), `help` is the usage
+// string shown in the unknown-flag error alongside the built-in flags.
+struct ExtraFlag {
+  std::string prefix;  // e.g. "--seeds="
+  std::string help;    // e.g. "--seeds=a,b,c"
+};
+
 // Observability and concurrency wiring shared by the figure benches:
 //   --trace-out=<file>    dump a Chrome trace_event JSON (chrome://tracing,
 //                         ui.perfetto.dev) of every platform the bench ran
@@ -29,14 +38,18 @@ namespace bench {
 //                         hardware threads); --jobs=1 forces serial sweeps
 // With neither output flag the tracer stays disabled and instrumentation
 // costs a null check. Unknown flags are an error (exit 2) so typos cannot
-// silently run a multi-minute sweep with default settings.
+// silently run a multi-minute sweep with default settings — and the error
+// lists the full set of flags THIS bench accepts, including any ExtraFlags
+// the bench registered, so the fix is visible in the failure itself.
 struct BenchEnv {
   obs::Tracer tracer;
   std::string trace_out;
   std::string metrics_out;
   unsigned jobs = ThreadPool::DefaultThreads();
+  // (prefix, value) for each matched ExtraFlag occurrence, in argv order.
+  std::vector<std::pair<std::string, std::string>> extra_args;
 
-  BenchEnv(int argc, char** argv) {
+  BenchEnv(int argc, char** argv, std::vector<ExtraFlag> extra_flags = {}) {
     for (int i = 1; i < argc; ++i) {
       const std::string_view arg = argv[i];
       if (arg.rfind("--trace-out=", 0) == 0) {
@@ -51,12 +64,36 @@ struct BenchEnv {
         }
         jobs = static_cast<unsigned>(parsed);
       } else {
-        std::cerr << "unknown flag: " << arg
-                  << " (supported: --trace-out=<file> --metrics-out=<file> --jobs=<n>)\n";
-        std::exit(2);
+        bool matched = false;
+        for (const ExtraFlag& flag : extra_flags) {
+          if (arg.rfind(flag.prefix, 0) == 0) {
+            extra_args.emplace_back(flag.prefix, std::string(arg.substr(flag.prefix.size())));
+            matched = true;
+            break;
+          }
+        }
+        if (!matched) {
+          std::string supported = "--trace-out=<file> --metrics-out=<file> --jobs=<n>";
+          for (const ExtraFlag& flag : extra_flags) {
+            supported += " " + flag.help;
+          }
+          std::cerr << "unknown flag: " << arg << " (supported: " << supported << ")\n";
+          std::exit(2);
+        }
       }
     }
     tracer.set_enabled(!trace_out.empty());
+  }
+
+  // Last value given for an ExtraFlag prefix, or `fallback` if absent.
+  std::string ExtraValue(std::string_view prefix, std::string_view fallback = "") const {
+    std::string value(fallback);
+    for (const auto& [p, v] : extra_args) {
+      if (p == prefix) {
+        value = v;
+      }
+    }
+    return value;
   }
 
   // Handed to PlatformConfig::tracer; null when tracing is off so the

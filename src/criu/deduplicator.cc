@@ -99,7 +99,9 @@ Result<PlacedChunk> SnapshotDedupStore::StoreChunk(const ChunkKey& key, double h
   MemoryBackend* backend = pool_->TierFor(placement.kind);
   TRENV_RETURN_IF_ERROR(
       backend->WriteContent(placement.base, key.npages, key.content_base));
-  PlacedChunk chunk{placement.kind, placement.base, key.npages};
+  PlacedChunk chunk{placement.kind, placement.base, key.npages,
+                    key.constant ? FingerprintConstant(key.content_base, key.npages)
+                                 : Fingerprint(key.content_base, key.npages)};
   chunk_index_.emplace(key, chunk);
   stored_unique_pages_ += key.npages;
   return chunk;

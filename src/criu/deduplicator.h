@@ -26,6 +26,10 @@ struct PlacedChunk {
   PoolKind pool;
   PoolOffset offset;  // pool page offset of the chunk start
   uint64_t npages;
+  // Content hash of the chunk (Fingerprint / FingerprintConstant). Equal
+  // fingerprints mean equal content, so this is the shard key the pool
+  // control plane (src/poolmgr/) places on its consistent-hash ring.
+  uint64_t fingerprint = 0;
 };
 
 struct PlacedRegion {

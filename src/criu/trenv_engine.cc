@@ -74,6 +74,11 @@ const std::vector<MmtId>* TrEnvEngine::TemplatesFor(const std::string& function)
                                                            : nullptr;
 }
 
+const ConsolidatedImage* TrEnvEngine::ImageFor(const std::string& function) const {
+  const FunctionId id = GlobalFunctionInterner().Find(function);
+  return id < prepared_.size() && prepared_[id] != nullptr ? &prepared_[id]->image : nullptr;
+}
+
 Result<RestoreOutcome> TrEnvEngine::Restore(const FunctionProfile& profile,
                                             RestoreContext& ctx) {
   const FunctionSnapshot* snapshot = SnapshotFor(profile);

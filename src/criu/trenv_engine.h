@@ -72,6 +72,9 @@ class TrEnvEngine : public RestoreEngine {
   const SnapshotDedupStore* dedup() const { return dedup_; }
   // The templates built for a function (one per process); for tests.
   const std::vector<MmtId>* TemplatesFor(const std::string& function) const;
+  // The consolidated (deduplicated) image Prepare built for a function;
+  // null until prepared. The pool control plane shards this image.
+  const ConsolidatedImage* ImageFor(const std::string& function) const;
 
  private:
   // Per-function step-A products (one mm-template per process, plus the

@@ -76,6 +76,7 @@ FaultInjector::FetchFault FaultInjector::OnFetchAttempt(PoolKind kind,
         break;
       case FaultDomain::kNodeCrash:
       case FaultDomain::kPoolPressure:
+      case FaultDomain::kPoolNodeCrash:
         break;  // node-level domains; expanded by PlanNodeEvents
     }
   }
@@ -94,13 +95,19 @@ double FaultInjector::DirectLoadMultiplier(PoolKind kind) const {
   return multiplier;
 }
 
-std::vector<FaultInjector::NodeEvent> FaultInjector::PlanNodeEvents(uint32_t node_count) {
+std::vector<FaultInjector::NodeEvent> FaultInjector::PlanNodeEvents(uint32_t node_count,
+                                                                    uint32_t pool_node_count) {
   std::vector<NodeEvent> plan;
   if (!Active() || node_count == 0) return plan;
   Rng plan_rng(schedule_.seed ^ kNodePlanSeedSalt);
   for (const FaultWindow& w : schedule_.windows) {
     switch (w.domain) {
-      case FaultDomain::kNodeCrash: {
+      case FaultDomain::kNodeCrash:
+      case FaultDomain::kPoolNodeCrash: {
+        const bool pool = w.domain == FaultDomain::kPoolNodeCrash;
+        // Pool-crash windows are skipped (draw-free) when no pool exists, so
+        // adding them to a schedule perturbs nothing in poolless runs.
+        if (pool && pool_node_count == 0) break;
         if (!plan_rng.NextBool(w.probability)) break;
         // Crash windows must be bounded so a concrete instant can be drawn.
         const SimTime end = w.end == SimTime::Max() ? w.start + SimDuration::Seconds(1) : w.end;
@@ -108,19 +115,19 @@ std::vector<FaultInjector::NodeEvent> FaultInjector::PlanNodeEvents(uint32_t nod
         const SimTime when =
             w.start + SimDuration(static_cast<int64_t>(plan_rng.NextBounded(
                           static_cast<uint64_t>(span))));
-        const uint32_t node =
-            w.target == kAnyTarget
-                ? static_cast<uint32_t>(plan_rng.NextBounded(node_count))
-                : std::min(w.target, node_count - 1);
+        const uint32_t fleet = pool ? pool_node_count : node_count;
+        const uint32_t node = w.target == kAnyTarget
+                                  ? static_cast<uint32_t>(plan_rng.NextBounded(fleet))
+                                  : std::min(w.target, fleet - 1);
         NodeEvent crash;
         crash.time = when;
         crash.node = node;
-        crash.kind = NodeEvent::Kind::kCrash;
+        crash.kind = pool ? NodeEvent::Kind::kPoolCrash : NodeEvent::Kind::kCrash;
         plan.push_back(crash);
         if (w.restart_after > SimDuration::Zero()) {
           NodeEvent restart = crash;
           restart.time = when + w.restart_after;
-          restart.kind = NodeEvent::Kind::kRestart;
+          restart.kind = pool ? NodeEvent::Kind::kPoolRestart : NodeEvent::Kind::kRestart;
           plan.push_back(restart);
         }
         break;

@@ -67,17 +67,27 @@ class FaultInjector {
   // --- Node-level plan (consumed by Cluster) --------------------------------
 
   struct NodeEvent {
-    enum class Kind : uint8_t { kCrash, kRestart, kPressureStart, kPressureEnd };
+    enum class Kind : uint8_t {
+      kCrash,
+      kRestart,
+      kPressureStart,
+      kPressureEnd,
+      // Pool-node (shard holder) events; `node` is a pool-node index, not a
+      // worker index. Routed by the Cluster to the PoolManager.
+      kPoolCrash,
+      kPoolRestart,
+    };
     SimTime time;
     uint32_t node = 0;
     Kind kind = Kind::kCrash;
     double severity = 1.0;  // soft-mem-cap scale for pressure events
   };
-  // Expands kNodeCrash / kPoolPressure windows into concrete, time-sorted
-  // events for a rack of `node_count` nodes. Uses a fresh Rng derived from
-  // the schedule seed so the plan is independent of how many fetch-path
-  // draws have happened.
-  std::vector<NodeEvent> PlanNodeEvents(uint32_t node_count);
+  // Expands kNodeCrash / kPoolPressure / kPoolNodeCrash windows into
+  // concrete, time-sorted events for a rack of `node_count` worker nodes and
+  // `pool_node_count` pool nodes. Uses a fresh Rng derived from the schedule
+  // seed so the plan is independent of how many fetch-path draws have
+  // happened.
+  std::vector<NodeEvent> PlanNodeEvents(uint32_t node_count, uint32_t pool_node_count = 0);
 
   // --- Accounting -----------------------------------------------------------
 

@@ -18,6 +18,8 @@ std::string_view FaultDomainName(FaultDomain domain) {
       return "page-corruption";
     case FaultDomain::kPoolPressure:
       return "pool-pressure";
+    case FaultDomain::kPoolNodeCrash:
+      return "pool-node-crash";
   }
   return "unknown";
 }
@@ -30,6 +32,18 @@ FaultWindow NodeCrashWindow(SimTime start, SimTime end, double probability, uint
   w.end = end;
   w.probability = probability;
   w.target = node;
+  w.restart_after = restart_after;
+  return w;
+}
+
+FaultWindow PoolCrashWindow(SimTime start, SimTime end, double probability, uint32_t pool_node,
+                            SimDuration restart_after) {
+  FaultWindow w;
+  w.domain = FaultDomain::kPoolNodeCrash;
+  w.start = start;
+  w.end = end;
+  w.probability = probability;
+  w.target = pool_node;
   w.restart_after = restart_after;
   return w;
 }

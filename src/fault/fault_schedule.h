@@ -43,6 +43,11 @@ enum class FaultDomain : uint8_t {
   // Shared-pool pressure: targeted nodes scale their soft memory cap by
   // `severity`, forcing keep-alive/template eviction until the window ends.
   kPoolPressure,
+  // A *pool* node (shard holder in the memory-pool control plane) dies at a
+  // drawn instant inside the window. With replication >= 2 a surviving
+  // replica is promoted and no lease is revoked; with replication 1 the lost
+  // shards are reseeded from the dedup store and affected leases revoked.
+  kPoolNodeCrash,
 };
 
 std::string_view FaultDomainName(FaultDomain domain);
@@ -80,6 +85,8 @@ struct FaultSchedule {
 // Window builders for the common cases (tests and benches read better with
 // named arguments than six-field aggregates).
 FaultWindow NodeCrashWindow(SimTime start, SimTime end, double probability, uint32_t node,
+                            SimDuration restart_after);
+FaultWindow PoolCrashWindow(SimTime start, SimTime end, double probability, uint32_t pool_node,
                             SimDuration restart_after);
 FaultWindow LinkFaultWindow(FaultDomain domain, SimTime start, SimTime end, double probability,
                             double severity = 1.0);

@@ -1,6 +1,9 @@
 #include "src/platform/cluster.h"
 
 #include <algorithm>
+#include <tuple>
+
+#include "src/common/interner.h"
 
 namespace trenv {
 
@@ -19,6 +22,18 @@ Cluster::Cluster(ClusterConfig config)
     injector_ = std::make_unique<FaultInjector>(config_.faults, &stats_);
     injector_->set_retry_policy(config_.retry);
     cxl_->BindFaultInjector(injector_.get());
+  }
+  if (config_.poolmgr.enabled) {
+    // Shard pulls ride their own RDMA fabric (not the MHD ports), so attach
+    // traffic sees NIC-style load-dependent latency and fault injection.
+    fabric_ = std::make_unique<RdmaPool>(config_.cxl_pool_bytes,
+                                         config_.node_config.seed ^ 0xfab);
+    fabric_->BindStats(&stats_);
+    if (injector_ != nullptr) {
+      fabric_->BindFaultInjector(injector_.get());
+    }
+    pool_mgr_ = std::make_unique<PoolManager>(config_.poolmgr, config_.nodes, fabric_.get(),
+                                              &stats_);
   }
 
   for (uint32_t i = 0; i < config_.nodes; ++i) {
@@ -54,6 +69,15 @@ Status Cluster::Deploy(const FunctionProfile& profile) {
     // store, so only the first node actually writes pool pages.
     TRENV_RETURN_IF_ERROR(node->platform->Deploy(profile));
   }
+  if (pool_mgr_ != nullptr && !nodes_.empty()) {
+    // Shard the deduplicated image across the pool nodes; RegisterTemplate
+    // is idempotent, so one registration covers every node's deployment.
+    const FunctionId fid = GlobalFunctionInterner().Find(profile.name);
+    const ConsolidatedImage* image = nodes_[0]->engine->ImageFor(profile.name);
+    if (fid != kInvalidFunctionId && image != nullptr) {
+      pool_mgr_->RegisterTemplate(fid, *image);
+    }
+  }
   return Status::Ok();
 }
 
@@ -75,7 +99,6 @@ bool Cluster::AnyAlive() const {
 
 size_t Cluster::PickNode(const std::string& function) {
   // Callers guarantee at least one node is alive.
-  (void)function;
   if (config_.dispatch == ClusterConfig::Dispatch::kRoundRobin) {
     while (!nodes_[next_node_]->alive) {
       next_node_ = (next_node_ + 1) % nodes_.size();
@@ -83,6 +106,32 @@ size_t Cluster::PickNode(const std::string& function) {
     const size_t node = next_node_;
     next_node_ = (next_node_ + 1) % nodes_.size();
     return node;
+  }
+  if (config_.dispatch == ClusterConfig::Dispatch::kTemplateLocality) {
+    // Template locality: prefer a node that already has the function warm
+    // (keep-alive instance), then one holding a live template lease (attach
+    // is metadata-only there), then fall back to least-loaded. Ties break by
+    // node index, so placement is deterministic.
+    const FunctionId fid = GlobalFunctionInterner().Find(function);
+    const auto key = [&](size_t i) {
+      const Node& n = *nodes_[i];
+      const bool warm =
+          fid != kInvalidFunctionId && n.platform->keep_alive().CountFor(fid) > 0;
+      const bool leased = fid != kInvalidFunctionId && pool_mgr_ != nullptr &&
+                          pool_mgr_->LeaseRefs(static_cast<uint32_t>(i), fid) > 0;
+      return std::make_tuple(!warm, !leased, n.platform->concurrent_startups(),
+                             n.platform->frames().used_bytes());
+    };
+    size_t best = nodes_.size();
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+      if (!nodes_[i]->alive) {
+        continue;
+      }
+      if (best == nodes_.size() || key(i) < key(best)) {
+        best = i;
+      }
+    }
+    return best;
   }
   // Least-loaded: fewest in-flight startups, then least DRAM in use — the
   // "dispatch to whichever node has available CPU" ideal of section 3.2.
@@ -134,7 +183,26 @@ Status Cluster::Dispatch(SimTime arrival, const std::string& function) {
     platform.tracer()->Annotate(id, "function", function);
     platform.tracer()->Annotate(id, "node", static_cast<int64_t>(node_index));
   }
-  const Status status = platform.Submit(arrival, function);
+  SimTime start = arrival;
+  if (pool_mgr_ != nullptr) {
+    // Attach the template through the control plane before the invocation
+    // can start: a lease hit is metadata-only; a miss pulls the shards over
+    // the chosen node's NIC. Expired leases up to `arrival` lapse first.
+    pool_mgr_->clock().RunUntil(arrival);
+    const FunctionId fid = GlobalFunctionInterner().Find(function);
+    const PoolManager::AttachOutcome attach =
+        pool_mgr_->Attach(static_cast<uint32_t>(node_index), fid, arrival);
+    start = arrival + attach.latency;
+    if (platform.tracer() != nullptr) {
+      const obs::SpanId id =
+          platform.tracer()->Instant({platform.trace_pid(), 0}, "poolmgr.attach", "poolmgr");
+      platform.tracer()->Annotate(id, "lease_hit", attach.lease_hit ? int64_t{1} : int64_t{0});
+      platform.tracer()->Annotate(id, "fetched_pages",
+                                  static_cast<int64_t>(attach.fetched_pages));
+      platform.tracer()->Annotate(id, "latency_us", attach.latency.nanos() / 1000);
+    }
+  }
+  const Status status = platform.Submit(start, function);
   if (!status.ok()) {
     // Name the rejecting node: "invocation failed" without a culprit is
     // useless in a rack-sized log.
@@ -160,6 +228,11 @@ void Cluster::AdvanceAllTo(SimTime t) {
     FocusNode(i);
     nodes_[i]->platform->scheduler().RunUntil(t);
   }
+  if (pool_mgr_ != nullptr) {
+    // The control plane's clock (lease expiries, rebalances) moves in
+    // lock-step with the worker nodes.
+    pool_mgr_->clock().RunUntil(t);
+  }
 }
 
 void Cluster::CrashNode(size_t i, SimTime when) {
@@ -171,6 +244,10 @@ void Cluster::CrashNode(size_t i, SimTime when) {
   injector_->RecordInjection(when, FaultDomain::kNodeCrash, static_cast<uint32_t>(i));
   std::vector<LostInvocation> lost = node.platform->Crash();
   node.sandbox_pool->Clear();
+  if (pool_mgr_ != nullptr) {
+    // A dead worker tears down nothing orderly; its leases just vanish.
+    pool_mgr_->ReleaseWorker(static_cast<uint32_t>(i));
+  }
   // Failover: everything the dead node had accepted restarts on a survivor
   // once the dispatcher's health check fires. TrEnv restores from the shared
   // snapshot (redeploy_penalty zero); the cold-redeploy baseline pays a
@@ -224,6 +301,17 @@ void Cluster::ApplyNodeEvent(const FaultInjector::NodeEvent& event) {
         }
       }
       break;
+    case FaultInjector::NodeEvent::Kind::kPoolCrash:
+      if (pool_mgr_ != nullptr && pool_mgr_->pool_node_alive(event.node)) {
+        injector_->RecordInjection(event.time, FaultDomain::kPoolNodeCrash, event.node);
+        pool_mgr_->OnPoolNodeCrash(event.node, event.time);
+      }
+      break;
+    case FaultInjector::NodeEvent::Kind::kPoolRestart:
+      if (pool_mgr_ != nullptr) {
+        pool_mgr_->OnPoolNodeRestart(event.node, event.time);
+      }
+      break;
   }
 }
 
@@ -234,7 +322,8 @@ Status Cluster::Run(const Schedule& schedule) {
   // timeline so their ordering against arrivals is exact.
   std::vector<FaultInjector::NodeEvent> plan;
   if (injector_ != nullptr) {
-    plan = injector_->PlanNodeEvents(static_cast<uint32_t>(nodes_.size()));
+    plan = injector_->PlanNodeEvents(static_cast<uint32_t>(nodes_.size()),
+                                     pool_mgr_ != nullptr ? config_.poolmgr.pool_nodes : 0);
   }
   size_t next_event = 0;
   for (const Invocation& invocation : schedule) {
@@ -259,6 +348,11 @@ void Cluster::RunAllToCompletion() {
   for (size_t i = 0; i < nodes_.size(); ++i) {
     FocusNode(i);
     nodes_[i]->platform->RunToCompletion();
+  }
+  if (pool_mgr_ != nullptr) {
+    // Let outstanding lease-expiry and rebalance events lapse; every grant
+    // schedules exactly one expiry, so this drains.
+    pool_mgr_->clock().RunUntilIdle();
   }
 }
 

@@ -20,6 +20,7 @@
 #include "src/mempool/rdma_pool.h"
 #include "src/obs/registry.h"
 #include "src/platform/platform.h"
+#include "src/poolmgr/pool_manager.h"
 
 namespace trenv {
 
@@ -40,8 +41,15 @@ struct ClusterConfig {
   uint32_t nodes = 4;
   PlatformConfig node_config;
   uint64_t cxl_pool_bytes = 512 * kGiB;  // the 7.5 TB-class MHD, scaled down
-  enum class Dispatch { kRoundRobin, kLeastLoaded };
+  // kTemplateLocality routes an invocation to the node already holding a
+  // warm instance or a template lease for the function (falling back to
+  // least-loaded), so attaches are metadata-only instead of shard pulls.
+  enum class Dispatch { kRoundRobin, kLeastLoaded, kTemplateLocality };
   Dispatch dispatch = Dispatch::kLeastLoaded;
+  // Cross-node memory-pool control plane (sharded template store + leases).
+  // Disabled by default: the cluster then behaves bit-identically to one
+  // built before the control plane existed.
+  PoolManagerConfig poolmgr;
   // Fault-injection campaign; an empty schedule means the fault-free fabric
   // (bit-identical behaviour to a cluster with no injector at all).
   FaultSchedule faults;
@@ -73,6 +81,9 @@ class Cluster {
   const SnapshotDedupStore& dedup() const { return *dedup_; }
   // Null when the configured FaultSchedule is empty.
   FaultInjector* fault_injector() { return injector_.get(); }
+  // Null unless ClusterConfig::poolmgr.enabled.
+  PoolManager* pool_manager() { return pool_mgr_.get(); }
+  const PoolManager* pool_manager() const { return pool_mgr_.get(); }
   // Invocations the cluster accepted via Submit — the chaos bench's
   // zero-loss check compares this against completed counts.
   uint64_t accepted_invocations() const { return accepted_; }
@@ -131,6 +142,10 @@ class Cluster {
   TieredPool tiered_;
   std::unique_ptr<SnapshotDedupStore> dedup_;
   std::unique_ptr<FaultInjector> injector_;
+  // Inter-node transfer fabric for the pool control plane's shard pulls;
+  // separate from the MHD so attach traffic contends on its own NIC path.
+  std::unique_ptr<RdmaPool> fabric_;
+  std::unique_ptr<PoolManager> pool_mgr_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<Deferred> deferred_;
   size_t next_node_ = 0;

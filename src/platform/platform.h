@@ -91,6 +91,8 @@ class ServerlessPlatform {
   const FunctionRegistry& registry() { return registry_; }
   uint32_t concurrent_startups() const { return concurrent_startups_; }
   uint64_t failed_invocations() const { return failed_invocations_; }
+  // Warm-instance inventory; locality-aware dispatch reads CountFor().
+  const KeepAlivePool& keep_alive() const { return keep_alive_; }
   obs::Tracer* tracer() const { return tracer_; }
   obs::ProcessId trace_pid() const { return trace_pid_; }
 

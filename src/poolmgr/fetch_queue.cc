@@ -1,0 +1,62 @@
+#include "src/poolmgr/fetch_queue.h"
+
+#include <algorithm>
+
+namespace trenv {
+
+FetchOutcome NicFetchQueue::Issue(SimTime now, std::vector<FetchRequest> requests,
+                                  MemoryBackend* fabric) {
+  FetchOutcome outcome;
+  if (requests.empty() || fabric == nullptr) {
+    return outcome;
+  }
+  // Coalesce per source: one transfer per pool node, pages summed. Stable
+  // sort keeps request order deterministic for equal sources.
+  std::stable_sort(requests.begin(), requests.end(),
+                   [](const FetchRequest& a, const FetchRequest& b) {
+                     return a.source < b.source;
+                   });
+  if (busy_until_ > now) {
+    outcome.queue_delay = busy_until_ - now;
+  }
+  // Open one stream per distinct source for the whole batch so the fabric's
+  // load model sees the fan-in width, then issue the coalesced transfers.
+  for (size_t i = 0; i < requests.size();) {
+    size_t j = i + 1;
+    while (j < requests.size() && requests[j].source == requests[i].source) {
+      ++j;
+    }
+    ++outcome.sources;
+    outcome.coalesced += (j - i) - 1;
+    fabric->BeginStream();
+    i = j;
+  }
+  for (size_t i = 0; i < requests.size();) {
+    uint64_t batch_pages = requests[i].npages;
+    size_t j = i + 1;
+    while (j < requests.size() && requests[j].source == requests[i].source) {
+      batch_pages += requests[j].npages;
+      ++j;
+    }
+    outcome.transfer += fabric->FetchLatency(batch_pages);
+    outcome.pages += batch_pages;
+    ++outcome.ops;
+    i = j;
+  }
+  for (uint32_t s = 0; s < outcome.sources; ++s) {
+    fabric->EndStream();
+  }
+  if (outcome.sources > 1) {
+    // Incast: concurrent senders overrun the receive pipeline; the penalty
+    // grows with fan-in width on top of the per-stream load factor above.
+    outcome.transfer =
+        outcome.transfer * (1.0 + incast_penalty_ * static_cast<double>(outcome.sources - 1));
+  }
+  busy_until_ = now + outcome.queue_delay + outcome.transfer;
+  total_pages_ += outcome.pages;
+  total_ops_ += outcome.ops;
+  total_coalesced_ += outcome.coalesced;
+  return outcome;
+}
+
+}  // namespace trenv

@@ -1,0 +1,306 @@
+#include "src/poolmgr/pool_manager.h"
+
+#include <algorithm>
+
+namespace trenv {
+
+PoolManager::PoolManager(PoolManagerConfig config, uint32_t worker_nodes,
+                         MemoryBackend* fabric, obs::Registry* stats)
+    : config_(config), fabric_(fabric), ring_(config.vnodes_per_node) {
+  alive_.assign(config_.pool_nodes, true);
+  for (uint32_t n = 0; n < config_.pool_nodes; ++n) {
+    ring_.AddNode(n);
+  }
+  nics_.reserve(worker_nodes);
+  for (uint32_t w = 0; w < worker_nodes; ++w) {
+    nics_.emplace_back(config_.incast_penalty);
+  }
+  leases_.resize(worker_nodes);
+  if (stats != nullptr) {
+    attaches_counter_ = stats->GetCounter("poolmgr.attaches");
+    lease_hits_counter_ = stats->GetCounter("poolmgr.lease_hits");
+    lease_misses_counter_ = stats->GetCounter("poolmgr.lease_misses");
+    expired_counter_ = stats->GetCounter("poolmgr.leases_expired");
+    revoked_counter_ = stats->GetCounter("poolmgr.leases_revoked");
+    promotions_counter_ = stats->GetCounter("poolmgr.replica_promotions");
+    fetch_pages_counter_ = stats->GetCounter("poolmgr.remote_fetch_pages");
+    fetch_ops_counter_ = stats->GetCounter("poolmgr.remote_fetch_ops");
+    coalesced_counter_ = stats->GetCounter("poolmgr.coalesced_requests");
+    rebalance_counter_ = stats->GetCounter("poolmgr.rebalance_moves");
+    reseed_counter_ = stats->GetCounter("poolmgr.reseeded_shards");
+  }
+}
+
+void PoolManager::RegisterTemplate(FunctionId fid, const ConsolidatedImage& image) {
+  if (fid == kInvalidFunctionId) {
+    return;
+  }
+  if (templates_.size() <= fid) {
+    templates_.resize(fid + 1);
+  }
+  if (!templates_[fid].empty()) {
+    return;  // already registered (every node deploys the same function)
+  }
+  std::vector<uint32_t>& shard_ids = templates_[fid];
+  for (const auto& process : image.processes) {
+    for (const PlacedRegion& placed : process) {
+      for (const PlacedChunk& chunk : placed.chunks) {
+        uint32_t index;
+        const auto it = shard_by_fingerprint_.find(chunk.fingerprint);
+        if (it != shard_by_fingerprint_.end()) {
+          index = it->second;  // dedup hit: runtimes shared across functions
+        } else {
+          index = static_cast<uint32_t>(shards_.size());
+          Shard shard;
+          shard.fingerprint = chunk.fingerprint;
+          shard.npages = chunk.npages;
+          ring_.OwnersFor(chunk.fingerprint, config_.replication, &shard.replicas);
+          shards_.push_back(std::move(shard));
+          shard_by_fingerprint_.emplace(chunk.fingerprint, index);
+        }
+        if (std::find(shard_ids.begin(), shard_ids.end(), index) == shard_ids.end()) {
+          shard_ids.push_back(index);
+        }
+      }
+    }
+  }
+}
+
+bool PoolManager::EnsureLivePrimary(uint32_t shard_index) {
+  Shard& shard = shards_[shard_index];
+  if (!shard.replicas.empty()) {
+    return true;
+  }
+  // Every holder crashed: reseed from the dedup store (the durable content
+  // source) onto the current ring owners.
+  ring_.OwnersFor(shard.fingerprint, config_.replication, &shard.replicas);
+  if (shard.replicas.empty()) {
+    return false;  // no pool node alive at all
+  }
+  ++reseeded_shards_;
+  Count(reseed_counter_);
+  return true;
+}
+
+PoolManager::AttachOutcome PoolManager::Attach(uint32_t worker, FunctionId fid, SimTime now) {
+  AttachOutcome outcome;
+  Count(attaches_counter_);
+  const std::vector<uint32_t>* shard_ids =
+      fid < templates_.size() && !templates_[fid].empty() ? &templates_[fid] : nullptr;
+  if (worker >= leases_.size() || shard_ids == nullptr) {
+    outcome.latency = config_.attach_metadata_base;
+    return outcome;
+  }
+  outcome.latency = config_.attach_metadata_base +
+                    config_.attach_metadata_per_shard *
+                        static_cast<double>(shard_ids->size());
+  auto lease_it = leases_[worker].find(fid);
+  if (lease_it != leases_[worker].end() && lease_it->second.refs > 0) {
+    // Lease hit: the shards are already mapped on this worker; renew only.
+    outcome.lease_hit = true;
+    ++lease_hits_;
+    Count(lease_hits_counter_);
+    GrantLease(worker, fid, now);
+    attach_ms_.RecordDuration(outcome.latency);
+    return outcome;
+  }
+  // Lease miss: pull every shard from its primary through this worker's NIC.
+  ++lease_misses_;
+  Count(lease_misses_counter_);
+  std::vector<FetchRequest> requests;
+  requests.reserve(shard_ids->size());
+  for (const uint32_t shard_index : *shard_ids) {
+    if (!EnsureLivePrimary(shard_index)) {
+      continue;  // whole pool down; fail open — the dedup store still serves
+    }
+    requests.push_back(
+        FetchRequest{shards_[shard_index].replicas.front(), shards_[shard_index].npages});
+  }
+  const FetchOutcome fetch = nics_[worker].Issue(now, std::move(requests), fabric_);
+  outcome.latency += fetch.Total();
+  outcome.fetched_pages = fetch.pages;
+  remote_fetch_pages_ += fetch.pages;
+  remote_fetch_ops_ += fetch.ops;
+  coalesced_requests_ += fetch.coalesced;
+  Count(fetch_pages_counter_, static_cast<double>(fetch.pages));
+  Count(fetch_ops_counter_, static_cast<double>(fetch.ops));
+  Count(coalesced_counter_, static_cast<double>(fetch.coalesced));
+  GrantLease(worker, fid, now);
+  attach_ms_.RecordDuration(outcome.latency);
+  return outcome;
+}
+
+void PoolManager::GrantLease(uint32_t worker, FunctionId fid, SimTime now) {
+  Lease& lease = leases_[worker][fid];
+  lease.refs += 1;
+  lease.expires = now + config_.lease_ttl;
+  // One expiry event per grant window: the lease dies when the last grant's
+  // window lapses — refcounted expiry, driven by the control-plane clock.
+  const SimTime expiry = std::max(now, clock_.now()) + config_.lease_ttl;
+  clock_.ScheduleAt(expiry, [this, worker, fid] {
+    auto it = leases_[worker].find(fid);
+    if (it == leases_[worker].end() || it->second.refs == 0) {
+      return;  // already revoked or released with the worker
+    }
+    if (--it->second.refs == 0) {
+      leases_[worker].erase(it);
+      ++leases_expired_;
+      Count(expired_counter_);
+    }
+  });
+}
+
+uint32_t PoolManager::LeaseRefs(uint32_t worker, FunctionId fid) const {
+  if (worker >= leases_.size() || fid == kInvalidFunctionId) {
+    return 0;
+  }
+  const auto it = leases_[worker].find(fid);
+  return it == leases_[worker].end() ? 0 : it->second.refs;
+}
+
+void PoolManager::ReleaseWorker(uint32_t worker) {
+  if (worker < leases_.size()) {
+    leases_[worker].clear();
+  }
+}
+
+void PoolManager::OnPoolNodeCrash(uint32_t pool_node, SimTime when) {
+  if (pool_node >= alive_.size() || !alive_[pool_node]) {
+    return;
+  }
+  alive_[pool_node] = false;
+  ring_.RemoveNode(pool_node);
+  // Walk shards in index order (deterministic). Losing a replica is silent;
+  // losing a *primary* promotes a survivor; losing the last replica revokes
+  // every lease whose template includes the shard.
+  std::vector<bool> shard_lost(shards_.size(), false);
+  for (uint32_t s = 0; s < shards_.size(); ++s) {
+    Shard& shard = shards_[s];
+    const auto it = std::find(shard.replicas.begin(), shard.replicas.end(), pool_node);
+    if (it == shard.replicas.end()) {
+      continue;
+    }
+    const bool was_primary = it == shard.replicas.begin();
+    shard.replicas.erase(it);
+    if (shard.replicas.empty()) {
+      shard_lost[s] = true;
+    } else if (was_primary) {
+      // Replica promotion: the next live replica serves reads; leases stay
+      // valid because placement metadata is all that changes.
+      ++replica_promotions_;
+      Count(promotions_counter_);
+    }
+  }
+  // Revoke leases on templates that lost a shard entirely (replication 1):
+  // those workers must re-fetch after the reseed.
+  for (FunctionId fid = 0; fid < templates_.size(); ++fid) {
+    bool lost = false;
+    for (const uint32_t s : templates_[fid]) {
+      if (shard_lost[s]) {
+        lost = true;
+        break;
+      }
+    }
+    if (!lost) {
+      continue;
+    }
+    for (auto& worker_leases : leases_) {
+      const auto it = worker_leases.find(fid);
+      if (it != worker_leases.end()) {
+        worker_leases.erase(it);
+        ++leases_revoked_;
+        Count(revoked_counter_);
+      }
+    }
+  }
+  ScheduleRebalance(when + config_.rebalance_delay);
+}
+
+void PoolManager::OnPoolNodeRestart(uint32_t pool_node, SimTime when) {
+  if (pool_node >= alive_.size() || alive_[pool_node]) {
+    return;
+  }
+  alive_[pool_node] = true;
+  ring_.AddNode(pool_node);
+  ScheduleRebalance(when + config_.rebalance_delay);
+}
+
+void PoolManager::ScheduleRebalance(SimTime when) {
+  if (rebalance_pending_) {
+    return;  // one sweep covers every membership change before it fires
+  }
+  rebalance_pending_ = true;
+  clock_.ScheduleAt(std::max(when, clock_.now()), [this] {
+    rebalance_pending_ = false;
+    RunRebalance(clock_.now());
+  });
+}
+
+void PoolManager::RunRebalance(SimTime now) {
+  (void)now;
+  if (ring_.node_count() == 0) {
+    return;  // nothing alive to move to; retried after the next restart
+  }
+  std::vector<uint32_t> desired;
+  for (uint32_t s = 0; s < shards_.size(); ++s) {
+    Shard& shard = shards_[s];
+    ring_.OwnersFor(shard.fingerprint, config_.replication, &desired);
+    if (desired == shard.replicas) {
+      continue;
+    }
+    const bool was_lost = shard.replicas.empty();
+    // Count one move per node that newly receives the shard (background
+    // copy traffic, off the attach critical path).
+    uint64_t additions = 0;
+    for (const uint32_t node : desired) {
+      if (std::find(shard.replicas.begin(), shard.replicas.end(), node) ==
+          shard.replicas.end()) {
+        ++additions;
+      }
+    }
+    if (additions > 0) {
+      rebalance_moves_ += additions;
+      rebalanced_pages_ += additions * shard.npages;
+      Count(rebalance_counter_, static_cast<double>(additions));
+    }
+    if (was_lost) {
+      ++reseeded_shards_;
+      Count(reseed_counter_);
+    }
+    // Keep a surviving primary in place when the ring still lists it —
+    // promotion already redirected readers there; demoting it back would
+    // churn leases for no benefit.
+    const uint32_t old_primary = was_lost ? 0 : shard.replicas.front();
+    shard.replicas = desired;
+    if (!was_lost) {
+      const auto it = std::find(shard.replicas.begin(), shard.replicas.end(), old_primary);
+      if (it != shard.replicas.end() && it != shard.replicas.begin()) {
+        std::rotate(shard.replicas.begin(), it, it + 1);
+      }
+    }
+  }
+}
+
+std::vector<uint64_t> PoolManager::PrimaryPagesPerNode() const {
+  std::vector<uint64_t> pages(alive_.size(), 0);
+  for (const Shard& shard : shards_) {
+    if (!shard.replicas.empty() && shard.replicas.front() < pages.size()) {
+      pages[shard.replicas.front()] += shard.npages;
+    }
+  }
+  return pages;
+}
+
+std::vector<uint64_t> PoolManager::ShardPagesPerNode() const {
+  std::vector<uint64_t> pages(alive_.size(), 0);
+  for (const Shard& shard : shards_) {
+    for (const uint32_t node : shard.replicas) {
+      if (node < pages.size()) {
+        pages[node] += shard.npages;
+      }
+    }
+  }
+  return pages;
+}
+
+}  // namespace trenv

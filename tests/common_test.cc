@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "src/common/histogram.h"
+#include "src/common/interner.h"
 #include "src/common/rng.h"
 #include "src/common/status.h"
 #include "src/common/table.h"
@@ -223,6 +224,47 @@ TEST(TableTest, RendersAllRows) {
   EXPECT_NE(out.find("alpha"), std::string::npos);
   EXPECT_NE(out.find("1.50"), std::string::npos);
   EXPECT_NE(out.find("25.0%"), std::string::npos);
+}
+
+TEST(InternerTest, EmptyStringIsAValidKey) {
+  Interner interner;
+  // The empty string is a legal (if odd) function name: it gets a dense id
+  // like any other and must not collide with real names.
+  const FunctionId empty = interner.Intern("");
+  const FunctionId named = interner.Intern("f");
+  EXPECT_NE(empty, kInvalidFunctionId);
+  EXPECT_NE(empty, named);
+  EXPECT_EQ(interner.Find(""), empty);
+  EXPECT_EQ(interner.NameOf(empty), "");
+  EXPECT_EQ(interner.size(), 2u);
+}
+
+TEST(InternerTest, ReinterningReturnsTheSameId) {
+  Interner interner;
+  const FunctionId first = interner.Intern("resize-image");
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(interner.Intern("resize-image"), first);
+  }
+  EXPECT_EQ(interner.size(), 1u);  // duplicates allocate nothing
+  EXPECT_EQ(interner.Find("resize-image"), first);
+  EXPECT_EQ(interner.Find("never-interned"), kInvalidFunctionId);
+}
+
+TEST(InternerTest, RoundTripsAfterManyInserts) {
+  Interner interner;
+  // Force the unordered_map through several rehashes: NameOf must keep
+  // returning the original strings (the name table points into stable map
+  // keys, not into buckets).
+  constexpr int kCount = 5000;
+  std::vector<FunctionId> ids;
+  for (int i = 0; i < kCount; ++i) {
+    ids.push_back(interner.Intern("fn-" + std::to_string(i)));
+  }
+  EXPECT_EQ(interner.size(), static_cast<size_t>(kCount));
+  for (int i = 0; i < kCount; ++i) {
+    EXPECT_EQ(interner.NameOf(ids[i]), "fn-" + std::to_string(i)) << i;
+    EXPECT_EQ(interner.Find("fn-" + std::to_string(i)), ids[i]) << i;
+  }
 }
 
 }  // namespace

@@ -245,6 +245,48 @@ TEST(KeepAlivePoolTest, DropDiscardsWithoutEvictCallback) {
   EXPECT_EQ(pool.size(), 1u);
 }
 
+TEST(KeepAlivePoolTest, SlotReuseAfterEvictThenReRegister) {
+  // Evicting every instance of a function frees its arena slots; parking the
+  // SAME FunctionId again must reuse those slots with fresh links — stale
+  // fn-list or LRU links from the previous tenancy would corrupt both lists.
+  int evict_calls = 0;
+  KeepAlivePool pool(SimDuration::Minutes(10),
+                     [&evict_calls](std::unique_ptr<FunctionInstance>) { ++evict_calls; });
+  SimTime now;
+  pool.Put(std::make_unique<FunctionInstance>("recycled", nullptr), now);
+  pool.Put(std::make_unique<FunctionInstance>("recycled", nullptr), now);
+  pool.Put(std::make_unique<FunctionInstance>("bystander", nullptr), now);
+  const FunctionId fid = GlobalFunctionInterner().Find("recycled");
+  ASSERT_NE(fid, kInvalidFunctionId);
+  ASSERT_EQ(pool.CountFor(fid), 2u);
+
+  // Evict both "recycled" instances (LRU order puts them first).
+  EXPECT_TRUE(pool.EvictLru());
+  EXPECT_TRUE(pool.EvictLru());
+  EXPECT_EQ(evict_calls, 2);
+  EXPECT_EQ(pool.CountFor(fid), 0u);
+  EXPECT_EQ(pool.TakeWarm(fid), nullptr);
+  EXPECT_EQ(pool.size(), 1u);
+
+  // Re-register the same FunctionId: the freed slots are reused and the
+  // per-function list is rebuilt from scratch.
+  now += SimDuration::Seconds(1);
+  pool.Put(std::make_unique<FunctionInstance>("recycled", nullptr), now);
+  now += SimDuration::Seconds(1);
+  pool.Put(std::make_unique<FunctionInstance>("recycled", nullptr), now);
+  EXPECT_EQ(pool.CountFor(fid), 2u);
+  EXPECT_EQ(pool.size(), 3u);
+  // Warm takes drain the rebuilt list MRU-first, leaving the bystander.
+  EXPECT_NE(pool.TakeWarm(fid), nullptr);
+  EXPECT_NE(pool.TakeWarm(fid), nullptr);
+  EXPECT_EQ(pool.TakeWarm(fid), nullptr);
+  EXPECT_EQ(pool.CountFor(fid), 0u);
+  EXPECT_EQ(pool.CountFor("bystander"), 1u);
+  // The LRU list survived the churn: the bystander is still evictable.
+  EXPECT_TRUE(pool.EvictLru());
+  EXPECT_FALSE(pool.EvictLru());
+}
+
 TEST(PlatformTest, SoftMemCapPressureEvictsIdleInstances) {
   // CRIU keeps warm instances fully resident in local DRAM, so the frame
   // allocator directly reflects keep-alive pool occupancy. Probe mid-run

@@ -1,0 +1,355 @@
+// Tests for the cross-node memory-pool control plane (src/poolmgr/):
+// consistent-hash shard placement, NIC fetch batching, lease lifecycle,
+// pool-node crash recovery, and locality-aware cluster dispatch.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/mempool/rdma_pool.h"
+#include "src/platform/cluster.h"
+#include "src/poolmgr/fetch_queue.h"
+#include "src/poolmgr/hash_ring.h"
+#include "src/poolmgr/pool_manager.h"
+
+namespace trenv {
+namespace {
+
+// ---------------------------------------------------------------- HashRing
+
+TEST(HashRingTest, PlacementIsDeterministic) {
+  HashRing a;
+  HashRing b;
+  for (uint32_t n = 0; n < 6; ++n) {
+    a.AddNode(n);
+    b.AddNode(n);
+  }
+  for (uint64_t key = 1; key < 200; ++key) {
+    EXPECT_EQ(a.OwnersFor(key, 3), b.OwnersFor(key, 3)) << "key " << key;
+  }
+}
+
+TEST(HashRingTest, OwnersAreDistinctAndCapped) {
+  HashRing ring;
+  ring.AddNode(0);
+  ring.AddNode(1);
+  ring.AddNode(2);
+  for (uint64_t key = 1; key < 100; ++key) {
+    const auto owners = ring.OwnersFor(key, 2);
+    ASSERT_EQ(owners.size(), 2u);
+    EXPECT_NE(owners[0], owners[1]);
+    // Asking for more replicas than nodes returns every node once.
+    const auto all = ring.OwnersFor(key, 8);
+    EXPECT_EQ(std::set<uint32_t>(all.begin(), all.end()).size(), 3u);
+  }
+}
+
+TEST(HashRingTest, RemovalRemapsOnlyAffectedKeys) {
+  HashRing ring;
+  for (uint32_t n = 0; n < 8; ++n) {
+    ring.AddNode(n);
+  }
+  std::vector<uint32_t> before;
+  std::vector<uint32_t> after;
+  uint64_t moved = 0;
+  constexpr uint64_t kKeys = 500;
+  for (uint64_t key = 1; key <= kKeys; ++key) {
+    ring.OwnersFor(key, 1, &before);
+    HashRing smaller = ring;
+    smaller.RemoveNode(3);
+    smaller.OwnersFor(key, 1, &after);
+    if (before[0] == 3) {
+      EXPECT_NE(after[0], 3u);  // orphaned keys move somewhere live
+    } else {
+      EXPECT_EQ(before, after) << "key " << key << " moved without cause";
+    }
+    moved += before[0] == 3 ? 1 : 0;
+  }
+  // ~1/8 of keys lived on the removed node; consistent hashing must not
+  // reshuffle the rest (allow generous slack on the proportion itself).
+  EXPECT_GT(moved, kKeys / 20);
+  EXPECT_LT(moved, kKeys / 3);
+}
+
+TEST(HashRingTest, BalancesLoadAcrossNodes) {
+  HashRing ring;
+  for (uint32_t n = 0; n < 4; ++n) {
+    ring.AddNode(n);
+  }
+  std::vector<uint64_t> hits(4, 0);
+  constexpr uint64_t kKeys = 4000;
+  std::vector<uint32_t> owners;
+  for (uint64_t key = 1; key <= kKeys; ++key) {
+    ring.OwnersFor(key * 0x9E3779B97F4A7C15ULL, 1, &owners);
+    hits[owners[0]] += 1;
+  }
+  for (uint32_t n = 0; n < 4; ++n) {
+    EXPECT_GT(hits[n], kKeys / 8) << "node " << n << " starved";
+    EXPECT_LT(hits[n], kKeys / 2) << "node " << n << " overloaded";
+  }
+}
+
+// ------------------------------------------------------------ NicFetchQueue
+
+TEST(FetchQueueTest, CoalescesSameSourceRequests) {
+  RdmaPool fabric(kGiB);
+  NicFetchQueue nic;
+  const auto outcome = nic.Issue(
+      SimTime::Zero(), {{/*source=*/1, 64}, {/*source=*/1, 32}, {/*source=*/1, 16}}, &fabric);
+  EXPECT_EQ(outcome.ops, 1u);        // one transfer after coalescing
+  EXPECT_EQ(outcome.coalesced, 2u);  // two requests merged into it
+  EXPECT_EQ(outcome.pages, 112u);
+  EXPECT_EQ(outcome.sources, 1u);
+  EXPECT_EQ(outcome.queue_delay, SimDuration::Zero());
+}
+
+TEST(FetchQueueTest, IncastPenalizesFanIn) {
+  // The same pages pulled from 4 sources must cost more than from 1: the
+  // incast multiplier and the fabric's per-stream load factor both bite.
+  RdmaPool fabric_wide(kGiB);
+  NicFetchQueue wide(/*incast_penalty=*/0.25);
+  const auto fan = wide.Issue(SimTime::Zero(), {{0, 32}, {1, 32}, {2, 32}, {3, 32}},
+                              &fabric_wide);
+  RdmaPool fabric_one(kGiB);
+  NicFetchQueue one(/*incast_penalty=*/0.25);
+  const auto single = one.Issue(SimTime::Zero(), {{0, 128}}, &fabric_one);
+  EXPECT_EQ(fan.pages, single.pages);
+  EXPECT_EQ(fan.sources, 4u);
+  EXPECT_GT(fan.transfer, single.transfer);
+}
+
+TEST(FetchQueueTest, BusyNicQueuesTheNextBatch) {
+  RdmaPool fabric(kGiB);
+  NicFetchQueue nic;
+  const auto first = nic.Issue(SimTime::Zero(), {{0, 256}}, &fabric);
+  EXPECT_GT(first.transfer, SimDuration::Zero());
+  // Issued while the NIC is still draining the first batch: the queue delay
+  // is exactly the residual busy time.
+  const SimTime mid = SimTime::Zero() + SimDuration(first.transfer.nanos() / 2);
+  const auto second = nic.Issue(mid, {{0, 8}}, &fabric);
+  EXPECT_EQ(second.queue_delay, nic.busy_until() - mid - second.transfer);
+  EXPECT_GT(second.queue_delay, SimDuration::Zero());
+  // Streams closed after each batch: no leak into the fabric's load factor.
+  EXPECT_EQ(fabric.active_streams(), 0u);
+}
+
+// -------------------------------------------------------------- PoolManager
+
+ConsolidatedImage TwoChunkImage(uint64_t fp_a, uint64_t fp_b) {
+  ConsolidatedImage image;
+  PlacedRegion placed;
+  placed.chunks.push_back(PlacedChunk{PoolKind::kCxl, 0, 512, fp_a});
+  placed.chunks.push_back(PlacedChunk{PoolKind::kCxl, 512, 512, fp_b});
+  image.processes.push_back({placed});
+  image.total_pages = 1024;
+  return image;
+}
+
+struct PoolManagerFixture {
+  explicit PoolManagerFixture(PoolManagerConfig config, uint32_t workers = 2)
+      : fabric(kGiB), mgr(config, workers, &fabric, nullptr) {}
+  RdmaPool fabric;
+  PoolManager mgr;
+};
+
+PoolManagerConfig SmallPoolConfig(uint32_t replication) {
+  PoolManagerConfig config;
+  config.enabled = true;
+  config.pool_nodes = 4;
+  config.replication = replication;
+  config.lease_ttl = SimDuration::Seconds(10);
+  return config;
+}
+
+TEST(PoolManagerTest, SharedChunksShareShards) {
+  PoolManagerFixture fx(SmallPoolConfig(2));
+  fx.mgr.RegisterTemplate(0, TwoChunkImage(0xAA, 0xBB));
+  fx.mgr.RegisterTemplate(1, TwoChunkImage(0xAA, 0xCC));  // 0xAA shared
+  EXPECT_EQ(fx.mgr.shard_count(), 3u);
+  // Replication 2: every shard's pages live on exactly two pool nodes.
+  uint64_t total = 0;
+  for (const uint64_t pages : fx.mgr.ShardPagesPerNode()) {
+    total += pages;
+  }
+  EXPECT_EQ(total, 3u * 512u * 2u);
+}
+
+TEST(PoolManagerTest, LeaseHitSkipsTheFetch) {
+  PoolManagerFixture fx(SmallPoolConfig(2));
+  fx.mgr.RegisterTemplate(0, TwoChunkImage(0xAA, 0xBB));
+  const auto miss = fx.mgr.Attach(0, 0, SimTime::Zero());
+  EXPECT_FALSE(miss.lease_hit);
+  EXPECT_EQ(miss.fetched_pages, 1024u);
+  const auto hit = fx.mgr.Attach(0, 0, SimTime::Zero() + SimDuration::Seconds(1));
+  EXPECT_TRUE(hit.lease_hit);
+  EXPECT_EQ(hit.fetched_pages, 0u);
+  EXPECT_LT(hit.latency, miss.latency);
+  EXPECT_EQ(fx.mgr.LeaseRefs(0, 0), 2u);  // two grant windows outstanding
+  // A different worker has no lease: it pays its own fetch.
+  const auto other = fx.mgr.Attach(1, 0, SimTime::Zero() + SimDuration::Seconds(1));
+  EXPECT_FALSE(other.lease_hit);
+}
+
+TEST(PoolManagerTest, LeasesExpirePerGrantWindow) {
+  PoolManagerFixture fx(SmallPoolConfig(2));
+  fx.mgr.RegisterTemplate(0, TwoChunkImage(0xAA, 0xBB));
+  (void)fx.mgr.Attach(0, 0, SimTime::Zero());
+  (void)fx.mgr.Attach(0, 0, SimTime::Zero() + SimDuration::Seconds(5));
+  ASSERT_EQ(fx.mgr.LeaseRefs(0, 0), 2u);
+  // First grant lapses at t=10s, second at t=15s.
+  fx.mgr.clock().RunUntil(SimTime::Zero() + SimDuration::Seconds(12));
+  EXPECT_EQ(fx.mgr.LeaseRefs(0, 0), 1u);
+  fx.mgr.clock().RunUntil(SimTime::Zero() + SimDuration::Seconds(16));
+  EXPECT_EQ(fx.mgr.LeaseRefs(0, 0), 0u);
+  EXPECT_EQ(fx.mgr.leases_expired(), 1u);  // counted when refs hit zero
+}
+
+TEST(PoolManagerTest, ReplicatedCrashPromotesWithoutRevoking) {
+  PoolManagerFixture fx(SmallPoolConfig(2));
+  fx.mgr.RegisterTemplate(0, TwoChunkImage(0xAA, 0xBB));
+  (void)fx.mgr.Attach(0, 0, SimTime::Zero());
+  // Crash the pool node serving the most primary pages: with replication 2 a
+  // surviving replica is promoted and no lease is revoked.
+  const auto primaries = fx.mgr.PrimaryPagesPerNode();
+  uint32_t victim = 0;
+  for (uint32_t n = 1; n < primaries.size(); ++n) {
+    if (primaries[n] > primaries[victim]) {
+      victim = n;
+    }
+  }
+  ASSERT_GT(primaries[victim], 0u);
+  fx.mgr.OnPoolNodeCrash(victim, SimTime::Zero() + SimDuration::Seconds(1));
+  EXPECT_EQ(fx.mgr.leases_revoked(), 0u);
+  EXPECT_GT(fx.mgr.replica_promotions(), 0u);
+  EXPECT_EQ(fx.mgr.LeaseRefs(0, 0), 1u);
+  // The next miss still finds a live source for every shard.
+  const auto attach = fx.mgr.Attach(1, 0, SimTime::Zero() + SimDuration::Seconds(2));
+  EXPECT_EQ(attach.fetched_pages, 1024u);
+}
+
+TEST(PoolManagerTest, UnreplicatedCrashRevokesAndReseeds) {
+  PoolManagerFixture fx(SmallPoolConfig(1));
+  fx.mgr.RegisterTemplate(0, TwoChunkImage(0xAA, 0xBB));
+  (void)fx.mgr.Attach(0, 0, SimTime::Zero());
+  // Kill every pool node holding a shard of the template.
+  for (uint32_t n = 0; n < 4; ++n) {
+    fx.mgr.OnPoolNodeCrash(n, SimTime::Zero() + SimDuration::Seconds(1));
+    if (fx.mgr.leases_revoked() > 0) {
+      break;
+    }
+  }
+  EXPECT_GT(fx.mgr.leases_revoked(), 0u);
+  EXPECT_EQ(fx.mgr.LeaseRefs(0, 0), 0u);
+  // Restart one node: the reseed path repopulates from the dedup store and
+  // the next attach succeeds as a plain miss.
+  fx.mgr.OnPoolNodeRestart(0, SimTime::Zero() + SimDuration::Seconds(2));
+  const auto attach = fx.mgr.Attach(0, 0, SimTime::Zero() + SimDuration::Seconds(3));
+  EXPECT_FALSE(attach.lease_hit);
+  EXPECT_EQ(attach.fetched_pages, 1024u);
+  EXPECT_GT(fx.mgr.reseeded_shards(), 0u);
+}
+
+TEST(PoolManagerTest, RebalanceRestoresReplication) {
+  auto config = SmallPoolConfig(2);
+  PoolManagerFixture fx(config);
+  fx.mgr.RegisterTemplate(0, TwoChunkImage(0xAA, 0xBB));
+  // Crash a node that actually holds shard pages, so the survivors are left
+  // under-replicated until the rebalance fires.
+  const auto held = fx.mgr.ShardPagesPerNode();
+  uint32_t victim = 0;
+  for (uint32_t n = 1; n < held.size(); ++n) {
+    if (held[n] > held[victim]) {
+      victim = n;
+    }
+  }
+  ASSERT_GT(held[victim], 0u);
+  fx.mgr.OnPoolNodeCrash(victim, SimTime::Zero() + SimDuration::Seconds(1));
+  // The delayed rebalance fires rebalance_delay after the crash and restores
+  // every shard to full replication on the surviving membership.
+  fx.mgr.clock().RunUntil(SimTime::Zero() + SimDuration::Seconds(1) + config.rebalance_delay +
+                          SimDuration::Millis(1));
+  EXPECT_GT(fx.mgr.rebalance_moves(), 0u);
+  uint64_t total = 0;
+  const auto per_node = fx.mgr.ShardPagesPerNode();
+  for (const uint64_t pages : per_node) {
+    total += pages;
+  }
+  EXPECT_EQ(per_node[victim], 0u);  // dead node holds nothing
+  EXPECT_EQ(total, 2u * 512u * 2u);
+}
+
+// ------------------------------------------------------------ Cluster level
+
+ClusterConfig PoolClusterConfig(ClusterConfig::Dispatch dispatch, uint32_t replication) {
+  ClusterConfig config;
+  config.nodes = 4;
+  config.dispatch = dispatch;
+  config.poolmgr.enabled = true;
+  config.poolmgr.pool_nodes = 4;
+  config.poolmgr.replication = replication;
+  return config;
+}
+
+Schedule SpacedSchedule(int count, SimDuration gap, const std::string& function) {
+  Schedule schedule;
+  for (int i = 0; i < count; ++i) {
+    schedule.push_back({SimTime::Zero() + gap * i, function});
+  }
+  return schedule;
+}
+
+TEST(PoolClusterTest, DisabledByDefault) {
+  Cluster cluster(ClusterConfig{});
+  EXPECT_EQ(cluster.pool_manager(), nullptr);
+}
+
+TEST(PoolClusterTest, TemplateLocalityCutsRemoteFetches) {
+  const auto run = [](ClusterConfig::Dispatch dispatch) {
+    Cluster cluster(PoolClusterConfig(dispatch, 2));
+    EXPECT_TRUE(cluster.DeployTable4Functions().ok());
+    EXPECT_TRUE(cluster.Run(SpacedSchedule(12, SimDuration::Millis(400), "JS")).ok());
+    EXPECT_EQ(cluster.TotalInvocations(), 12u);
+    return std::make_pair(cluster.pool_manager()->remote_fetch_pages(),
+                          cluster.pool_manager()->lease_hits());
+  };
+  const auto [locality_pages, locality_hits] = run(ClusterConfig::Dispatch::kTemplateLocality);
+  const auto [spread_pages, spread_hits] = run(ClusterConfig::Dispatch::kLeastLoaded);
+  EXPECT_LT(locality_pages, spread_pages);
+  EXPECT_GT(locality_hits, spread_hits);
+}
+
+TEST(PoolClusterTest, PoolCrashWithReplicationLosesNothing) {
+  ClusterConfig config = PoolClusterConfig(ClusterConfig::Dispatch::kTemplateLocality, 2);
+  config.faults.Add(PoolCrashWindow(SimTime::Zero() + SimDuration::Seconds(1),
+                                    SimTime::Zero() + SimDuration::Seconds(2),
+                                    /*probability=*/1.0, /*pool_node=*/1,
+                                    /*restart_after=*/SimDuration::Zero()));
+  Cluster cluster(config);
+  ASSERT_TRUE(cluster.DeployTable4Functions().ok());
+  ASSERT_TRUE(cluster.Run(SpacedSchedule(16, SimDuration::Millis(250), "JS")).ok());
+  // Zero accepted-invocation loss: every accepted invocation completed even
+  // though a pool node died mid-run.
+  EXPECT_EQ(cluster.accepted_invocations(), 16u);
+  EXPECT_EQ(cluster.TotalInvocations(), 16u);
+  EXPECT_FALSE(cluster.pool_manager()->pool_node_alive(1));
+  EXPECT_EQ(cluster.pool_manager()->leases_revoked(), 0u);
+}
+
+TEST(PoolClusterTest, RunsAreDeterministic) {
+  const auto fingerprint = [] {
+    ClusterConfig config = PoolClusterConfig(ClusterConfig::Dispatch::kTemplateLocality, 2);
+    config.faults.Add(PoolCrashWindow(SimTime::Zero() + SimDuration::Seconds(1),
+                                      SimTime::Zero() + SimDuration::Seconds(2), 1.0, 1,
+                                      SimDuration::Seconds(2)));
+    Cluster cluster(config);
+    EXPECT_TRUE(cluster.DeployTable4Functions().ok());
+    EXPECT_TRUE(cluster.Run(SpacedSchedule(10, SimDuration::Millis(300), "CR")).ok());
+    const PoolManager& mgr = *cluster.pool_manager();
+    return std::make_tuple(cluster.AggregateMetrics().e2e_ms.Mean(), mgr.remote_fetch_pages(),
+                           mgr.lease_hits(), mgr.rebalance_moves(),
+                           mgr.attach_ms().Percentile(99));
+  };
+  EXPECT_EQ(fingerprint(), fingerprint());
+}
+
+}  // namespace
+}  // namespace trenv

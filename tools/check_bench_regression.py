@@ -23,9 +23,18 @@ import json
 import sys
 
 
-def load_records(path):
+def load_records(path, missing_ok=False):
+    """Parses a JSON-lines file. With missing_ok, a nonexistent file is an
+    empty trajectory (first run on a fresh branch), not a crash."""
     records = []
-    with open(path, "r", encoding="utf-8") as f:
+    try:
+        f = open(path, "r", encoding="utf-8")
+    except FileNotFoundError:
+        if missing_ok:
+            print(f"notice: {path} does not exist yet; every metric is new")
+            return records
+        raise SystemExit(f"{path}: no such file")
+    with f:
         for line_no, line in enumerate(f, 1):
             line = line.strip()
             if not line:
@@ -62,7 +71,11 @@ def main():
                         help="fail if candidate/baseline exceeds this (default 2.0)")
     args = parser.parse_args()
 
-    baselines = latest_baselines(load_records(args.trajectory))
+    trajectory = load_records(args.trajectory, missing_ok=True)
+    if not trajectory:
+        print(f"notice: {args.trajectory} has no records; "
+              "candidates pass and seed the baseline when committed")
+    baselines = latest_baselines(trajectory)
     candidates = load_records(args.candidate)
     if not candidates:
         raise SystemExit(f"{args.candidate}: no records")
