@@ -199,6 +199,13 @@ inline constexpr SimDuration kKeepAliveTtl = SimDuration::Minutes(10);
 inline constexpr uint64_t kDefaultNodeDramBytes = 256 * kGiB;
 inline constexpr uint64_t kDefaultSoftMemCap = 64 * kGiB;
 inline constexpr uint64_t kW2SoftMemCap = 32 * kGiB;
+// Floor for injected soft-mem-cap pressure scales: a scale below this would
+// shrink the cap to (near) zero and flush the entire keep-alive pool on the
+// next enforcement pass, turning a transient pressure *window* into a cold
+// restart of the whole node. 1% of the configured cap keeps eviction
+// aggressive under the worst injected pressure while leaving the hottest
+// instances parked.
+inline constexpr double kSoftMemCapScaleFloor = 0.01;
 
 }  // namespace cost
 }  // namespace trenv

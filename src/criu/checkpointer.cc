@@ -40,6 +40,10 @@ MemoryRegion MakeRegion(Vaddr start, uint64_t npages, Protection prot, VmaType t
 FunctionSnapshot Checkpointer::Checkpoint(const FunctionProfile& profile) const {
   FunctionSnapshot snapshot;
   snapshot.function = profile.name;
+  // Function-specific regions key their content off the software identity:
+  // profiles sharing a content_tag produce byte-identical images (and the
+  // dedup store collapses them); distinct tags produce distinct pages.
+  const std::string& tag = profile.content_tag.empty() ? profile.name : profile.content_tag;
 
   const uint64_t total_pages = profile.ImagePages();
   auto share = [&](double fraction) {
@@ -68,23 +72,23 @@ FunctionSnapshot Checkpointer::Checkpoint(const FunctionProfile& profile) const 
 
   const uint64_t code = share(layout_.function_code);
   image.regions.push_back(MakeRegion(cursor, code, Protection::ReadOnly(), VmaType::kFileBacked,
-                                     "imports+user-code", ContentBaseFor("code-" + profile.name)));
+                                     "imports+user-code", ContentBaseFor("code-" + tag)));
   cursor += PageAlignUp(code * kPageSize) + kPageSize;
 
   const uint64_t data = share(layout_.data_sections);
   image.regions.push_back(MakeRegion(cursor, data, Protection::ReadWrite(),
                                      VmaType::kFileBacked, ".data+.bss",
-                                     ContentBaseFor("data-" + profile.name)));
+                                     ContentBaseFor("data-" + tag)));
 
   const uint64_t heap = share(layout_.heap);
   image.regions.push_back(MakeRegion(0x555500000000, heap, Protection::ReadWrite(),
                                      VmaType::kAnonymous, "[heap]",
-                                     ContentBaseFor("heap-" + profile.name)));
+                                     ContentBaseFor("heap-" + tag)));
 
   const uint64_t stack = share(layout_.stack_misc);
   image.regions.push_back(MakeRegion(0x7ffc00000000, stack, Protection::ReadWrite(),
                                      VmaType::kAnonymous, "[stack]",
-                                     ContentBaseFor("stack-" + profile.name)));
+                                     ContentBaseFor("stack-" + tag)));
 
   snapshot.processes.push_back(std::move(image));
 
@@ -100,7 +104,7 @@ FunctionSnapshot Checkpointer::Checkpoint(const FunctionProfile& profile) const 
     helper.regions.push_back(
         MakeRegion(0x555500000000, std::max<uint64_t>(1, share(layout_.heap) / 8),
                    Protection::ReadWrite(), VmaType::kAnonymous, "[heap]",
-                   ContentBaseFor("heap-" + profile.name + "-p" + std::to_string(p))));
+                   ContentBaseFor("heap-" + tag + "-p" + std::to_string(p))));
     snapshot.processes.push_back(std::move(helper));
   }
   return snapshot;

@@ -117,7 +117,7 @@ Result<ConsolidatedImage> SnapshotDedupStore::Store(const FunctionSnapshot& snap
     for (const auto& region : process.regions) {
       PlacedRegion placed;
       placed.region = region;
-      const double hotness = HotnessFor(region);
+      const double hotness = hotness_override_ >= 0.0 ? hotness_override_ : HotnessFor(region);
       uint64_t done = 0;
       while (done < region.npages) {
         const uint64_t n = std::min(chunk_pages_, region.npages - done);

@@ -54,6 +54,12 @@ class SnapshotDedupStore {
 
   Result<ConsolidatedImage> Store(const FunctionSnapshot& snapshot);
 
+  // Forces every chunk stored from now on to use this hotness instead of the
+  // region-class heuristic. Lets a *live* placement policy start everything
+  // cold and earn its way up (the ablation's T-DRAM-live configuration).
+  // Negative (default) = use the heuristic.
+  void set_hotness_override(double hotness) { hotness_override_ = hotness; }
+
   // Content hash of a chunk run, mixing every page's logical content
   // (page i holds content_base + i). This is what catches injected
   // page-fetch corruption: a payload whose fingerprint disagrees with the
@@ -89,6 +95,7 @@ class SnapshotDedupStore {
 
   TieredPool* pool_;
   uint64_t chunk_pages_;
+  double hotness_override_ = -1.0;
   std::map<ChunkKey, PlacedChunk> chunk_index_;
   uint64_t total_ingested_pages_ = 0;
   uint64_t stored_unique_pages_ = 0;

@@ -11,7 +11,9 @@ uint64_t FunctionInstance::ResidentLocalPages() const {
   for (const auto& process : processes_) {
     pages += process->mm().ResidentLocalPages();
   }
-  return pages;
+  // Pages the density manager parked in a pool tier no longer hold frames;
+  // without this the engine's Retire would free them a second time.
+  return pages > swapped_out_pages ? pages - swapped_out_pages : 0;
 }
 
 Status RestoreEngine::Prepare(const FunctionProfile& profile) {

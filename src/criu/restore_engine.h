@@ -21,6 +21,7 @@
 #include "src/common/interner.h"
 #include "src/common/status.h"
 #include "src/criu/checkpointer.h"
+#include "src/density/tier.h"
 #include "src/obs/registry.h"
 #include "src/obs/trace.h"
 #include "src/criu/process_image.h"
@@ -30,6 +31,7 @@
 #include "src/sandbox/sandbox.h"
 #include "src/sandbox/sandbox_pool.h"
 #include "src/simkernel/fault_handler.h"
+#include "src/simkernel/types.h"
 
 namespace trenv {
 
@@ -65,15 +67,34 @@ class FunctionInstance {
     processes_.push_back(std::move(process));
   }
   std::vector<std::unique_ptr<Process>>& processes() { return processes_; }
+  const std::vector<std::unique_ptr<Process>>& processes() const { return processes_; }
   Process* main_process() { return processes_.empty() ? nullptr : processes_.front().get(); }
 
   // Local DRAM pages attributable to this instance (process RSS + fixed
-  // overhead such as a guest kernel for VM-based engines).
+  // overhead such as a guest kernel for VM-based engines), NET of pages the
+  // density manager has swapped out to a pool tier. The engine's Retire frees
+  // exactly this many frames, so demoted pages (whose frames were already
+  // released at demotion time) must not be counted twice.
   uint64_t ResidentLocalPages() const;
   uint64_t overhead_pages = 0;
 
   uint64_t invocations = 0;
   SimTime last_used;
+
+  // --- Density-tiering state (owned by DensityManager; inert otherwise) ----
+  // Which rung of the DRAM/CXL/NAS ladder the parked instance sits on.
+  DensityTier density_tier = DensityTier::kDramHot;
+  // FootprintModel::NodeBytes() stamped at park time (drives the pool's
+  // per-tier aggregates and the overcommit ceiling).
+  uint64_t footprint_bytes = 0;
+  // Dirty pages demoted out of node DRAM into `swap_pool` at `swap_base`.
+  uint64_t swapped_out_pages = 0;
+  PoolKind swap_pool = PoolKind::kLocalDram;
+  // Demand-fetch bill from a lazy promote: attach maps the swap block's
+  // page-table runs only, and the pages stream back during the next
+  // execution, which the platform extends by this amount (then clears it).
+  SimDuration pending_demand_fetch;
+  PoolOffset swap_base = 0;
 
  private:
   std::string function_;

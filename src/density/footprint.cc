@@ -1,0 +1,22 @@
+#include "src/density/footprint.h"
+
+#include "src/criu/restore_engine.h"
+
+namespace trenv {
+
+SandboxFootprint FootprintModel::Of(const FunctionInstance& instance) {
+  SandboxFootprint fp;
+  fp.private_bytes = instance.ResidentLocalPages() * kPageSize;
+  uint64_t runs = 0;
+  uint64_t vmas = 0;
+  for (const auto& process : instance.processes()) {
+    const MmStruct& mm = process->mm();
+    runs += mm.page_table().run_count();
+    vmas += mm.vma_count();
+    fp.shared_pool_pages += mm.RemoteMappedPages();
+  }
+  fp.metadata_bytes = kSandboxMetadataBytes + runs * kBytesPerPtRun + vmas * kBytesPerVma;
+  return fp;
+}
+
+}  // namespace trenv

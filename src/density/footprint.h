@@ -1,0 +1,52 @@
+// Honest per-warm-sandbox footprint accounting (the Nanvix lesson: density
+// claims are only as good as the bytes they count). A parked environment
+// costs the node three distinct things:
+//
+//   private_bytes   - dirty/private pages resident in local DRAM (CoW'd
+//                     writes, grown heap, VM guest overhead). Paid once per
+//                     instance; this is what tier demotion moves off-node.
+//   metadata_bytes  - kernel-side bookkeeping that never leaves DRAM: page-
+//                     table runs, VMA records, and the fixed sandbox cost
+//                     (netns, cgroup, task structs). The floor an idle
+//                     environment can ever shrink to.
+//   shared_pool_pages - template pages the instance maps out of the dedup'd
+//                     pool. Deliberately NOT part of NodeBytes(): those pages
+//                     are stored once per rack (SnapshotDedupStore) and
+//                     attributing them to every instance would double-count
+//                     them K times for K warm instances. Aggregate shared
+//                     cost is the dedup store's stored_unique_pages, once.
+#ifndef TRENV_DENSITY_FOOTPRINT_H_
+#define TRENV_DENSITY_FOOTPRINT_H_
+
+#include <cstdint>
+
+namespace trenv {
+
+class FunctionInstance;
+
+struct SandboxFootprint {
+  uint64_t private_bytes = 0;
+  uint64_t metadata_bytes = 0;
+  uint64_t shared_pool_pages = 0;
+
+  // What this instance costs the node while parked DRAM-hot. Shared pool
+  // pages are excluded by design (counted once globally, see header note).
+  uint64_t NodeBytes() const { return private_bytes + metadata_bytes; }
+};
+
+class FootprintModel {
+ public:
+  // Metadata cost constants, sized after the kernel structures they stand
+  // for: one PTE run ~ a vm_area-ish span descriptor, one VMA record ~
+  // sizeof(vm_area_struct), plus the fixed per-sandbox kernel state the
+  // paper's Table 1 components imply (netns + cgroup + task + mounts).
+  static constexpr uint64_t kBytesPerPtRun = 64;
+  static constexpr uint64_t kBytesPerVma = 200;
+  static constexpr uint64_t kSandboxMetadataBytes = 24 * 1024;
+
+  static SandboxFootprint Of(const FunctionInstance& instance);
+};
+
+}  // namespace trenv
+
+#endif  // TRENV_DENSITY_FOOTPRINT_H_

@@ -1,0 +1,37 @@
+// Warm-sandbox density tiers: where an *idle* environment's private state
+// lives while it sits in the keep-alive pool. This is orthogonal to where
+// the template (shared, read-only) pages live — those stay in the dedup'd
+// CXL/RDMA pool permanently. Tiering only moves the per-instance dirty
+// pages that local DRAM would otherwise hold for the whole idle period,
+// which is exactly the memory the soft cap fights over.
+#ifndef TRENV_DENSITY_TIER_H_
+#define TRENV_DENSITY_TIER_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace trenv {
+
+enum class DensityTier : uint8_t {
+  kDramHot = 0,  // dirty pages resident in node DRAM (zero-cost reuse)
+  kCxlWarm = 1,  // dirty pages parked on the CXL pool (bandwidth-bound fetch)
+  kNasCold = 2,  // dirty pages spilled to NAS (block-I/O fetch)
+};
+
+inline constexpr size_t kDensityTierCount = 3;
+
+inline std::string_view DensityTierName(DensityTier tier) {
+  switch (tier) {
+    case DensityTier::kDramHot:
+      return "dram_hot";
+    case DensityTier::kCxlWarm:
+      return "cxl_warm";
+    case DensityTier::kNasCold:
+      return "nas_cold";
+  }
+  return "unknown";
+}
+
+}  // namespace trenv
+
+#endif  // TRENV_DENSITY_TIER_H_

@@ -9,11 +9,13 @@ PromotionManager::PromotionManager(TieredPool* pool, MmTemplateRegistry* templat
     : pool_(pool), templates_(templates), options_(options) {}
 
 void PromotionManager::RecordAccess(const PoolPlacement& placement, uint64_t touches) {
-  if (touches == 0 || placement.npages == 0) {
+  if (touches == 0 || placement.npages == 0 || pool_->tier_count() == 0) {
     return;
   }
-  // Only chunks below the hottest tier can be promoted.
-  if (pool_->tier_count() == 0 || placement.kind == pool_->tier(0)->kind()) {
+  // Chunks below the hottest tier are promotion candidates. Hot-tier chunks
+  // are tracked only when a demotion budget is live — their (decayed) heat
+  // decides which ones get churned out when the tier is over budget.
+  if (placement.kind == pool_->tier(0)->kind() && options_.hot_tier_budget_pages == 0) {
     return;
   }
   heat_[ChunkKey{placement.kind, placement.base, placement.npages}] += touches;
@@ -31,8 +33,10 @@ uint64_t RemapBacking(PageTable& table, const PoolPlacement& from, const PoolPla
   };
   std::vector<Slice> slices;
   table.ForEachRun([&](Vpn vpn, const PteRun& run) {
-    if (!run.flags.remote() || run.flags.pool != from.kind ||
-        run.backing_base == kNoBacking) {
+    // Pool-kind + backing match (not remote()): a chunk promoted into a
+    // local-DRAM tmpfs tier still carries its backing offset and must be
+    // matched when it is later demoted back out.
+    if (run.flags.pool != from.kind || run.backing_base == kNoBacking) {
       return;
     }
     const uint64_t run_lo = run.backing_base;
@@ -67,43 +71,102 @@ uint64_t RemapBacking(PageTable& table, const PoolPlacement& from, const PoolPla
   return rewritten;
 }
 
+bool PromotionManager::ApplyMove(const ChunkKey& key, uint64_t heat, bool up,
+                                 std::vector<Move>* moves) {
+  PoolPlacement placement{key.kind, key.base, key.npages};
+  auto moved = up ? pool_->Promote(placement) : pool_->Demote(placement);
+  if (!moved.ok()) {
+    return false;  // destination tier full or missing: leave the chunk alone
+  }
+  Move move;
+  move.from = placement;
+  move.to = moved->placement;
+  move.copy_latency = moved->copy_latency;
+  // Rewrite every template that mapped the old chunk.
+  const bool byte_addressable = pool_->TierFor(move.to.kind) != nullptr &&
+                                pool_->TierFor(move.to.kind)->byte_addressable();
+  templates_->ForEach([&](MmTemplate& tmpl) {
+    if (RemapBacking(tmpl.page_table(), move.from, move.to, byte_addressable) > 0) {
+      ++move.templates_rewritten;
+    }
+  });
+  if (options_.hot_tier_budget_pages > 0) {
+    // Demotion live: keep tracking the chunk under its new placement so it
+    // stays eligible for future moves in either direction.
+    heat_[ChunkKey{move.to.kind, move.to.base, move.to.npages}] = heat;
+  }
+  heat_.erase(key);
+  if (up) {
+    ++promoted_chunks_;
+  } else {
+    ++demoted_chunks_;
+  }
+  moves->push_back(move);
+  return true;
+}
+
 std::vector<PromotionManager::Move> PromotionManager::Sweep() {
   std::vector<Move> moves;
+  if (pool_->tier_count() == 0) {
+    return moves;
+  }
+  if (options_.heat_decay < 1.0) {
+    for (auto& [key, heat] : heat_) {
+      heat = static_cast<uint64_t>(static_cast<double>(heat) * options_.heat_decay);
+    }
+    // Zero-heat entries stay tracked: for hot-tier chunks they are exactly
+    // the coldest demotion candidates.
+  }
+  const PoolKind hot_kind = pool_->tier(0)->kind();
+
   // Hottest-first candidates over the threshold.
   std::vector<std::pair<uint64_t, ChunkKey>> candidates;
   for (const auto& [key, heat] : heat_) {
-    if (heat >= options_.promote_threshold) {
+    if (key.kind != hot_kind && heat >= options_.promote_threshold) {
       candidates.emplace_back(heat, key);
     }
   }
   std::sort(candidates.begin(), candidates.end(),
             [](const auto& a, const auto& b) { return a.first > b.first; });
 
+  size_t promoted = 0;
   for (const auto& [heat, key] : candidates) {
-    if (moves.size() >= options_.max_promotions_per_sweep) {
+    if (promoted >= options_.max_promotions_per_sweep) {
       break;
     }
-    PoolPlacement placement{key.kind, key.base, key.npages};
-    auto promoted = pool_->Promote(placement);
-    if (!promoted.ok()) {
-      continue;  // hot tier full or tier missing: leave the chunk where it is
+    if (ApplyMove(key, heat, /*up=*/true, &moves)) {
+      ++promoted;
     }
-    Move move;
-    move.from = placement;
-    move.to = promoted->placement;
-    move.copy_latency = promoted->copy_latency;
-    // Rewrite every template that mapped the old chunk.
-    const bool byte_addressable =
-        pool_->TierFor(move.to.kind) != nullptr &&
-        pool_->TierFor(move.to.kind)->byte_addressable();
-    templates_->ForEach([&](MmTemplate& tmpl) {
-      if (RemapBacking(tmpl.page_table(), move.from, move.to, byte_addressable) > 0) {
-        ++move.templates_rewritten;
+  }
+
+  // Budget-driven demotion: churn the coldest hot-tier chunks out until the
+  // tier fits (coldest-first; key order breaks heat ties deterministically).
+  if (options_.hot_tier_budget_pages > 0 && pool_->tier_count() > 1) {
+    uint64_t hot_pages = 0;
+    std::vector<std::pair<uint64_t, ChunkKey>> coldest;
+    for (const auto& [key, heat] : heat_) {
+      if (key.kind != hot_kind) {
+        continue;
       }
+      hot_pages += key.npages;
+      if (heat < options_.demote_threshold) {
+        coldest.emplace_back(heat, key);
+      }
+    }
+    std::sort(coldest.begin(), coldest.end(), [](const auto& a, const auto& b) {
+      return a.first != b.first ? a.first < b.first : a.second < b.second;
     });
-    heat_.erase(key);
-    ++promoted_chunks_;
-    moves.push_back(move);
+    size_t demoted = 0;
+    for (const auto& [heat, key] : coldest) {
+      if (hot_pages <= options_.hot_tier_budget_pages ||
+          demoted >= options_.max_demotions_per_sweep) {
+        break;
+      }
+      if (ApplyMove(key, heat, /*up=*/false, &moves)) {
+        ++demoted;
+        hot_pages -= key.npages;
+      }
+    }
   }
   return moves;
 }

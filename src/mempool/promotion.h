@@ -26,6 +26,19 @@ class PromotionManager {
     uint64_t promote_threshold = 4;
     // Chunks moved per sweep (bounds the migration burst).
     size_t max_promotions_per_sweep = 16;
+    // Multiplicative per-sweep heat decay in (0, 1]. 1.0 (default) keeps the
+    // historical accumulate-forever counters; below 1.0 heat ages out, so a
+    // chunk must keep earning its tier.
+    double heat_decay = 1.0;
+    // Live demotion: when the hottest tier holds more than this many tracked
+    // pages, the coldest hot-tier chunks move back down at sweep time.
+    // 0 (default) disables demotion entirely (historical behaviour).
+    uint64_t hot_tier_budget_pages = 0;
+    // A hot-tier chunk is demotion-eligible only while its decayed heat sits
+    // below this (recently-hot chunks are never churned out).
+    uint64_t demote_threshold = 2;
+    // Chunks moved down per sweep (bounds the migration burst).
+    size_t max_demotions_per_sweep = 16;
   };
 
   PromotionManager(TieredPool* pool, MmTemplateRegistry* templates, Options options);
@@ -42,12 +55,15 @@ class PromotionManager {
     uint64_t templates_rewritten = 0;
   };
 
-  // Promotes up to max_promotions_per_sweep of the hottest eligible chunks
-  // and rewrites every registered template that mapped them. Returns the
-  // moves performed (empty when nothing is eligible or the hot tier is full).
+  // Decays heat, promotes up to max_promotions_per_sweep of the hottest
+  // eligible chunks, then (with a hot-tier budget configured) demotes the
+  // coldest hot-tier chunks until the tier fits its budget. Every registered
+  // template that mapped a moved chunk is rewritten. Returns all moves
+  // performed, promotions first (empty when nothing is eligible).
   std::vector<Move> Sweep();
 
   uint64_t promoted_chunks() const { return promoted_chunks_; }
+  uint64_t demoted_chunks() const { return demoted_chunks_; }
   size_t tracked_chunks() const { return heat_.size(); }
 
  private:
@@ -58,11 +74,15 @@ class PromotionManager {
     auto operator<=>(const ChunkKey&) const = default;
   };
 
+  // Moves one chunk and rewrites the templates that mapped it.
+  bool ApplyMove(const ChunkKey& key, uint64_t heat, bool up, std::vector<Move>* moves);
+
   TieredPool* pool_;
   MmTemplateRegistry* templates_;
   Options options_;
   std::map<ChunkKey, uint64_t> heat_;
   uint64_t promoted_chunks_ = 0;
+  uint64_t demoted_chunks_ = 0;
 };
 
 // Rewrites every PTE run in `table` whose backing lies inside the moved

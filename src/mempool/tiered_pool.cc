@@ -87,4 +87,27 @@ Result<TieredPool::PromotionResult> TieredPool::Promote(const PoolPlacement& pla
   return PromotionResult{PoolPlacement{dst->kind(), new_base, placement.npages}, latency};
 }
 
+Result<TieredPool::PromotionResult> TieredPool::Demote(const PoolPlacement& placement) {
+  const size_t idx = TierIndex(placement.kind);
+  if (idx >= tiers_.size()) {
+    return Status::NotFound("placement tier not registered");
+  }
+  if (idx + 1 == tiers_.size()) {
+    return Status::FailedPrecondition("already in the coldest tier");
+  }
+  MemoryBackend* src = tiers_[idx];
+  MemoryBackend* dst = tiers_[idx + 1];
+  TRENV_ASSIGN_OR_RETURN(PoolOffset new_base, dst->AllocatePages(placement.npages));
+  auto first = src->ReadContent(placement.base);
+  if (first.ok()) {
+    TRENV_RETURN_IF_ERROR(dst->WriteContent(new_base, placement.npages, first.value()));
+  }
+  const SimDuration latency = dst->FetchLatency(placement.npages);
+  Status freed = src->FreePages(placement.base, placement.npages);
+  if (!freed.ok()) {
+    return freed;
+  }
+  return PromotionResult{PoolPlacement{dst->kind(), new_base, placement.npages}, latency};
+}
+
 }  // namespace trenv

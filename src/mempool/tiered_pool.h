@@ -40,6 +40,11 @@ class TieredPool {
   };
   [[nodiscard]] Result<PromotionResult> Promote(const PoolPlacement& placement);
 
+  // Mirror of Promote: moves a block one tier down (freeing hot-tier space
+  // for blocks that earn it). The copy is modelled at the *destination*'s
+  // fetch rate — writing into the colder medium is the bottleneck.
+  [[nodiscard]] Result<PromotionResult> Demote(const PoolPlacement& placement);
+
  private:
   size_t TierIndex(PoolKind kind) const;
   std::vector<MemoryBackend*> tiers_;

@@ -41,6 +41,10 @@ std::unique_ptr<FunctionInstance> KeepAlivePool::Detach(uint32_t slot) {
   }
   --fn.count;
   --size_;
+  UnlinkTier(slot);
+  --tier_counts_[static_cast<size_t>(s.tier)];
+  tier_bytes_[static_cast<size_t>(s.tier)] -= s.footprint_bytes;
+  footprint_bytes_ -= s.footprint_bytes;
   std::unique_ptr<FunctionInstance> instance = std::move(s.instance);
   s = Slot{};
   free_slots_.push_back(slot);
@@ -58,6 +62,14 @@ void KeepAlivePool::Put(std::unique_ptr<FunctionInstance> instance, SimTime now,
   const FunctionId function = instance->function_id();
   const uint32_t slot = AcquireSlot();
   Slot& s = slots_[slot];
+  s.tier = instance->density_tier;
+  s.footprint_bytes = instance->footprint_bytes;
+  ++tier_counts_[static_cast<size_t>(s.tier)];
+  tier_bytes_[static_cast<size_t>(s.tier)] += s.footprint_bytes;
+  footprint_bytes_ += s.footprint_bytes;
+  if (footprint_bytes_ > peak_footprint_bytes_) {
+    peak_footprint_bytes_ = footprint_bytes_;
+  }
   s.instance = std::move(instance);
   s.expiry = now + ttl;
   s.function = function;
@@ -70,6 +82,7 @@ void KeepAlivePool::Put(std::unique_ptr<FunctionInstance> instance, SimTime now,
     lru_head_ = slot;
   }
   lru_tail_ = slot;
+  LinkTier(slot);
   // Link at the function's MRU position.
   if (by_function_.size() <= function) {
     by_function_.resize(function + 1);
@@ -85,6 +98,23 @@ void KeepAlivePool::Put(std::unique_ptr<FunctionInstance> instance, SimTime now,
   fn.tail = slot;
   ++fn.count;
   ++size_;
+  if (size_ > peak_size_) {
+    peak_size_ = size_;
+  }
+}
+
+void KeepAlivePool::Retier(uint32_t slot, DensityTier tier, uint64_t footprint_bytes) {
+  Slot& s = slots_[slot];
+  UnlinkTier(slot);
+  --tier_counts_[static_cast<size_t>(s.tier)];
+  tier_bytes_[static_cast<size_t>(s.tier)] -= s.footprint_bytes;
+  footprint_bytes_ -= s.footprint_bytes;
+  s.tier = tier;
+  s.footprint_bytes = footprint_bytes;
+  LinkTier(slot);
+  ++tier_counts_[static_cast<size_t>(s.tier)];
+  tier_bytes_[static_cast<size_t>(s.tier)] += s.footprint_bytes;
+  footprint_bytes_ += s.footprint_bytes;
 }
 
 std::unique_ptr<FunctionInstance> KeepAlivePool::TakeWarm(FunctionId function) {
@@ -102,6 +132,45 @@ bool KeepAlivePool::EvictLru() {
   }
   evict_(Detach(lru_head_));
   return true;
+}
+
+bool KeepAlivePool::EvictHotLru() {
+  const uint32_t head = tier_head_[static_cast<size_t>(DensityTier::kDramHot)];
+  if (head == kNil) {
+    return false;
+  }
+  evict_(Detach(head));
+  return true;
+}
+
+void KeepAlivePool::LinkTier(uint32_t slot) {
+  Slot& s = slots_[slot];
+  const size_t t = static_cast<size_t>(s.tier);
+  s.tier_prev = tier_tail_[t];
+  s.tier_next = kNil;
+  if (tier_tail_[t] != kNil) {
+    slots_[tier_tail_[t]].tier_next = slot;
+  } else {
+    tier_head_[t] = slot;
+  }
+  tier_tail_[t] = slot;
+}
+
+void KeepAlivePool::UnlinkTier(uint32_t slot) {
+  Slot& s = slots_[slot];
+  const size_t t = static_cast<size_t>(s.tier);
+  if (s.tier_prev != kNil) {
+    slots_[s.tier_prev].tier_next = s.tier_next;
+  } else {
+    tier_head_[t] = s.tier_next;
+  }
+  if (s.tier_next != kNil) {
+    slots_[s.tier_next].tier_prev = s.tier_prev;
+  } else {
+    tier_tail_[t] = s.tier_prev;
+  }
+  s.tier_prev = kNil;
+  s.tier_next = kNil;
 }
 
 size_t KeepAlivePool::ExpireStale(SimTime now) {
@@ -129,7 +198,16 @@ void KeepAlivePool::Drop() {
   by_function_.clear();
   lru_head_ = kNil;
   lru_tail_ = kNil;
+  for (size_t i = 0; i < kDensityTierCount; ++i) {
+    tier_head_[i] = kNil;
+    tier_tail_[i] = kNil;
+  }
   size_ = 0;
+  for (size_t i = 0; i < kDensityTierCount; ++i) {
+    tier_counts_[i] = 0;
+    tier_bytes_[i] = 0;
+  }
+  footprint_bytes_ = 0;
 }
 
 }  // namespace trenv

@@ -17,7 +17,9 @@ ServerlessPlatform::ServerlessPlatform(PlatformConfig config, RestoreEngine* eng
                   [this](std::unique_ptr<FunctionInstance> instance) {
                     RetireInstance(std::move(instance));
                   }),
-      exec_model_(config.seed ^ 0xE1EC) {
+      exec_model_(config.seed ^ 0xE1EC),
+      density_(config.density, &keep_alive_, &frames_, &scheduler_, backends,
+               &metrics_.registry()) {
   if (config_.tracer != nullptr) {
     tracer_ = config_.tracer;
     trace_pid_ = tracer_->RegisterProcess(config_.trace_process,
@@ -71,26 +73,61 @@ void ServerlessPlatform::SampleMemory() {
 }
 
 void ServerlessPlatform::RetireInstance(std::unique_ptr<FunctionInstance> instance) {
+  if (density_.enabled()) {
+    density_.OnRetire(*instance);
+  }
   RestoreContext ctx = MakeContext();
   engine_->Retire(std::move(instance), ctx);
   SampleMemory();
 }
 
-void ServerlessPlatform::EnforceMemoryCap() {
-  // Soft cap: evict idle instances (LRU first) until under the cap or empty.
+uint64_t ServerlessPlatform::EffectiveCap() const {
   // The scale==1.0 branch keeps the fault-free path free of floating-point
   // arithmetic so runs without pressure windows stay byte-identical.
-  const uint64_t cap =
-      mem_cap_scale_ == 1.0
-          ? config_.soft_mem_cap_bytes
-          : static_cast<uint64_t>(static_cast<double>(config_.soft_mem_cap_bytes) *
-                                  mem_cap_scale_);
+  return mem_cap_scale_ == 1.0
+             ? config_.soft_mem_cap_bytes
+             : static_cast<uint64_t>(static_cast<double>(config_.soft_mem_cap_bytes) *
+                                     mem_cap_scale_);
+}
+
+void ServerlessPlatform::EnforceMemoryCap() {
+  const uint64_t cap = EffectiveCap();
+  if (density_.enabled()) {
+    // Demotion first: moving idle dirty pages to a pool tier relieves frame
+    // pressure while keeping the environments warm. Frame pressure beyond
+    // that comes from running instances, which evicting (frame-free)
+    // demoted entries cannot relieve — so density replaces the binary evict
+    // loop with the overcommit ceiling on the total parked footprint
+    // (metadata included), the bound that decides when warmth must die.
+    if (frames_.used_bytes() > cap) {
+      density_.RelievePressure(cap);
+    }
+    // Every swap tier full: the only parked entries still holding frames are
+    // the DRAM-hot ones, so shed those (coldest first) as a last resort.
+    while (frames_.used_bytes() > cap && keep_alive_.EvictHotLru()) {
+    }
+    const uint64_t ceiling = density_.OvercommitCeiling(cap);
+    while (keep_alive_.footprint_bytes() > ceiling && keep_alive_.EvictLru()) {
+    }
+    return;
+  }
+  // Soft cap: evict idle instances (LRU first) until under the cap or empty.
   while (frames_.used_bytes() > cap && keep_alive_.EvictLru()) {
   }
 }
 
 void ServerlessPlatform::SetSoftMemCapScale(double scale) {
-  mem_cap_scale_ = scale;
+  // Clamp below at the documented floor: injected pressure may squeeze the
+  // cap hard but never to (near) zero, which would flush the entire pool and
+  // turn a transient window into a node-wide cold restart.
+  mem_cap_scale_ = std::max(scale, cost::kSoftMemCapScaleFloor);
+  if (soft_cap_gauge_ == nullptr) {
+    soft_cap_gauge_ = metrics_.registry().GetGauge("platform.soft_mem_cap_bytes");
+  }
+  soft_cap_gauge_->Set(static_cast<double>(EffectiveCap()));
+  if (density_.enabled() && mem_cap_scale_ < 1.0) {
+    density_.NotePressureStorm();
+  }
   EnforceMemoryCap();
   SampleMemory();
 }
@@ -118,6 +155,9 @@ std::vector<LostInvocation> ServerlessPlatform::Crash() {
   queued_.clear();
   inflight_.clear();
   concurrent_startups_ = 0;
+  if (density_.enabled()) {
+    density_.OnCrash();  // releases parked swap blocks before the pool drops
+  }
   keep_alive_.Drop();
   engine_->OnCrash();
   scheduler_.Clear();
@@ -145,6 +185,9 @@ void ServerlessPlatform::StartInvocation(const std::string& function) {
     config_.prewarm->RecordArrival(function, scheduler_.now());
     MaybeSchedulePrewarm(function);
   }
+  if (density_.enabled()) {
+    density_.OnArrival(FunctionIdOf(profile), scheduler_.now());
+  }
 
   const uint64_t token = next_token_++;
   InFlight& flight = inflight_[token];
@@ -164,6 +207,16 @@ void ServerlessPlatform::StartInvocation(const std::string& function) {
     metrics_.ForFunction(flight.fid).warm_starts += 1;
     if (tracer_ != nullptr) {
       tracer_->Instant(TraceLoc(token), "warm.hit", "invocation");
+    }
+    if (density_.enabled()) {
+      // Demoted instances pay the tier's fetch latency before executing.
+      flight.promote_latency = density_.OnTake(*flight.instance);
+      if (flight.promote_latency > SimDuration::Zero()) {
+        SampleMemory();
+        scheduler_.ScheduleAfter(flight.promote_latency,
+                                 [this, token] { BeginExecution(token); });
+        return;
+      }
     }
     BeginExecution(token);
     return;
@@ -269,14 +322,19 @@ void ServerlessPlatform::BeginExecution(uint64_t token) {
     tracer_->Annotate(flight.phase_span, "fault_ms", plan.fault_latency.millis());
     cpu_span = tracer_->StartSpan(TraceLoc(token), "exec.cpu", "exec");
   }
+  // A lazy promote left its pages streaming in from the swap tier: this
+  // invocation pays the demand faults (zero unless density promoted it).
+  const SimDuration demand = flight.instance->pending_demand_fetch;
+  flight.instance->pending_demand_fetch = SimDuration();
   // CPU burst first; fault latency and I/O wait extend wall time afterwards.
-  cpu_.Submit(plan.cpu_work, [this, token, plan, cpu_span] {
+  cpu_.Submit(plan.cpu_work, [this, token, plan, demand, cpu_span] {
     obs::SpanId wait_span = obs::kInvalidSpanId;
     if (tracer_ != nullptr) {
       tracer_->EndSpan(cpu_span);
       wait_span = tracer_->StartSpan(TraceLoc(token), "exec.wait", "exec");
     }
-    scheduler_.ScheduleAfter(plan.io_wait + plan.fault_latency, [this, token, wait_span] {
+    scheduler_.ScheduleAfter(plan.io_wait + plan.fault_latency + demand,
+                             [this, token, wait_span] {
       if (tracer_ != nullptr) {
         tracer_->EndSpan(wait_span);
       }
@@ -297,18 +355,31 @@ void ServerlessPlatform::Complete(uint64_t token) {
   auto& fn_metrics = metrics_.ForFunction(flight.fid);
   fn_metrics.invocations += 1;
   fn_metrics.e2e_ms.Record((scheduler_.now() - flight.arrival).millis());
-  fn_metrics.startup_ms.Record(flight.warm ? 0.0 : flight.startup.Total().millis());
+  // Warm startup cost is the tier-promotion fetch (0.0 with density off —
+  // promote_latency stays default-zero, keeping the record bit-identical).
+  fn_metrics.startup_ms.Record(flight.warm ? flight.promote_latency.millis()
+                                           : flight.startup.Total().millis());
   fn_metrics.exec_ms.Record((scheduler_.now() - flight.exec_start).millis());
 
   flight.instance->invocations += 1;
   const SimDuration ttl = config_.prewarm != nullptr
                               ? config_.prewarm->KeepAliveFor(flight.function)
                               : config_.keep_alive_ttl;
+  const bool density = density_.enabled();
+  if (density) {
+    density_.OnPark(*flight.instance);  // stamp footprint/tier before Put
+  }
   keep_alive_.Put(std::move(flight.instance), scheduler_.now(), ttl);
   // TTL sweep: wake up when this instance would expire.
   scheduler_.ScheduleAfter(ttl + SimDuration::Millis(1),
                            [this] { keep_alive_.ExpireStale(scheduler_.now()); });
   inflight_.erase(token);
+  if (density) {
+    // Parks are where the footprint grows; without enforcement here a burst
+    // can out-park the sweep and exhaust physical DRAM before the next
+    // arrival-side check. Density-off keeps the legacy arrival-only cadence.
+    EnforceMemoryCap();
+  }
   SampleMemory();
 }
 
@@ -360,7 +431,13 @@ void ServerlessPlatform::PrewarmNow(const std::string& function) {
     if (tracer_ != nullptr) {
       tracer_->EndSpan(span);
     }
+    if (density_.enabled()) {
+      density_.OnPark(**shared);
+    }
     keep_alive_.Put(std::move(*shared), scheduler_.now(), ttl);
+    if (density_.enabled()) {
+      EnforceMemoryCap();
+    }
     SampleMemory();
   });
   SampleMemory();

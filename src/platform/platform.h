@@ -20,6 +20,7 @@
 
 #include "src/common/cost_model.h"
 #include "src/criu/restore_engine.h"
+#include "src/density/density_manager.h"
 #include "src/platform/function_registry.h"
 #include "src/platform/keep_alive_pool.h"
 #include "src/platform/metrics.h"
@@ -45,6 +46,9 @@ struct PlatformConfig {
   // (named `trace_process`) clocked by its own scheduler. Not owned.
   obs::Tracer* tracer = nullptr;
   std::string trace_process = "platform";
+  // Density tiering (off by default; see src/density/density_manager.h).
+  // When disabled the platform takes its historical code paths verbatim.
+  DensityConfig density;
 };
 
 // An invocation a crashed node accepted but had not completed: the cluster
@@ -79,7 +83,10 @@ class ServerlessPlatform {
   std::vector<LostInvocation> Crash();
 
   // Scales the soft memory cap (injected pool pressure); 1.0 restores the
-  // configured cap and is exactly the fault-free behaviour.
+  // configured cap and is exactly the fault-free behaviour. Scales are
+  // clamped below at cost::kSoftMemCapScaleFloor so a pressure window can
+  // squeeze but never erase the cap; the effective cap is exported as the
+  // "platform.soft_mem_cap_bytes" gauge.
   void SetSoftMemCapScale(double scale);
 
   MetricsCollector& metrics() { return metrics_; }
@@ -93,6 +100,8 @@ class ServerlessPlatform {
   uint64_t failed_invocations() const { return failed_invocations_; }
   // Warm-instance inventory; locality-aware dispatch reads CountFor().
   const KeepAlivePool& keep_alive() const { return keep_alive_; }
+  DensityManager& density() { return density_; }
+  const DensityManager& density() const { return density_; }
   obs::Tracer* tracer() const { return tracer_; }
   obs::ProcessId trace_pid() const { return trace_pid_; }
 
@@ -112,6 +121,9 @@ class ServerlessPlatform {
     StartupBreakdown startup;
     std::unique_ptr<FunctionInstance> instance;
     bool warm = false;
+    // Tier-promotion fetch paid on a warm take (zero when density is off or
+    // the instance was already DRAM-hot); recorded as the warm startup cost.
+    SimDuration promote_latency;
     // Root "invocation" span and the currently open phase child — span ids
     // persist across the scheduler callbacks that play the phases out.
     obs::SpanId root_span = obs::kInvalidSpanId;
@@ -127,6 +139,8 @@ class ServerlessPlatform {
   void Complete(uint64_t token);
   void SampleMemory();
   void EnforceMemoryCap();
+  // The soft cap after the current pressure scale (clamped at the floor).
+  uint64_t EffectiveCap() const;
   void RetireInstance(std::unique_ptr<FunctionInstance> instance);
   // Pre-warm machinery (active only with a PrewarmPolicy configured).
   void MaybeSchedulePrewarm(const std::string& function);
@@ -144,6 +158,7 @@ class ServerlessPlatform {
   KeepAlivePool keep_alive_;
   MetricsCollector metrics_;
   ExecutionModel exec_model_;
+  DensityManager density_;
 
   obs::Tracer* tracer_ = nullptr;
   obs::ProcessId trace_pid_ = 0;
@@ -157,6 +172,7 @@ class ServerlessPlatform {
   uint32_t concurrent_startups_ = 0;
   uint64_t failed_invocations_ = 0;
   double mem_cap_scale_ = 1.0;
+  obs::Gauge* soft_cap_gauge_ = nullptr;  // created on first pressure change
 };
 
 }  // namespace trenv

@@ -26,6 +26,8 @@ std::string SystemName(SystemKind kind) {
       return "T-Tiered";
     case SystemKind::kTrEnvDramHot:
       return "T-DRAM-hot";
+    case SystemKind::kTrEnvDramLive:
+      return "T-DRAM-live";
     case SystemKind::kTrEnvReconfig:
       return "Reconfig";
     case SystemKind::kTrEnvCgroup:
@@ -55,10 +57,17 @@ Testbed::Testbed(SystemKind system, PlatformConfig config)
       cxl_(std::make_unique<CxlPool>(128 * kGiB)),
       rdma_(std::make_unique<RdmaPool>(256 * kGiB, config.seed ^ 0x4d)),
       tmpfs_(std::make_unique<DramPool>(64 * kGiB)),
+      nas_(std::make_unique<NasPool>(512 * kGiB)),
       sandbox_factory_(base_layer_, config.seed ^ 0x5b) {
   backends_.Register(cxl_.get());
   backends_.Register(rdma_.get());
   backends_.Register(tmpfs_.get());
+  if (config.density.enabled) {
+    // The NAS spill tier exists only under density tiering: registering it
+    // unconditionally would make TrEnv's execution path open (empty) NAS
+    // fetch streams and perturb the historical runs.
+    backends_.Register(nas_.get());
+  }
 
   // Tier order controls where the dedup store places consolidated images.
   switch (system_) {
@@ -70,6 +79,7 @@ Testbed::Testbed(SystemKind system, PlatformConfig config)
       tiered_.AddTier(rdma_.get());
       break;
     case SystemKind::kTrEnvDramHot:
+    case SystemKind::kTrEnvDramLive:
       // Hot (file-backed, read-every-invocation) regions live in node DRAM,
       // shared by all local instances; colder private regions stay on CXL.
       tiered_.AddTier(tmpfs_.get());
@@ -82,6 +92,11 @@ Testbed::Testbed(SystemKind system, PlatformConfig config)
 
   mmt_ = std::make_unique<MmtApi>(&backends_);
   dedup_ = std::make_unique<SnapshotDedupStore>(&tiered_);
+  if (system_ == SystemKind::kTrEnvDramLive) {
+    // Everything starts on the cold (CXL) tier; DRAM residency is earned
+    // through the live promote/demote policy below, never assumed.
+    dedup_->set_hotness_override(0.0);
+  }
 
   switch (system_) {
     case SystemKind::kFaasd:
@@ -110,6 +125,7 @@ Testbed::Testbed(SystemKind system, PlatformConfig config)
     case SystemKind::kTrEnvRdma:
     case SystemKind::kTrEnvTiered:
     case SystemKind::kTrEnvDramHot:
+    case SystemKind::kTrEnvDramLive:
       engine_ = std::make_unique<TrEnvEngine>(&sandbox_factory_, &sandbox_pool_, mmt_.get(),
                                               dedup_.get());
       break;
@@ -128,6 +144,17 @@ Testbed::Testbed(SystemKind system, PlatformConfig config)
                                .use_mm_template = false});
       break;
   }
+  if (system_ == SystemKind::kTrEnvDramLive) {
+    PromotionManager::Options live;
+    live.promote_threshold = 4;
+    live.heat_decay = 0.5;
+    // DRAM budget well under the pinned-split's tmpfs usage: the policy must
+    // choose which chunks deserve node DRAM rather than pinning them all.
+    live.hot_tier_budget_pages = 32 * 1024;  // 128 MiB
+    live.demote_threshold = 2;
+    promotion_ = std::make_unique<PromotionManager>(&tiered_, &mmt_->registry(), live);
+    static_cast<TrEnvEngine*>(engine_.get())->EnablePromotion(promotion_.get());
+  }
   // The trace process defaults to the evaluated system's name, so multi-
   // testbed comparisons show up as separate processes in one trace.
   if (config.tracer != nullptr && config.trace_process == "platform") {
@@ -141,6 +168,9 @@ Testbed::Testbed(SystemKind system, PlatformConfig config)
   cxl_->BindStats(stats);
   rdma_->BindStats(stats);
   tmpfs_->BindStats(stats);
+  if (config.density.enabled) {
+    nas_->BindStats(stats);
+  }
   mmt_->BindStats(stats);
 }
 
@@ -160,6 +190,7 @@ void Testbed::BindFaultInjector(FaultInjector* injector) {
   cxl_->BindFaultInjector(injector);
   rdma_->BindFaultInjector(injector);
   tmpfs_->BindFaultInjector(injector);
+  nas_->BindFaultInjector(injector);
 }
 
 }  // namespace trenv

@@ -32,6 +32,8 @@ enum class SystemKind {
   kTrEnvTiered,    // CXL hot + RDMA cold (section 9.5 closing remark)
   kTrEnvDramHot,   // hot regions pinned in node DRAM, rest on CXL (the
                    // paper's suggested fix for the CXL execution penalty)
+  kTrEnvDramLive,  // like DramHot but *earned*: chunks start on CXL and a
+                   // live policy (heat decay + DRAM budget) promotes/demotes
   kTrEnvReconfig,  // ablation: sandbox repurposing only (Fig 21 "Reconfig")
   kTrEnvCgroup,    // ablation: + CLONE_INTO_CGROUP, no mm-template (Fig 21)
 };
@@ -50,6 +52,13 @@ class Testbed {
   RdmaPool& rdma() { return *rdma_; }
   // The node-local DRAM pool (snapshot tmpfs / pinned hot regions).
   DramPool& tmpfs() { return *tmpfs_; }
+  // NAS spill tier for density tiering; registered with the backend registry
+  // only when PlatformConfig::density is enabled.
+  NasPool& nas() { return *nas_; }
+  TieredPool& tiered() { return tiered_; }
+  MmtApi& mmt() { return *mmt_; }
+  // Live placement policy (kTrEnvDramLive only; null otherwise).
+  PromotionManager* promotion() { return promotion_.get(); }
   const BackendRegistry& backends() const { return backends_; }
   SnapshotDedupStore* dedup() { return dedup_.get(); }
 
@@ -66,12 +75,14 @@ class Testbed {
   std::unique_ptr<CxlPool> cxl_;
   std::unique_ptr<RdmaPool> rdma_;
   std::unique_ptr<DramPool> tmpfs_;
+  std::unique_ptr<NasPool> nas_;
   BackendRegistry backends_;
   TieredPool tiered_;
   SandboxFactory sandbox_factory_;
   SandboxPool sandbox_pool_;
   std::unique_ptr<MmtApi> mmt_;
   std::unique_ptr<SnapshotDedupStore> dedup_;
+  std::unique_ptr<PromotionManager> promotion_;
   std::unique_ptr<RestoreEngine> engine_;
   std::unique_ptr<ServerlessPlatform> platform_;
 };

@@ -42,6 +42,12 @@ struct FunctionProfile {
   FunctionId id = kInvalidFunctionId;
   std::string language;  // "python" or "nodejs"
   std::string description;
+  // Identity of the function's *software* for snapshot content purposes.
+  // Empty (the default) means the function's own name: its code/heap pages
+  // are unlike anyone else's. Setting it to another function's tag declares
+  // the two images byte-identical — e.g. the same app deployed per tenant —
+  // which the dedup store then collapses to one stored copy.
+  std::string content_tag;
 
   uint64_t image_bytes = 64 * kMiB;  // post-initialization snapshot size
   uint32_t threads = 1;              // threads CRIU must restore (Table 4)

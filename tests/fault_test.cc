@@ -305,6 +305,9 @@ TEST(ClusterFailoverTest, PoolPressureForcesEvictionAndCostsWarmth) {
   auto warm_starts = [](bool pressure) {
     ClusterConfig config;
     config.nodes = 2;
+    // Small per-node cap: even floored at kSoftMemCapScaleFloor the squeezed
+    // cap sits below one instance's RSS, so the window evicts everything.
+    config.node_config.soft_mem_cap_bytes = 8 * kMiB;
     config.faults.seed = 11;
     if (pressure) {
       // Crush the soft cap to near zero for the middle of the run: idle

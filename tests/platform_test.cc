@@ -291,7 +291,12 @@ TEST(PlatformTest, SoftMemCapPressureEvictsIdleInstances) {
   // CRIU keeps warm instances fully resident in local DRAM, so the frame
   // allocator directly reflects keep-alive pool occupancy. Probe mid-run
   // (before the keep-alive TTL expiry event drains the pool at idle).
-  Testbed bed(SystemKind::kCriu);
+  // A small base cap keeps the clamped pressure cap (scale floors at
+  // kSoftMemCapScaleFloor) below one instance's RSS, so the window still
+  // drains the whole pool.
+  PlatformConfig small_cap;
+  small_cap.soft_mem_cap_bytes = 8 * kMiB;
+  Testbed bed(SystemKind::kCriu, small_cap);
   ASSERT_TRUE(bed.DeployTable4Functions().ok());
   ServerlessPlatform& platform = bed.platform();
   uint64_t warm_bytes = 0;
@@ -299,8 +304,8 @@ TEST(PlatformTest, SoftMemCapPressureEvictsIdleInstances) {
   uint64_t relieved_warm_starts = 0;
   platform.scheduler().ScheduleAt(SimTime::Zero() + SimDuration::Seconds(10), [&] {
     warm_bytes = platform.frames().used_bytes();
-    // Injected pool pressure: squeeze the cap to zero — every idle instance
-    // must be evicted and its DRAM returned.
+    // Injected pool pressure: squeeze the cap — every idle instance must be
+    // evicted and its DRAM returned.
     platform.SetSoftMemCapScale(0.0);
     pressured_bytes = platform.frames().used_bytes();
     // Lifting the pressure restores normal keep-alive behaviour.
@@ -315,6 +320,28 @@ TEST(PlatformTest, SoftMemCapPressureEvictsIdleInstances) {
   // The instance parked at t=0 was evicted by the pressure window, so the
   // t=20s invocation cold-starts even though it is well within the TTL.
   EXPECT_EQ(relieved_warm_starts, 0u);
+}
+
+TEST(PlatformTest, SoftMemCapScaleClampsAtFloorAndExportsGauge) {
+  Testbed bed(SystemKind::kCriu);
+  ServerlessPlatform& platform = bed.platform();
+  obs::Registry& stats = platform.metrics().registry();
+  // A zero (or negative) scale is clamped at the documented floor instead of
+  // flushing the pool: the effective cap never reaches zero.
+  platform.SetSoftMemCapScale(0.0);
+  const double floored = stats.GetGauge("platform.soft_mem_cap_bytes")->value();
+  EXPECT_NEAR(floored,
+              cost::kSoftMemCapScaleFloor * static_cast<double>(cost::kDefaultSoftMemCap),
+              1.0);
+  EXPECT_GT(floored, 0.0);
+  // Squeezes above the floor apply exactly.
+  platform.SetSoftMemCapScale(0.5);
+  EXPECT_DOUBLE_EQ(stats.GetGauge("platform.soft_mem_cap_bytes")->value(),
+                   0.5 * static_cast<double>(cost::kDefaultSoftMemCap));
+  // Lifting the pressure restores the configured cap, and the gauge says so.
+  platform.SetSoftMemCapScale(1.0);
+  EXPECT_DOUBLE_EQ(stats.GetGauge("platform.soft_mem_cap_bytes")->value(),
+                   static_cast<double>(cost::kDefaultSoftMemCap));
 }
 
 TEST(PlatformTest, DeterministicAcrossRuns) {

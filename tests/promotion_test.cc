@@ -138,6 +138,118 @@ TEST_F(PromotionTest, FullHotTierLeavesChunkInPlace) {
   EXPECT_EQ(pte->flags.pool, PoolKind::kRdma);
 }
 
+TEST_F(PromotionTest, SweepOnEmptyPoolIsANoOp) {
+  // A manager over a tier-less pool must not dereference tier(0): accesses
+  // are dropped and sweeps return nothing.
+  TieredPool empty;
+  PromotionManager manager(&empty, &api_.registry());
+  manager.RecordAccess(PoolPlacement{PoolKind::kRdma, 0, 8}, 100);
+  EXPECT_EQ(manager.tracked_chunks(), 0u);
+  EXPECT_TRUE(manager.Sweep().empty());
+}
+
+TEST_F(PromotionTest, AllChunksAlreadyHotPromotesNothing) {
+  // With a demotion budget live, hot-tier chunks ARE tracked — but a sweep
+  // must never try to promote them further.
+  PromotionManager manager(&tiered_, &api_.registry(),
+                           PromotionManager::Options{.promote_threshold = 1,
+                                                     .hot_tier_budget_pages = 1024});
+  manager.RecordAccess(PoolPlacement{PoolKind::kCxl, 0, 8}, 50);
+  manager.RecordAccess(PoolPlacement{PoolKind::kCxl, 8, 8}, 50);
+  EXPECT_EQ(manager.tracked_chunks(), 2u);
+  EXPECT_TRUE(manager.Sweep().empty());  // under budget, nothing to move
+  EXPECT_EQ(manager.promoted_chunks(), 0u);
+  EXPECT_EQ(manager.demoted_chunks(), 0u);
+}
+
+TEST_F(PromotionTest, ZeroPromotionsPerSweepFreezesPlacement) {
+  PromotionManager manager(
+      &tiered_, &api_.registry(),
+      PromotionManager::Options{.promote_threshold = 1, .max_promotions_per_sweep = 0});
+  MmtId id = api_.MmtCreate("fn");
+  PoolPlacement cold = MakeColdChunk(id, kAddr, 8, 0x4);
+  manager.RecordAccess(cold, 100);
+  EXPECT_TRUE(manager.Sweep().empty());
+  EXPECT_EQ(manager.tracked_chunks(), 1u);  // still eligible next time
+  EXPECT_EQ(manager.promoted_chunks(), 0u);
+}
+
+TEST_F(PromotionTest, BudgetDrivenDemotionChurnsColdestFirst) {
+  PromotionManager manager(&tiered_, &api_.registry(),
+                           PromotionManager::Options{.promote_threshold = 1,
+                                                     .heat_decay = 0.5,
+                                                     .hot_tier_budget_pages = 8,
+                                                     .demote_threshold = 2});
+  MmtId id = api_.MmtCreate("fn");
+  // Two 8-page chunks resident in the hot (CXL) tier, mapped by the template.
+  auto MakeHotChunk = [&](Vaddr addr, PageContent content) {
+    auto base = cxl_.AllocatePages(8);
+    EXPECT_TRUE(base.ok());
+    EXPECT_TRUE(cxl_.WriteContent(*base, 8, content).ok());
+    EXPECT_TRUE(api_.MmtAddMap(id, addr, 8 * kPageSize, Protection::ReadWrite(), true, -1, 0).ok());
+    EXPECT_TRUE(api_.MmtSetupPt(id, addr, 8 * kPageSize, *base, PoolKind::kCxl).ok());
+    return PoolPlacement{PoolKind::kCxl, *base, 8};
+  };
+  PoolPlacement busy = MakeHotChunk(kAddr, 0x10);
+  PoolPlacement idle = MakeHotChunk(kAddr + kMiB, 0x20);
+  manager.RecordAccess(busy, 10);
+  manager.RecordAccess(idle, 1);
+
+  // After decay: busy=5 (above demote_threshold), idle=0 (below). 16 hot
+  // pages exceed the 8-page budget, so exactly the idle chunk moves down.
+  auto moves = manager.Sweep();
+  ASSERT_EQ(moves.size(), 1u);
+  EXPECT_EQ(moves[0].from.base, idle.base);
+  EXPECT_EQ(moves[0].from.kind, PoolKind::kCxl);
+  EXPECT_EQ(moves[0].to.kind, PoolKind::kRdma);
+  EXPECT_EQ(moves[0].templates_rewritten, 1u);
+  EXPECT_EQ(manager.demoted_chunks(), 1u);
+  // Content survived the downward copy.
+  EXPECT_EQ(*rdma_.ReadContent(moves[0].to.base + 2), 0x20u + 2);
+  // The template's PTEs now point at the lazy RDMA placement.
+  auto tmpl = api_.registry().Lookup(id);
+  auto pte = (*tmpl)->page_table().Lookup(AddrToVpn(kAddr + kMiB));
+  ASSERT_TRUE(pte.has_value());
+  EXPECT_EQ(pte->flags.pool, PoolKind::kRdma);
+  EXPECT_FALSE(pte->flags.valid);
+  // The busy chunk stayed hot and the tier now fits its budget.
+  EXPECT_TRUE(manager.Sweep().empty());
+}
+
+TEST_F(PromotionTest, DemotedChunkEarnsItsWayBackUp) {
+  PromotionManager manager(&tiered_, &api_.registry(),
+                           PromotionManager::Options{.promote_threshold = 3,
+                                                     .heat_decay = 0.5,
+                                                     .hot_tier_budget_pages = 64,
+                                                     .demote_threshold = 2});
+  MmtId id = api_.MmtCreate("fn");
+  PoolPlacement cold = MakeColdChunk(id, kAddr, 16, 0x7A7A);
+  manager.RecordAccess(cold, 8);
+  auto up = manager.Sweep();
+  ASSERT_EQ(up.size(), 1u);
+  EXPECT_EQ(up[0].to.kind, PoolKind::kCxl);
+
+  // Idle sweeps decay the chunk to zero heat; shrink the budget by flooding
+  // accesses on another hot chunk is unnecessary — just assert the demotion
+  // path picks it up once the tier is over budget.
+  PromotionManager::Options tight;
+  tight.promote_threshold = 3;
+  tight.heat_decay = 0.5;
+  tight.hot_tier_budget_pages = 8;  // the 16-page chunk no longer fits
+  tight.demote_threshold = 2;
+  PromotionManager tight_manager(&tiered_, &api_.registry(), tight);
+  tight_manager.RecordAccess(PoolPlacement{PoolKind::kCxl, up[0].to.base, 16}, 1);
+  auto down = tight_manager.Sweep();  // decayed heat 0 < 2, over budget
+  ASSERT_EQ(down.size(), 1u);
+  EXPECT_EQ(down[0].to.kind, PoolKind::kRdma);
+  // Round trip preserved the content and the template stayed attached.
+  EXPECT_EQ(*rdma_.ReadContent(down[0].to.base + 7), 0x7A7Au + 7);
+  auto tmpl = api_.registry().Lookup(id);
+  auto pte = (*tmpl)->page_table().Lookup(AddrToVpn(kAddr));
+  ASSERT_TRUE(pte.has_value());
+  EXPECT_EQ(pte->flags.pool, PoolKind::kRdma);
+}
+
 TEST(EnginePromotionTest, TieredEngineMigratesHotFunctionToCxl) {
   // A T-Tiered engine with promotion enabled: a function whose image landed
   // in RDMA gets pulled into CXL after enough executions.

@@ -6,12 +6,19 @@ Both files are JSON lines; each record looks like
 
     {"utc": "...", "label": "...", "benchmarks": {"BM_Foo": {"real_ns": ...}}}
 
+A benchmark entry is either a timing ({"real_ns": N}, lower is better) or a
+gauge ({"value": N, "direction": "higher_is_better"}) — e.g. peak warm-env
+density, where SHRINKING is the regression. Entries with a "value" default to
+lower-is-better unless they say otherwise.
+
 For every benchmark name present in the candidate record, the baseline is the
-*latest* committed entry that reports a numeric real_ns for the same name
-(records with nested, non-timing payloads — e.g. the chaos reports — are
-skipped). The check fails if candidate_real_ns > max_ratio * baseline_real_ns
-for any benchmark. Benchmarks with no committed baseline pass with a note:
-they gain a baseline when their record lands in BENCH_micro.json.
+*latest* committed entry that reports the same metric for the same name
+(records with nested, non-metric payloads — e.g. the chaos reports — are
+skipped). The check fails when the candidate is worse than max_ratio times
+the baseline in the metric's bad direction: candidate/baseline for timings,
+baseline/candidate for higher-is-better gauges. Benchmarks with no committed
+baseline pass with a note: they gain a baseline when their record lands in
+BENCH_micro.json.
 
 Usage:
     check_bench_regression.py --trajectory BENCH_micro.json \
@@ -46,18 +53,24 @@ def load_records(path, missing_ok=False):
     return records
 
 
-def timing_entries(record):
-    """Yields (name, real_ns) for benchmarks that report a numeric real_ns."""
+def metric_entries(record):
+    """Yields (name, value, higher_is_better) for each benchmark that reports
+    a numeric real_ns (timing, lower is better) or value (gauge, direction
+    from its "direction" field)."""
     for name, data in record.get("benchmarks", {}).items():
-        if isinstance(data, dict) and isinstance(data.get("real_ns"), (int, float)):
-            yield name, float(data["real_ns"])
+        if not isinstance(data, dict):
+            continue
+        if isinstance(data.get("real_ns"), (int, float)):
+            yield name, float(data["real_ns"]), False
+        elif isinstance(data.get("value"), (int, float)):
+            yield name, float(data["value"]), data.get("direction") == "higher_is_better"
 
 
 def latest_baselines(records):
     baselines = {}
     for record in records:  # later lines overwrite earlier: latest entry wins
-        for name, real_ns in timing_entries(record):
-            baselines[name] = (real_ns, record.get("label", "?"))
+        for name, value, higher in metric_entries(record):
+            baselines[name] = (value, record.get("label", "?"), higher)
     return baselines
 
 
@@ -83,14 +96,21 @@ def main():
     failures = []
     rows = []
     for record in candidates:
-        for name, real_ns in timing_entries(record):
+        for name, value, higher in metric_entries(record):
             if name not in baselines:
-                rows.append((name, real_ns, None, None, "no baseline (new)"))
+                rows.append((name, value, None, None, "no baseline (new)"))
                 continue
-            base_ns, base_label = baselines[name]
-            ratio = real_ns / base_ns if base_ns > 0 else float("inf")
+            base, base_label, _ = baselines[name]
+            # Ratio in the metric's bad direction, so > max_ratio always
+            # means "regressed" regardless of which way better points.
+            if higher:
+                ratio = base / value if value > 0 else float("inf")
+            else:
+                ratio = value / base if base > 0 else float("inf")
             verdict = "ok" if ratio <= args.max_ratio else "REGRESSED"
-            rows.append((name, real_ns, base_ns, ratio, f"{verdict} vs '{base_label}'"))
+            arrow = "higher-is-better" if higher else "lower-is-better"
+            rows.append((name, value, base, ratio,
+                         f"{verdict} ({arrow}) vs \'{base_label}\'"))
             if ratio > args.max_ratio:
                 failures.append((name, ratio))
 
