@@ -11,6 +11,7 @@
 // shows how evenly the ring spreads them (primary min..max per pool node)
 // and how much attach traffic each dispatch policy actually pulls.
 #include <algorithm>
+#include <cstdlib>
 #include <iostream>
 #include <numeric>
 
@@ -58,7 +59,7 @@ Schedule ClusterSchedule(uint32_t nodes) {
   return schedule;
 }
 
-RackRow RunCluster(uint32_t nodes) {
+RackRow RunCluster(uint32_t nodes, uint32_t shards) {
   RackRow row;
   ClusterConfig config;
   config.nodes = nodes;
@@ -67,7 +68,8 @@ RackRow RunCluster(uint32_t nodes) {
     row.error = status.message();
     return row;
   }
-  if (const Status status = cluster.Run(ClusterSchedule(nodes)); !status.ok()) {
+  if (const Status status = bench::RunCluster(cluster, ClusterSchedule(nodes), shards);
+      !status.ok()) {
     row.error = status.message();
     return row;
   }
@@ -98,7 +100,7 @@ struct PoolRow {
 
 constexpr double kPagesPerMiB = 256.0;  // 4 KiB pages
 
-PoolRow RunPoolCluster(uint32_t nodes, ClusterConfig::Dispatch dispatch) {
+PoolRow RunPoolCluster(uint32_t nodes, ClusterConfig::Dispatch dispatch, uint32_t shards) {
   PoolRow row;
   ClusterConfig config;
   config.nodes = nodes;
@@ -109,7 +111,8 @@ PoolRow RunPoolCluster(uint32_t nodes, ClusterConfig::Dispatch dispatch) {
     row.error = status.message();
     return row;
   }
-  if (const Status status = cluster.Run(ClusterSchedule(nodes)); !status.ok()) {
+  if (const Status status = bench::RunCluster(cluster, ClusterSchedule(nodes), shards);
+      !status.ok()) {
     row.error = status.message();
     return row;
   }
@@ -131,6 +134,10 @@ PoolRow RunPoolCluster(uint32_t nodes, ClusterConfig::Dispatch dispatch) {
 }
 
 void Run(bench::BenchEnv& env) {
+  // Cluster runs execute sharded when --shards > 1; the report is identical
+  // at any value (zero-lookahead RunSharded == Run).
+  const uint32_t shards =
+      static_cast<uint32_t>(std::atoi(env.ExtraValue("--shards=", "1").c_str()));
   PrintBanner(std::cout, "Ablation: rack-level sharing across nodes (GiB)");
 
   // Slot 0 is the CRIU baseline; slots 1..N are the cluster sizes.
@@ -143,7 +150,7 @@ void Run(bench::BenchEnv& env) {
           row.ok = true;
           return row;
         }
-        return RunCluster(kNodeCounts[idx - 1]);
+        return RunCluster(kNodeCounts[idx - 1], shards);
       });
   criu_node_peak = rows[0].pool_gib;
 
@@ -173,7 +180,7 @@ void Run(bench::BenchEnv& env) {
   const std::vector<PoolRow> pool_rows = bench::ParallelSweep(
       std::size(kPoolNodeCounts) * std::size(kPolicies), env.jobs, [&](size_t idx) {
         return RunPoolCluster(kPoolNodeCounts[idx / std::size(kPolicies)],
-                              kPolicies[idx % std::size(kPolicies)]);
+                              kPolicies[idx % std::size(kPolicies)], shards);
       });
   Table pool_table({"Nodes", "Dispatch", "Shards", "Stored", "Primary min..max",
                     "Fetched", "Lease hits", "Lease misses"});
@@ -203,7 +210,7 @@ void Run(bench::BenchEnv& env) {
 }  // namespace trenv
 
 int main(int argc, char** argv) {
-  trenv::bench::BenchEnv env(argc, argv);
+  trenv::bench::BenchEnv env(argc, argv, {{"--shards=", "--shards=<n>"}});
   trenv::Run(env);
   env.Finish();
   return 0;

@@ -8,12 +8,14 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
 
 #include "src/common/table.h"
 #include "src/obs/export.h"
+#include "src/platform/cluster.h"
 #include "src/obs/trace.h"
 #include "src/platform/testbed.h"
 #include "src/sim/thread_pool.h"
@@ -251,6 +253,41 @@ inline ContainerRunResult RunContainerWorkload(SystemKind kind, const Schedule& 
   (void)result.bed->platform().Run(shifted);
   result.peak_memory = result.bed->platform().metrics().peak_memory_bytes();
   return result;
+}
+
+// Runs a materialized schedule on a cluster, sharded when shards > 1. The
+// cluster benches expose this behind a --shards flag: RunSharded with zero
+// lookahead is byte-identical to Run(), so every bench report doubles as a
+// determinism check for the sharded core.
+inline Status RunCluster(Cluster& cluster, const Schedule& schedule, uint32_t shards) {
+  if (shards <= 1) {
+    return cluster.Run(schedule);
+  }
+  ScheduleStream stream(schedule);
+  ShardedRunOptions options;
+  options.shards = shards;
+  return cluster.RunSharded(stream, options);
+}
+
+// Host metadata stamped into every BENCH_micro.json record so
+// tools/check_bench_regression.py can refuse to compare wall-clock numbers
+// measured on different machines (different core counts or compilers make
+// the ratio meaningless).
+inline std::string CompilerVersionString() {
+#if defined(__clang__)
+  return "clang " + std::to_string(__clang_major__) + "." + std::to_string(__clang_minor__);
+#elif defined(__GNUC__)
+  return "gcc " + std::to_string(__GNUC__) + "." + std::to_string(__GNUC_MINOR__) + "." +
+         std::to_string(__GNUC_PATCHLEVEL__);
+#else
+  return "unknown";
+#endif
+}
+
+inline std::string HostJson(unsigned jobs) {
+  return "{\"jobs\":" + std::to_string(jobs) +
+         ",\"cores\":" + std::to_string(std::thread::hardware_concurrency()) +
+         ",\"compiler\":\"" + CompilerVersionString() + "\"}";
 }
 
 inline std::vector<std::string> Table4Names() {

@@ -15,6 +15,7 @@
 // Flags:
 //   --seeds=a,b,c       comma-separated schedule seeds (default: 42)
 //   --jobs=N            sweep threads; the report is byte-identical at any N
+//   --shards=N          run racks through RunSharded (byte-identical report)
 //   --bench-json=PATH   append a JSON-lines record to the BENCH trajectory
 //   --bench-label=TEXT  label stored in the JSON record
 //
@@ -41,6 +42,10 @@ namespace {
 struct ChaosFlags {
   std::vector<uint64_t> seeds = {42};
   unsigned jobs = ThreadPool::DefaultThreads();
+  // Rack runs route through RunSharded when > 1; the fault injector forces
+  // an effective shard count of 1, so the report must stay byte-identical —
+  // which makes this flag a determinism probe for the degraded path.
+  uint32_t shards = 1;
   std::string json_path;
   std::string label;
 };
@@ -69,14 +74,21 @@ ChaosFlags ParseFlags(int argc, char** argv) {
         std::exit(2);
       }
       flags.jobs = static_cast<unsigned>(parsed);
+    } else if (arg.rfind("--shards=", 0) == 0) {
+      const int parsed = std::atoi(std::string(arg.substr(9)).c_str());
+      if (parsed < 1) {
+        std::cerr << "invalid --shards value: " << arg << " (want an integer >= 1)\n";
+        std::exit(2);
+      }
+      flags.shards = static_cast<uint32_t>(parsed);
     } else if (arg.rfind("--bench-json=", 0) == 0) {
       flags.json_path = std::string(arg.substr(13));
     } else if (arg.rfind("--bench-label=", 0) == 0) {
       flags.label = std::string(arg.substr(14));
     } else {
       std::cerr << "unknown flag: " << arg
-                << " (supported: --seeds=a,b,c --jobs=<n> --bench-json=<file> "
-                   "--bench-label=<text>)\n";
+                << " (supported: --seeds=a,b,c --jobs=<n> --shards=<n> "
+                   "--bench-json=<file> --bench-label=<text>)\n";
       std::exit(2);
     }
   }
@@ -122,7 +134,7 @@ struct RackResult {
   double e2e_p99_ms = 0;
 };
 
-RackResult RunRack(uint64_t seed, bool trenv_failover) {
+RackResult RunRack(uint64_t seed, bool trenv_failover, uint32_t shards) {
   RackResult result;
   ClusterConfig config;
   config.nodes = 4;
@@ -136,7 +148,7 @@ RackResult RunRack(uint64_t seed, bool trenv_failover) {
   if (!cluster.DeployTable4Functions().ok()) {
     return result;
   }
-  const Status run = cluster.Run(RackWorkload(seed));
+  const Status run = bench::RunCluster(cluster, RackWorkload(seed), shards);
   if (!run.ok()) {
     std::cerr << "chaos run failed: " << run << "\n";
     return result;
@@ -240,8 +252,8 @@ int RunBench(const ChaosFlags& flags) {
   const std::vector<SeedResults> results =
       bench::ParallelSweep(flags.seeds.size(), flags.jobs, [&](size_t i) {
         SeedResults r;
-        r.failover = RunRack(flags.seeds[i], /*trenv_failover=*/true);
-        r.redeploy = RunRack(flags.seeds[i], /*trenv_failover=*/false);
+        r.failover = RunRack(flags.seeds[i], /*trenv_failover=*/true, flags.shards);
+        r.redeploy = RunRack(flags.seeds[i], /*trenv_failover=*/false, flags.shards);
         r.rdma_clean = RunRdmaDegraded(flags.seeds[i], /*faulty=*/false);
         r.rdma_faulty = RunRdmaDegraded(flags.seeds[i], /*faulty=*/true);
         return r;
@@ -300,7 +312,7 @@ int RunBench(const ChaosFlags& flags) {
       return 1;
     }
     out << "{\"utc\":\"" << UtcNow() << "\",\"label\":\"" << JsonEscape(flags.label)
-        << "\",\"benchmarks\":{";
+        << "\",\"host\":" << bench::HostJson(flags.jobs) << ",\"benchmarks\":{";
     bool first = true;
     for (size_t i = 0; i < flags.seeds.size(); ++i) {
       for (const bool trenv : {true, false}) {

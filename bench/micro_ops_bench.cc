@@ -15,8 +15,10 @@
 #include <iostream>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
+#include "bench/bench_util.h"
 #include "src/criu/deduplicator.h"
 #include "src/criu/checkpointer.h"
 #include "src/mempool/cxl_pool.h"
@@ -351,7 +353,8 @@ bool AppendJsonRecord(const std::string& path, const std::string& label,
     return false;
   }
   out << "{\"utc\":\"" << UtcNow() << "\",\"label\":\"" << JsonEscape(label)
-      << "\",\"benchmarks\":{";
+      << "\",\"host\":" << bench::HostJson(std::thread::hardware_concurrency())
+      << ",\"benchmarks\":{";
   bool first = true;
   for (const auto& entry : entries) {
     if (!first) {

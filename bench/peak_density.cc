@@ -302,7 +302,8 @@ int RunBench(bench::BenchEnv& env, const Scale& scale) {
       return 1;
     }
     out << "{\"utc\":\"" << UtcNow() << "\",\"label\":\""
-        << JsonEscape(env.ExtraValue("--bench-label=")) << "\",\"benchmarks\":{"
+        << JsonEscape(env.ExtraValue("--bench-label=")) << "\",\"host\":"
+        << bench::HostJson(env.jobs) << ",\"benchmarks\":{"
         << "\"peak_density/warm_envs\":{\"value\":" << density.peak_warm_envs
         << ",\"direction\":\"higher_is_better\"},"
         << "\"peak_density/warm_envs_baseline\":{\"value\":" << baseline

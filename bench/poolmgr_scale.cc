@@ -97,7 +97,7 @@ RunResult Collect(Cluster& cluster) {
   return r;
 }
 
-RunResult RunScale(uint32_t nodes, uint32_t replication, Dispatch dispatch) {
+RunResult RunScale(uint32_t nodes, uint32_t replication, Dispatch dispatch, uint32_t shards) {
   ClusterConfig config;
   config.nodes = nodes;
   config.dispatch = dispatch;
@@ -108,7 +108,7 @@ RunResult RunScale(uint32_t nodes, uint32_t replication, Dispatch dispatch) {
   if (!cluster.DeployTable4Functions().ok()) {
     return {};
   }
-  if (!cluster.Run(SweepWorkload()).ok()) {
+  if (!bench::RunCluster(cluster, SweepWorkload(), shards).ok()) {
     return {};
   }
   return Collect(cluster);
@@ -117,7 +117,7 @@ RunResult RunScale(uint32_t nodes, uint32_t replication, Dispatch dispatch) {
 // One pool node dies mid-run and returns 30 s later. The workload and the
 // rack are identical to the replication-2 sweep row; only `replication`
 // varies, which is exactly what decides whether leases survive the crash.
-RunResult RunChaos(uint32_t replication) {
+RunResult RunChaos(uint32_t replication, uint32_t shards) {
   ClusterConfig config;
   config.nodes = 4;
   config.dispatch = Dispatch::kTemplateLocality;
@@ -133,7 +133,7 @@ RunResult RunChaos(uint32_t replication) {
   if (!cluster.DeployTable4Functions().ok()) {
     return {};
   }
-  if (!cluster.Run(SweepWorkload()).ok()) {
+  if (!bench::RunCluster(cluster, SweepWorkload(), shards).ok()) {
     return {};
   }
   return Collect(cluster);
@@ -166,6 +166,11 @@ struct SweepPoint {
 };
 
 int RunBench(bench::BenchEnv& env) {
+  // Sharded execution of each run; the report is byte-identical at any value
+  // (zero-lookahead RunSharded == Run), so this doubles as a determinism
+  // check over the sharded core.
+  const uint32_t shards =
+      static_cast<uint32_t>(std::atoi(env.ExtraValue("--shards=", "1").c_str()));
   std::cout << "=== Pool control plane: nodes x replication x dispatch ===\n";
 
   std::vector<SweepPoint> points;
@@ -180,7 +185,7 @@ int RunBench(bench::BenchEnv& env) {
       bench::ParallelSweep(points.size(), env.jobs,
                            [&](size_t i) {
                              return RunScale(points[i].nodes, points[i].replication,
-                                             points[i].dispatch);
+                                             points[i].dispatch, shards);
                            });
 
   Table table({"Nodes", "Repl", "Dispatch", "Fetch MiB", "Fetch ops", "Coalesced",
@@ -234,7 +239,8 @@ int RunBench(bench::BenchEnv& env) {
   std::cout << "\n=== Pool-node crash at t=45s (restart +30s), locality, 4 nodes ===\n";
 
   const std::vector<RunResult> chaos = bench::ParallelSweep(
-      2, env.jobs, [&](size_t i) { return RunChaos(/*replication=*/i == 0 ? 1 : 2); });
+      2, env.jobs,
+      [&](size_t i) { return RunChaos(/*replication=*/i == 0 ? 1 : 2, shards); });
 
   Table crash({"Repl", "Accepted", "Completed", "Promotions", "Revoked", "Reseeded",
                "Fetch MiB", "Attach p99 ms"});
@@ -275,7 +281,8 @@ int RunBench(bench::BenchEnv& env) {
       return 1;
     }
     out << "{\"utc\":\"" << UtcNow() << "\",\"label\":\""
-        << JsonEscape(env.ExtraValue("--bench-label=")) << "\",\"benchmarks\":{";
+        << JsonEscape(env.ExtraValue("--bench-label=")) << "\",\"host\":"
+        << bench::HostJson(env.jobs) << ",\"benchmarks\":{";
     bool first = true;
     for (size_t i = 0; i < points.size(); ++i) {
       if (points[i].nodes != 4) {
@@ -318,7 +325,8 @@ int RunBench(bench::BenchEnv& env) {
 int main(int argc, char** argv) {
   trenv::bench::BenchEnv env(argc, argv,
                              {{"--bench-json=", "--bench-json=<file>"},
-                              {"--bench-label=", "--bench-label=<text>"}});
+                              {"--bench-label=", "--bench-label=<text>"},
+                              {"--shards=", "--shards=<n>"}});
   const int rc = trenv::RunBench(env);
   env.Finish();
   return rc;

@@ -8,7 +8,7 @@
 namespace trenv {
 
 size_t ContentMap::FirstOverlapping(PoolOffset page) const {
-  const size_t hint = lookup_hint_;
+  const size_t hint = lookup_hint_.load(std::memory_order_relaxed);
   if (hint < runs_.size() && runs_[hint].base <= page &&
       page < runs_[hint].base + runs_[hint].npages) {
     return hint;
@@ -33,7 +33,7 @@ void ContentMap::SpliceWindow(size_t lo, size_t hi, const Run* repl, size_t coun
     runs_.erase(runs_.begin() + static_cast<ptrdiff_t>(lo + count),
                 runs_.begin() + static_cast<ptrdiff_t>(hi));
   }
-  lookup_hint_ = lo;
+  lookup_hint_.store(lo, std::memory_order_relaxed);
 }
 
 void ContentMap::Write(PoolOffset page, uint64_t npages, PageContent content_base) {
@@ -70,7 +70,7 @@ Result<PageContent> ContentMap::Read(PoolOffset page) const {
   if (i >= runs_.size() || runs_[i].base > page) {
     return Status::NotFound("no content stored at pool offset");
   }
-  lookup_hint_ = i;
+  lookup_hint_.store(i, std::memory_order_relaxed);
   return runs_[i].content_base + (page - runs_[i].base);
 }
 

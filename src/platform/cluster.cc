@@ -1,7 +1,10 @@
 #include "src/platform/cluster.h"
 
 #include <algorithm>
+#include <functional>
+#include <optional>
 #include <tuple>
+#include <utility>
 
 #include "src/common/interner.h"
 
@@ -119,7 +122,8 @@ size_t Cluster::PickNode(const std::string& function) {
           fid != kInvalidFunctionId && n.platform->keep_alive().CountFor(fid) > 0;
       const bool leased = fid != kInvalidFunctionId && pool_mgr_ != nullptr &&
                           pool_mgr_->LeaseRefs(static_cast<uint32_t>(i), fid) > 0;
-      return std::make_tuple(!warm, !leased, n.platform->concurrent_startups(),
+      return std::make_tuple(!warm, !leased,
+                             n.platform->concurrent_startups() + WindowLoad(i),
                              n.platform->frames().used_bytes());
     };
     size_t best = nodes_.size();
@@ -144,11 +148,12 @@ size_t Cluster::PickNode(const std::string& function) {
       best = i;
       continue;
     }
-    const auto key = [](const Node& n) {
-      return std::make_pair(n.platform->concurrent_startups(),
+    const auto key = [&](size_t j) {
+      const Node& n = *nodes_[j];
+      return std::make_pair(n.platform->concurrent_startups() + WindowLoad(j),
                             n.platform->frames().used_bytes());
     };
-    if (key(*nodes_[i]) < key(*nodes_[best])) {
+    if (key(i) < key(best)) {
       best = i;
     }
   }
@@ -201,6 +206,18 @@ Status Cluster::Dispatch(SimTime arrival, const std::string& function) {
                                   static_cast<int64_t>(attach.fetched_pages));
       platform.tracer()->Annotate(id, "latency_us", attach.latency.nanos() / 1000);
     }
+  }
+  if (mailbox_ != nullptr) {
+    // Sharded run: defer the platform submit into the owning shard's mailbox;
+    // it is applied at the start of the next epoch, before any scheduler
+    // drains, so event sequence numbers match an immediate submit. A
+    // rejection surfaces when the mailbox drains (it still aborts the run).
+    mailbox_->cmds.push_back(SubmitCmd{start, static_cast<uint32_t>(node_index), function});
+    mailbox_->inboxes[mailbox_->shard_of[node_index]].push_back(mailbox_->cmds.size() - 1);
+    if (!window_dispatches_.empty()) {
+      ++window_dispatches_[node_index];
+    }
+    return Status::Ok();
   }
   const Status status = platform.Submit(start, function);
   if (!status.ok()) {
@@ -341,6 +358,169 @@ Status Cluster::Run(const Schedule& schedule) {
     ++next_event;
   }
   RunAllToCompletion();
+  return Status::Ok();
+}
+
+bool Cluster::CanShardAcrossThreads() const {
+  return injector_ == nullptr && config_.node_config.tracer == nullptr &&
+         config_.node_config.prewarm == nullptr && !config_.node_config.density.enabled;
+}
+
+Status Cluster::RunSharded(ArrivalStream& arrivals, const ShardedRunOptions& options) {
+  std::vector<FaultInjector::NodeEvent> plan;
+  if (injector_ != nullptr) {
+    plan = injector_->PlanNodeEvents(static_cast<uint32_t>(nodes_.size()),
+                                     pool_mgr_ != nullptr ? config_.poolmgr.pool_nodes : 0);
+  }
+  // Shard count: clamped to the node count; degraded to one shard when a
+  // cross-node-shared component (injector, tracer, prewarm, density) is
+  // configured. Degradation changes only how much work runs concurrently —
+  // the epoch algorithm below is identical, so output is still independent
+  // of the requested shard count.
+  uint32_t shards = std::max<uint32_t>(1, options.shards);
+  shards = std::min<uint32_t>(shards, static_cast<uint32_t>(nodes_.size()));
+  if (!CanShardAcrossThreads()) {
+    shards = 1;
+  }
+  sharded_effective_shards_ = shards;
+
+  // Contiguous node ranges per shard; node -> shard for the mailbox router.
+  std::vector<std::pair<size_t, size_t>> shard_range(shards);
+  MailboxSink sink;
+  sink.inboxes.resize(shards);
+  sink.shard_of.resize(nodes_.size());
+  for (uint32_t s = 0; s < shards; ++s) {
+    shard_range[s] = {nodes_.size() * s / shards, nodes_.size() * (s + 1) / shards};
+    for (size_t i = shard_range[s].first; i < shard_range[s].second; ++i) {
+      sink.shard_of[i] = s;
+    }
+  }
+  mailbox_ = &sink;
+  const bool windowed = options.lookahead > SimDuration::Zero();
+  if (windowed) {
+    window_dispatches_.assign(nodes_.size(), 0);
+  }
+  struct SinkGuard {
+    Cluster* cluster;
+    ~SinkGuard() {
+      cluster->mailbox_ = nullptr;
+      cluster->window_dispatches_.clear();
+    }
+  } guard{this};
+
+  ShardCoordinator coordinator(shards);
+
+  // One epoch: each shard first applies its mailbox (in global push order,
+  // before any drain, so scheduler sequence numbers match an immediate
+  // submit), then drains its nodes in index order up to the target. The
+  // control plane's clock follows on the coordinator thread. Lambdas are
+  // built once; `target` is rebound per epoch.
+  SimTime target;
+  const std::function<void(size_t)> advance_shard = [&](size_t s) {
+    for (const size_t idx : sink.inboxes[s]) {
+      const SubmitCmd& cmd = sink.cmds[idx];
+      sink.statuses[idx] = nodes_[cmd.node]->platform->Submit(cmd.start, cmd.function);
+    }
+    for (size_t i = shard_range[s].first; i < shard_range[s].second; ++i) {
+      if (injector_ != nullptr) {
+        FocusNode(i);  // injector implies shards == 1: still coordinator-serial
+      }
+      nodes_[i]->platform->scheduler().RunUntil(target);
+    }
+  };
+  const std::function<void(size_t)> finish_shard = [&](size_t s) {
+    for (const size_t idx : sink.inboxes[s]) {
+      const SubmitCmd& cmd = sink.cmds[idx];
+      sink.statuses[idx] = nodes_[cmd.node]->platform->Submit(cmd.start, cmd.function);
+    }
+    for (size_t i = shard_range[s].first; i < shard_range[s].second; ++i) {
+      if (injector_ != nullptr) {
+        FocusNode(i);
+      }
+      nodes_[i]->platform->RunToCompletion();
+    }
+  };
+
+  // Scans mailbox outcomes in global sequence order (the deterministic
+  // (time, shard, seq) drain order), clears the epoch's mailboxes, and
+  // surfaces the first rejection exactly as the sequential Dispatch would.
+  const auto settle_mailbox = [&]() -> Status {
+    Status first = Status::Ok();
+    for (size_t idx = 0; idx < sink.cmds.size(); ++idx) {
+      const Status& status = sink.statuses[idx];
+      if (!status.ok() && first.ok()) {
+        first = Status(status.code(),
+                       "node " + std::to_string(sink.cmds[idx].node) +
+                           " rejected invocation of '" + sink.cmds[idx].function +
+                           "': " + status.message());
+      }
+    }
+    sink.cmds.clear();
+    sink.statuses.clear();
+    for (auto& inbox : sink.inboxes) {
+      inbox.clear();
+    }
+    return first;
+  };
+  const auto epoch_advance = [&](SimTime t) -> Status {
+    target = t;
+    sink.statuses.resize(sink.cmds.size());
+    coordinator.RunEpoch(advance_shard);
+    TRENV_RETURN_IF_ERROR(settle_mailbox());
+    if (pool_mgr_ != nullptr) {
+      pool_mgr_->clock().RunUntil(t);
+    }
+    if (windowed) {
+      // A sync point refreshes the real load state; the window's provisional
+      // placement counts are now visible as concurrent startups.
+      std::fill(window_dispatches_.begin(), window_dispatches_.end(), 0u);
+    }
+    return Status::Ok();
+  };
+
+  // The main loop mirrors Run(): node-level fault events merge into the
+  // arrival timeline at exactly the sequential interleaving.
+  size_t next_event = 0;
+  std::optional<Invocation> pending = arrivals.Next();
+  while (pending.has_value() || next_event < plan.size()) {
+    if (next_event < plan.size() &&
+        (!pending.has_value() || plan[next_event].time <= pending->arrival)) {
+      TRENV_RETURN_IF_ERROR(epoch_advance(plan[next_event].time));
+      ApplyNodeEvent(plan[next_event]);
+      ++next_event;
+      continue;
+    }
+    const SimTime window_start = pending->arrival;
+    TRENV_RETURN_IF_ERROR(epoch_advance(window_start));
+    if (!windowed) {
+      // Per-arrival epochs: dispatch sees exactly the sequential load state.
+      TRENV_RETURN_IF_ERROR(Submit(pending->arrival, pending->function));
+      pending = arrivals.Next();
+      continue;
+    }
+    // Batched dispatch: every arrival inside [window_start, window_start +
+    // lookahead) places against the snapshot at window_start plus this
+    // window's own placements. Fault events still cut the window short so
+    // their interleaving matches the sequential run.
+    const SimTime window_end = window_start + options.lookahead;
+    while (pending.has_value() && pending->arrival < window_end &&
+           !(next_event < plan.size() && plan[next_event].time <= pending->arrival)) {
+      TRENV_RETURN_IF_ERROR(Submit(pending->arrival, pending->function));
+      pending = arrivals.Next();
+    }
+  }
+
+  // Final epoch: flush the last window's mailboxes, then drain every node to
+  // completion (nodes diverge in time here, exactly like RunAllToCompletion —
+  // no cross-node interaction remains).
+  sink.statuses.resize(sink.cmds.size());
+  coordinator.RunEpoch(finish_shard);
+  TRENV_RETURN_IF_ERROR(settle_mailbox());
+  if (pool_mgr_ != nullptr) {
+    pool_mgr_->clock().RunUntilIdle();
+  }
+  sharded_epochs_ = coordinator.epochs();
+  sharded_barrier_wait_ = coordinator.barrier_wait_seconds();
   return Status::Ok();
 }
 

@@ -21,6 +21,8 @@
 #include "src/obs/registry.h"
 #include "src/platform/platform.h"
 #include "src/poolmgr/pool_manager.h"
+#include "src/sim/shard_coordinator.h"
+#include "src/workload/arrival_stream.h"
 
 namespace trenv {
 
@@ -35,6 +37,23 @@ struct FailoverPolicy {
   // Zero for TrEnv (the template is already in the shared pool); set it to
   // a snapshot-pull cost to model conventional per-node re-deployment.
   SimDuration redeploy_penalty;
+};
+
+// How Cluster::RunSharded splits one run across threads.
+struct ShardedRunOptions {
+  // Worker threads driving disjoint node ranges; clamped to the node count.
+  // Every setting produces byte-identical results — shards only decide how
+  // much of each epoch's node-drain work runs concurrently.
+  uint32_t shards = 1;
+  // Conservative-lookahead window. Zero: one synchronization epoch per
+  // arrival, so every dispatch sees exactly the load state the sequential
+  // Run() would see — byte-identical to Run() on the same schedule. Positive:
+  // all arrivals inside one window are dispatched against the load snapshot
+  // taken at the window start (plus a deterministic count of the window's own
+  // placements per node), amortizing the barrier across many arrivals. The
+  // window grid depends only on the trace, never on the shard count, so
+  // output is still independent of --shards.
+  SimDuration lookahead;
 };
 
 struct ClusterConfig {
@@ -73,6 +92,28 @@ class Cluster {
   // re-dispatched when a node restarts. Errors name the rejecting node.
   [[nodiscard]] Status Submit(SimTime arrival, const std::string& function);
   [[nodiscard]] Status Run(const Schedule& schedule);
+
+  // Sharded run: the trace pulls lazily from `arrivals` (a 10M-invocation
+  // trace never materializes) and the per-node EventSchedulers advance in
+  // parallel epochs under conservative-lookahead synchronization. Cross-shard
+  // interactions (dispatch, poolmgr attach, failover re-dispatch) stay on the
+  // coordinator thread between epochs; platform submits travel through
+  // per-shard mailboxes drained in deterministic global-sequence order at the
+  // next epoch. Output is byte-identical at any `shards` setting, and with
+  // lookahead zero it is byte-identical to Run() on the collected schedule.
+  //
+  // Preconditions for cross-thread sharding: no fault injector, no tracer,
+  // no prewarm policy, density off. When any of those is configured the run
+  // degrades to one shard (same epoch algorithm, same output at any
+  // requested shard count) — see docs/simulation_model.md.
+  [[nodiscard]] Status RunSharded(ArrivalStream& arrivals,
+                                  const ShardedRunOptions& options = {});
+
+  // Introspection for the last RunSharded (the sharded_scale bench reports
+  // synchronization overhead from these).
+  uint32_t sharded_effective_shards() const { return sharded_effective_shards_; }
+  uint64_t sharded_epochs() const { return sharded_epochs_; }
+  double sharded_barrier_wait_seconds() const { return sharded_barrier_wait_; }
 
   size_t node_count() const { return nodes_.size(); }
   ServerlessPlatform& node(size_t i) { return *nodes_[i]->platform; }
@@ -117,7 +158,34 @@ class Cluster {
     std::string function;
   };
 
+  // A platform Submit deferred into a per-shard mailbox: the owning shard
+  // applies it at the start of the next epoch, in global push order, before
+  // draining any scheduler — so event sequence numbers match the sequential
+  // run's exactly.
+  struct SubmitCmd {
+    SimTime start;
+    uint32_t node;
+    std::string function;
+  };
+  // Mailbox state live only inside RunSharded; Dispatch routes platform
+  // submits here instead of calling Submit directly when non-null.
+  struct MailboxSink {
+    std::vector<SubmitCmd> cmds;                // global (time, seq) order
+    std::vector<std::vector<size_t>> inboxes;   // per shard: indices into cmds
+    std::vector<Status> statuses;               // indexed like cmds
+    std::vector<uint32_t> shard_of;             // node index -> shard
+  };
+
   bool AnyAlive() const;
+  // True when node drains may run on concurrent threads: the injector binds
+  // per-node state, the tracer and prewarm policy are cross-node-shared and
+  // unsynchronized, and density migration writes the shared pools.
+  bool CanShardAcrossThreads() const;
+  // Placements already made in the current lookahead window; zero in
+  // per-arrival and legacy modes (window_dispatches_ is empty there).
+  uint32_t WindowLoad(size_t node) const {
+    return window_dispatches_.empty() ? 0u : window_dispatches_[node];
+  }
   size_t PickNode(const std::string& function);
   // Submit minus acceptance accounting: used both for fresh arrivals and for
   // re-dispatching recovered invocations (which were already counted).
@@ -150,6 +218,16 @@ class Cluster {
   std::vector<Deferred> deferred_;
   size_t next_node_ = 0;
   uint64_t accepted_ = 0;
+  // Non-null only while RunSharded is on the stack.
+  MailboxSink* mailbox_ = nullptr;
+  // Windowed dispatch only: per-node count of placements already made in the
+  // current lookahead window, added to the load key so a burst inside one
+  // window spreads instead of dog-piling the snapshot's least-loaded node.
+  // Empty in per-arrival and legacy modes (PickNode then reads all zeros).
+  std::vector<uint32_t> window_dispatches_;
+  uint32_t sharded_effective_shards_ = 0;
+  uint64_t sharded_epochs_ = 0;
+  double sharded_barrier_wait_ = 0;
 };
 
 }  // namespace trenv

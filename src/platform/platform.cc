@@ -48,12 +48,12 @@ Status ServerlessPlatform::Submit(SimTime arrival, const std::string& function) 
   // node crashes first, Crash() finds it in queued_ and hands it back for
   // re-dispatch instead of silently losing it with the event queue.
   const uint64_t ticket = next_ticket_++;
-  queued_.emplace(ticket, LostInvocation{function, arrival});
+  queued_.emplace(ticket, LostInvocation{function, arrival, ticket});
   scheduler_.ScheduleAt(arrival, [this, ticket] {
     auto it = queued_.find(ticket);
     const std::string fn = std::move(it->second.function);
     queued_.erase(it);
-    StartInvocation(fn);
+    StartInvocation(fn, ticket);
   });
   return Status::Ok();
 }
@@ -143,15 +143,16 @@ std::vector<LostInvocation> ServerlessPlatform::Crash() {
       tracer_->Annotate(flight.root_span, "failed", std::string("node-crash"));
       tracer_->EndSpan(flight.root_span);
     }
-    lost.push_back(LostInvocation{flight.function, flight.arrival});
+    lost.push_back(LostInvocation{flight.function, flight.arrival, flight.ticket});
   }
-  // Ticket/token maps iterate in acceptance order, so a stable sort by
-  // arrival keeps equal-arrival invocations in acceptance order too —
-  // re-dispatch order is deterministic.
-  std::stable_sort(lost.begin(), lost.end(),
-                   [](const LostInvocation& a, const LostInvocation& b) {
-                     return a.arrival < b.arrival;
-                   });
+  // (arrival, ticket) is a strict total order — tickets are unique — so the
+  // re-dispatch order is fully determined even when a queued and an in-flight
+  // invocation share an arrival time. (Arrival alone was ambiguous there:
+  // queued_ and inflight_ interleave by acceptance vs. start order.)
+  std::sort(lost.begin(), lost.end(),
+            [](const LostInvocation& a, const LostInvocation& b) {
+              return a.arrival != b.arrival ? a.arrival < b.arrival : a.ticket < b.ticket;
+            });
   queued_.clear();
   inflight_.clear();
   concurrent_startups_ = 0;
@@ -167,7 +168,7 @@ std::vector<LostInvocation> ServerlessPlatform::Crash() {
   return lost;
 }
 
-void ServerlessPlatform::StartInvocation(const std::string& function) {
+void ServerlessPlatform::StartInvocation(const std::string& function, uint64_t ticket) {
   auto profile_or = registry_.Find(function);
   if (!profile_or.ok()) {
     ++failed_invocations_;
@@ -194,6 +195,7 @@ void ServerlessPlatform::StartInvocation(const std::string& function) {
   flight.function = function;
   flight.profile = &profile;
   flight.fid = FunctionIdOf(profile);
+  flight.ticket = ticket;
   flight.arrival = scheduler_.now();
   if (tracer_ != nullptr) {
     flight.root_span = tracer_->StartSpan(TraceLoc(token), "invocation", "invocation");

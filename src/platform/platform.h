@@ -52,10 +52,14 @@ struct PlatformConfig {
 };
 
 // An invocation a crashed node accepted but had not completed: the cluster
-// re-dispatches these to surviving nodes.
+// re-dispatches these to surviving nodes. The acceptance ticket makes
+// (arrival, ticket) a strict total order, so failover re-dispatch order is
+// deterministic even when queued and in-flight invocations share an arrival
+// time (required for sharded replay to match the sequential run).
 struct LostInvocation {
   std::string function;
   SimTime arrival;
+  uint64_t ticket = 0;
 };
 
 class ServerlessPlatform {
@@ -116,6 +120,9 @@ class ServerlessPlatform {
     // string-map lookups.
     const FunctionProfile* profile = nullptr;
     FunctionId fid = kInvalidFunctionId;
+    // The acceptance ticket from Submit, carried through so Crash() can
+    // rebuild the (arrival, ticket) total order across queued_ + inflight_.
+    uint64_t ticket = 0;
     SimTime arrival;
     SimTime exec_start;
     StartupBreakdown startup;
@@ -133,7 +140,7 @@ class ServerlessPlatform {
   RestoreContext MakeContext();
   // The (process, track) pair all of one invocation's spans live on.
   obs::Loc TraceLoc(uint64_t token) const { return {trace_pid_, token}; }
-  void StartInvocation(const std::string& function);
+  void StartInvocation(const std::string& function, uint64_t ticket);
   void BeginStartupPhases(uint64_t token);
   void BeginExecution(uint64_t token);
   void Complete(uint64_t token);

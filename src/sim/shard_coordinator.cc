@@ -1,0 +1,114 @@
+#include "src/sim/shard_coordinator.h"
+
+#include <chrono>
+
+namespace trenv {
+
+namespace {
+
+// Spin iterations before parking on the condition variable. Epoch gaps are
+// sub-microsecond when shards are load-balanced, so a short spin usually
+// catches the barrier without a futex round trip.
+constexpr uint32_t kSpinIterations = 4096;
+
+// One spin step: back off a little so sibling hyperthreads make progress.
+inline void SpinPause(uint32_t iteration) {
+  if ((iteration & 0xff) == 0xff) {
+    std::this_thread::yield();
+  }
+}
+
+}  // namespace
+
+ShardCoordinator::ShardCoordinator(size_t shards) : shards_(shards == 0 ? 1 : shards) {
+  if (std::thread::hardware_concurrency() >= shards_) {
+    spin_budget_ = kSpinIterations;
+  }
+  workers_.reserve(shards_ - 1);
+  for (size_t i = 1; i < shards_; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ShardCoordinator::~ShardCoordinator() {
+  if (!workers_.empty()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      work_ = nullptr;  // null work is the stop signal
+      epoch_.fetch_add(1, std::memory_order_release);
+    }
+    epoch_cv_.notify_all();
+    for (std::thread& worker : workers_) {
+      worker.join();
+    }
+  }
+}
+
+void ShardCoordinator::WorkerLoop(size_t worker_index) {
+  uint64_t seen = 0;
+  for (;;) {
+    // Wait for the next epoch: spin first, then park. The acquire load pairs
+    // with the coordinator's release bump, publishing work_.
+    bool advanced = false;
+    for (uint32_t i = 0; i < spin_budget_; ++i) {
+      if (epoch_.load(std::memory_order_acquire) != seen) {
+        advanced = true;
+        break;
+      }
+      SpinPause(i);
+    }
+    if (!advanced) {
+      std::unique_lock<std::mutex> lock(mu_);
+      epoch_cv_.wait(lock,
+                     [&] { return epoch_.load(std::memory_order_acquire) != seen; });
+    }
+    seen = epoch_.load(std::memory_order_acquire);
+    const std::function<void(size_t)>* work = work_;
+    if (work == nullptr) {
+      return;
+    }
+    (*work)(worker_index);
+    if (done_count_.fetch_add(1, std::memory_order_acq_rel) + 1 == workers_.size()) {
+      // Empty critical section: the coordinator is either still spinning (it
+      // sees the count) or inside its cv wait (this notify lands after it
+      // re-checked the predicate under mu_).
+      { std::lock_guard<std::mutex> lock(mu_); }
+      done_cv_.notify_one();
+    }
+  }
+}
+
+void ShardCoordinator::RunEpoch(const std::function<void(size_t)>& fn) {
+  ++epochs_;
+  if (workers_.empty()) {
+    fn(0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    done_count_.store(0, std::memory_order_relaxed);
+    work_ = &fn;
+    epoch_.fetch_add(1, std::memory_order_release);
+  }
+  epoch_cv_.notify_all();
+  fn(0);
+  const auto wait_start = std::chrono::steady_clock::now();
+  const uint64_t want = workers_.size();
+  bool done = false;
+  for (uint32_t i = 0; i < spin_budget_; ++i) {
+    if (done_count_.load(std::memory_order_acquire) == want) {
+      done = true;
+      break;
+    }
+    SpinPause(i);
+  }
+  if (!done) {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock,
+                  [&] { return done_count_.load(std::memory_order_acquire) == want; });
+  }
+  barrier_wait_seconds_ +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wait_start).count();
+}
+
+}  // namespace trenv

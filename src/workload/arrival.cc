@@ -1,8 +1,8 @@
 #include "src/workload/arrival.h"
 
 #include <algorithm>
-#include <cmath>
-#include <numbers>
+
+#include "src/workload/arrival_stream.h"
 
 namespace trenv {
 
@@ -11,79 +11,27 @@ void SortSchedule(Schedule& schedule) {
                    [](const Invocation& a, const Invocation& b) { return a.arrival < b.arrival; });
 }
 
+// The materialized generators are thin wrappers over the streaming ones:
+// collecting a fully drained stream is byte-identical to the historical
+// generate-then-SortSchedule loops (pinned by tests/arrival_stream_test.cc),
+// and the caller's Rng ends up exactly where those loops left it.
+
 Schedule MakeBurstyWorkload(const std::vector<std::string>& functions,
                             const BurstyOptions& options, Rng& rng) {
-  Schedule schedule;
-  // Stagger the functions' first bursts slightly so bursts of different
-  // functions overlap but are not perfectly aligned.
-  for (const auto& function : functions) {
-    SimTime burst_start = SimTime::Zero() + SimDuration::FromSecondsF(rng.NextUniform(0, 30));
-    while (burst_start < SimTime::Zero() + options.duration) {
-      for (uint32_t i = 0; i < options.burst_size; ++i) {
-        const SimDuration offset =
-            SimDuration::FromSecondsF(rng.NextUniform(0, options.burst_spread.seconds()));
-        schedule.push_back({burst_start + offset, function});
-      }
-      // Inter-burst gap jittered +-10% but always above the keep-alive TTL.
-      const double gap_s = options.inter_burst.seconds() * rng.NextUniform(1.0, 1.2);
-      burst_start += SimDuration::FromSecondsF(gap_s);
-    }
-  }
-  SortSchedule(schedule);
-  return schedule;
+  BurstyArrivalStream stream(functions, options, &rng);
+  return CollectAll(stream);
 }
 
 Schedule MakeDiurnalWorkload(const std::vector<std::string>& functions,
                              const DiurnalOptions& options, Rng& rng) {
-  Schedule schedule;
-  if (functions.empty()) {
-    return schedule;
-  }
-  const double duration_s = options.duration.seconds();
-  double t = 0;
-  while (t < duration_s) {
-    // Instantaneous rate follows a raised sinusoid across `cycles` periods.
-    const double phase =
-        2.0 * std::numbers::pi * options.cycles * (t / duration_s);
-    const double mix = 0.5 * (1.0 - std::cos(phase));  // 0 at trough, 1 at peak
-    const double rate = options.trough_rate_per_sec +
-                        (options.peak_rate_per_sec - options.trough_rate_per_sec) * mix;
-    t += rng.NextExponential(1.0 / std::max(rate, 1e-3));
-    if (t >= duration_s) {
-      break;
-    }
-    // Popularity rotates over time: the hot function shifts each cycle so
-    // memory pressure keeps churning different images (W2's point).
-    const uint64_t rotation =
-        static_cast<uint64_t>(options.cycles * t / duration_s * static_cast<double>(functions.size()));
-    const uint64_t pick = (rng.NextZipf(functions.size(), options.function_skew) + rotation) %
-                          functions.size();
-    schedule.push_back({SimTime::Zero() + SimDuration::FromSecondsF(t), functions[pick]});
-    if (rng.NextBool(options.clump_probability)) {
-      for (uint32_t k = 0; k < options.clump_size; ++k) {
-        schedule.push_back({SimTime::Zero() + SimDuration::FromSecondsF(
-                                t + rng.NextUniform(0.0, 1.0)),
-                            functions[pick]});
-      }
-    }
-  }
-  SortSchedule(schedule);
-  return schedule;
+  DiurnalArrivalStream stream(functions, options, &rng);
+  return CollectAll(stream);
 }
 
 Schedule MakePoissonWorkload(const std::vector<std::string>& functions, double rate_per_sec,
                              SimDuration duration, double function_skew, Rng& rng) {
-  Schedule schedule;
-  if (functions.empty() || rate_per_sec <= 0) {
-    return schedule;
-  }
-  double t = rng.NextExponential(1.0 / rate_per_sec);
-  while (t < duration.seconds()) {
-    const uint64_t pick = rng.NextZipf(functions.size(), function_skew);
-    schedule.push_back({SimTime::Zero() + SimDuration::FromSecondsF(t), functions[pick]});
-    t += rng.NextExponential(1.0 / rate_per_sec);
-  }
-  return schedule;
+  PoissonArrivalStream stream(functions, rate_per_sec, duration, function_skew, &rng);
+  return CollectAll(stream);
 }
 
 }  // namespace trenv

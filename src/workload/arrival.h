@@ -22,7 +22,11 @@ using Schedule = std::vector<Invocation>;
 void SortSchedule(Schedule& schedule);
 
 // W1: bursty traffic. Bursts arrive with inter-burst gaps *longer than the
-// keep-alive threshold*, so traditional caching always misses.
+// keep-alive threshold*, so traditional caching always misses. Each function
+// drives its burst timeline from an independent child RNG forked from the
+// caller's Rng in function order (the parent advances one draw per function),
+// so the same trace can be generated lazily per function — see
+// BurstyArrivalStream in arrival_stream.h.
 struct BurstyOptions {
   SimDuration duration = SimDuration::Minutes(30);
   SimDuration inter_burst = SimDuration::Minutes(11);  // > 10 min keep-alive

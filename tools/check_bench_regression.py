@@ -11,6 +11,13 @@ gauge ({"value": N, "direction": "higher_is_better"}) — e.g. peak warm-env
 density, where SHRINKING is the regression. Entries with a "value" default to
 lower-is-better unless they say otherwise.
 
+Records may carry a "host" object ({"jobs": N, "cores": N, "compiler": "..."}).
+When both the candidate and its baseline record one, and they describe
+different machines (core count or compiler differ), the comparison is skipped
+with a notice instead of failing: a wall-clock ratio across machines is noise,
+not a regression. "jobs" is informational only — the same machine at a
+different sweep width is still comparable.
+
 For every benchmark name present in the candidate record, the baseline is the
 *latest* committed entry that reports the same metric for the same name
 (records with nested, non-metric payloads — e.g. the chaos reports — are
@@ -66,11 +73,21 @@ def metric_entries(record):
             yield name, float(data["value"]), data.get("direction") == "higher_is_better"
 
 
+def host_key(record):
+    """The parts of a record's host metadata that decide comparability.
+    None when the record predates host stamping (always comparable)."""
+    host = record.get("host")
+    if not isinstance(host, dict):
+        return None
+    return (host.get("cores"), host.get("compiler"))
+
+
 def latest_baselines(records):
     baselines = {}
     for record in records:  # later lines overwrite earlier: latest entry wins
         for name, value, higher in metric_entries(record):
-            baselines[name] = (value, record.get("label", "?"), higher)
+            baselines[name] = (value, record.get("label", "?"), higher,
+                               host_key(record))
     return baselines
 
 
@@ -95,12 +112,21 @@ def main():
 
     failures = []
     rows = []
+    skipped_hosts = 0
     for record in candidates:
+        cand_host = host_key(record)
         for name, value, higher in metric_entries(record):
             if name not in baselines:
                 rows.append((name, value, None, None, "no baseline (new)"))
                 continue
-            base, base_label, _ = baselines[name]
+            base, base_label, _, base_host = baselines[name]
+            if (cand_host is not None and base_host is not None
+                    and cand_host != base_host):
+                rows.append((name, value, base, None,
+                             f"skipped: different host than '{base_label}' "
+                             f"({base_host} vs {cand_host})"))
+                skipped_hosts += 1
+                continue
             # Ratio in the metric's bad direction, so > max_ratio always
             # means "regressed" regardless of which way better points.
             if higher:
@@ -127,6 +153,9 @@ def main():
         for name, ratio in failures:
             print(f"  {name}: {ratio:.2f}x", file=sys.stderr)
         return 1
+    if skipped_hosts:
+        print(f"\nnotice: {skipped_hosts} comparison(s) skipped — baseline was "
+              "recorded on a different host (cores/compiler mismatch)")
     print(f"\nOK: no benchmark regressed more than {args.max_ratio}x")
     return 0
 
