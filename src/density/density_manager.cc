@@ -1,5 +1,6 @@
 #include "src/density/density_manager.h"
 
+#include <algorithm>
 #include <cmath>
 #include <string>
 #include <vector>
@@ -35,6 +36,7 @@ DensityManager::DensityManager(const DensityConfig& config, KeepAlivePool* keep_
     demoted_pages_counter_ = stats->GetCounter("density.demoted_pages");
     promoted_pages_counter_ = stats->GetCounter("density.promoted_pages");
     pressure_storms_counter_ = stats->GetCounter("density.pressure_storms");
+    surplus_evictions_counter_ = stats->GetCounter("density.surplus_evictions");
     for (size_t i = 0; i < kDensityTierCount; ++i) {
       const std::string tier(DensityTierName(static_cast<DensityTier>(i)));
       tier_count_gauges_[i] = stats->GetGauge("density.tier." + tier + ".count");
@@ -320,9 +322,38 @@ void DensityManager::SweepNow() {
       pending = true;  // destination tier full — retry next sweep
     }
   }
+  EnforceSurplusCap(now);
+  if (config_.surplus_per_function >= 0 && keep_alive_->size() > 0) {
+    // The cap re-binds as the traffic score decays, so keep sweeping while
+    // anything is parked; the chain ends when TTL expiry drains the pool.
+    pending = true;
+  }
   UpdateGauges(now);
   if (pending) {
     ArmSweep();
+  }
+}
+
+void DensityManager::EnforceSurplusCap(SimTime now) {
+  if (config_.surplus_per_function < 0) {
+    return;
+  }
+  std::vector<FunctionId> fns;
+  keep_alive_->ForEachLru(
+      [&](uint32_t, FunctionInstance& instance) { fns.push_back(instance.function_id()); });
+  std::sort(fns.begin(), fns.end());
+  fns.erase(std::unique(fns.begin(), fns.end()), fns.end());
+  for (const FunctionId fn : fns) {
+    // Recent demand rounded up, plus the configured spares. A function with
+    // zero live traffic keeps at most the spares.
+    const size_t allowed = static_cast<size_t>(std::ceil(TrafficScore(fn, now))) +
+                           static_cast<size_t>(config_.surplus_per_function);
+    while (keep_alive_->CountFor(fn) > allowed && keep_alive_->EvictFnLru(fn)) {
+      ++surplus_evictions_;
+      if (surplus_evictions_counter_ != nullptr) {
+        surplus_evictions_counter_->Add(1);
+      }
+    }
   }
 }
 

@@ -70,6 +70,12 @@ struct DensityConfig {
   // instances cost the node only metadata, so the pool can hold far more
   // warm state than the DRAM budget, but not unboundedly.
   double overcommit_factor = 16.0;
+  // Per-function surplus cap (ROADMAP item 3 follow-up): a function may keep
+  // at most ceil(traffic score) + surplus_per_function instances parked —
+  // its recent demand plus this many spares. The sweep trims extras
+  // LRU-first (full eviction, not demotion: surplus beyond demand is dead
+  // weight on every tier). Negative (default) disables the cap.
+  int32_t surplus_per_function = -1;
 };
 
 class DensityManager {
@@ -133,6 +139,7 @@ class DensityManager {
   }
   uint64_t demotions() const { return demotions_; }
   uint64_t promotions() const { return promotions_; }
+  uint64_t surplus_evictions() const { return surplus_evictions_; }
 
  private:
   struct Traffic {
@@ -154,6 +161,9 @@ class DensityManager {
 
   void ArmSweep();
   void SweepNow();
+  // Trims each function's parked population to its surplus allowance
+  // (no-op with the cap disabled).
+  void EnforceSurplusCap(SimTime now);
   void UpdateGauges(SimTime now);
 
   bool enabled_ = false;
@@ -173,6 +183,7 @@ class DensityManager {
   TimeSeriesGauge timeline_[kDensityTierCount];
   uint64_t demotions_ = 0;
   uint64_t promotions_ = 0;
+  uint64_t surplus_evictions_ = 0;
 
   // Registry instruments (owned by the platform's registry; null when the
   // manager is disabled).
@@ -181,6 +192,7 @@ class DensityManager {
   obs::Counter* demoted_pages_counter_ = nullptr;
   obs::Counter* promoted_pages_counter_ = nullptr;
   obs::Counter* pressure_storms_counter_ = nullptr;
+  obs::Counter* surplus_evictions_counter_ = nullptr;
   obs::Gauge* tier_count_gauges_[kDensityTierCount] = {};
   obs::Gauge* tier_bytes_gauges_[kDensityTierCount] = {};
 };

@@ -106,6 +106,17 @@ Result<MmtAttachResult> MmtApi::MmtAttach(MmtId id, MmStruct* target) {
     return Status::InvalidArgument("null target mm");
   }
   TRENV_ASSIGN_OR_RETURN(MmTemplate * tmpl, registry_.Lookup(id));
+  // Shared-region bits (src/shstate/) are per-mapping coherence state and
+  // must never appear in a template: templates are immutable rack-shared
+  // metadata, and cloning an owner/dirty bit would fork the single-writer
+  // protocol into every attached sandbox.
+  bool clean = true;
+  tmpl->page_table().ForEachRun([&clean](Vpn, const PteRun& run) {
+    clean = clean && !run.flags.shared && !run.flags.owner && !run.flags.dirty;
+  });
+  if (!clean) {
+    return Status::Internal("template page table carries shared-region PTE bits");
+  }
   // Validate first so a failed attach leaves the target untouched.
   for (const auto& [start, vma] : tmpl->vmas()) {
     const Vma* existing = target->FindVma(vma.start);

@@ -38,6 +38,12 @@ Cluster::Cluster(ClusterConfig config)
     pool_mgr_ = std::make_unique<PoolManager>(config_.poolmgr, config_.nodes, fabric_.get(),
                                               &stats_);
   }
+  if (config_.shstate.enabled) {
+    // Shared-state regions live on the same tiered pool as templates; the
+    // data plane's clock joins the lock-step advance like poolmgr's.
+    shstate_ = std::make_unique<RegionManager>(config_.shstate, config_.nodes, &tiered_,
+                                               &backends_, &stats_);
+  }
 
   for (uint32_t i = 0; i < config_.nodes; ++i) {
     // Each node occupies one port of the multi-headed device.
@@ -52,6 +58,7 @@ Cluster::Cluster(ClusterConfig config)
                                                  dedup_.get());
     PlatformConfig node_config = config_.node_config;
     node_config.seed ^= 0x900d + i;
+    node_config.node_index = i;
     if (node_config.tracer != nullptr) {
       // Each node is its own trace process (clock domain): one swim lane per
       // node in the exported view.
@@ -161,25 +168,35 @@ size_t Cluster::PickNode(const std::string& function) {
 }
 
 Status Cluster::Submit(SimTime arrival, const std::string& function) {
-  const Status status = Dispatch(arrival, function);
+  return Submit(arrival, function, SubmitOptions{});
+}
+
+Status Cluster::Submit(SimTime arrival, const std::string& function, SubmitOptions options) {
+  const Status status = Dispatch(arrival, function, std::move(options));
   if (status.ok()) {
     ++accepted_;
   }
   return status;
 }
 
-Status Cluster::Dispatch(SimTime arrival, const std::string& function) {
+Status Cluster::Dispatch(SimTime arrival, const std::string& function,
+                         SubmitOptions options) {
   if (!AnyAlive()) {
     if (injector_ == nullptr) {
       return Status::Unavailable("no node alive to accept invocation of '" + function + "'");
     }
     // Whole-rack outage mid-chaos: park the invocation; the next restart
     // flushes the deferred queue.
-    deferred_.push_back(Deferred{arrival, function});
+    deferred_.push_back(Deferred{arrival, function, std::move(options.on_complete)});
     injector_->CountDeferred();
     return Status::Ok();
   }
-  const size_t node_index = PickNode(function);
+  const size_t node_index =
+      (options.preferred_node >= 0 &&
+       static_cast<size_t>(options.preferred_node) < nodes_.size() &&
+       nodes_[options.preferred_node]->alive)
+          ? static_cast<size_t>(options.preferred_node)
+          : PickNode(function);
   ServerlessPlatform& platform = *nodes_[node_index]->platform;
   if (platform.tracer() != nullptr) {
     // Dispatch marker on the chosen node's control track (track 0).
@@ -212,14 +229,15 @@ Status Cluster::Dispatch(SimTime arrival, const std::string& function) {
     // it is applied at the start of the next epoch, before any scheduler
     // drains, so event sequence numbers match an immediate submit. A
     // rejection surfaces when the mailbox drains (it still aborts the run).
-    mailbox_->cmds.push_back(SubmitCmd{start, static_cast<uint32_t>(node_index), function});
+    mailbox_->cmds.push_back(SubmitCmd{start, static_cast<uint32_t>(node_index), function,
+                                       std::move(options.on_complete)});
     mailbox_->inboxes[mailbox_->shard_of[node_index]].push_back(mailbox_->cmds.size() - 1);
     if (!window_dispatches_.empty()) {
       ++window_dispatches_[node_index];
     }
     return Status::Ok();
   }
-  const Status status = platform.Submit(start, function);
+  const Status status = platform.Submit(start, function, std::move(options.on_complete));
   if (!status.ok()) {
     // Name the rejecting node: "invocation failed" without a culprit is
     // useless in a rack-sized log.
@@ -250,6 +268,11 @@ void Cluster::AdvanceAllTo(SimTime t) {
     // lock-step with the worker nodes.
     pool_mgr_->clock().RunUntil(t);
   }
+  if (shstate_ != nullptr) {
+    // Invalidation shootdowns and reader-lease expiries follow the same
+    // lock-step timeline.
+    shstate_->clock().RunUntil(t);
+  }
 }
 
 void Cluster::CrashNode(size_t i, SimTime when) {
@@ -265,6 +288,11 @@ void Cluster::CrashNode(size_t i, SimTime when) {
     // A dead worker tears down nothing orderly; its leases just vanish.
     pool_mgr_->ReleaseWorker(static_cast<uint32_t>(i));
   }
+  if (shstate_ != nullptr) {
+    // Region ownership the dead worker held becomes vacant (the bytes are
+    // durable in the pool); its reader leases vanish like poolmgr's.
+    shstate_->ReleaseWorker(static_cast<uint32_t>(i));
+  }
   // Failover: everything the dead node had accepted restarts on a survivor
   // once the dispatcher's health check fires. TrEnv restores from the shared
   // snapshot (redeploy_penalty zero); the cold-redeploy baseline pays a
@@ -273,7 +301,9 @@ void Cluster::CrashNode(size_t i, SimTime when) {
       when + config_.failover.detection_latency + config_.failover.redeploy_penalty;
   for (LostInvocation& invocation : lost) {
     injector_->CountFailover(redispatch - invocation.arrival);
-    (void)Dispatch(redispatch, invocation.function);
+    SubmitOptions options;
+    options.on_complete = std::move(invocation.on_complete);
+    (void)Dispatch(redispatch, invocation.function, std::move(options));
   }
 }
 
@@ -293,7 +323,9 @@ void Cluster::RestartNode(size_t i, SimTime when) {
   const SimTime ready = when + config_.failover.detection_latency;
   for (Deferred& d : parked) {
     injector_->CountFailover(ready - d.arrival);
-    (void)Dispatch(std::max(ready, d.arrival), d.function);
+    SubmitOptions options;
+    options.on_complete = std::move(d.on_complete);
+    (void)Dispatch(std::max(ready, d.arrival), d.function, std::move(options));
   }
 }
 
@@ -362,8 +394,11 @@ Status Cluster::Run(const Schedule& schedule) {
 }
 
 bool Cluster::CanShardAcrossThreads() const {
+  // shstate is cross-node-shared and unsynchronized (region maps, clock), so
+  // it degrades sharded runs to one shard like the other shared components.
   return injector_ == nullptr && config_.node_config.tracer == nullptr &&
-         config_.node_config.prewarm == nullptr && !config_.node_config.density.enabled;
+         config_.node_config.prewarm == nullptr && !config_.node_config.density.enabled &&
+         shstate_ == nullptr;
 }
 
 Status Cluster::RunSharded(ArrivalStream& arrivals, const ShardedRunOptions& options) {
@@ -419,7 +454,8 @@ Status Cluster::RunSharded(ArrivalStream& arrivals, const ShardedRunOptions& opt
   const std::function<void(size_t)> advance_shard = [&](size_t s) {
     for (const size_t idx : sink.inboxes[s]) {
       const SubmitCmd& cmd = sink.cmds[idx];
-      sink.statuses[idx] = nodes_[cmd.node]->platform->Submit(cmd.start, cmd.function);
+      sink.statuses[idx] =
+          nodes_[cmd.node]->platform->Submit(cmd.start, cmd.function, cmd.on_complete);
     }
     for (size_t i = shard_range[s].first; i < shard_range[s].second; ++i) {
       if (injector_ != nullptr) {
@@ -431,7 +467,8 @@ Status Cluster::RunSharded(ArrivalStream& arrivals, const ShardedRunOptions& opt
   const std::function<void(size_t)> finish_shard = [&](size_t s) {
     for (const size_t idx : sink.inboxes[s]) {
       const SubmitCmd& cmd = sink.cmds[idx];
-      sink.statuses[idx] = nodes_[cmd.node]->platform->Submit(cmd.start, cmd.function);
+      sink.statuses[idx] =
+          nodes_[cmd.node]->platform->Submit(cmd.start, cmd.function, cmd.on_complete);
     }
     for (size_t i = shard_range[s].first; i < shard_range[s].second; ++i) {
       if (injector_ != nullptr) {
@@ -534,7 +571,44 @@ void Cluster::RunAllToCompletion() {
     // schedules exactly one expiry, so this drains.
     pool_mgr_->clock().RunUntilIdle();
   }
+  if (shstate_ != nullptr) {
+    // Same for invalidation shootdowns and reader-lease expiries.
+    shstate_->clock().RunUntilIdle();
+  }
 }
+
+std::optional<SimTime> Cluster::NextEventTime() {
+  std::optional<SimTime> earliest;
+  const auto consider = [&](std::optional<SimTime> t) {
+    if (t.has_value() && (!earliest.has_value() || *t < *earliest)) {
+      earliest = t;
+    }
+  };
+  for (auto& node : nodes_) {
+    consider(node->platform->scheduler().NextEventTime());
+  }
+  if (pool_mgr_ != nullptr) {
+    consider(pool_mgr_->clock().NextEventTime());
+  }
+  if (shstate_ != nullptr) {
+    consider(shstate_->clock().NextEventTime());
+  }
+  return earliest;
+}
+
+void Cluster::AdvanceClocksTo(SimTime t) { AdvanceAllTo(t); }
+
+std::vector<FaultInjector::NodeEvent> Cluster::PlanFaultEvents() {
+  if (injector_ == nullptr) {
+    return {};
+  }
+  return injector_->PlanNodeEvents(static_cast<uint32_t>(nodes_.size()),
+                                   pool_mgr_ != nullptr ? config_.poolmgr.pool_nodes : 0);
+}
+
+void Cluster::ApplyFaultEvent(const FaultInjector::NodeEvent& event) { ApplyNodeEvent(event); }
+
+void Cluster::DrainAll() { RunAllToCompletion(); }
 
 uint64_t Cluster::NodeDramBytes() const {
   uint64_t total = 0;

@@ -21,6 +21,7 @@
 #include "src/obs/registry.h"
 #include "src/platform/platform.h"
 #include "src/poolmgr/pool_manager.h"
+#include "src/shstate/region_manager.h"
 #include "src/sim/shard_coordinator.h"
 #include "src/workload/arrival_stream.h"
 
@@ -69,6 +70,10 @@ struct ClusterConfig {
   // Disabled by default: the cluster then behaves bit-identically to one
   // built before the control plane existed.
   PoolManagerConfig poolmgr;
+  // Shared-state data plane (writable regions + ownership transfer over the
+  // pool). Disabled by default: no RegionManager is built and every existing
+  // code path is byte-identical.
+  ShStateConfig shstate;
   // Fault-injection campaign; an empty schedule means the fault-free fabric
   // (bit-identical behaviour to a cluster with no injector at all).
   FaultSchedule faults;
@@ -91,6 +96,18 @@ class Cluster {
   // node is down (mid-crash-window), the invocation is parked and
   // re-dispatched when a node restarts. Errors name the rejecting node.
   [[nodiscard]] Status Submit(SimTime arrival, const std::string& function);
+
+  // Extra dispatch controls for pipeline drivers.
+  struct SubmitOptions {
+    // Fires when the invocation completes; survives crash re-dispatch.
+    CompletionFn on_complete;
+    // Data-locality hint: dispatch here when the node is alive (the node
+    // already attached the invocation's input region's pool home). Negative
+    // = use the configured policy.
+    int32_t preferred_node = -1;
+  };
+  [[nodiscard]] Status Submit(SimTime arrival, const std::string& function,
+                              SubmitOptions options);
   [[nodiscard]] Status Run(const Schedule& schedule);
 
   // Sharded run: the trace pulls lazily from `arrivals` (a 10M-invocation
@@ -125,6 +142,25 @@ class Cluster {
   // Null unless ClusterConfig::poolmgr.enabled.
   PoolManager* pool_manager() { return pool_mgr_.get(); }
   const PoolManager* pool_manager() const { return pool_mgr_.get(); }
+  // Null unless ClusterConfig::shstate.enabled.
+  RegionManager* shared_state() { return shstate_.get(); }
+  const RegionManager* shared_state() const { return shstate_.get(); }
+
+  // --- pipeline-driver hooks -------------------------------------------------
+  // An external driver (shstate::PipelineDriver) interleaves its own action
+  // queue with the cluster's timeline through these instead of Run().
+  //
+  // Earliest pending event across node schedulers and control-plane clocks.
+  std::optional<SimTime> NextEventTime();
+  // Runs every clock up to t in lock-step (wraps the private AdvanceAllTo).
+  void AdvanceClocksTo(SimTime t);
+  // Node-level fault plan (empty without an injector) and its application,
+  // so a driver can merge crash/restart events into its own loop exactly
+  // like Run() does.
+  std::vector<FaultInjector::NodeEvent> PlanFaultEvents();
+  void ApplyFaultEvent(const FaultInjector::NodeEvent& event);
+  // Drains every scheduler (wraps the private RunAllToCompletion).
+  void DrainAll();
   // Invocations the cluster accepted via Submit — the chaos bench's
   // zero-loss check compares this against completed counts.
   uint64_t accepted_invocations() const { return accepted_; }
@@ -156,6 +192,7 @@ class Cluster {
   struct Deferred {
     SimTime arrival;  // the invocation's original arrival
     std::string function;
+    CompletionFn on_complete;
   };
 
   // A platform Submit deferred into a per-shard mailbox: the owning shard
@@ -166,6 +203,7 @@ class Cluster {
     SimTime start;
     uint32_t node;
     std::string function;
+    CompletionFn on_complete;
   };
   // Mailbox state live only inside RunSharded; Dispatch routes platform
   // submits here instead of calling Submit directly when non-null.
@@ -189,7 +227,11 @@ class Cluster {
   size_t PickNode(const std::string& function);
   // Submit minus acceptance accounting: used both for fresh arrivals and for
   // re-dispatching recovered invocations (which were already counted).
-  Status Dispatch(SimTime arrival, const std::string& function);
+  Status Dispatch(SimTime arrival, const std::string& function) {
+    return Dispatch(arrival, function, SubmitOptions{});
+  }
+  Status Dispatch(SimTime arrival, const std::string& function,
+                  SubmitOptions options);
   // Points the injector's clock and CXL-port scope at node i before its
   // scheduler is drained (node clocks diverge during RunAllToCompletion).
   void FocusNode(size_t i);
@@ -214,6 +256,7 @@ class Cluster {
   // separate from the MHD so attach traffic contends on its own NIC path.
   std::unique_ptr<RdmaPool> fabric_;
   std::unique_ptr<PoolManager> pool_mgr_;
+  std::unique_ptr<RegionManager> shstate_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<Deferred> deferred_;
   size_t next_node_ = 0;

@@ -134,6 +134,14 @@ bool KeepAlivePool::EvictLru() {
   return true;
 }
 
+bool KeepAlivePool::EvictFnLru(FunctionId function) {
+  if (function >= by_function_.size() || by_function_[function].head == kNil) {
+    return false;
+  }
+  evict_(Detach(by_function_[function].head));
+  return true;
+}
+
 bool KeepAlivePool::EvictHotLru() {
   const uint32_t head = tier_head_[static_cast<size_t>(DensityTier::kDramHot)];
   if (head == kNil) {

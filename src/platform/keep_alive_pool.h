@@ -43,6 +43,11 @@ class KeepAlivePool {
   // Evicts the single least-recently-used idle instance. Returns false if
   // the pool is empty.
   bool EvictLru();
+  // Evicts `function`'s least-recently-used idle instance. Returns false if
+  // the function has nothing parked. The density manager's per-function
+  // surplus cap trims with this so the victim is always the entry that
+  // function would reuse last.
+  bool EvictFnLru(FunctionId function);
   // Evicts every instance idle since before `now - ttl`.
   size_t ExpireStale(SimTime now);
   void EvictAll();

@@ -43,17 +43,23 @@ Status ServerlessPlatform::Deploy(const FunctionProfile& profile) {
 }
 
 Status ServerlessPlatform::Submit(SimTime arrival, const std::string& function) {
+  return Submit(arrival, function, CompletionFn());
+}
+
+Status ServerlessPlatform::Submit(SimTime arrival, const std::string& function,
+                                  CompletionFn on_complete) {
   TRENV_RETURN_IF_ERROR(registry_.Find(function).status());
   // Track the invocation from acceptance, not from its arrival event: if the
   // node crashes first, Crash() finds it in queued_ and hands it back for
   // re-dispatch instead of silently losing it with the event queue.
   const uint64_t ticket = next_ticket_++;
-  queued_.emplace(ticket, LostInvocation{function, arrival, ticket});
+  queued_.emplace(ticket, LostInvocation{function, arrival, ticket, std::move(on_complete)});
   scheduler_.ScheduleAt(arrival, [this, ticket] {
     auto it = queued_.find(ticket);
     const std::string fn = std::move(it->second.function);
+    CompletionFn done = std::move(it->second.on_complete);
     queued_.erase(it);
-    StartInvocation(fn, ticket);
+    StartInvocation(fn, ticket, std::move(done));
   });
   return Status::Ok();
 }
@@ -143,7 +149,8 @@ std::vector<LostInvocation> ServerlessPlatform::Crash() {
       tracer_->Annotate(flight.root_span, "failed", std::string("node-crash"));
       tracer_->EndSpan(flight.root_span);
     }
-    lost.push_back(LostInvocation{flight.function, flight.arrival, flight.ticket});
+    lost.push_back(LostInvocation{flight.function, flight.arrival, flight.ticket,
+                                  std::move(flight.on_complete)});
   }
   // (arrival, ticket) is a strict total order — tickets are unique — so the
   // re-dispatch order is fully determined even when a queued and an in-flight
@@ -168,7 +175,8 @@ std::vector<LostInvocation> ServerlessPlatform::Crash() {
   return lost;
 }
 
-void ServerlessPlatform::StartInvocation(const std::string& function, uint64_t ticket) {
+void ServerlessPlatform::StartInvocation(const std::string& function, uint64_t ticket,
+                                         CompletionFn on_complete) {
   auto profile_or = registry_.Find(function);
   if (!profile_or.ok()) {
     ++failed_invocations_;
@@ -196,6 +204,7 @@ void ServerlessPlatform::StartInvocation(const std::string& function, uint64_t t
   flight.profile = &profile;
   flight.fid = FunctionIdOf(profile);
   flight.ticket = ticket;
+  flight.on_complete = std::move(on_complete);
   flight.arrival = scheduler_.now();
   if (tracer_ != nullptr) {
     flight.root_span = tracer_->StartSpan(TraceLoc(token), "invocation", "invocation");
@@ -375,6 +384,7 @@ void ServerlessPlatform::Complete(uint64_t token) {
   // TTL sweep: wake up when this instance would expire.
   scheduler_.ScheduleAfter(ttl + SimDuration::Millis(1),
                            [this] { keep_alive_.ExpireStale(scheduler_.now()); });
+  CompletionFn done = std::move(flight.on_complete);
   inflight_.erase(token);
   if (density) {
     // Parks are where the footprint grows; without enforcement here a burst
@@ -383,6 +393,11 @@ void ServerlessPlatform::Complete(uint64_t token) {
     EnforceMemoryCap();
   }
   SampleMemory();
+  if (done) {
+    // Last: the callback may submit follow-on work (pipeline successors) to
+    // other nodes, and this invocation's bookkeeping is fully settled above.
+    done(config_.node_index, scheduler_.now());
+  }
 }
 
 void ServerlessPlatform::MaybeSchedulePrewarm(const std::string& function) {

@@ -13,6 +13,7 @@
 #ifndef TRENV_PLATFORM_PLATFORM_H_
 #define TRENV_PLATFORM_PLATFORM_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -49,7 +50,16 @@ struct PlatformConfig {
   // Density tiering (off by default; see src/density/density_manager.h).
   // When disabled the platform takes its historical code paths verbatim.
   DensityConfig density;
+  // Which cluster node this platform is (reported to completion callbacks so
+  // a pipeline driver knows where an invocation actually finished — after a
+  // crash re-dispatch that differs from where it was submitted).
+  uint32_t node_index = 0;
 };
+
+// Invoked when an invocation completes successfully: the completing node's
+// index and the virtual completion time. Carried through crash re-dispatch,
+// so pipeline successors fire exactly once per accepted invocation.
+using CompletionFn = std::function<void(uint32_t node, SimTime when)>;
 
 // An invocation a crashed node accepted but had not completed: the cluster
 // re-dispatches these to surviving nodes. The acceptance ticket makes
@@ -60,6 +70,7 @@ struct LostInvocation {
   std::string function;
   SimTime arrival;
   uint64_t ticket = 0;
+  CompletionFn on_complete;  // preserved across re-dispatch (may be null)
 };
 
 class ServerlessPlatform {
@@ -74,6 +85,10 @@ class ServerlessPlatform {
 
   // Schedules one invocation at `arrival` (absolute virtual time).
   [[nodiscard]] Status Submit(SimTime arrival, const std::string& function);
+  // Same, with a completion callback (fires on success only; failure paths
+  // drop it and count failed_invocations instead).
+  [[nodiscard]] Status Submit(SimTime arrival, const std::string& function,
+                              CompletionFn on_complete);
   // Schedules a whole workload and runs the simulation to completion.
   [[nodiscard]] Status Run(const Schedule& schedule);
   // Runs whatever is scheduled without submitting more work.
@@ -123,6 +138,7 @@ class ServerlessPlatform {
     // The acceptance ticket from Submit, carried through so Crash() can
     // rebuild the (arrival, ticket) total order across queued_ + inflight_.
     uint64_t ticket = 0;
+    CompletionFn on_complete;
     SimTime arrival;
     SimTime exec_start;
     StartupBreakdown startup;
@@ -140,7 +156,8 @@ class ServerlessPlatform {
   RestoreContext MakeContext();
   // The (process, track) pair all of one invocation's spans live on.
   obs::Loc TraceLoc(uint64_t token) const { return {trace_pid_, token}; }
-  void StartInvocation(const std::string& function, uint64_t ticket);
+  void StartInvocation(const std::string& function, uint64_t ticket,
+                       CompletionFn on_complete);
   void BeginStartupPhases(uint64_t token);
   void BeginExecution(uint64_t token);
   void Complete(uint64_t token);

@@ -1,0 +1,373 @@
+#include "src/shstate/region_manager.h"
+
+#include <utility>
+
+namespace trenv {
+
+namespace {
+// Each worker's shared-region window VMA. Far above the sandbox layouts so
+// tests mixing mms never collide; 4 GiB of window space is plenty for the
+// simulated pipelines.
+constexpr Vaddr kWindowVmaStart = 0x7f0000000000ULL;
+constexpr uint64_t kWindowVmaBytes = 4ULL * kGiB;
+// Window data-plane frames are never used (shared mappings stay remote); the
+// allocator only exists to satisfy the fault handler's constructor contract.
+constexpr uint64_t kScratchFrameBytes = 64ULL * kMiB;
+}  // namespace
+
+RegionManager::RegionManager(ShStateConfig config, uint32_t workers, TieredPool* pool,
+                             const BackendRegistry* backends, obs::Registry* stats)
+    : config_(config),
+      pool_(pool),
+      backends_(backends),
+      frames_(kScratchFrameBytes),
+      fault_handler_(&frames_, backends, stats),
+      next_window_(AddrToVpn(kWindowVmaStart)) {
+  if (config_.pool_nodes == 0) {
+    config_.pool_nodes = 1;
+  }
+  mms_.reserve(workers);
+  for (uint32_t w = 0; w < workers; ++w) {
+    mms_.emplace_back();
+    Status st = mms_.back().AddVma(MakeAnonVma(kWindowVmaStart, kWindowVmaBytes,
+                                               Protection::ReadWrite(), "[shstate]"));
+    (void)st;  // a fresh mm cannot have an overlapping VMA
+  }
+  if (stats != nullptr) {
+    regions_counter_ = stats->GetCounter("shstate.regions_created");
+    writes_counter_ = stats->GetCounter("shstate.writes");
+    reads_counter_ = stats->GetCounter("shstate.reads");
+    transfers_counter_ = stats->GetCounter("shstate.transfers");
+    migrations_counter_ = stats->GetCounter("shstate.migrations");
+    moved_bytes_counter_ = stats->GetCounter("shstate.moved_bytes");
+    pool_write_bytes_counter_ = stats->GetCounter("shstate.pool_write_bytes");
+    invalidations_counter_ = stats->GetCounter("shstate.invalidations");
+    lease_grants_counter_ = stats->GetCounter("shstate.lease_grants");
+    lease_expired_counter_ = stats->GetCounter("shstate.leases_expired");
+    recoveries_counter_ = stats->GetCounter("shstate.ownership_recoveries");
+  }
+}
+
+Result<RegionManager::Region*> RegionManager::Find(RegionId id) {
+  if (id >= regions_.size() || !regions_[id].live) {
+    return Status::NotFound("no such shared region");
+  }
+  return &regions_[id];
+}
+
+MemoryBackend* RegionManager::Backend(const Region& region) const {
+  return backends_->Get(region.placement.kind);
+}
+
+bool RegionManager::ReaderMapped(RegionId id, uint32_t worker) const {
+  const Region& region = regions_[id];
+  auto it = region.readers.find(worker);
+  return it != region.readers.end() && it->second.mapped;
+}
+
+void RegionManager::MapOwner(Region& region, uint32_t worker) {
+  PteFlags flags;
+  flags.valid = true;
+  flags.write_protected = false;
+  flags.pool = region.placement.kind;
+  flags.shared = true;
+  flags.owner = true;
+  mms_[worker].page_table().MapRange(region.window, region.npages, flags,
+                                     region.placement.base,
+                                     /*content_base=*/region.version << 20);
+}
+
+void RegionManager::MapReader(Region& region, uint32_t worker) {
+  PteFlags flags;
+  flags.valid = true;
+  flags.write_protected = true;
+  flags.pool = region.placement.kind;
+  flags.shared = true;
+  mms_[worker].page_table().MapRange(region.window, region.npages, flags,
+                                     region.placement.base,
+                                     /*content_base=*/region.version << 20);
+}
+
+void RegionManager::UnmapWindow(Region& region, uint32_t worker) {
+  mms_[worker].page_table().UnmapRange(region.window, region.npages);
+}
+
+Result<RegionId> RegionManager::CreateRegion(const std::string& name, uint64_t npages,
+                                             uint32_t owner, SimTime now) {
+  (void)now;
+  if (npages == 0 || owner >= mms_.size()) {
+    return Status::InvalidArgument("bad region size or owner");
+  }
+  const Vpn window_end = next_window_ + npages;
+  if (VpnToAddr(window_end) > kWindowVmaStart + kWindowVmaBytes) {
+    return Status::ResourceExhausted("shared-region window space exhausted");
+  }
+  // Hotness 1.0: region bytes are live function state, so they land on the
+  // hottest pool tier with space (CXL, falling through to RDMA/NAS).
+  TRENV_ASSIGN_OR_RETURN(PoolPlacement placement, pool_->AllocatePages(npages, 1.0));
+  if (placement.kind == PoolKind::kLocalDram) {
+    // A shared region must be reachable from every node; local DRAM is not.
+    Status st = pool_->FreePages(placement);
+    (void)st;
+    return Status::ResourceExhausted("no remote pool tier has space for the region");
+  }
+  Region region;
+  region.name = name;
+  region.npages = npages;
+  region.placement = placement;
+  region.window = next_window_;
+  region.home = HomeOf(owner);
+  region.owner = static_cast<int32_t>(owner);
+  region.live = true;
+  next_window_ = window_end;
+  regions_.push_back(std::move(region));
+  MapOwner(regions_.back(), owner);
+  Count(regions_counter_);
+  return static_cast<RegionId>(regions_.size() - 1);
+}
+
+SimDuration RegionManager::RevokeReaders(RegionId id, int32_t keep, SimTime now) {
+  Region& region = regions_[id];
+  SimDuration cost;
+  for (auto& [worker, reader] : region.readers) {
+    if (!reader.mapped || static_cast<int32_t>(worker) == keep) {
+      continue;
+    }
+    reader.mapped = false;
+    ++invalidations_;
+    Count(invalidations_counter_);
+    cost += config_.invalidate_per_reader;
+    // The unmap itself lands asynchronously on the data plane's timeline —
+    // modeled after a TLB-shootdown IPI. The reader sees the revocation once
+    // the event runs; its next ReadRegion re-maps and re-fetches.
+    const uint32_t w = worker;
+    clock_.ScheduleAt(std::max(now, clock_.now()) + config_.invalidate_per_reader,
+                      [this, id, w] {
+                        Region& r = regions_[id];
+                        // Skip if the worker re-opened (mapped again) or took
+                        // ownership since the shootdown was posted — its
+                        // current mapping is live, not the revoked one.
+                        if (!r.live || r.owner == static_cast<int32_t>(w)) {
+                          return;
+                        }
+                        auto it = r.readers.find(w);
+                        if (it != r.readers.end() && it->second.mapped) {
+                          return;
+                        }
+                        UnmapWindow(r, w);
+                      });
+  }
+  return cost;
+}
+
+Result<RegionOp> RegionManager::WriteRegion(RegionId id, uint32_t worker, SimTime now) {
+  TRENV_ASSIGN_OR_RETURN(Region * region, Find(id));
+  if (region->owner != static_cast<int32_t>(worker)) {
+    return Status::PermissionDenied("write requires region ownership");
+  }
+  // Single-writer coherence: a write while readers are mapped revokes them.
+  RegionOp op;
+  op.latency += RevokeReaders(id, static_cast<int32_t>(worker), now);
+  TRENV_ASSIGN_OR_RETURN(
+      BulkAccessStats stats,
+      fault_handler_.AccessRange(mms_[worker], WindowAddr(*region), region->npages,
+                                 /*write=*/true));
+  op.latency += stats.latency;
+  // The write-through path in the fault handler charges nothing (plain
+  // stores); the data plane charges the bulk stream to the pool copy here —
+  // symmetric with the fetch direction, same link.
+  op.latency += Backend(*region)->FetchLatency(region->npages);
+  region->version += 1;
+  pool_write_bytes_ += region->npages * kPageSize;
+  Count(writes_counter_);
+  Count(pool_write_bytes_counter_, static_cast<double>(region->npages * kPageSize));
+  return op;
+}
+
+void RegionManager::GrantLease(RegionId id, uint32_t worker, SimTime now) {
+  Region& region = regions_[id];
+  Reader& reader = region.readers[worker];
+  reader.lease_expires = now + config_.lease_ttl;
+  ++lease_grants_;
+  Count(lease_grants_counter_);
+  // One expiry event per grant window (poolmgr's scheme): renewals push
+  // lease_expires forward, so earlier events find the lease still live.
+  clock_.ScheduleAt(reader.lease_expires, [this, id, worker] {
+    Region& r = regions_[id];
+    if (!r.live) {
+      return;
+    }
+    auto it = r.readers.find(worker);
+    if (it == r.readers.end() || clock_.now() < it->second.lease_expires) {
+      return;  // renewed (or already gone)
+    }
+    if (it->second.mapped) {
+      UnmapWindow(r, worker);
+    }
+    r.readers.erase(it);
+    ++leases_expired_;
+    Count(lease_expired_counter_);
+  });
+}
+
+Result<RegionOp> RegionManager::OpenReader(RegionId id, uint32_t worker, SimTime now) {
+  TRENV_ASSIGN_OR_RETURN(Region * region, Find(id));
+  if (worker >= mms_.size()) {
+    return Status::InvalidArgument("bad reader worker");
+  }
+  if (region->owner == static_cast<int32_t>(worker)) {
+    return RegionOp{};  // the owner already maps the region writable
+  }
+  RegionOp op;
+  op.latency = config_.map_metadata;
+  Reader& reader = region->readers[worker];
+  if (!reader.mapped) {
+    MapReader(*region, worker);
+    reader.mapped = true;
+  }
+  GrantLease(id, worker, now);
+  return op;
+}
+
+Result<RegionOp> RegionManager::ReadRegion(RegionId id, uint32_t worker, SimTime now) {
+  TRENV_ASSIGN_OR_RETURN(Region * region, Find(id));
+  MemoryBackend* backend = Backend(*region);
+  if (backend == nullptr) {
+    return Status::Internal("no backend for region tier");
+  }
+  RegionOp op;
+  if (region->owner != static_cast<int32_t>(worker)) {
+    auto it = region->readers.find(worker);
+    const bool warm = it != region->readers.end() && it->second.mapped;
+    if (!warm) {
+      // Fresh open or revoked/expired mapping: re-map (metadata) and stream
+      // the region back in — the measurable cost of an invalidation.
+      TRENV_ASSIGN_OR_RETURN(RegionOp open, OpenReader(id, worker, now));
+      op.latency += open.latency + backend->FetchLatency(region->npages);
+      refetch_bytes_ += region->npages * kPageSize;
+    } else {
+      GrantLease(id, worker, now);  // renew the window on use
+      op.latency += backend->EffectiveDirectLoadLatency();
+    }
+  } else {
+    op.latency += backend->EffectiveDirectLoadLatency();
+  }
+  TRENV_ASSIGN_OR_RETURN(
+      BulkAccessStats stats,
+      fault_handler_.AccessRange(mms_[worker], WindowAddr(*region), region->npages,
+                                 /*write=*/false));
+  op.latency += stats.latency;
+  Count(reads_counter_);
+  read_ms_.RecordDuration(op.latency);
+  return op;
+}
+
+Result<RegionOp> RegionManager::MoveOwnership(RegionId id, uint32_t to, SimTime now) {
+  Region& region = regions_[id];
+  RegionOp op;
+  op.latency += RevokeReaders(id, static_cast<int32_t>(to), now);
+  if (region.owner >= 0 && region.owner != static_cast<int32_t>(to)) {
+    UnmapWindow(region, static_cast<uint32_t>(region.owner));
+  }
+  // The new owner's reader mapping (if any) is replaced synchronously by the
+  // owner mapping below; drop its lease bookkeeping.
+  region.readers.erase(to);
+  op.latency += config_.ownership_transfer;
+  const uint32_t to_home = HomeOf(to);
+  if (to_home != region.home) {
+    // Pool-to-pool migration: the payload streams between pool nodes over
+    // the inter-pool link, never through a worker sandbox (the Nexus story).
+    const uint64_t bytes = region.npages * kPageSize;
+    op.moved_bytes += bytes;
+    op.latency += SimDuration::FromSecondsF(static_cast<double>(bytes) /
+                                            config_.pool_to_pool_bytes_per_sec);
+    region.home = to_home;
+    ++migrations_;
+    moved_bytes_ += bytes;
+    Count(migrations_counter_);
+    Count(moved_bytes_counter_, static_cast<double>(bytes));
+  }
+  region.owner = static_cast<int32_t>(to);
+  MapOwner(region, to);
+  return op;
+}
+
+Result<RegionOp> RegionManager::Transfer(RegionId id, uint32_t from, uint32_t to,
+                                         SimTime now) {
+  TRENV_ASSIGN_OR_RETURN(Region * region, Find(id));
+  if (region->owner != static_cast<int32_t>(from)) {
+    return Status::PermissionDenied("transfer requires current ownership");
+  }
+  if (to >= mms_.size()) {
+    return Status::InvalidArgument("bad transfer target");
+  }
+  if (from == to) {
+    return RegionOp{};
+  }
+  TRENV_ASSIGN_OR_RETURN(RegionOp op, MoveOwnership(id, to, now));
+  ++transfers_;
+  Count(transfers_counter_);
+  transfer_ms_.RecordDuration(op.latency);
+  return op;
+}
+
+Result<RegionOp> RegionManager::AcquireOwnership(RegionId id, uint32_t worker, SimTime now) {
+  TRENV_ASSIGN_OR_RETURN(Region * region, Find(id));
+  if (worker >= mms_.size()) {
+    return Status::InvalidArgument("bad worker");
+  }
+  if (region->owner == static_cast<int32_t>(worker)) {
+    return RegionOp{};
+  }
+  const bool recovery = region->owner < 0;
+  TRENV_ASSIGN_OR_RETURN(RegionOp op, MoveOwnership(id, worker, now));
+  if (recovery) {
+    ++ownership_recoveries_;
+    Count(recoveries_counter_);
+  }
+  transfer_ms_.RecordDuration(op.latency);
+  return op;
+}
+
+Status RegionManager::DestroyRegion(RegionId id) {
+  TRENV_ASSIGN_OR_RETURN(Region * region, Find(id));
+  if (region->owner >= 0) {
+    UnmapWindow(*region, static_cast<uint32_t>(region->owner));
+  }
+  for (auto& [worker, reader] : region->readers) {
+    if (reader.mapped) {
+      UnmapWindow(*region, worker);
+    }
+  }
+  region->readers.clear();
+  region->owner = -1;
+  region->live = false;
+  return pool_->FreePages(region->placement);
+}
+
+void RegionManager::ReleaseWorker(uint32_t worker) {
+  if (worker >= mms_.size()) {
+    return;
+  }
+  for (RegionId id = 0; id < regions_.size(); ++id) {
+    Region& region = regions_[id];
+    if (!region.live) {
+      continue;
+    }
+    if (region.owner == static_cast<int32_t>(worker)) {
+      // The bytes are durable in the pool; ownership simply becomes vacant
+      // until a surviving worker acquires it (lease-based recovery).
+      UnmapWindow(region, worker);
+      region.owner = -1;
+    }
+    auto it = region.readers.find(worker);
+    if (it != region.readers.end()) {
+      if (it->second.mapped) {
+        UnmapWindow(region, worker);
+      }
+      region.readers.erase(it);
+    }
+  }
+}
+
+}  // namespace trenv

@@ -1,0 +1,234 @@
+// RegionManager: the shared-state data plane over the disaggregated pool.
+//
+// TrEnv's mm-templates share read-only *templates*; this module lets
+// functions share *data* (ROADMAP item 5, Faasm/Nexus in PAPERS.md). A shared
+// region is a named block of pool pages (allocated on the CXL/RDMA tiers via
+// TieredPool) mapped into multiple sandboxes' PageTables with the shared /
+// owner / dirty PTE bits:
+//
+//   * Single-writer / multi-reader ownership — exactly one worker holds
+//     ownership (a valid + !wp + shared + owner mapping; stores write through
+//     to the pool and set dirty). Any number of workers hold reader mappings
+//     (valid + wp + shared; loads are direct remote, stores are refused by
+//     the fault handler until an ownership upgrade).
+//   * Explicit invalidation — an ownership upgrade or an owner write revokes
+//     every reader mapping via invalidation events on the data plane's own
+//     EventScheduler (advanced in lock-step by the Cluster, like poolmgr's).
+//     A revoked reader's next read re-maps the window and re-fetches the
+//     pages, so coherence traffic is modeled and measurable.
+//   * Leases — cross-node readers hold TTL leases mirroring the poolmgr
+//     machinery (one expiry event per grant window); an expired, unmapped
+//     reader re-opens on next use. A worker crash drops its leases and
+//     releases any ownership it held; the region bytes are durable in the
+//     pool, so recovery is lease-based with no data loss.
+//   * I/O offload channel (Nexus-style) — Transfer() hands a region from a
+//     producer to a consumer by ownership transfer: metadata-only when both
+//     workers' pool homes match, a pool-to-pool page migration otherwise.
+//     Payloads never round-trip through a worker sandbox.
+//
+// Everything is deterministic: regions are iterated by id, readers in worker
+// order, and all latencies derive from the configured cost constants plus the
+// backends' seeded models.
+#ifndef TRENV_SHSTATE_REGION_MANAGER_H_
+#define TRENV_SHSTATE_REGION_MANAGER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/histogram.h"
+#include "src/common/status.h"
+#include "src/common/time.h"
+#include "src/mempool/tiered_pool.h"
+#include "src/obs/registry.h"
+#include "src/sim/event_scheduler.h"
+#include "src/simkernel/fault_handler.h"
+#include "src/simkernel/frame_allocator.h"
+#include "src/simkernel/mm_struct.h"
+
+namespace trenv {
+
+struct ShStateConfig {
+  // false builds no data plane at all — the bit-identical default.
+  bool enabled = false;
+  // Pool-side homes for region bytes; worker w's home is w % pool_nodes.
+  uint32_t pool_nodes = 4;
+  // Reader lease TTL (one grant window per OpenReader/ReadRegion renew).
+  SimDuration lease_ttl = SimDuration::Seconds(60);
+  // Control-plane metadata costs.
+  SimDuration map_metadata = SimDuration::FromMicrosF(15.0);
+  SimDuration ownership_transfer = SimDuration::FromMicrosF(20.0);
+  SimDuration invalidate_per_reader = SimDuration::FromMicrosF(8.0);
+  // Pool-to-pool migration bandwidth (bytes/s): the inter-pool-node link a
+  // cross-home ownership transfer streams the payload over.
+  double pool_to_pool_bytes_per_sec = 12.0 * 1e9;
+};
+
+using RegionId = uint32_t;
+inline constexpr RegionId kInvalidRegionId = 0xFFFFFFFFu;
+
+// Outcome of one data-plane operation: the virtual latency the caller should
+// charge, and the data-plane bytes the operation moved between pool nodes
+// (the headline "bytes moved" metric — metadata-only ops report zero).
+struct RegionOp {
+  SimDuration latency;
+  uint64_t moved_bytes = 0;
+};
+
+class RegionManager {
+ public:
+  // `pool` places region pages (not owned); `backends` resolves their tier's
+  // latency model; `stats` may be null.
+  RegionManager(ShStateConfig config, uint32_t workers, TieredPool* pool,
+                const BackendRegistry* backends, obs::Registry* stats);
+  RegionManager(const RegionManager&) = delete;
+  RegionManager& operator=(const RegionManager&) = delete;
+
+  // The data plane's clock; the Cluster advances it in lock-step with the
+  // worker-node schedulers and drains it at end of run.
+  EventScheduler& clock() { return clock_; }
+
+  const ShStateConfig& config() const { return config_; }
+  uint32_t HomeOf(uint32_t worker) const { return worker % config_.pool_nodes; }
+
+  // Allocates a named region of `npages` on the pool and maps it into the
+  // owner's window (valid + !wp + shared + owner). Latency: map_metadata.
+  [[nodiscard]] Result<RegionId> CreateRegion(const std::string& name, uint64_t npages,
+                                              uint32_t owner, SimTime now);
+
+  // Owner writes the whole region: write-through stores via the fault
+  // handler's shared-owner path (sets dirty) plus invalidation of every
+  // currently mapped reader (single-writer coherence).
+  [[nodiscard]] Result<RegionOp> WriteRegion(RegionId id, uint32_t worker, SimTime now);
+
+  // Maps a reader window (valid + wp + shared) and grants/renews a lease.
+  // Metadata-only; the first ReadRegion pays the fetch.
+  [[nodiscard]] Result<RegionOp> OpenReader(RegionId id, uint32_t worker, SimTime now);
+
+  // Reads the whole region. A fresh or invalidated mapping pays the tier's
+  // bulk fetch latency (re-fetch after revocation); a warm mapping pays one
+  // direct remote load. Renews the reader's lease window.
+  [[nodiscard]] Result<RegionOp> ReadRegion(RegionId id, uint32_t worker, SimTime now);
+
+  // Nexus-style handoff: `from` (the current owner) hands the region to
+  // `to`. Revokes readers, then transfers ownership — metadata-only when
+  // both workers share a pool home, a pool-to-pool page migration otherwise.
+  [[nodiscard]] Result<RegionOp> Transfer(RegionId id, uint32_t from, uint32_t to,
+                                          SimTime now);
+
+  // Ownership upgrade for a worker that is not the owner (e.g. a fan-in
+  // stage writing back into a region it was reading). Same cost model as
+  // Transfer, but callable when ownership is vacant (post-crash recovery).
+  [[nodiscard]] Result<RegionOp> AcquireOwnership(RegionId id, uint32_t worker, SimTime now);
+
+  // Frees the region's pool pages and unmaps every window.
+  [[nodiscard]] Status DestroyRegion(RegionId id);
+
+  // Crash wiring: drops the worker's leases and reader mappings and releases
+  // any ownership it held. Region bytes survive in the pool — the next
+  // AcquireOwnership on a surviving worker recovers the region.
+  void ReleaseWorker(uint32_t worker);
+
+  // --- introspection ---------------------------------------------------------
+  size_t region_count() const { return regions_.size(); }
+  int32_t OwnerOf(RegionId id) const { return regions_[id].owner; }
+  uint32_t HomeNodeOf(RegionId id) const { return regions_[id].home; }
+  uint64_t RegionVersion(RegionId id) const { return regions_[id].version; }
+  Vpn WindowOf(RegionId id) const { return regions_[id].window; }
+  bool ReaderMapped(RegionId id, uint32_t worker) const;
+  // The worker-side mm (for tests asserting PTE states).
+  const MmStruct& worker_mm(uint32_t worker) const { return mms_[worker]; }
+
+  // --- accounting ------------------------------------------------------------
+  uint64_t transfers() const { return transfers_; }
+  uint64_t migrations() const { return migrations_; }
+  uint64_t moved_bytes() const { return moved_bytes_; }        // pool-to-pool
+  uint64_t pool_write_bytes() const { return pool_write_bytes_; }
+  uint64_t refetch_bytes() const { return refetch_bytes_; }
+  uint64_t invalidations() const { return invalidations_; }
+  uint64_t lease_grants() const { return lease_grants_; }
+  uint64_t leases_expired() const { return leases_expired_; }
+  uint64_t ownership_recoveries() const { return ownership_recoveries_; }
+  const Histogram& transfer_ms() const { return transfer_ms_; }
+  const Histogram& read_ms() const { return read_ms_; }
+
+ private:
+  struct Reader {
+    bool mapped = false;
+    SimTime lease_expires;
+  };
+  struct Region {
+    std::string name;
+    uint64_t npages = 0;
+    PoolPlacement placement;
+    Vpn window = 0;      // same window vpn in every worker's address space
+    uint32_t home = 0;   // pool node currently holding the bytes
+    int32_t owner = -1;  // worker holding write ownership; -1 = vacant
+    uint64_t version = 0;
+    std::map<uint32_t, Reader> readers;  // worker -> lease/mapping state
+    bool live = false;
+  };
+
+  Result<Region*> Find(RegionId id);
+  MemoryBackend* Backend(const Region& region) const;
+  Vaddr WindowAddr(const Region& region) const { return VpnToAddr(region.window); }
+  void MapOwner(Region& region, uint32_t worker);
+  void MapReader(Region& region, uint32_t worker);
+  void UnmapWindow(Region& region, uint32_t worker);
+  // Schedules invalidation events for every mapped reader (except `keep`,
+  // the upgrading worker, whose window is replaced synchronously) and
+  // returns the coherence latency the mutator pays.
+  SimDuration RevokeReaders(RegionId id, int32_t keep, SimTime now);
+  // Ownership movement shared by Transfer / AcquireOwnership.
+  Result<RegionOp> MoveOwnership(RegionId id, uint32_t to, SimTime now);
+  void GrantLease(RegionId id, uint32_t worker, SimTime now);
+  void Count(obs::Counter* counter, double delta = 1.0) {
+    if (counter != nullptr) {
+      counter->Add(delta);
+    }
+  }
+
+  ShStateConfig config_;
+  TieredPool* pool_;
+  const BackendRegistry* backends_;
+  EventScheduler clock_;
+
+  // One address space per worker holding the shared-region windows. Shared
+  // mappings never allocate local frames, but the fault handler needs an
+  // allocator for its unpopulated-gap path (which our ops never hit).
+  FrameAllocator frames_;
+  FaultHandler fault_handler_;
+  std::vector<MmStruct> mms_;
+  Vpn next_window_;
+
+  std::vector<Region> regions_;
+
+  uint64_t transfers_ = 0;
+  uint64_t migrations_ = 0;
+  uint64_t moved_bytes_ = 0;
+  uint64_t pool_write_bytes_ = 0;
+  uint64_t refetch_bytes_ = 0;
+  uint64_t invalidations_ = 0;
+  uint64_t lease_grants_ = 0;
+  uint64_t leases_expired_ = 0;
+  uint64_t ownership_recoveries_ = 0;
+  Histogram transfer_ms_;
+  Histogram read_ms_;
+
+  obs::Counter* regions_counter_ = nullptr;
+  obs::Counter* writes_counter_ = nullptr;
+  obs::Counter* reads_counter_ = nullptr;
+  obs::Counter* transfers_counter_ = nullptr;
+  obs::Counter* migrations_counter_ = nullptr;
+  obs::Counter* moved_bytes_counter_ = nullptr;
+  obs::Counter* pool_write_bytes_counter_ = nullptr;
+  obs::Counter* invalidations_counter_ = nullptr;
+  obs::Counter* lease_grants_counter_ = nullptr;
+  obs::Counter* lease_expired_counter_ = nullptr;
+  obs::Counter* recoveries_counter_ = nullptr;
+};
+
+}  // namespace trenv
+
+#endif  // TRENV_SHSTATE_REGION_MANAGER_H_

@@ -79,6 +79,14 @@ void EventScheduler::PruneCancelledTop() {
   }
 }
 
+std::optional<SimTime> EventScheduler::NextEventTime() {
+  PruneCancelledTop();
+  if (heap_.empty()) {
+    return std::nullopt;
+  }
+  return heap_.front().time;
+}
+
 bool EventScheduler::RunNext() {
   for (;;) {
     if (heap_.empty()) {

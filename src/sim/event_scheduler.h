@@ -21,6 +21,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <utility>
 #include <vector>
 
@@ -49,6 +50,12 @@ class EventScheduler {
 
   bool HasPending() const { return live_count_ > 0; }
   size_t pending_count() const { return live_count_; }
+
+  // Time of the earliest live event, or nullopt when the queue is idle.
+  // Non-const: prunes cancelled tombstones off the heap top to find it.
+  // Lets external drivers (shstate::PipelineDriver) interleave their own
+  // action queue with the scheduler without running anything early.
+  std::optional<SimTime> NextEventTime();
 
   // Runs the earliest pending event, advancing the clock. Returns false if
   // there was nothing to run.

@@ -117,7 +117,34 @@ Result<AccessOutcome> FaultHandler::Access(MmStruct& mm, Vaddr addr, bool write,
 
   // Write access.
   if (pte->flags.write_protected) {
+    if (pte->flags.shared) {
+      // Reader mapping of a shared region. CoW would fork the shared data
+      // into a private copy, so the write is refused until shstate upgrades
+      // this sandbox to owner (which revokes the other readers).
+      return Status::PermissionDenied(
+          "write to shared region reader mapping requires ownership upgrade");
+    }
     return HandleCow(mm, vpn, *pte, write, new_content);
+  }
+  if (pte->flags.shared && pte->flags.remote()) {
+    // Owner mapping of a shared region: the store goes straight to the pool
+    // copy (byte-addressable CXL / RDMA write-through) and marks it dirty.
+    MemoryBackend* backend = backends_->Get(pte->flags.pool);
+    if (backend == nullptr) {
+      return Status::Internal("no backend registered for pool");
+    }
+    PteFlags flags = pte->flags;
+    flags.dirty = true;
+    mm.page_table().MapRange(vpn, 1, flags, pte->backing, new_content);
+    mm.stats().direct_remote_reads += 1;
+    if (direct_remote_ != nullptr) {
+      direct_remote_->Increment();
+    }
+    AccessOutcome outcome;
+    outcome.kind = AccessKind::kDirectRemote;
+    outcome.latency = backend->EffectiveDirectLoadLatency();
+    outcome.content = new_content;
+    return outcome;
   }
   // Direct local write: update the page's content in place.
   PteFlags flags = pte->flags;
@@ -293,6 +320,10 @@ Result<BulkAccessStats> FaultHandler::AccessRange(MmStruct& mm, Vaddr addr, uint
     } else {
       // Write path.
       if (run.flags.write_protected) {
+        if (run.flags.shared) {
+          return Status::PermissionDenied(
+              "write to shared region reader mapping requires ownership upgrade");
+        }
         // Bulk CoW.
         MemoryBackend* backend =
             run.flags.remote() ? backends_->Get(run.flags.pool) : nullptr;
@@ -311,6 +342,15 @@ Result<BulkAccessStats> FaultHandler::AccessRange(MmStruct& mm, Vaddr addr, uint
           stats.latency += backend->FetchLatency(n);
           stats.bytes_fetched += n * kPageSize;
         }
+      } else if (run.flags.shared && run.flags.remote()) {
+        // Owner mapping: bulk write-through to the pool copy. Like bulk
+        // direct remote reads, no latency is charged here; shstate accounts
+        // the pool write bytes, the execution model the load slowdown.
+        PteFlags flags = run.flags;
+        flags.dirty = true;
+        mm.page_table().MapRange(seg.vpn, n, flags, run.backing_base, MixU64(write_seed_++));
+        mm.stats().direct_remote_reads += n;
+        stats.direct_remote += n;
       } else {
         // Direct local writes: refresh content.
         mm.page_table().MapRange(seg.vpn, n, run.flags, run.backing_base, MixU64(write_seed_++));

@@ -7,6 +7,13 @@
 //   touch of invalid remote (RDMA/NAS)   -> major fault: fetch 4 KiB, map local
 //   touch of unpopulated anonymous page  -> minor fault: zero-fill local
 //
+// Shared-region extensions (src/shstate/, gated on PteFlags::shared so the
+// classic states above are untouched):
+//   write of shared owner page (!wp)     -> direct remote store, marks dirty
+//   write of shared reader page (wp)     -> refused: needs ownership upgrade
+//                                           (never CoW — a private copy would
+//                                           silently fork the shared data)
+//
 // Bulk-range entry points process whole PTE runs at once so the platform can
 // model multi-GiB working sets in O(runs).
 #ifndef TRENV_SIMKERNEL_FAULT_HANDLER_H_

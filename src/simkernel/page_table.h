@@ -21,6 +21,15 @@
 //   - valid + wp + remote(CXL)      : direct-mapped shared CXL page, CoW armed
 //   - !valid + remote(RDMA/NAS)     : lazy page, major fault on first touch
 //   - absent run                    : unpopulated (zero-fill on demand)
+//
+// The shared-state data plane (src/shstate/) extends these with writable
+// shared regions — pool pages that multiple sandboxes map *without* CoW:
+//   - valid + !wp + remote + shared + owner : writable region mapping; writes
+//     go to the pool directly and set `dirty` instead of faulting private
+//   - valid + wp + remote + shared          : reader mapping; writes are
+//     refused until an ownership upgrade (shstate revokes the readers)
+// Templates never carry shared/owner/dirty bits — those exist only in live
+// sandbox tables managed by shstate::RegionManager.
 #ifndef TRENV_SIMKERNEL_PAGE_TABLE_H_
 #define TRENV_SIMKERNEL_PAGE_TABLE_H_
 
@@ -37,6 +46,12 @@ struct PteFlags {
   bool valid = false;
   bool write_protected = false;
   PoolKind pool = PoolKind::kLocalDram;
+  // Shared-state region bits (src/shstate/). Defaulted false everywhere else,
+  // so templates and ordinary mappings are unaffected; the default operator==
+  // keeps run merging exact across the new states.
+  bool shared = false;  // page belongs to a shared writable region
+  bool owner = false;   // this mapping holds region ownership (may write)
+  bool dirty = false;   // owner has written through to the pool copy
 
   bool remote() const { return pool != PoolKind::kLocalDram; }
   bool operator==(const PteFlags&) const = default;

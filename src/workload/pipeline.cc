@@ -1,0 +1,58 @@
+#include "src/workload/pipeline.h"
+
+namespace trenv {
+
+PipelineSpec MakeChainPipeline(uint32_t nstages, uint64_t payload_pages,
+                               const std::vector<std::string>& functions) {
+  PipelineSpec spec;
+  spec.name = "chain" + std::to_string(nstages);
+  spec.payload_pages = payload_pages;
+  spec.stages.reserve(nstages);
+  for (uint32_t i = 0; i < nstages; ++i) {
+    PipelineStage stage;
+    stage.function = functions[i % functions.size()];
+    if (i > 0) {
+      stage.inputs.push_back(i - 1);
+    }
+    spec.stages.push_back(std::move(stage));
+  }
+  return spec;
+}
+
+PipelineSpec MakeFanOutFanInPipeline(uint32_t width, uint64_t payload_pages,
+                                     const std::vector<std::string>& functions) {
+  PipelineSpec spec;
+  spec.name = "fan" + std::to_string(width);
+  spec.payload_pages = payload_pages;
+  spec.stages.reserve(width + 2);
+  PipelineStage source;
+  source.function = functions[0];
+  spec.stages.push_back(std::move(source));
+  for (uint32_t i = 0; i < width; ++i) {
+    PipelineStage branch;
+    branch.function = functions[(i + 1) % functions.size()];
+    branch.inputs.push_back(0);
+    spec.stages.push_back(std::move(branch));
+  }
+  PipelineStage sink;
+  sink.function = functions[(width + 1) % functions.size()];
+  for (uint32_t i = 0; i < width; ++i) {
+    sink.inputs.push_back(i + 1);
+  }
+  spec.stages.push_back(std::move(sink));
+  return spec;
+}
+
+std::vector<SimTime> MakePipelineArrivals(uint32_t jobs, double rate_per_sec, Rng& rng) {
+  std::vector<SimTime> arrivals;
+  arrivals.reserve(jobs);
+  SimTime t;
+  const double mean_gap = rate_per_sec > 0 ? 1.0 / rate_per_sec : 0.0;
+  for (uint32_t i = 0; i < jobs; ++i) {
+    t += SimDuration::FromSecondsF(rng.NextExponential(mean_gap));
+    arrivals.push_back(t);
+  }
+  return arrivals;
+}
+
+}  // namespace trenv

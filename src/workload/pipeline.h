@@ -1,0 +1,55 @@
+// Stateful pipeline workloads: DAGs of function stages passing payloads.
+//
+// Faasm/Nexus-style scenarios (ROADMAP item 5): a job is one traversal of a
+// stage DAG where every edge carries a payload region. How the payload moves
+// (shared region handoff vs. copy-through-worker vs. NAS round-trip) is the
+// PipelineDriver's concern (src/shstate/pipeline_driver.h); this header is
+// the pure workload description.
+#ifndef TRENV_WORKLOAD_PIPELINE_H_
+#define TRENV_WORKLOAD_PIPELINE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/time.h"
+
+namespace trenv {
+
+struct PipelineStage {
+  std::string function;          // deployed function the stage invokes
+  std::vector<uint32_t> inputs;  // predecessor stage indices (empty = source)
+};
+
+// A stage DAG in topological order (every input index < the stage's own).
+struct PipelineSpec {
+  std::string name;
+  std::vector<PipelineStage> stages;
+  uint64_t payload_pages = 256;  // pages carried per edge (4 KiB each)
+
+  uint32_t EdgeCount() const {
+    uint32_t edges = 0;
+    for (const PipelineStage& stage : stages) {
+      edges += static_cast<uint32_t>(stage.inputs.size());
+    }
+    return edges;
+  }
+};
+
+// N-stage chain: s0 -> s1 -> ... -> s{n-1}. Stage i runs functions[i % size].
+PipelineSpec MakeChainPipeline(uint32_t nstages, uint64_t payload_pages,
+                               const std::vector<std::string>& functions);
+
+// Fan-out/fan-in diamond: one source stage feeds `width` parallel stages whose
+// outputs a final stage aggregates (source + width + sink stages total).
+PipelineSpec MakeFanOutFanInPipeline(uint32_t width, uint64_t payload_pages,
+                                     const std::vector<std::string>& functions);
+
+// Poisson job arrivals: `jobs` start times at `rate_per_sec`, drawn from the
+// caller's seeded rng (deterministic, sorted).
+std::vector<SimTime> MakePipelineArrivals(uint32_t jobs, double rate_per_sec, Rng& rng);
+
+}  // namespace trenv
+
+#endif  // TRENV_WORKLOAD_PIPELINE_H_

@@ -39,7 +39,10 @@ import sys
 
 def load_records(path, missing_ok=False):
     """Parses a JSON-lines file. With missing_ok, a nonexistent file is an
-    empty trajectory (first run on a fresh branch), not a crash."""
+    empty trajectory (first run on a fresh branch), not a crash. Malformed or
+    truncated lines (a killed bench run, a botched merge) are skipped with a
+    warning — one bad line must not invalidate the rest of the trajectory —
+    but a file whose non-blank lines yield NO usable records is an error."""
     records = []
     try:
         f = open(path, "r", encoding="utf-8")
@@ -48,15 +51,22 @@ def load_records(path, missing_ok=False):
             print(f"notice: {path} does not exist yet; every metric is new")
             return records
         raise SystemExit(f"{path}: no such file")
+    nonblank = 0
     with f:
         for line_no, line in enumerate(f, 1):
             line = line.strip()
             if not line:
                 continue
+            nonblank += 1
             try:
                 records.append(json.loads(line))
             except json.JSONDecodeError as e:
-                raise SystemExit(f"{path}:{line_no}: invalid JSON: {e}")
+                print(f"warning: {path}:{line_no}: skipping invalid JSON: {e}",
+                      file=sys.stderr)
+    if nonblank > 0 and not records:
+        raise SystemExit(
+            f"{path}: {nonblank} line(s), none parseable — refusing to treat "
+            "a corrupt file as an empty trajectory")
     return records
 
 
