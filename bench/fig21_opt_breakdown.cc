@@ -1,6 +1,9 @@
 // Figure 21: the optimization-step ablation — CRIU baseline, then sandbox
 // repurposing ("Reconfig"), then CLONE_INTO_CGROUP ("Cgroup"), then the full
-// system with mm-template (T-CXL) — for IR and JS.
+// system with mm-template (T-CXL) — for IR and JS. A second table extends the
+// ablation to far-memory images: T-RDMA demand-faults its pages on first
+// touch, and "+ prefetch" restores the same template with the recorded
+// working set bulk-fetched during the sandbox/process phases.
 #include <iostream>
 
 #include "bench/bench_util.h"
@@ -13,51 +16,155 @@ struct Step {
   std::string label;
 };
 
-void Run() {
-  PrintBanner(std::cout, "Figure 21: optimization steps and their effect (IR and JS)");
-  const Step steps[] = {{SystemKind::kCriu, "CRIU (baseline)"},
-                        {SystemKind::kTrEnvReconfig, "+ Reconfig (repurpose sandbox)"},
-                        {SystemKind::kTrEnvCgroup, "+ Cgroup (CLONE_INTO_CGROUP)"},
-                        {SystemKind::kTrEnvCxl, "+ mm-template (T-CXL)"}};
+const Step kSteps[] = {{SystemKind::kCriu, "CRIU (baseline)"},
+                       {SystemKind::kTrEnvReconfig, "+ Reconfig (repurpose sandbox)"},
+                       {SystemKind::kTrEnvCgroup, "+ Cgroup (CLONE_INTO_CGROUP)"},
+                       {SystemKind::kTrEnvCxl, "+ mm-template (T-CXL)"}};
+const char* const kFuncs[] = {"IR", "JS"};
 
-  Table table({"Step", "Func", "Startup (ms)", "E2E (ms)", "Startup saved vs prev"});
-  std::map<std::string, double> prev_startup;
-  for (const Step& step : steps) {
-    Testbed bed(step.kind);
-    if (!bed.DeployTable4Functions().ok()) {
+struct StepResult {
+  // Per function, in kFuncs order: {startup_ms, e2e_ms}; empty on failure.
+  std::vector<std::pair<double, double>> metrics;
+};
+
+StepResult RunStep(const Step& step) {
+  StepResult result;
+  Testbed bed(step.kind);
+  if (!bed.DeployTable4Functions().ok()) {
+    return result;
+  }
+  for (const char* fn : kFuncs) {
+    // Warm the sandbox pool (steady state), then measure a fresh start
+    // past the keep-alive TTL.
+    Schedule schedule{{SimTime::Zero(), fn},
+                      {SimTime::Zero() + SimDuration::Minutes(11), fn}};
+    Testbed fresh(step.kind);
+    if (!fresh.DeployTable4Functions().ok()) {
       continue;
     }
-    for (const std::string fn : {"IR", "JS"}) {
-      // Warm the sandbox pool (steady state), then measure a fresh start
-      // past the keep-alive TTL.
-      Schedule schedule{{SimTime::Zero(), fn},
-                        {SimTime::Zero() + SimDuration::Minutes(11), fn}};
-      Testbed fresh(step.kind);
-      if (!fresh.DeployTable4Functions().ok()) {
-        continue;
-      }
-      (void)fresh.platform().Run(schedule);
-      const auto& m = fresh.platform().metrics().per_function().at(fn);
-      const double startup = m.startup_ms.Min();
-      const double e2e = m.e2e_ms.Min();
+    (void)fresh.platform().Run(schedule);
+    const auto& m = fresh.platform().metrics().per_function().at(fn);
+    result.metrics.emplace_back(m.startup_ms.Min(), m.e2e_ms.Min());
+  }
+  return result;
+}
+
+// Attach + first-touch for an RDMA-homed template: direct Restore followed by
+// OnExecute against a warmed engine (recorded working set, pooled sandbox).
+struct ProbeResult {
+  double startup_ms = 0.0;
+  double exec_overhead_ms = 0.0;
+  double total_ms = 0.0;
+  bool ok = false;
+};
+
+ProbeResult RunRdmaProbe(const std::string& fn, bool prefetch) {
+  ProbeResult result;
+  PlatformConfig config;
+  config.trenv_prefetch = prefetch;
+  Testbed bed(SystemKind::kTrEnvRdma, config);
+  if (!bed.DeployTable4Functions().ok()) {
+    return result;
+  }
+  (void)bed.platform().Run(Schedule{{SimTime::Zero(), fn}});
+  bed.platform().EvictAllIdle();
+
+  RestoreContext ctx;
+  FrameAllocator frames(8ULL * kGiB);
+  PidAllocator pids;
+  ctx.frames = &frames;
+  ctx.backends = &bed.backends();
+  ctx.pids = &pids;
+  const FunctionProfile* profile = FindTable4Function(fn);
+  auto outcome = bed.engine().Restore(*profile, ctx);
+  if (!outcome.ok()) {
+    return result;
+  }
+  auto overheads = bed.engine().OnExecute(*profile, *outcome->instance, ctx);
+  if (!overheads.ok()) {
+    return result;
+  }
+  result.startup_ms = outcome->startup.Total().millis();
+  result.exec_overhead_ms = overheads->added_latency.millis();
+  result.total_ms = result.startup_ms + result.exec_overhead_ms;
+  result.ok = true;
+  return result;
+}
+
+void Run(bench::BenchEnv& env) {
+  PrintBanner(std::cout, "Figure 21: optimization steps and their effect (IR and JS)");
+  Table table({"Step", "Func", "Startup (ms)", "E2E (ms)", "Startup saved vs prev"});
+  std::vector<StepResult> steps = bench::ParallelSweep(
+      std::size(kSteps), env.jobs, [&](size_t i) { return RunStep(kSteps[i]); });
+  std::map<std::string, double> prev_startup;
+  for (size_t s = 0; s < steps.size(); ++s) {
+    for (size_t f = 0; f < steps[s].metrics.size(); ++f) {
+      const std::string fn = kFuncs[f];
+      const auto [startup, e2e] = steps[s].metrics[f];
       std::string saved = "-";
       if (prev_startup.contains(fn)) {
         saved = Table::Ms(prev_startup[fn] - startup);
       }
       prev_startup[fn] = startup;
-      table.AddRow({step.label, fn, Table::Num(startup), Table::Num(e2e), saved});
+      table.AddRow({kSteps[s].label, fn, Table::Num(startup), Table::Num(e2e), saved});
     }
   }
   table.Print(std::cout);
   std::cout << "Paper reference: Reconfig saves ~200 ms of sandbox setup; Cgroup a further "
                "49 ms (IR) / 13 ms (JS); mm-template a further 290 ms (IR) / 67 ms (JS), "
                "landing at 18 ms (IR) and 8 ms (JS) startup.\n";
+
+  std::cout << "\nFar-memory extension: attach + first touch with the image on RDMA\n";
+  Table rdma_table(
+      {"Step", "Func", "Startup (ms)", "First-touch overhead (ms)", "Attach+first-touch (ms)"});
+  // One probe per (func, config), all independent.
+  struct Probe {
+    const char* fn;
+    bool prefetch;
+  };
+  const Probe probes[] = {
+      {"IR", false}, {"JS", false}, {"IR", true}, {"JS", true}};
+  std::vector<ProbeResult> probe_results = bench::ParallelSweep(
+      std::size(probes), env.jobs,
+      [&](size_t i) { return RunRdmaProbe(probes[i].fn, probes[i].prefetch); });
+  for (size_t i = 0; i < std::size(probes); ++i) {
+    if (!probe_results[i].ok) {
+      continue;
+    }
+    rdma_table.AddRow({probes[i].prefetch ? "+ prefetch (recorded working set)"
+                                          : "+ T-RDMA (image on far memory)",
+                       probes[i].fn, Table::Num(probe_results[i].startup_ms),
+                       Table::Num(probe_results[i].exec_overhead_ms),
+                       Table::Num(probe_results[i].total_ms)});
+  }
+  rdma_table.Print(std::cout);
+  // Self-enforced acceptance gate: batched prefetch must at least halve the
+  // attach -> first-touch latency of the demand-fault path.
+  bool gate_pass = true;
+  for (size_t f = 0; f < std::size(kFuncs); ++f) {
+    const ProbeResult& off = probe_results[f];
+    const ProbeResult& on = probe_results[f + std::size(kFuncs)];
+    if (!off.ok || !on.ok || on.total_ms <= 0.0) {
+      gate_pass = false;
+      continue;
+    }
+    const double speedup = off.total_ms / on.total_ms;
+    gate_pass = gate_pass && speedup >= 2.0;
+    std::cout << kFuncs[f] << " prefetch speedup: " << Table::Num(speedup, 2) << "x\n";
+  }
+  std::cout << "Prefetch gate (>= 2x attach+first-touch): " << (gate_pass ? "PASS" : "FAIL")
+            << "\n";
+  if (!gate_pass) {
+    std::exit(1);
+  }
 }
 
 }  // namespace
 }  // namespace trenv
 
-int main() {
-  trenv::Run();
+int main(int argc, char** argv) {
+  trenv::bench::BenchEnv env(argc, argv);
+  trenv::Run(env);
+  env.Finish();
   return 0;
 }

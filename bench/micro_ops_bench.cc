@@ -26,6 +26,7 @@
 #include "src/mmtemplate/api.h"
 #include "src/platform/keep_alive_pool.h"
 #include "src/platform/testbed.h"
+#include "src/runtime/working_set.h"
 #include "src/sim/cpu.h"
 #include "src/simkernel/fault_handler.h"
 
@@ -175,6 +176,67 @@ void BM_RestoreInvoke(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RestoreInvoke);
+
+// Working-set recording hot path: the PageRunSet absorbing a first
+// invocation's touch stream. Two advancing frontiers of 64-page runs (the
+// shape a warm restore's demand paging produces) plus a scatter of single
+// pages that split and re-merge runs.
+void BM_WorkingSetRecord(benchmark::State& state) {
+  const uint64_t npages = BytesToPages(64 * kMiB);
+  const uint64_t chunk = 64;
+  const uint64_t nchunks = npages / chunk;
+  for (auto _ : state) {
+    PageRunSet set;
+    for (uint64_t c = 0; c < nchunks; ++c) {
+      const uint64_t idx = (c % 2 == 0) ? c / 2 : nchunks - 1 - c / 2;
+      set.Add(idx * chunk, chunk);
+    }
+    for (uint64_t i = 0; i < 1024; ++i) {
+      set.Add(npages + (i * 79) % 4096, 1);
+    }
+    benchmark::DoNotOptimize(set.pages());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(nchunks + 1024));
+}
+BENCHMARK(BM_WorkingSetRecord);
+
+// Warm-restore cycle against an RDMA-homed template with working-set prefetch
+// enabled: every Restore plans the recorded runs, maps them, and issues the
+// coalesced bulk fetches through the engine's NIC queue; OnExecute then finds
+// the pages resident. The first platform invocation (outside the timed loop)
+// records the working set.
+void BM_TrEnvBatchedPrefetch(benchmark::State& state) {
+  PlatformConfig config;
+  config.trenv_prefetch = true;
+  Testbed bed(SystemKind::kTrEnvRdma, config);
+  if (!bed.DeployTable4Functions().ok()) {
+    state.SkipWithError("deploy failed");
+    return;
+  }
+  (void)bed.platform().Run(Schedule{{SimTime::Zero(), "JS"}});
+  bed.platform().EvictAllIdle();
+  FrameAllocator frames(64ULL * kGiB);
+  PidAllocator pids;
+  RestoreContext ctx;
+  ctx.frames = &frames;
+  ctx.backends = &bed.backends();
+  ctx.pids = &pids;
+  const FunctionProfile* profile = FindTable4Function("JS");
+  for (auto _ : state) {
+    // Advance virtual time past the previous iteration's NIC window so each
+    // restore sees an idle queue (steady state, not self-induced incast).
+    ctx.now = ctx.now + SimDuration::Seconds(1);
+    auto outcome = bed.engine().Restore(*profile, ctx);
+    if (!outcome.ok()) {
+      state.SkipWithError("restore failed");
+      return;
+    }
+    benchmark::DoNotOptimize(bed.engine().OnExecute(*profile, *outcome->instance, ctx));
+    bed.engine().OnExecuteDone(*outcome->instance);
+    bed.engine().Retire(std::move(outcome->instance), ctx);
+  }
+}
+BENCHMARK(BM_TrEnvBatchedPrefetch);
 
 // Keep-alive churn: TakeWarm/Put cycles over 16 functions with periodic
 // expiry sweeps — the park/reuse pattern every completed invocation drives.

@@ -118,6 +118,12 @@ inline constexpr double kRdmaLoadLatencyFactor = 0.18;   // per concurrent strea
 inline constexpr uint32_t kRdmaLoadFreeStreams = 4;      // contention-free streams
 inline constexpr double kRdmaTailSigma = 0.55;           // lognormal sigma for jitter
 inline constexpr SimDuration kRdmaPerFetchCpu = SimDuration::FromMicrosF(1.6);
+// Planned bulk reads (working-set prefetch) post the whole scatter list as
+// large pipelined one-sided reads, so the per-page cost approaches line rate
+// (~8.5 GB/s on the 100 Gb fabric) instead of the fault-driven readahead
+// factor above. Each extra run in the scatter list costs one descriptor.
+inline constexpr double kRdmaBulkStreamFactor = 0.08;  // per-page cost vs a lone fault
+inline constexpr SimDuration kBulkFetchPerRun = SimDuration::FromMicrosF(0.5);
 
 // NAS / network-attached storage tier: block I/O, ~60 us per 4 KiB.
 inline constexpr SimDuration kNasPageFetchBase = SimDuration::Micros(60);

@@ -70,11 +70,15 @@ Result<RestoreOutcome> ReapEngine::Restore(const FunctionProfile& profile, Resto
   const SimTime t0 = ctx.tracer != nullptr ? ctx.tracer->now(ctx.trace_loc.pid) : SimTime();
   TracePhase(ctx, "sandbox.vm_jailer", t0, outcome.startup.sandbox);
   TracePhase(ctx, "vm.snapshot_load", t0 + outcome.startup.sandbox, outcome.startup.process);
-  const obs::SpanId prefetch =
-      TracePhase(ctx, "vm.eager_prefetch", t0 + outcome.startup.sandbox + outcome.startup.process,
-                 outcome.startup.memory);
-  if (ctx.tracer != nullptr) {
-    ctx.tracer->Annotate(prefetch, "eager_pages", static_cast<int64_t>(eager_pages_total));
+  // A zero-page prefetch (working_set_fraction or eager_fraction of 0) did
+  // no work, so it emits no span: traces show only phases that happened.
+  if (eager_pages_total > 0) {
+    const obs::SpanId prefetch = TracePhase(
+        ctx, "vm.eager_prefetch", t0 + outcome.startup.sandbox + outcome.startup.process,
+        outcome.startup.memory);
+    if (ctx.tracer != nullptr) {
+      ctx.tracer->Annotate(prefetch, "eager_pages", static_cast<int64_t>(eager_pages_total));
+    }
   }
   return outcome;
 }

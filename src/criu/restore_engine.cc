@@ -73,7 +73,7 @@ Result<BulkAccessStats> RestoreEngine::TouchInvocationPages(const FunctionProfil
   if (snapshot == nullptr) {
     return Status::FailedPrecondition("function was never prepared: " + profile.name);
   }
-  FaultHandler handler(ctx.frames, ctx.backends, ctx.stats);
+  FaultHandler handler(ctx.frames, ctx.backends, ctx.stats, ctx.fault_observer);
   BulkAccessStats total;
   // Write budget: write_fraction of the WHOLE image, distributed over the
   // writable regions (heap, stack, .data) until exhausted — interpreters

@@ -110,6 +110,14 @@ struct RestoreContext {
   PidAllocator* pids = nullptr;
   // Startups currently in flight (drives kernel-lock contention models).
   uint32_t concurrent_startups = 0;
+  // Virtual time of the operation (the platform stamps its scheduler clock;
+  // hand-built contexts default to zero). Engines that share a rate-limited
+  // resource across operations (the prefetch NIC queue) need it for
+  // work-conserving busy windows.
+  SimTime now;
+  // When set, TouchInvocationPages reports every touched page run here (the
+  // TrEnv working-set recorder arms this during a first invocation).
+  PageTouchObserver* fault_observer = nullptr;
   // Observability: engines record phase-detail spans under `trace_parent` at
   // `trace_loc` and bump counters in `stats`. All optional — a null tracer /
   // registry costs one branch per site.

@@ -1,5 +1,6 @@
 #include "src/criu/trenv_engine.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "src/common/cost_model.h"
@@ -13,7 +14,8 @@ TrEnvEngine::TrEnvEngine(SandboxFactory* factory, SandboxPool* pool, MmtApi* mmt
       pool_(pool),
       mmt_(mmt),
       dedup_(dedup),
-      options_(options) {
+      options_(options),
+      prefetch_nic_(options.prefetch.incast_penalty) {
   if (options_.use_mm_template) {
     name_ = "trenv";
   } else if (options_.clone_into_cgroup) {
@@ -64,7 +66,7 @@ Status TrEnvEngine::Prepare(const FunctionProfile& profile) {
   if (prepared_.size() <= fid) {
     prepared_.resize(fid + 1);
   }
-  prepared_[fid] = std::make_unique<Prepared>(Prepared{std::move(ids), std::move(image)});
+  prepared_[fid] = std::make_unique<Prepared>(Prepared{std::move(ids), std::move(image), {}});
   return Status::Ok();
 }
 
@@ -77,6 +79,43 @@ const std::vector<MmtId>* TrEnvEngine::TemplatesFor(const std::string& function)
 const ConsolidatedImage* TrEnvEngine::ImageFor(const std::string& function) const {
   const FunctionId id = GlobalFunctionInterner().Find(function);
   return id < prepared_.size() && prepared_[id] != nullptr ? &prepared_[id]->image : nullptr;
+}
+
+const WorkingSetProfile* TrEnvEngine::WorkingSetFor(const std::string& function) const {
+  const FunctionId id = GlobalFunctionInterner().Find(function);
+  if (id >= prepared_.size() || prepared_[id] == nullptr || !prepared_[id]->ws.complete) {
+    return nullptr;
+  }
+  return &prepared_[id]->ws;
+}
+
+void TrEnvEngine::WorkingSetRecorder::Arm(WorkingSetProfile* ws, FunctionInstance& instance) {
+  ws_ = ws;
+  mms_.clear();
+  for (auto& process : instance.processes()) {
+    mms_.push_back(&process->mm());
+  }
+  if (ws_->processes.size() < mms_.size()) {
+    ws_->processes.resize(mms_.size());
+  }
+}
+
+void TrEnvEngine::WorkingSetRecorder::Disarm() {
+  ws_ = nullptr;
+  mms_.clear();
+}
+
+void TrEnvEngine::WorkingSetRecorder::OnTouch(const MmStruct& mm, Vpn vpn,
+                                              uint64_t npages) {
+  if (ws_ == nullptr) {
+    return;
+  }
+  for (size_t p = 0; p < mms_.size(); ++p) {
+    if (mms_[p] == &mm) {
+      ws_->processes[p].Add(vpn, npages);
+      return;
+    }
+  }
 }
 
 Result<RestoreOutcome> TrEnvEngine::Restore(const FunctionProfile& profile,
@@ -130,9 +169,11 @@ Result<RestoreOutcome> TrEnvEngine::Restore(const FunctionProfile& profile,
         MaterializeLayoutOnly(*snapshot, *outcome.instance, ctx, /*add_vmas=*/false));
     const std::vector<MmtId>& ids = PreparedFor(profile)->templates;
     size_t p = 0;
+    uint64_t attach_lazy_pages = 0;
     for (auto& process : outcome.instance->processes()) {
       TRENV_ASSIGN_OR_RETURN(MmtAttachResult attach, mmt_->MmtAttach(ids[p++], &process->mm()));
       outcome.startup.memory += attach.latency;
+      attach_lazy_pages += attach.lazy_pages;
       const obs::SpanId span = TracePhase(ctx, "mmt.attach", phase_start, attach.latency);
       if (ctx.tracer != nullptr) {
         ctx.tracer->Annotate(span, "process", process->name());
@@ -141,6 +182,11 @@ Result<RestoreOutcome> TrEnvEngine::Restore(const FunctionProfile& profile,
         ctx.tracer->Annotate(span, "mapped_pages", static_cast<int64_t>(attach.mapped_pages));
       }
       phase_start = phase_start + attach.latency;
+    }
+    // Fully byte-addressable templates (T-CXL) have nothing to prefetch; the
+    // attach-time lazy-page count makes that a constant-time skip.
+    if (options_.prefetch.enabled && attach_lazy_pages > 0) {
+      PrefetchWorkingSet(profile, outcome, ctx, t0);
     }
   } else {
     // Ablation: repurposed sandbox but copy-based memory restoration.
@@ -159,6 +205,126 @@ Result<RestoreOutcome> TrEnvEngine::Restore(const FunctionProfile& profile,
     }
   }
   return outcome;
+}
+
+void TrEnvEngine::PrefetchWorkingSet(const FunctionProfile& profile, RestoreOutcome& outcome,
+                                     RestoreContext& ctx, SimTime t0) {
+  const Prepared* prepared = PreparedFor(profile);
+  if (prepared == nullptr || !prepared->ws.complete) {
+    return;  // nothing recorded yet: the first invocation demand-faults
+  }
+  const WorkingSetProfile& ws = prepared->ws;
+  const double eager = options_.prefetch.eager_fraction;
+  uint64_t budget =
+      eager >= 1.0 ? ws.TotalPages()
+                   : static_cast<uint64_t>(eager * static_cast<double>(ws.TotalPages()));
+  if (budget == 0) {
+    return;
+  }
+
+  // Intersect the recorded runs with the attached page tables: only runs
+  // still lazy on a message-model pool (RDMA/NAS) are worth fetching; CXL
+  // pages are read directly and resident pages need nothing.
+  struct PlannedRun {
+    MmStruct* mm;
+    Vpn vpn;
+    PteRun run;  // clipped template run
+  };
+  std::vector<PlannedRun> plan;
+  size_t p = 0;
+  for (auto& process : outcome.instance->processes()) {
+    if (p >= ws.processes.size() || budget == 0) {
+      break;
+    }
+    MmStruct& mm = process->mm();
+    for (const PageRun& rec : ws.processes[p++].runs()) {
+      if (budget == 0) {
+        break;
+      }
+      mm.page_table().ForEachRunIn(rec.vpn, rec.npages, [&](Vpn vpn, const PteRun& run) {
+        if (budget == 0 || run.flags.valid || !run.flags.remote()) {
+          return;
+        }
+        PteRun clipped = run;
+        clipped.npages = std::min(run.npages, budget);
+        budget -= clipped.npages;
+        plan.push_back(PlannedRun{&mm, vpn, clipped});
+      });
+    }
+  }
+  if (plan.empty()) {
+    return;
+  }
+
+  // Map the fetched runs resident-local up front. Frame pressure stops the
+  // prefetch gracefully: unplanned runs simply demand-fault as before.
+  uint64_t pool_pages[kPoolKindCount] = {};
+  uint64_t pool_runs[kPoolKindCount] = {};
+  uint64_t mapped_pages = 0;
+  uint64_t mapped_runs = 0;
+  for (const PlannedRun& pr : plan) {
+    auto frame_or = ctx.frames->AllocatePages(pr.run.npages);
+    if (!frame_or.ok()) {
+      break;
+    }
+    const Vma* vma = pr.mm->FindVma(VpnToAddr(pr.vpn));
+    PteFlags flags;
+    flags.valid = true;
+    flags.write_protected = vma == nullptr || !vma->prot.write;
+    flags.pool = PoolKind::kLocalDram;
+    pr.mm->page_table().MapRange(pr.vpn, pr.run.npages, flags, frame_or.value(),
+                                 pr.run.content_base, pr.run.constant_content);
+    pr.mm->stats().local_pages += pr.run.npages;
+    const auto pool = static_cast<size_t>(pr.run.flags.pool);
+    pool_pages[pool] += pr.run.npages;
+    pool_runs[pool] += 1;
+    mapped_pages += pr.run.npages;
+    mapped_runs += 1;
+  }
+  if (mapped_pages == 0) {
+    return;
+  }
+
+  // One coalesced scatter-gather batch per message pool, issued through the
+  // engine's NIC queue at restore start so concurrent attaches on this node
+  // serialize (work-conserving busy window) and RetryPolicy/chaos apply.
+  uint64_t ops = 0;
+  for (size_t pool = 0; pool < kPoolKindCount; ++pool) {
+    if (pool_pages[pool] == 0) {
+      continue;
+    }
+    MemoryBackend* backend = ctx.backends->Get(static_cast<PoolKind>(pool));
+    if (backend == nullptr) {
+      continue;
+    }
+    std::vector<FetchRequest> requests;
+    requests.push_back(
+        FetchRequest{static_cast<uint32_t>(pool), pool_pages[pool], pool_runs[pool]});
+    const FetchOutcome fetched = prefetch_nic_.Issue(ctx.now, std::move(requests), backend);
+    ops += fetched.ops;
+  }
+  // The batches run asynchronously, overlapped with the B2 repurpose and B3
+  // process-state phases; only what spills past that window lands on the
+  // critical path as extra memory-phase latency.
+  const SimDuration total = prefetch_nic_.busy_until() - ctx.now;
+  const SimDuration hidden = outcome.startup.sandbox + outcome.startup.process;
+  const SimDuration residual = total > hidden ? total - hidden : SimDuration::Zero();
+  outcome.startup.memory += residual;
+
+  const obs::SpanId span = TracePhase(ctx, "trenv.prefetch", t0, total);
+  if (ctx.tracer != nullptr) {
+    ctx.tracer->Annotate(span, "pages", static_cast<int64_t>(mapped_pages));
+    ctx.tracer->Annotate(span, "runs", static_cast<int64_t>(mapped_runs));
+    ctx.tracer->Annotate(span, "bulk_ops", static_cast<int64_t>(ops));
+    ctx.tracer->Annotate(span, "hidden_ms", hidden.millis());
+    ctx.tracer->Annotate(span, "residual_ms", residual.millis());
+  }
+  if (ctx.stats != nullptr) {
+    ctx.stats->GetCounter("trenv.prefetch.attaches")->Increment();
+    ctx.stats->GetCounter("trenv.prefetch.pages")->Add(static_cast<double>(mapped_pages));
+    ctx.stats->GetCounter("trenv.prefetch.runs")->Add(static_cast<double>(mapped_runs));
+    ctx.stats->GetCounter("trenv.prefetch.bulk_ops")->Add(static_cast<double>(ops));
+  }
 }
 
 Result<ExecutionOverheads> TrEnvEngine::OnExecute(const FunctionProfile& profile,
@@ -211,7 +377,31 @@ Result<ExecutionOverheads> TrEnvEngine::OnExecute(const FunctionProfile& profile
     open_streams_[&instance] = std::move(streams);
   }
 
+  // First recorded invocation: capture the major-fault footprint as the
+  // function's working set (feeds both the attach prefetcher and promotion
+  // heat). Recording is pure observation — fault costs are unchanged.
+  Prepared* recording_target = nullptr;
+  if (options_.use_mm_template &&
+      (options_.prefetch.enabled || promotion_ != nullptr)) {
+    Prepared* prepared = MutablePreparedFor(profile);
+    if (prepared != nullptr && !prepared->ws.complete) {
+      recording_target = prepared;
+      recorder_.Arm(&recording_target->ws, instance);
+      ctx.fault_observer = &recorder_;
+    }
+  }
   TRENV_ASSIGN_OR_RETURN(BulkAccessStats stats, TouchInvocationPages(profile, instance, ctx));
+  if (recording_target != nullptr) {
+    recorder_.Disarm();
+    ctx.fault_observer = nullptr;
+    recording_target->ws.complete = true;
+    if (ctx.stats != nullptr) {
+      ctx.stats->GetCounter("trenv.ws.recorded_pages")
+          ->Add(static_cast<double>(recording_target->ws.TotalPages()));
+      ctx.stats->GetCounter("trenv.ws.recorded_runs")
+          ->Add(static_cast<double>(recording_target->ws.TotalRuns()));
+    }
+  }
   ExecutionOverheads overheads;
   overheads.added_latency = stats.latency;
   overheads.added_cpu = stats.fetch_cpu;
@@ -228,18 +418,11 @@ Result<ExecutionOverheads> TrEnvEngine::OnExecute(const FunctionProfile& profile
         1.0 + (ExecutionModel::CxlCpuMultiplier(profile) - 1.0) * remote_fraction;
   }
   overheads.added_latency += rollback_cost;
-  // Heat accounting for the tiered-promotion policy: every chunk of this
-  // function's consolidated image was (potentially) touched.
+  // Heat accounting for the tiered-promotion policy.
   if (promotion_ != nullptr) {
     const Prepared* prepared = PreparedFor(profile);
     if (prepared != nullptr) {
-      for (const auto& placed_regions : prepared->image.processes) {
-        for (const auto& placed : placed_regions) {
-          for (const auto& chunk : placed.chunks) {
-            promotion_->RecordAccess(PoolPlacement{chunk.pool, chunk.offset, chunk.npages}, 1);
-          }
-        }
-      }
+      HeatChunks(*prepared);
     }
     if (++executions_since_sweep_ >= promotion_interval_) {
       executions_since_sweep_ = 0;
@@ -267,6 +450,46 @@ Result<ExecutionOverheads> TrEnvEngine::OnExecute(const FunctionProfile& profile
     }
   }
   return overheads;
+}
+
+void TrEnvEngine::HeatChunks(const Prepared& prepared) {
+  // With a recorded working set, heat each chunk by how many recorded pages
+  // land in its window — untouched chunks stay cold and never migrate. Until
+  // a first invocation has been recorded, fall back to heating every chunk
+  // uniformly (the historical behaviour).
+  //
+  // Hit counts are quantized to [1, kChunkHeatMax] by chunk coverage rather
+  // than fed as raw page counts: a raw count (hundreds of pages) would need
+  // tens of decay sweeps to drop below demote_threshold, which unbinds the
+  // hot-tier budget. Bounding the per-execute delta keeps the decay/threshold
+  // dynamics the promotion knobs were tuned for while still ranking
+  // candidates by recorded coverage.
+  constexpr uint64_t kChunkHeatMax = 4;
+  const bool use_ws = prepared.ws.complete;
+  for (size_t p = 0; p < prepared.image.processes.size(); ++p) {
+    const PageRunSet* set =
+        use_ws && p < prepared.ws.processes.size() ? &prepared.ws.processes[p] : nullptr;
+    for (const PlacedRegion& placed : prepared.image.processes[p]) {
+      uint64_t done = 0;
+      for (const PlacedChunk& chunk : placed.chunks) {
+        uint64_t touches = 1;
+        if (use_ws) {
+          const Vpn base = AddrToVpn(placed.region.start) + done;
+          const uint64_t hits =
+              set != nullptr ? set->OverlapPages(base, chunk.npages) : 0;
+          touches = chunk.npages > 0
+                        ? (hits * kChunkHeatMax + chunk.npages - 1) / chunk.npages
+                        : hits;
+        }
+        done += chunk.npages;
+        if (touches == 0) {
+          continue;
+        }
+        promotion_->RecordAccess(PoolPlacement{chunk.pool, chunk.offset, chunk.npages},
+                                 touches);
+      }
+    }
+  }
 }
 
 void TrEnvEngine::OnExecuteDone(FunctionInstance& instance) {

@@ -20,6 +20,8 @@
 #include "src/criu/restore_engine.h"
 #include "src/mempool/promotion.h"
 #include "src/mmtemplate/api.h"
+#include "src/poolmgr/fetch_queue.h"
+#include "src/runtime/working_set.h"
 
 namespace trenv {
 
@@ -38,11 +40,27 @@ class TrEnvEngine : public RestoreEngine {
     // to the pristine template (drop CoW pages, re-attach). Costs one extra
     // attach per reuse but guarantees no state flows between requests.
     bool groundhog_restore = false;
+    // Working-set-guided batched prefetch on the attach fast path. The first
+    // invocation after an attach records its major-fault footprint per
+    // (function, process); later attaches of RDMA/NAS-homed templates issue
+    // the recorded runs as coalesced bulk fetches through the NIC queue,
+    // overlapped with the B2/B3 repurpose+restore phases, so only residual
+    // cold pages demand-fault during execution. Off by default: disabled
+    // runs are byte-identical to the pre-prefetch engine.
+    struct Prefetch {
+      bool enabled = false;
+      // Leading fraction of the recorded working set fetched eagerly.
+      double eager_fraction = 1.0;
+      // Incast penalty of the engine's private prefetch NIC queue.
+      double incast_penalty = 0.04;
+    } prefetch = {};
   };
 
-  // Optional hot-chunk promotion across tiers (not owned). Every execution
-  // heats the function's chunks; a sweep runs every `promotion_interval`
-  // executions and migrates hot chunks toward the byte-addressable tier.
+  // Optional hot-chunk promotion across tiers (not owned). Executions heat
+  // the function's chunks — by recorded working-set hit counts once a first
+  // invocation has been recorded, uniformly before that — and a sweep runs
+  // every `promotion_interval` executions, migrating hot chunks toward the
+  // byte-addressable tier.
   void EnablePromotion(PromotionManager* promotion, uint64_t interval = 32) {
     promotion_ = promotion;
     promotion_interval_ = interval;
@@ -75,18 +93,52 @@ class TrEnvEngine : public RestoreEngine {
   // The consolidated (deduplicated) image Prepare built for a function;
   // null until prepared. The pool control plane shards this image.
   const ConsolidatedImage* ImageFor(const std::string& function) const;
+  // The recorded first-invocation working set; null until a first invocation
+  // completed with recording active (prefetch or promotion enabled).
+  const WorkingSetProfile* WorkingSetFor(const std::string& function) const;
+  // The engine's private prefetch NIC queue (tests/benches inspect totals).
+  const NicFetchQueue& prefetch_nic() const { return prefetch_nic_; }
 
  private:
   // Per-function step-A products (one mm-template per process, plus the
-  // consolidated image driving promotion heat accounting).
+  // consolidated image driving promotion heat accounting) and the recorded
+  // first-invocation working set.
   struct Prepared {
     std::vector<MmtId> templates;
     ConsolidatedImage image;
+    WorkingSetProfile ws;
   };
   const Prepared* PreparedFor(const FunctionProfile& profile) const {
     const FunctionId id = FunctionIdOf(profile);
     return id < prepared_.size() ? prepared_[id].get() : nullptr;
   }
+  Prepared* MutablePreparedFor(const FunctionProfile& profile) {
+    const FunctionId id = FunctionIdOf(profile);
+    return id < prepared_.size() ? prepared_[id].get() : nullptr;
+  }
+
+  // Captures touched page runs into a WorkingSetProfile, mapping each
+  // accessed MmStruct back to its process index (address spaces may overlap
+  // between processes, so the sets are kept per process).
+  class WorkingSetRecorder : public PageTouchObserver {
+   public:
+    void Arm(WorkingSetProfile* ws, FunctionInstance& instance);
+    void Disarm();
+    void OnTouch(const MmStruct& mm, Vpn vpn, uint64_t npages) override;
+
+   private:
+    WorkingSetProfile* ws_ = nullptr;
+    std::vector<const MmStruct*> mms_;  // process order
+  };
+
+  // Issues the recorded working set as coalesced bulk fetches overlapped
+  // with the B2/B3 phases; adds only the non-hidden residual to
+  // outcome.startup.memory. No-op without a complete recorded profile.
+  void PrefetchWorkingSet(const FunctionProfile& profile, RestoreOutcome& outcome,
+                          RestoreContext& ctx, SimTime t0);
+  // Heats the function's chunks for the promotion sweep: by recorded
+  // working-set overlap when available, uniformly otherwise.
+  void HeatChunks(const Prepared& prepared);
 
   SandboxFactory* factory_;
   SandboxPool* pool_;
@@ -102,6 +154,10 @@ class TrEnvEngine : public RestoreEngine {
   PromotionManager* promotion_ = nullptr;
   uint64_t promotion_interval_ = 32;
   uint64_t executions_since_sweep_ = 0;
+  WorkingSetRecorder recorder_;
+  // Work-conserving NIC window for prefetch batches: concurrent attaches on
+  // one node serialize their bulk fetches here.
+  NicFetchQueue prefetch_nic_;
 };
 
 }  // namespace trenv

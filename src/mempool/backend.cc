@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "src/common/cost_model.h"
 #include "src/fault/fault_injector.h"
 
 namespace trenv {
@@ -109,13 +110,10 @@ uint64_t ContentMap::stored_pages() const {
   return total;
 }
 
-SimDuration MemoryBackend::FetchLatency(uint64_t npages) {
-  if (npages > 0 && fetch_ops_ != nullptr) {
-    fetch_ops_->Increment();
-    fetch_pages_->Add(static_cast<double>(npages));
-  }
+template <typename ComputeFn>
+SimDuration MemoryBackend::FetchThroughFaults(uint64_t npages, ComputeFn&& compute) {
   if (injector_ == nullptr || !injector_->Active() || npages == 0) {
-    return ComputeFetchLatency(npages);
+    return compute();
   }
   // Chaos path: each attempt may flap (costs a timeout, then backoff + retry)
   // or deliver a corrupted payload (full transfer latency wasted — the dedup
@@ -127,7 +125,7 @@ SimDuration MemoryBackend::FetchLatency(uint64_t npages) {
   for (uint32_t attempt = 0;; ++attempt) {
     const FaultInjector::FetchFault fault =
         injector_->OnFetchAttempt(kind(), active_streams());
-    const SimDuration transfer = ComputeFetchLatency(npages) * fault.latency_multiplier;
+    const SimDuration transfer = compute() * fault.latency_multiplier;
     if (!fault.fail && !fault.corrupt) {
       return overhead + transfer;
     }
@@ -139,11 +137,38 @@ SimDuration MemoryBackend::FetchLatency(uint64_t npages) {
     }
     if (attempt + 1 >= policy.max_attempts || overhead >= policy.deadline) {
       injector_->CountExhausted();
-      return overhead + ComputeFetchLatency(npages) * fault.latency_multiplier;
+      return overhead + compute() * fault.latency_multiplier;
     }
     overhead += policy.BackoffFor(attempt + 1);
     injector_->CountRetry();
   }
+}
+
+SimDuration MemoryBackend::FetchLatency(uint64_t npages) {
+  if (npages > 0 && fetch_ops_ != nullptr) {
+    fetch_ops_->Increment();
+    fetch_pages_->Add(static_cast<double>(npages));
+  }
+  return FetchThroughFaults(npages, [&] { return ComputeFetchLatency(npages); });
+}
+
+SimDuration MemoryBackend::BulkFetchLatency(uint64_t nruns, uint64_t npages) {
+  if (npages > 0 && fetch_ops_ != nullptr) {
+    fetch_ops_->Increment();
+    fetch_pages_->Add(static_cast<double>(npages));
+    bulk_ops_->Increment();
+    bulk_runs_->Add(static_cast<double>(nruns));
+  }
+  return FetchThroughFaults(npages,
+                            [&] { return ComputeBulkFetchLatency(nruns, npages); });
+}
+
+SimDuration MemoryBackend::ComputeBulkFetchLatency(uint64_t nruns, uint64_t npages) {
+  SimDuration latency = ComputeFetchLatency(npages);
+  if (nruns > 1) {
+    latency += cost::kBulkFetchPerRun * static_cast<double>(nruns - 1);
+  }
+  return latency;
 }
 
 SimDuration MemoryBackend::EffectiveDirectLoadLatency() const {
@@ -158,11 +183,15 @@ void MemoryBackend::BindStats(obs::Registry* stats) {
   if (stats == nullptr) {
     fetch_ops_ = nullptr;
     fetch_pages_ = nullptr;
+    bulk_ops_ = nullptr;
+    bulk_runs_ = nullptr;
     return;
   }
   const std::string prefix = "pool." + std::string(name());
   fetch_ops_ = stats->GetCounter(prefix + ".fetch_ops");
   fetch_pages_ = stats->GetCounter(prefix + ".fetch_pages");
+  bulk_ops_ = stats->GetCounter(prefix + ".bulk_fetch_ops");
+  bulk_runs_ = stats->GetCounter(prefix + ".bulk_fetch_runs");
 }
 
 Status MemoryBackend::FreePages(PoolOffset base, uint64_t n) {

@@ -97,6 +97,13 @@ class MemoryBackend {
   // capped exponential backoff charged in virtual time. Counts into the
   // stats registry bound with BindStats, if any.
   SimDuration FetchLatency(uint64_t npages);
+  // Planned bulk fetch of `npages` spread over `nruns` page runs, issued as
+  // one scatter-gather operation (working-set prefetch). The base round trip
+  // is paid once and amortized across the whole batch — far cheaper than
+  // `nruns` separate FetchLatency calls — with a per-run descriptor cost for
+  // fragmentation. Runs through the same FaultInjector/RetryPolicy chaos
+  // loop as FetchLatency and counts into the bound stats.
+  SimDuration BulkFetchLatency(uint64_t nruns, uint64_t npages);
   // Binds "pool.<name>.fetch_ops" / "pool.<name>.fetch_pages" counters so
   // every fetch through this tier shows up in telemetry dumps.
   void BindStats(obs::Registry* stats);
@@ -125,13 +132,23 @@ class MemoryBackend {
 
   // The pool-specific latency model behind FetchLatency.
   virtual SimDuration ComputeFetchLatency(uint64_t npages) = 0;
+  // The model behind BulkFetchLatency. The default charges the plain fetch
+  // model plus one descriptor per extra run; pools with a real scatter-gather
+  // fast path (RDMA) override it with an amortizing stream model.
+  virtual SimDuration ComputeBulkFetchLatency(uint64_t nruns, uint64_t npages);
 
  private:
+  // Shared chaos loop: `compute()` yields one attempt's transfer latency.
+  template <typename ComputeFn>
+  SimDuration FetchThroughFaults(uint64_t npages, ComputeFn&& compute);
+
   BlockAllocator allocator_;
   ContentMap content_;
   FaultInjector* injector_ = nullptr;
   obs::Counter* fetch_ops_ = nullptr;
   obs::Counter* fetch_pages_ = nullptr;
+  obs::Counter* bulk_ops_ = nullptr;
+  obs::Counter* bulk_runs_ = nullptr;
 };
 
 // Maps PoolKind -> backend for the fault handler. Does not own the backends.

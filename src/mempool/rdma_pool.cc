@@ -29,4 +29,25 @@ SimDuration RdmaPool::ComputeFetchLatency(uint64_t npages) {
       static_cast<int64_t>((base_ns + stream_ns) * LoadFactor() * jitter));
 }
 
+SimDuration RdmaPool::ComputeBulkFetchLatency(uint64_t nruns, uint64_t npages) {
+  if (npages == 0) {
+    return SimDuration::Zero();
+  }
+  // One base round trip for the whole scatter list, then pipelined page
+  // streaming near line rate; fragmentation costs one descriptor per extra
+  // run. A single jitter draw covers the batch — a bulk read is one fabric
+  // operation, not npages independent tail samples.
+  const double sigma = cost::kRdmaTailSigma;
+  const double jitter = rng_.NextLogNormal(-sigma * sigma / 2.0, sigma);
+  const double base_ns = static_cast<double>(cost::kRdmaPageFetchBase.nanos());
+  const double stream_ns =
+      static_cast<double>(npages - 1) * base_ns * cost::kRdmaBulkStreamFactor;
+  const double scatter_ns =
+      nruns > 1 ? static_cast<double>(nruns - 1) *
+                      static_cast<double>(cost::kBulkFetchPerRun.nanos())
+                : 0.0;
+  return SimDuration(static_cast<int64_t>(
+      (base_ns + stream_ns + scatter_ns) * LoadFactor() * jitter));
+}
+
 }  // namespace trenv

@@ -45,6 +45,10 @@ class RdmaPool : public MemoryBackend {
 
  protected:
   SimDuration ComputeFetchLatency(uint64_t npages) override;
+  // Scatter-gather bulk reads (working-set prefetch): the descriptor list is
+  // posted up front, so transfers pipeline at near line rate instead of the
+  // fault-driven readahead factor.
+  SimDuration ComputeBulkFetchLatency(uint64_t nruns, uint64_t npages) override;
 
  private:
   Rng rng_;

@@ -89,6 +89,9 @@ Result<MmtSetupResult> MmtApi::MmtSetupPt(MmtId id, Vaddr addr, uint64_t length,
   flags.valid = backend->byte_addressable();
   flags.write_protected = true;
   tmpl->page_table().MapRange(AddrToVpn(addr), npages, flags, pool_offset, content_base);
+  if (!flags.valid) {
+    tmpl->AddLazyPages(npages);
+  }
 
   MmtSetupResult result;
   result.latency = cost::kMmtSetupPtPerRun + cost::kMmtIoctl;
@@ -134,6 +137,7 @@ Result<MmtAttachResult> MmtApi::MmtAttach(MmtId id, MmStruct* target) {
   MmtAttachResult result;
   result.metadata_bytes = tmpl->MetadataBytes();
   result.mapped_pages = tmpl->MappedPages();
+  result.lazy_pages = tmpl->lazy_pages();
   result.latency =
       cost::kMmtIoctl + SimDuration::FromSecondsF(static_cast<double>(result.metadata_bytes) /
                                                   cost::kMmtAttachCopyBytesPerSec);

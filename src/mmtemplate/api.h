@@ -31,6 +31,10 @@ struct MmtAttachResult {
   SimDuration latency;
   uint64_t metadata_bytes = 0;
   uint64_t mapped_pages = 0;
+  // Pages the template maps with invalid (fault-on-first-touch) PTEs —
+  // RDMA/NAS-homed content. Zero means every page reads directly
+  // (byte-addressable pools), so a working-set prefetch has nothing to do.
+  uint64_t lazy_pages = 0;
 };
 
 struct MmtSetupResult {

@@ -46,12 +46,18 @@ class MmTemplate {
   // Total pages the template maps (all remote, by construction).
   uint64_t MappedPages() const { return table_.mapped_pages(); }
 
+  // Pages mapped with invalid lazy PTEs (message-model pools), maintained by
+  // MmtSetupPt so attach needn't rescan the page table.
+  uint64_t lazy_pages() const { return lazy_pages_; }
+  void AddLazyPages(uint64_t n) { lazy_pages_ += n; }
+
  private:
   MmtId id_;
   std::string name_;
   std::map<Vaddr, Vma> vmas_;
   PageTable table_;
   uint64_t attach_count_ = 0;
+  uint64_t lazy_pages_ = 0;
 };
 
 }  // namespace trenv

@@ -33,6 +33,7 @@ RestoreContext ServerlessPlatform::MakeContext() {
   ctx.backends = backends_;
   ctx.pids = &pids_;
   ctx.concurrent_startups = concurrent_startups_;
+  ctx.now = scheduler_.now();
   ctx.stats = &metrics_.registry();
   return ctx;
 }

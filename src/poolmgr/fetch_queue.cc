@@ -33,12 +33,23 @@ FetchOutcome NicFetchQueue::Issue(SimTime now, std::vector<FetchRequest> request
   }
   for (size_t i = 0; i < requests.size();) {
     uint64_t batch_pages = requests[i].npages;
+    // Demand requests (nruns == 0) folded into a bulk descriptor count as one
+    // run each.
+    uint64_t batch_runs = requests[i].nruns > 0 ? requests[i].nruns : 1;
+    bool bulk = requests[i].nruns > 0;
     size_t j = i + 1;
     while (j < requests.size() && requests[j].source == requests[i].source) {
       batch_pages += requests[j].npages;
+      batch_runs += requests[j].nruns > 0 ? requests[j].nruns : 1;
+      bulk = bulk || requests[j].nruns > 0;
       ++j;
     }
-    outcome.transfer += fabric->FetchLatency(batch_pages);
+    if (bulk) {
+      outcome.transfer += fabric->BulkFetchLatency(batch_runs, batch_pages);
+      outcome.runs += batch_runs;
+    } else {
+      outcome.transfer += fabric->FetchLatency(batch_pages);
+    }
     outcome.pages += batch_pages;
     ++outcome.ops;
     i = j;

@@ -30,6 +30,12 @@ namespace trenv {
 struct FetchRequest {
   uint32_t source = 0;  // pool node holding the shard
   uint64_t npages = 0;
+  // 0 (default): a demand-style fetch, charged through the fabric's plain
+  // FetchLatency model. >= 1: a planned scatter-gather descriptor covering
+  // `nruns` page runs (working-set prefetch); groups containing any such
+  // request are charged through BulkFetchLatency, which amortizes the base
+  // round trip across the batch.
+  uint64_t nruns = 0;
 };
 
 struct FetchOutcome {
@@ -38,6 +44,7 @@ struct FetchOutcome {
   uint64_t pages = 0;
   uint64_t ops = 0;        // transfers issued after coalescing
   uint64_t coalesced = 0;  // requests merged into an existing transfer
+  uint64_t runs = 0;       // scatter-gather runs across bulk descriptors
   uint32_t sources = 0;    // distinct pool nodes in the batch (incast width)
 
   SimDuration Total() const { return queue_delay + transfer; }

@@ -1,0 +1,56 @@
+#include "src/runtime/working_set.h"
+
+#include <algorithm>
+#include <cstddef>
+
+namespace trenv {
+
+size_t PageRunSet::FirstReaching(Vpn vpn) const {
+  return static_cast<size_t>(
+      std::lower_bound(runs_.begin(), runs_.end(), vpn,
+                       [](const PageRun& r, Vpn v) { return r.vpn + r.npages < v; }) -
+      runs_.begin());
+}
+
+void PageRunSet::Add(Vpn vpn, uint64_t npages) {
+  if (npages == 0) {
+    return;
+  }
+  Vpn end = vpn + npages;
+  // Window of runs that overlap or abut [vpn, end): they all merge into one.
+  const size_t lo = FirstReaching(vpn);
+  size_t hi = lo;
+  while (hi < runs_.size() && runs_[hi].vpn <= end) {
+    vpn = std::min(vpn, runs_[hi].vpn);
+    end = std::max(end, runs_[hi].vpn + runs_[hi].npages);
+    pages_ -= runs_[hi].npages;
+    ++hi;
+  }
+  const PageRun merged{vpn, end - vpn};
+  if (lo < hi) {
+    runs_[lo] = merged;
+    runs_.erase(runs_.begin() + static_cast<ptrdiff_t>(lo + 1),
+                runs_.begin() + static_cast<ptrdiff_t>(hi));
+  } else {
+    runs_.insert(runs_.begin() + static_cast<ptrdiff_t>(lo), merged);
+  }
+  pages_ += merged.npages;
+}
+
+uint64_t PageRunSet::OverlapPages(Vpn vpn, uint64_t npages) const {
+  if (npages == 0) {
+    return 0;
+  }
+  const Vpn end = vpn + npages;
+  uint64_t covered = 0;
+  for (size_t i = FirstReaching(vpn); i < runs_.size() && runs_[i].vpn < end; ++i) {
+    const Vpn lo = std::max(runs_[i].vpn, vpn);
+    const Vpn hi = std::min(runs_[i].vpn + runs_[i].npages, end);
+    if (hi > lo) {
+      covered += hi - lo;
+    }
+  }
+  return covered;
+}
+
+}  // namespace trenv

@@ -1,0 +1,76 @@
+// Recorded first-invocation working sets (REAP-style, section 3.3 / TrEnv-X).
+//
+// The first invocation after an mm-template attach major-faults every page it
+// touches; the fault footprint, kept as a compact sorted page-run profile per
+// (function, process), is exactly the set a later attach wants resident
+// before execution starts. The store uses the same flat sorted-run
+// representation as the page table: recording coalesces adjacent faults in
+// place, and replay walks O(runs), not O(pages).
+#ifndef TRENV_RUNTIME_WORKING_SET_H_
+#define TRENV_RUNTIME_WORKING_SET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/simkernel/types.h"
+
+namespace trenv {
+
+// One recorded page run (virtual pages in the template's address space).
+struct PageRun {
+  Vpn vpn = 0;
+  uint64_t npages = 0;
+};
+
+// A sorted, disjoint, coalesced set of page runs. Insertion merges with
+// abutting/overlapping neighbours in one splice, so a fault storm that
+// touches a region front-to-back records as a single run.
+class PageRunSet {
+ public:
+  // Adds [vpn, vpn + npages), merging with overlapping/adjacent runs.
+  void Add(Vpn vpn, uint64_t npages);
+
+  uint64_t pages() const { return pages_; }
+  uint64_t run_count() const { return runs_.size(); }
+  bool empty() const { return runs_.empty(); }
+  const std::vector<PageRun>& runs() const { return runs_; }
+
+  // Pages of [vpn, vpn + npages) covered by the set (promotion heat: how many
+  // recorded working-set pages land in a placed chunk's window).
+  uint64_t OverlapPages(Vpn vpn, uint64_t npages) const;
+
+ private:
+  // Index of the first run whose end lies at/past `vpn`.
+  size_t FirstReaching(Vpn vpn) const;
+
+  std::vector<PageRun> runs_;  // sorted by vpn, pairwise disjoint
+  uint64_t pages_ = 0;
+};
+
+// The recorded fault footprint of one function's first invocation, one run
+// set per process (processes can overlap in virtual address space, so the
+// sets cannot be merged). `complete` flips once the recording invocation
+// finished; partially recorded profiles are never replayed.
+struct WorkingSetProfile {
+  std::vector<PageRunSet> processes;
+  bool complete = false;
+
+  uint64_t TotalPages() const {
+    uint64_t total = 0;
+    for (const PageRunSet& set : processes) {
+      total += set.pages();
+    }
+    return total;
+  }
+  uint64_t TotalRuns() const {
+    uint64_t total = 0;
+    for (const PageRunSet& set : processes) {
+      total += set.run_count();
+    }
+    return total;
+  }
+};
+
+}  // namespace trenv
+
+#endif  // TRENV_RUNTIME_WORKING_SET_H_

@@ -8,8 +8,8 @@
 namespace trenv {
 
 FaultHandler::FaultHandler(FrameAllocator* frames, const BackendRegistry* backends,
-                           obs::Registry* stats)
-    : frames_(frames), backends_(backends) {
+                           obs::Registry* stats, PageTouchObserver* observer)
+    : frames_(frames), backends_(backends), observer_(observer) {
   if (stats != nullptr) {
     minor_ = stats->GetCounter("faults.minor");
     major_ = stats->GetCounter("faults.major");
@@ -58,6 +58,9 @@ Result<AccessOutcome> FaultHandler::Access(MmStruct& mm, Vaddr addr, bool write,
     return Status::PermissionDenied("segfault: read from non-readable VMA " + vma->name);
   }
   const Vpn vpn = AddrToVpn(addr);
+  if (observer_ != nullptr) {
+    observer_->OnTouch(mm, vpn, 1);
+  }
   auto pte = mm.page_table().Lookup(vpn);
   if (!pte.has_value()) {
     return HandleUnpopulated(mm, *vma, vpn, write, new_content);
@@ -241,6 +244,9 @@ Result<BulkAccessStats> FaultHandler::AccessRange(MmStruct& mm, Vaddr addr, uint
     return Status::PermissionDenied("segfault: write to read-only VMA " + vma->name);
   }
   const Vpn first_vpn = AddrToVpn(addr);
+  if (observer_ != nullptr) {
+    observer_->OnTouch(mm, first_vpn, npages);
+  }
 
   // Snapshot the runs (the loop below mutates the table) into the reusable
   // per-handler scratch buffer: steady state performs no allocation here.

@@ -45,6 +45,19 @@ struct AccessOutcome {
   PageContent content = kZeroPageContent;  // content observed by a read
 };
 
+// Observes page touches as accesses resolve. The TrEnv working-set recorder
+// hooks this during a function's first invocation to capture its access
+// footprint — every touched page, whatever its PTE state, since the same
+// profile drives both remote prefetch (which filters to lazy runs at plan
+// time) and promotion heat (where direct CXL reads matter most). A null
+// observer costs one branch per access run.
+class PageTouchObserver {
+ public:
+  virtual ~PageTouchObserver() = default;
+  // `npages` pages starting at `vpn` in `mm` were just touched (as one run).
+  virtual void OnTouch(const MmStruct& mm, Vpn vpn, uint64_t npages) = 0;
+};
+
 // Aggregate result of touching a page range.
 struct BulkAccessStats {
   uint64_t pages = 0;
@@ -64,9 +77,10 @@ struct BulkAccessStats {
 class FaultHandler {
  public:
   // `stats` (optional) receives per-kind fault/fetch counters under the
-  // "faults." / "fetch." / "reads." prefixes.
+  // "faults." / "fetch." / "reads." prefixes. `observer` (optional) is
+  // notified of every touched page run (working-set recording).
   FaultHandler(FrameAllocator* frames, const BackendRegistry* backends,
-               obs::Registry* stats = nullptr);
+               obs::Registry* stats = nullptr, PageTouchObserver* observer = nullptr);
 
   // Touches one page. `write` requests write access. new_content is the
   // content a write stores (ignored for reads).
@@ -96,6 +110,7 @@ class FaultHandler {
 
   FrameAllocator* frames_;
   const BackendRegistry* backends_;
+  PageTouchObserver* observer_ = nullptr;
   uint64_t write_seed_ = 0x57a7e;  // distinguishes freshly written content
   // Scratch for AccessRange's run snapshot, reused across calls so bulk
   // accesses don't allocate once the buffer has grown to the working size.

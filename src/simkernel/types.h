@@ -28,6 +28,7 @@ enum class PoolKind : uint8_t {
   kRdma = 2,
   kNas = 3,
 };
+inline constexpr size_t kPoolKindCount = 4;
 
 std::string_view PoolKindName(PoolKind kind);
 

@@ -403,5 +403,238 @@ TEST_F(EngineTest, AblationOrdering) {
   EXPECT_LT(full_t.millis(), 20.0);
 }
 
+// --- Lazy-engine boundary conditions -------------------------------------
+
+// Finds the first span with `name` in `tracer`, or null.
+const obs::Span* FindSpan(const obs::Tracer& tracer, std::string_view name) {
+  for (const auto& span : tracer.spans()) {
+    if (span.name == name) {
+      return &span;
+    }
+  }
+  return nullptr;
+}
+
+TEST_F(EngineTest, ReapEagerFractionZeroPrefetchesNothing) {
+  ReapEngine engine(&factory_, &pool_,
+                    ReapEngine::Options{.pooled_netns = true, .eager_fraction = 0.0});
+  ASSERT_TRUE(engine.Prepare(profile_).ok());
+  obs::Tracer tracer;
+  RestoreContext ctx = Ctx();
+  ctx.tracer = &tracer;
+  ctx.trace_loc = {tracer.RegisterProcess("test", [] { return SimTime(); }), 0};
+  auto outcome = engine.Restore(profile_, ctx);
+  ASSERT_TRUE(outcome.ok());
+  // No eager load: the memory phase is free and only the fixed VM overhead
+  // is resident. A zero-page prefetch must also leave no trace span behind.
+  EXPECT_EQ(outcome->startup.memory, SimDuration::Zero());
+  EXPECT_EQ(outcome->instance->ResidentLocalPages(), outcome->instance->overhead_pages);
+  EXPECT_EQ(FindSpan(tracer, "vm.eager_prefetch"), nullptr);
+  // Everything deferred to execution: the fault bill is the full invocation.
+  auto overheads = engine.OnExecute(profile_, *outcome->instance, ctx);
+  ASSERT_TRUE(overheads.ok());
+  EXPECT_GT(overheads->added_latency.millis(), 1.0);
+}
+
+TEST_F(EngineTest, ReapEagerFractionOneLoadsExactlyTheRecordedSet) {
+  ReapEngine engine(&factory_, &pool_,
+                    ReapEngine::Options{.pooled_netns = true, .eager_fraction = 1.0});
+  ASSERT_TRUE(engine.Prepare(profile_).ok());
+  obs::Tracer tracer;
+  RestoreContext ctx = Ctx();
+  ctx.tracer = &tracer;
+  ctx.trace_loc = {tracer.RegisterProcess("test", [] { return SimTime(); }), 0};
+  auto outcome = engine.Restore(profile_, ctx);
+  ASSERT_TRUE(outcome.ok());
+  // The span's eager_pages annotation must agree with what became resident.
+  const uint64_t eager =
+      outcome->instance->ResidentLocalPages() - outcome->instance->overhead_pages;
+  EXPECT_GT(eager, 0u);
+  const obs::Span* span = FindSpan(tracer, "vm.eager_prefetch");
+  ASSERT_NE(span, nullptr);
+  const auto* annotated = [&]() -> const int64_t* {
+    for (const auto& [key, value] : span->args) {
+      if (key == "eager_pages") {
+        return std::get_if<int64_t>(&value);
+      }
+    }
+    return nullptr;
+  }();
+  ASSERT_NE(annotated, nullptr);
+  EXPECT_EQ(static_cast<uint64_t>(*annotated), eager);
+  EXPECT_GT(outcome->startup.memory, SimDuration::Zero());
+}
+
+TEST_F(EngineTest, ReapZeroWorkingSetEmitsNoPrefetchSpan) {
+  FunctionProfile no_ws = SmallFn("no-ws", "python", 64);
+  no_ws.pages.working_set_fraction = 0.0;
+  ReapEngine engine(&factory_, &pool_, ReapEngine::Options{.pooled_netns = true});
+  ASSERT_TRUE(engine.Prepare(no_ws).ok());
+  obs::Tracer tracer;
+  RestoreContext ctx = Ctx();
+  ctx.tracer = &tracer;
+  ctx.trace_loc = {tracer.RegisterProcess("test", [] { return SimTime(); }), 0};
+  auto outcome = engine.Restore(no_ws, ctx);
+  ASSERT_TRUE(outcome.ok());
+  // An empty working set means a full eager fraction still loads zero pages.
+  EXPECT_EQ(outcome->startup.memory, SimDuration::Zero());
+  EXPECT_EQ(outcome->instance->ResidentLocalPages(), outcome->instance->overhead_pages);
+  EXPECT_EQ(FindSpan(tracer, "vm.eager_prefetch"), nullptr);
+}
+
+// --- TrEnv working-set recording and batched prefetch ---------------------
+
+TEST_F(EngineTest, TrEnvPrefetchOffByDefaultKeepsDemandFaulting) {
+  SnapshotDedupStore dedup(&tiered_rdma_);
+  TrEnvEngine engine(&factory_, &pool_, &mmt_, &dedup);
+  ASSERT_TRUE(engine.Prepare(profile_).ok());
+  RestoreContext ctx = Ctx();
+  auto first = engine.Restore(profile_, ctx);
+  ASSERT_TRUE(first.ok());
+  auto first_exec = engine.OnExecute(profile_, *first->instance, ctx);
+  ASSERT_TRUE(first_exec.ok());
+  engine.OnExecuteDone(*first->instance);
+  engine.Retire(std::move(first->instance), ctx);
+  // Nothing recorded, nothing prefetched: the default engine is unchanged.
+  EXPECT_EQ(engine.WorkingSetFor(profile_.name), nullptr);
+  EXPECT_EQ(engine.prefetch_nic().total_ops(), 0u);
+  auto second = engine.Restore(profile_, ctx);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->instance->ResidentLocalPages(), 0u);
+  // The second invocation demand-faults the full set again.
+  auto second_exec = engine.OnExecute(profile_, *second->instance, ctx);
+  ASSERT_TRUE(second_exec.ok());
+  EXPECT_GT(second_exec->added_latency.millis(), 5.0);
+  engine.OnExecuteDone(*second->instance);
+}
+
+TEST_F(EngineTest, TrEnvRecordsWorkingSetOnFirstInvocation) {
+  SnapshotDedupStore dedup(&tiered_rdma_);
+  TrEnvEngine::Options opts;
+  opts.prefetch.enabled = true;
+  TrEnvEngine engine(&factory_, &pool_, &mmt_, &dedup, opts);
+  ASSERT_TRUE(engine.Prepare(profile_).ok());
+  RestoreContext ctx = Ctx();
+  auto outcome = engine.Restore(profile_, ctx);
+  ASSERT_TRUE(outcome.ok());
+  // Restore alone records nothing — the profile completes with the first
+  // invocation's touches.
+  EXPECT_EQ(engine.WorkingSetFor(profile_.name), nullptr);
+  ASSERT_TRUE(engine.OnExecute(profile_, *outcome->instance, ctx).ok());
+  engine.OnExecuteDone(*outcome->instance);
+  const WorkingSetProfile* ws = engine.WorkingSetFor(profile_.name);
+  ASSERT_NE(ws, nullptr);
+  EXPECT_TRUE(ws->complete);
+  EXPECT_GT(ws->TotalPages(), 0u);
+  EXPECT_GT(ws->TotalRuns(), 0u);
+  EXPECT_LE(ws->TotalPages(), profile_.ImagePages());
+  // Compact representation: orders of magnitude fewer runs than pages.
+  EXPECT_LT(ws->TotalRuns() * 8, ws->TotalPages());
+}
+
+TEST_F(EngineTest, TrEnvSecondAttachPrefetchesTheRecordedSet) {
+  SnapshotDedupStore dedup(&tiered_rdma_);
+  TrEnvEngine::Options opts;
+  opts.prefetch.enabled = true;
+  TrEnvEngine engine(&factory_, &pool_, &mmt_, &dedup, opts);
+  ASSERT_TRUE(engine.Prepare(profile_).ok());
+  RestoreContext ctx = Ctx();
+  auto first = engine.Restore(profile_, ctx);
+  ASSERT_TRUE(first.ok());
+  auto first_exec = engine.OnExecute(profile_, *first->instance, ctx);
+  ASSERT_TRUE(first_exec.ok());
+  engine.OnExecuteDone(*first->instance);
+  engine.Retire(std::move(first->instance), ctx);
+  const WorkingSetProfile* ws = engine.WorkingSetFor(profile_.name);
+  ASSERT_NE(ws, nullptr);
+
+  obs::Tracer tracer;
+  RestoreContext traced = Ctx();
+  traced.tracer = &tracer;
+  traced.trace_loc = {tracer.RegisterProcess("test", [] { return SimTime(); }), 0};
+  auto second = engine.Restore(profile_, traced);
+  ASSERT_TRUE(second.ok());
+  // Every recorded page is resident straight out of Restore, delivered as
+  // coalesced bulk fetches through the engine's NIC queue.
+  EXPECT_EQ(second->instance->ResidentLocalPages(), ws->TotalPages());
+  EXPECT_GT(engine.prefetch_nic().total_ops(), 0u);
+  EXPECT_EQ(engine.prefetch_nic().total_pages(), ws->TotalPages());
+  const obs::Span* span = FindSpan(tracer, "trenv.prefetch");
+  ASSERT_NE(span, nullptr);
+  // The second invocation's demand-fault bill collapses: only residual cold
+  // pages (touches outside the recorded set) still fault.
+  auto second_exec = engine.OnExecute(profile_, *second->instance, traced);
+  ASSERT_TRUE(second_exec.ok());
+  EXPECT_LT(second_exec->added_latency.nanos(), first_exec->added_latency.nanos() / 4);
+  engine.OnExecuteDone(*second->instance);
+}
+
+TEST_F(EngineTest, TrEnvPrefetchSkipsByteAddressableTemplates) {
+  // T-CXL templates attach with zero lazy pages (reads go straight to CXL),
+  // so the prefetcher must not issue anything even when enabled.
+  SnapshotDedupStore dedup(&tiered_cxl_);
+  TrEnvEngine::Options opts;
+  opts.prefetch.enabled = true;
+  TrEnvEngine engine(&factory_, &pool_, &mmt_, &dedup, opts);
+  ASSERT_TRUE(engine.Prepare(profile_).ok());
+  RestoreContext ctx = Ctx();
+  auto first = engine.Restore(profile_, ctx);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(engine.OnExecute(profile_, *first->instance, ctx).ok());
+  engine.OnExecuteDone(*first->instance);
+  engine.Retire(std::move(first->instance), ctx);
+  // A working set was still recorded (it feeds promotion)...
+  EXPECT_NE(engine.WorkingSetFor(profile_.name), nullptr);
+  auto second = engine.Restore(profile_, ctx);
+  ASSERT_TRUE(second.ok());
+  // ...but the second attach fetched nothing: CXL pages need no prefetch.
+  EXPECT_EQ(engine.prefetch_nic().total_ops(), 0u);
+  EXPECT_EQ(second->instance->ResidentLocalPages(), 0u);
+  engine.OnExecuteDone(*second->instance);
+}
+
+TEST_F(EngineTest, TrEnvPromotionHeatsByRecordedWorkingSet) {
+  // With promotion enabled (prefetch off), the first invocation still records
+  // the working set, and subsequent heat accounting follows it: touched
+  // chunks migrate to the byte-addressable tier, untouched chunks stay cold
+  // in RDMA instead of being heated uniformly.
+  TieredPool tiered;
+  tiered.AddTier(&cxl_);
+  tiered.AddTier(&rdma_);
+  SnapshotDedupStore dedup(&tiered);
+  PromotionManager promotion(&tiered, &mmt_.registry(),
+                             PromotionManager::Options{.promote_threshold = 3,
+                                                       .max_promotions_per_sweep = 64});
+  TrEnvEngine engine(&factory_, &pool_, &mmt_, &dedup);
+  engine.EnablePromotion(&promotion, /*interval=*/4);
+  ASSERT_TRUE(engine.Prepare(profile_).ok());
+  RestoreContext ctx = Ctx();
+  for (int i = 0; i < 8; ++i) {
+    auto outcome = engine.Restore(profile_, ctx);
+    ASSERT_TRUE(outcome.ok());
+    ASSERT_TRUE(engine.OnExecute(profile_, *outcome->instance, ctx).ok());
+    engine.OnExecuteDone(*outcome->instance);
+    engine.Retire(std::move(outcome->instance), ctx);
+  }
+  // Promotion alone arms the recorder — no prefetch needed.
+  const WorkingSetProfile* ws = engine.WorkingSetFor(profile_.name);
+  ASSERT_NE(ws, nullptr);
+  ASSERT_GT(ws->TotalPages(), 0u);
+  ASSERT_LT(ws->TotalPages(), profile_.ImagePages());
+  EXPECT_GT(promotion.promoted_chunks(), 0u);
+  // Touched chunks moved into CXL; cold chunks are still RDMA-homed. Under
+  // uniform heating everything would have crossed the threshold together.
+  uint64_t cxl_pages = 0;
+  uint64_t rdma_pages = 0;
+  mmt_.registry().ForEach([&](MmTemplate& tmpl) {
+    cxl_pages += tmpl.page_table().CountPagesIf(
+        [](const PteFlags& f) { return f.pool == PoolKind::kCxl; });
+    rdma_pages += tmpl.page_table().CountPagesIf(
+        [](const PteFlags& f) { return f.pool == PoolKind::kRdma; });
+  });
+  EXPECT_GT(cxl_pages, 0u);
+  EXPECT_GT(rdma_pages, 0u);
+}
+
 }  // namespace
 }  // namespace trenv

@@ -242,6 +242,50 @@ TEST(NasPoolTest, FetchScalesLinearly) {
   EXPECT_EQ(pool.FetchLatency(10).nanos(), cost::kNasPageFetchBase.nanos() * 10);
 }
 
+TEST(RdmaPoolTest, BulkFetchAmortizesTheRoundTrip) {
+  // The pipelined bulk stream must cost far less per page than the same
+  // pages demand-fetched one run at a time: the base round trip is paid once
+  // and the per-page stream factor is a fraction of the readahead factor.
+  RdmaPool bulk_pool(kGiB, 42);
+  RdmaPool demand_pool(kGiB, 42);
+  const uint64_t npages = 4096;
+  double bulk_us = 0;
+  double demand_us = 0;
+  const int n = 200;
+  for (int i = 0; i < n; ++i) {
+    bulk_us += bulk_pool.BulkFetchLatency(/*nruns=*/8, npages).micros();
+    demand_us += demand_pool.FetchLatency(npages).micros();
+  }
+  EXPECT_LT(bulk_us * 2.0, demand_us);  // >= 2x cheaper on average
+}
+
+TEST(RdmaPoolTest, BulkFetchChargesPerRunScatterCost) {
+  // Same page count, more runs -> strictly more scatter-descriptor overhead.
+  // Same seed in two pools so the jitter draws line up pairwise.
+  RdmaPool few_pool(kGiB, 11);
+  RdmaPool many_pool(kGiB, 11);
+  for (int i = 0; i < 50; ++i) {
+    const SimDuration few = few_pool.BulkFetchLatency(/*nruns=*/1, 1024);
+    const SimDuration many = many_pool.BulkFetchLatency(/*nruns=*/64, 1024);
+    EXPECT_LT(few, many);
+  }
+}
+
+TEST(RdmaPoolTest, BulkFetchOfNothingIsFree) {
+  RdmaPool pool(kGiB, 42);
+  EXPECT_EQ(pool.BulkFetchLatency(0, 0), SimDuration::Zero());
+}
+
+TEST(NasPoolTest, BulkFetchUsesTheDefaultModel) {
+  // Backends without a bulk override charge the plain fetch model plus the
+  // per-run descriptor cost, so routing a batch through BulkFetchLatency can
+  // never be cheaper than the demand path for them.
+  NasPool pool(kGiB);
+  EXPECT_EQ(pool.BulkFetchLatency(1, 10).nanos(), pool.FetchLatency(10).nanos());
+  EXPECT_EQ(pool.BulkFetchLatency(3, 10).nanos(),
+            pool.FetchLatency(10).nanos() + 2 * cost::kBulkFetchPerRun.nanos());
+}
+
 TEST(DramPoolTest, FastestDirectLoad) {
   DramPool dram(kGiB);
   CxlPool cxl(kGiB);

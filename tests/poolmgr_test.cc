@@ -132,6 +132,86 @@ TEST(FetchQueueTest, BusyNicQueuesTheNextBatch) {
   EXPECT_EQ(fabric.active_streams(), 0u);
 }
 
+TEST(FetchQueueTest, EmptyBatchIsANoOp) {
+  RdmaPool fabric(kGiB);
+  NicFetchQueue nic;
+  const SimTime before = nic.busy_until();
+  const auto outcome = nic.Issue(SimTime::Zero() + SimDuration::Seconds(5), {}, &fabric);
+  EXPECT_EQ(outcome.pages, 0u);
+  EXPECT_EQ(outcome.ops, 0u);
+  EXPECT_EQ(outcome.runs, 0u);
+  EXPECT_EQ(outcome.sources, 0u);
+  EXPECT_EQ(outcome.Total(), SimDuration::Zero());
+  // The NIC window is untouched: an empty batch must not reserve the NIC.
+  EXPECT_EQ(nic.busy_until(), before);
+  EXPECT_EQ(nic.total_ops(), 0u);
+  EXPECT_EQ(fabric.active_streams(), 0u);
+}
+
+TEST(FetchQueueTest, SingleSourceCoalescesBulkAndDemandRequests) {
+  // Bulk scatter-gather descriptors (nruns >= 1) and legacy demand requests
+  // (nruns == 0) from one source coalesce into ONE bulk transfer; demand
+  // requests folded into the descriptor count as one run each.
+  RdmaPool fabric(kGiB);
+  NicFetchQueue nic;
+  const auto outcome = nic.Issue(SimTime::Zero(),
+                                 {{/*source=*/2, 64, /*nruns=*/4},
+                                  {/*source=*/2, 32, /*nruns=*/0},
+                                  {/*source=*/2, 16, /*nruns=*/2}},
+                                 &fabric);
+  EXPECT_EQ(outcome.ops, 1u);
+  EXPECT_EQ(outcome.coalesced, 2u);
+  EXPECT_EQ(outcome.pages, 112u);
+  EXPECT_EQ(outcome.runs, 7u);  // 4 + 1 (demand) + 2
+  EXPECT_EQ(outcome.sources, 1u);
+}
+
+TEST(FetchQueueTest, IncastPenaltyStartsAtTheSecondSource) {
+  // Boundary: a single-source batch pays NO incast penalty whatever the
+  // configured rate; the multiplier bites from the second source on.
+  RdmaPool fabric_a(kGiB);
+  NicFetchQueue cheap(/*incast_penalty=*/0.0);
+  RdmaPool fabric_b(kGiB);
+  NicFetchQueue dear(/*incast_penalty=*/10.0);
+  const auto cheap_single = cheap.Issue(SimTime::Zero(), {{0, 64, 1}}, &fabric_a);
+  const auto dear_single = dear.Issue(SimTime::Zero(), {{0, 64, 1}}, &fabric_b);
+  EXPECT_EQ(cheap_single.transfer, dear_single.transfer);
+
+  RdmaPool fabric_c(kGiB);
+  NicFetchQueue cheap2(/*incast_penalty=*/0.0);
+  RdmaPool fabric_d(kGiB);
+  NicFetchQueue dear2(/*incast_penalty=*/10.0);
+  const auto cheap_fan = cheap2.Issue(SimTime::Zero(), {{0, 32, 1}, {1, 32, 1}}, &fabric_c);
+  const auto dear_fan = dear2.Issue(SimTime::Zero(), {{0, 32, 1}, {1, 32, 1}}, &fabric_d);
+  EXPECT_EQ(cheap_fan.sources, 2u);
+  EXPECT_EQ(dear_fan.sources, 2u);
+  // Same fabric state, same batch — the only difference is the penalty rate,
+  // and with two sources it multiplies the transfer by (1 + 10.0 * 1).
+  EXPECT_EQ(dear_fan.transfer, cheap_fan.transfer * 11.0);
+}
+
+TEST(FetchQueueTest, BusyWindowIsWorkConservingAcrossInterleavedBulkFetches) {
+  // Three bulk batches: the second lands mid-drain (pays residual only), the
+  // third lands exactly at busy_until (pays nothing). No idle gap, no
+  // double-charge: the final window is the sum of all three transfers.
+  RdmaPool fabric(kGiB);
+  NicFetchQueue nic;
+  const auto first = nic.Issue(SimTime::Zero(), {{0, 512, 8}}, &fabric);
+  EXPECT_EQ(first.queue_delay, SimDuration::Zero());
+
+  const SimTime mid = SimTime::Zero() + SimDuration(first.transfer.nanos() / 3);
+  const auto second = nic.Issue(mid, {{1, 256, 4}}, &fabric);
+  EXPECT_EQ(second.queue_delay, first.transfer - (mid - SimTime::Zero()));
+
+  const SimTime at_drain = nic.busy_until();
+  const auto third = nic.Issue(at_drain, {{0, 64, 2}}, &fabric);
+  EXPECT_EQ(third.queue_delay, SimDuration::Zero());
+  EXPECT_EQ(nic.busy_until(),
+            SimTime::Zero() + first.transfer + second.transfer + third.transfer);
+  EXPECT_EQ(nic.total_pages(), 512u + 256u + 64u);
+  EXPECT_EQ(nic.total_ops(), 3u);
+}
+
 // -------------------------------------------------------------- PoolManager
 
 ConsolidatedImage TwoChunkImage(uint64_t fp_a, uint64_t fp_b) {

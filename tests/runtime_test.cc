@@ -1,11 +1,87 @@
-// Tests for function profiles and the execution model.
+// Tests for function profiles, the execution model, and the working-set
+// page-run store.
 #include <gtest/gtest.h>
+
+#include <vector>
 
 #include "src/common/cost_model.h"
 #include "src/runtime/execution_model.h"
+#include "src/runtime/working_set.h"
 
 namespace trenv {
 namespace {
+
+TEST(PageRunSetTest, StartsEmpty) {
+  PageRunSet set;
+  EXPECT_TRUE(set.empty());
+  EXPECT_EQ(set.pages(), 0u);
+  EXPECT_EQ(set.run_count(), 0u);
+  EXPECT_EQ(set.OverlapPages(0, 1000), 0u);
+  set.Add(100, 0);  // zero-length add is a no-op
+  EXPECT_TRUE(set.empty());
+}
+
+TEST(PageRunSetTest, DisjointRunsStaySorted) {
+  PageRunSet set;
+  set.Add(300, 10);
+  set.Add(100, 10);
+  set.Add(200, 10);
+  EXPECT_EQ(set.run_count(), 3u);
+  EXPECT_EQ(set.pages(), 30u);
+  const std::vector<PageRun>& runs = set.runs();
+  EXPECT_EQ(runs[0].vpn, 100u);
+  EXPECT_EQ(runs[1].vpn, 200u);
+  EXPECT_EQ(runs[2].vpn, 300u);
+}
+
+TEST(PageRunSetTest, OverlappingAndAbuttingRunsMerge) {
+  PageRunSet set;
+  set.Add(100, 10);
+  set.Add(110, 10);  // abuts -> one run [100, 120)
+  EXPECT_EQ(set.run_count(), 1u);
+  EXPECT_EQ(set.pages(), 20u);
+  set.Add(105, 30);  // overlaps -> [100, 135)
+  EXPECT_EQ(set.run_count(), 1u);
+  EXPECT_EQ(set.pages(), 35u);
+  // Re-adding a covered range changes nothing (recording is idempotent).
+  set.Add(100, 35);
+  EXPECT_EQ(set.run_count(), 1u);
+  EXPECT_EQ(set.pages(), 35u);
+}
+
+TEST(PageRunSetTest, BridgingRunSplicesItsNeighbors) {
+  PageRunSet set;
+  set.Add(100, 10);
+  set.Add(200, 10);
+  set.Add(300, 10);
+  set.Add(108, 195);  // covers the gap and both inner runs -> [100, 310)
+  EXPECT_EQ(set.run_count(), 1u);
+  EXPECT_EQ(set.pages(), 210u);
+  EXPECT_EQ(set.runs()[0].vpn, 100u);
+  EXPECT_EQ(set.runs()[0].npages, 210u);
+}
+
+TEST(PageRunSetTest, OverlapPagesClipsAtBothEnds) {
+  PageRunSet set;
+  set.Add(100, 50);   // [100, 150)
+  set.Add(200, 50);   // [200, 250)
+  EXPECT_EQ(set.OverlapPages(0, 100), 0u);
+  EXPECT_EQ(set.OverlapPages(100, 50), 50u);
+  EXPECT_EQ(set.OverlapPages(120, 100), 30u + 20u);  // tail of 1st + head of 2nd
+  EXPECT_EQ(set.OverlapPages(0, 10000), 100u);
+  EXPECT_EQ(set.OverlapPages(150, 50), 0u);  // exactly the gap
+}
+
+TEST(WorkingSetProfileTest, TotalsSumAcrossProcesses) {
+  WorkingSetProfile ws;
+  ws.processes.resize(2);
+  ws.processes[0].Add(100, 10);
+  ws.processes[0].Add(300, 5);
+  ws.processes[1].Add(100, 20);  // same vpns, distinct process
+  EXPECT_EQ(ws.TotalPages(), 35u);
+  EXPECT_EQ(ws.TotalRuns(), 3u);
+  EXPECT_FALSE(ws.complete);
+}
 
 TEST(FunctionProfileTest, TableFourMatchesPaper) {
   const auto fns = Table4Functions();
