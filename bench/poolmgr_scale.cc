@@ -16,11 +16,16 @@
 // what replication buys is the chaos section below.
 //
 // Chaos section: a 4-node locality rack where pool node 1 crashes mid-run
-// (restarting 30 s later), compared at replication 1 vs 2. With replication
-// >= 2 a surviving replica is promoted and NO lease is revoked — the run
-// must complete every accepted invocation (enforced; exit 1 on loss). With
+// (restarting 30 s later), compared at replication 1 vs 2 and — at
+// replication 2 — static vs continuous membership. With replication >= 2 a
+// surviving replica is promoted and NO lease is revoked — the run must
+// complete every accepted invocation (enforced; exit 1 on loss). With
 // replication 1 the lost shards' leases are revoked and reseeded from the
 // dedup store, visible as revocations + reseeds + extra refetched pages.
+// The continuous row swaps instant crash knowledge for gossip detection
+// (phi-accrual suspicion then declaration) and the single-shot rebalancer
+// for the budgeted continuous loop; it must still lose nothing, declare and
+// rejoin the node, and end fully replicated.
 //
 // Flags:
 //   --jobs=N            sweep threads; the report is byte-identical at any N
@@ -37,6 +42,7 @@
 #include "bench/bench_util.h"
 #include "src/fault/fault_schedule.h"
 #include "src/platform/cluster.h"
+#include "src/poolctl/control_plane.h"
 
 namespace trenv {
 namespace {
@@ -69,6 +75,9 @@ struct RunResult {
   uint64_t promotions = 0;
   uint64_t revoked = 0;
   uint64_t reseeded = 0;
+  uint64_t deaths = 0;
+  uint64_t rejoins = 0;
+  uint64_t under_replicated = 0;
   double attach_p50_ms = 0;
   double attach_p99_ms = 0;
   double e2e_p99_ms = 0;
@@ -89,6 +98,11 @@ RunResult Collect(Cluster& cluster) {
   r.promotions = mgr.replica_promotions();
   r.revoked = mgr.leases_revoked();
   r.reseeded = mgr.reseeded_shards();
+  r.under_replicated = mgr.UnderReplicatedShards();
+  if (cluster.pool_control() != nullptr) {
+    r.deaths = cluster.pool_control()->membership().deaths();
+    r.rejoins = cluster.pool_control()->membership().rejoins();
+  }
   if (!mgr.attach_ms().empty()) {
     r.attach_p50_ms = mgr.attach_ms().Median();
     r.attach_p99_ms = mgr.attach_ms().P99();
@@ -115,15 +129,22 @@ RunResult RunScale(uint32_t nodes, uint32_t replication, Dispatch dispatch, uint
 }
 
 // One pool node dies mid-run and returns 30 s later. The workload and the
-// rack are identical to the replication-2 sweep row; only `replication`
-// varies, which is exactly what decides whether leases survive the crash.
-RunResult RunChaos(uint32_t replication, uint32_t shards) {
+// rack are identical to the replication-2 sweep row; `replication` decides
+// whether leases survive the crash, and `continuous` swaps the single-shot
+// rebalancer + instant crash knowledge for the poolctl control plane (gossip
+// membership must *detect* the death before the budgeted rebalancer may
+// react to it).
+RunResult RunChaos(uint32_t replication, bool continuous, uint32_t shards) {
   ClusterConfig config;
   config.nodes = 4;
   config.dispatch = Dispatch::kTemplateLocality;
   config.poolmgr.enabled = true;
   config.poolmgr.pool_nodes = kPoolNodes;
   config.poolmgr.replication = replication;
+  config.poolctl.enabled = continuous;
+  // ~10^5 pages live on the crashed node; size the per-tick budget so the
+  // continuous loop restores replication well before trace end.
+  config.poolctl.rebalance_budget_pages = 32768;
   config.faults.seed = kSeed;
   config.faults.Add(PoolCrashWindow(SimTime::Zero() + SimDuration::Seconds(45),
                                     SimTime::Zero() + SimDuration::Seconds(46), 1.0,
@@ -238,40 +259,68 @@ int RunBench(bench::BenchEnv& env) {
   }
   std::cout << "\n=== Pool-node crash at t=45s (restart +30s), locality, 4 nodes ===\n";
 
+  struct ChaosPoint {
+    uint32_t replication;
+    bool continuous;
+  };
+  const std::vector<ChaosPoint> chaos_points = {{1, false}, {2, false}, {2, true}};
   const std::vector<RunResult> chaos = bench::ParallelSweep(
-      2, env.jobs,
-      [&](size_t i) { return RunChaos(/*replication=*/i == 0 ? 1 : 2, shards); });
+      chaos_points.size(), env.jobs, [&](size_t i) {
+        return RunChaos(chaos_points[i].replication, chaos_points[i].continuous, shards);
+      });
 
-  Table crash({"Repl", "Accepted", "Completed", "Promotions", "Revoked", "Reseeded",
-               "Fetch MiB", "Attach p99 ms"});
+  Table crash({"Repl", "Membership", "Accepted", "Completed", "Promotions", "Revoked",
+               "Reseeded", "Deaths", "Rejoins", "UnderRepl", "Fetch MiB",
+               "Attach p99 ms"});
   for (size_t i = 0; i < chaos.size(); ++i) {
     const RunResult& r = chaos[i];
     if (!r.ok) {
-      std::cerr << "chaos run failed for replication " << (i + 1) << "\n";
+      std::cerr << "chaos run " << i << " failed\n";
       return 1;
     }
-    crash.AddRow({std::to_string(i + 1), std::to_string(r.accepted),
-                  std::to_string(r.completed), std::to_string(r.promotions),
-                  std::to_string(r.revoked), std::to_string(r.reseeded),
+    crash.AddRow({std::to_string(chaos_points[i].replication),
+                  chaos_points[i].continuous ? "continuous" : "static",
+                  std::to_string(r.accepted), std::to_string(r.completed),
+                  std::to_string(r.promotions), std::to_string(r.revoked),
+                  std::to_string(r.reseeded), std::to_string(r.deaths),
+                  std::to_string(r.rejoins), std::to_string(r.under_replicated),
                   Table::Num(static_cast<double>(r.fetch_pages) / kPagesPerMiB, 1),
                   Table::Num(r.attach_p99_ms, 3)});
   }
   crash.Print(std::cout);
 
   // Zero-loss acceptance: with replication 2, the crash must promote replicas
-  // (leases intact) and lose no accepted invocation.
-  const RunResult& r2 = chaos[1];
-  if (r2.accepted != r2.completed) {
-    std::cerr << "FAIL: replication-2 crash lost invocations: accepted " << r2.accepted
-              << " completed " << r2.completed << "\n";
+  // (leases intact) and lose no accepted invocation — whether the control
+  // plane knows instantly (static) or has to detect the death via gossip
+  // (continuous).
+  for (size_t i = 1; i < chaos.size(); ++i) {
+    const RunResult& r2 = chaos[i];
+    const char* mode = chaos_points[i].continuous ? "continuous" : "static";
+    if (r2.accepted != r2.completed) {
+      std::cerr << "FAIL: replication-2 " << mode << " crash lost invocations: accepted "
+                << r2.accepted << " completed " << r2.completed << "\n";
+      return 1;
+    }
+    if (r2.revoked != 0) {
+      std::cerr << "FAIL: replication-2 " << mode << " crash revoked " << r2.revoked
+                << " lease(s)\n";
+      return 1;
+    }
+  }
+  const RunResult& rc2 = chaos[2];
+  if (rc2.deaths == 0 || rc2.rejoins == 0) {
+    std::cerr << "FAIL: continuous chaos never declared/rejoined the crashed node "
+              << "(deaths=" << rc2.deaths << " rejoins=" << rc2.rejoins << ")\n";
     return 1;
   }
-  if (r2.revoked != 0) {
-    std::cerr << "FAIL: replication-2 crash revoked " << r2.revoked << " lease(s)\n";
+  if (rc2.under_replicated != 0) {
+    std::cerr << "FAIL: continuous chaos ended with " << rc2.under_replicated
+              << " under-replicated shard(s)\n";
     return 1;
   }
   std::cout << "Replication 2 rides out the crash on promotions alone (0 revocations, "
-               "0 lost); replication 1 pays revocations + reseeds.\n";
+               "0 lost) under both static and gossip membership; replication 1 pays "
+               "revocations + reseeds.\n";
 
   const std::string json_path = env.ExtraValue("--bench-json=");
   if (!json_path.empty()) {
@@ -302,12 +351,17 @@ int RunBench(bench::BenchEnv& env) {
           << ",\"lease_misses\":" << r.lease_misses << "}";
     }
     for (size_t i = 0; i < chaos.size(); ++i) {
-      out << ",\"poolmgr_scale/chaos_r" << (i + 1)
+      out << ",\"poolmgr_scale/chaos_r" << chaos_points[i].replication
+          << (chaos_points[i].continuous ? "_continuous" : "")
           << "\":{\"accepted\":" << chaos[i].accepted
           << ",\"completed\":" << chaos[i].completed
           << ",\"promotions\":" << chaos[i].promotions
-          << ",\"revoked\":" << chaos[i].revoked << ",\"reseeded\":" << chaos[i].reseeded
-          << "}";
+          << ",\"revoked\":" << chaos[i].revoked << ",\"reseeded\":" << chaos[i].reseeded;
+      if (chaos_points[i].continuous) {
+        out << ",\"deaths\":" << chaos[i].deaths << ",\"rejoins\":" << chaos[i].rejoins
+            << ",\"under_replicated\":" << chaos[i].under_replicated;
+      }
+      out << "}";
     }
     out << "}}\n";
     if (!out) {

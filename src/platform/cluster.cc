@@ -37,6 +37,15 @@ Cluster::Cluster(ClusterConfig config)
     }
     pool_mgr_ = std::make_unique<PoolManager>(config_.poolmgr, config_.nodes, fabric_.get(),
                                               &stats_);
+    if (config_.poolctl.enabled) {
+      // The continuous control plane runs on the pool clock from time zero;
+      // it installs the continuous read/admission policy into the manager
+      // and takes over crash/restart routing (see ApplyNodeEvent).
+      pool_ctl_ = std::make_unique<PoolControlPlane>(config_.poolctl, pool_mgr_.get(),
+                                                     &config_.faults, &stats_,
+                                                     config_.node_config.tracer);
+      pool_ctl_->Start(SimTime());
+    }
   }
   if (config_.shstate.enabled) {
     // Shared-state regions live on the same tiered pool as templates; the
@@ -107,7 +116,7 @@ bool Cluster::AnyAlive() const {
   return false;
 }
 
-size_t Cluster::PickNode(const std::string& function) {
+size_t Cluster::PickNode(const std::string& function, SimTime arrival) {
   // Callers guarantee at least one node is alive.
   if (config_.dispatch == ClusterConfig::Dispatch::kRoundRobin) {
     while (!nodes_[next_node_]->alive) {
@@ -129,7 +138,15 @@ size_t Cluster::PickNode(const std::string& function) {
           fid != kInvalidFunctionId && n.platform->keep_alive().CountFor(fid) > 0;
       const bool leased = fid != kInvalidFunctionId && pool_mgr_ != nullptr &&
                           pool_mgr_->LeaseRefs(static_cast<uint32_t>(i), fid) > 0;
-      return std::make_tuple(!warm, !leased,
+      // Membership-view consult: with the continuous control plane on, a
+      // node whose NIC is backlogged (or, during a degraded view, any cold
+      // pull at all) is penalized before the load tie-breakers. Zero for
+      // every node when poolctl is off, so legacy ordering is unchanged.
+      const uint64_t penalty =
+          pool_ctl_ != nullptr
+              ? pool_ctl_->DispatchPenaltyMs(static_cast<uint32_t>(i), arrival)
+              : 0;
+      return std::make_tuple(!warm, !leased, penalty,
                              n.platform->concurrent_startups() + WindowLoad(i),
                              n.platform->frames().used_bytes());
     };
@@ -196,7 +213,7 @@ Status Cluster::Dispatch(SimTime arrival, const std::string& function,
        static_cast<size_t>(options.preferred_node) < nodes_.size() &&
        nodes_[options.preferred_node]->alive)
           ? static_cast<size_t>(options.preferred_node)
-          : PickNode(function);
+          : PickNode(function, arrival);
   ServerlessPlatform& platform = *nodes_[node_index]->platform;
   if (platform.tracer() != nullptr) {
     // Dispatch marker on the chosen node's control track (track 0).
@@ -353,12 +370,26 @@ void Cluster::ApplyNodeEvent(const FaultInjector::NodeEvent& event) {
     case FaultInjector::NodeEvent::Kind::kPoolCrash:
       if (pool_mgr_ != nullptr && pool_mgr_->pool_node_alive(event.node)) {
         injector_->RecordInjection(event.time, FaultDomain::kPoolNodeCrash, event.node);
-        pool_mgr_->OnPoolNodeCrash(event.node, event.time);
+        if (pool_ctl_ != nullptr) {
+          // Continuous mode: the data plane learns the node is silent, but
+          // ring surgery waits for the membership protocol's declaration.
+          pool_mgr_->OnPoolNodeDown(event.node);
+          pool_ctl_->membership().NodeDown(event.node);
+        } else {
+          pool_mgr_->OnPoolNodeCrash(event.node, event.time);
+        }
       }
       break;
     case FaultInjector::NodeEvent::Kind::kPoolRestart:
       if (pool_mgr_ != nullptr) {
-        pool_mgr_->OnPoolNodeRestart(event.node, event.time);
+        if (pool_ctl_ != nullptr) {
+          if (!pool_mgr_->pool_node_alive(event.node)) {
+            pool_mgr_->OnPoolNodeUp(event.node);
+            pool_ctl_->membership().NodeUp(event.node);
+          }
+        } else {
+          pool_mgr_->OnPoolNodeRestart(event.node, event.time);
+        }
       }
       break;
   }
@@ -553,6 +584,12 @@ Status Cluster::RunSharded(ArrivalStream& arrivals, const ShardedRunOptions& opt
   sink.statuses.resize(sink.cmds.size());
   coordinator.RunEpoch(finish_shard);
   TRENV_RETURN_IF_ERROR(settle_mailbox());
+  if (pool_ctl_ != nullptr) {
+    // Stop the periodic heartbeat/rebalance ticks or the pool clock never
+    // drains. No final converge: replication at trace end is whatever the
+    // continuous loop actually restored.
+    pool_ctl_->Quiesce();
+  }
   if (pool_mgr_ != nullptr) {
     pool_mgr_->clock().RunUntilIdle();
   }
@@ -565,6 +602,11 @@ void Cluster::RunAllToCompletion() {
   for (size_t i = 0; i < nodes_.size(); ++i) {
     FocusNode(i);
     nodes_[i]->platform->RunToCompletion();
+  }
+  if (pool_ctl_ != nullptr) {
+    // Cancel the periodic ticks (heartbeats, rebalancing) so the drain
+    // below terminates; lease expiries still lapse on their own.
+    pool_ctl_->Quiesce();
   }
   if (pool_mgr_ != nullptr) {
     // Let outstanding lease-expiry and rebalance events lapse; every grant

@@ -20,6 +20,7 @@
 #include "src/mempool/rdma_pool.h"
 #include "src/obs/registry.h"
 #include "src/platform/platform.h"
+#include "src/poolctl/control_plane.h"
 #include "src/poolmgr/pool_manager.h"
 #include "src/shstate/region_manager.h"
 #include "src/sim/shard_coordinator.h"
@@ -70,6 +71,11 @@ struct ClusterConfig {
   // Disabled by default: the cluster then behaves bit-identically to one
   // built before the control plane existed.
   PoolManagerConfig poolmgr;
+  // Continuous pool control plane (gossip membership, budgeted rebalancing,
+  // admission control, hot-shard replication) layered over poolmgr; requires
+  // poolmgr.enabled. Disabled by default: the legacy single-shot crash
+  // wiring stays active and every existing run is byte-identical.
+  PoolCtlConfig poolctl;
   // Shared-state data plane (writable regions + ownership transfer over the
   // pool). Disabled by default: no RegionManager is built and every existing
   // code path is byte-identical.
@@ -142,6 +148,9 @@ class Cluster {
   // Null unless ClusterConfig::poolmgr.enabled.
   PoolManager* pool_manager() { return pool_mgr_.get(); }
   const PoolManager* pool_manager() const { return pool_mgr_.get(); }
+  // Null unless ClusterConfig::poolctl.enabled (and poolmgr.enabled).
+  PoolControlPlane* pool_control() { return pool_ctl_.get(); }
+  const PoolControlPlane* pool_control() const { return pool_ctl_.get(); }
   // Null unless ClusterConfig::shstate.enabled.
   RegionManager* shared_state() { return shstate_.get(); }
   const RegionManager* shared_state() const { return shstate_.get(); }
@@ -224,7 +233,7 @@ class Cluster {
   uint32_t WindowLoad(size_t node) const {
     return window_dispatches_.empty() ? 0u : window_dispatches_[node];
   }
-  size_t PickNode(const std::string& function);
+  size_t PickNode(const std::string& function, SimTime arrival);
   // Submit minus acceptance accounting: used both for fresh arrivals and for
   // re-dispatching recovered invocations (which were already counted).
   Status Dispatch(SimTime arrival, const std::string& function) {
@@ -256,6 +265,7 @@ class Cluster {
   // separate from the MHD so attach traffic contends on its own NIC path.
   std::unique_ptr<RdmaPool> fabric_;
   std::unique_ptr<PoolManager> pool_mgr_;
+  std::unique_ptr<PoolControlPlane> pool_ctl_;
   std::unique_ptr<RegionManager> shstate_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<Deferred> deferred_;

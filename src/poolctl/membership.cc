@@ -1,0 +1,206 @@
+#include "src/poolctl/membership.h"
+
+namespace trenv {
+
+GossipMembership::GossipMembership(MembershipConfig config, uint32_t fleet,
+                                   EventScheduler* clock, obs::Registry* stats)
+    : config_(config), clock_(clock), rng_(config.seed) {
+  nodes_.resize(fleet);
+  if (stats != nullptr) {
+    heartbeats_counter_ = stats->GetCounter("poolctl.heartbeats");
+    dropped_counter_ = stats->GetCounter("poolctl.heartbeats_dropped");
+    suspicions_counter_ = stats->GetCounter("poolctl.suspicions");
+    false_suspicions_counter_ = stats->GetCounter("poolctl.false_suspicions");
+    deaths_counter_ = stats->GetCounter("poolctl.deaths");
+    rejoins_counter_ = stats->GetCounter("poolctl.rejoins");
+    epoch_gauge_ = stats->GetGauge("poolctl.membership_epoch");
+  }
+}
+
+void GossipMembership::Start(SimTime now) {
+  if (running_) {
+    return;
+  }
+  running_ = true;
+  for (NodeState& node : nodes_) {
+    node.last_beat = now;
+  }
+  tick_event_ = clock_->ScheduleAt(now + config_.heartbeat_interval, [this] { Tick(); });
+}
+
+void GossipMembership::Stop() {
+  running_ = false;
+  if (tick_event_ != kInvalidEventId) {
+    (void)clock_->Cancel(tick_event_);
+    tick_event_ = kInvalidEventId;
+  }
+}
+
+void GossipMembership::NodeDown(uint32_t node) {
+  if (node >= nodes_.size() || !nodes_[node].up) {
+    return;
+  }
+  nodes_[node].up = false;
+  nodes_[node].down_since = clock_->now();
+  ++nodes_[node].downs;
+}
+
+void GossipMembership::NodeUp(uint32_t node) {
+  if (node >= nodes_.size() || nodes_[node].up) {
+    return;
+  }
+  // Heartbeats resume on the next tick; the state machine recovers (or
+  // rejoins, if the node was declared dead meanwhile) from the beats alone.
+  nodes_[node].up = true;
+}
+
+void GossipMembership::Tick() {
+  const SimTime now = clock_->now();
+  // Phase 1: deliver this interval's heartbeats, in node order. Loss is
+  // evaluated per (tick, node) and drawn only when positive — a fault-free
+  // schedule never touches the Rng, keeping disabled-fault runs identical.
+  for (uint32_t n = 0; n < nodes_.size(); ++n) {
+    if (!nodes_[n].up) {
+      continue;  // a down node sends nothing; silence accrues suspicion
+    }
+    ++heartbeats_sent_;
+    if (heartbeats_counter_ != nullptr) {
+      heartbeats_counter_->Add(1);
+    }
+    const double loss = loss_ ? loss_(now, n) : 0.0;
+    if (loss > 0.0 && rng_.NextBool(loss)) {
+      ++heartbeats_dropped_;
+      if (dropped_counter_ != nullptr) {
+        dropped_counter_->Add(1);
+      }
+      continue;  // the fabric ate it: indistinguishable from a dead node
+    }
+    Deliver(n, now);
+  }
+  // Phase 2: accrue suspicion over the silence since each node's last beat.
+  for (uint32_t n = 0; n < nodes_.size(); ++n) {
+    Evaluate(n, now);
+  }
+  if (running_) {
+    tick_event_ = clock_->ScheduleAt(now + config_.heartbeat_interval, [this] { Tick(); });
+  }
+}
+
+void GossipMembership::Deliver(uint32_t node, SimTime now) {
+  NodeState& state = nodes_[node];
+  state.last_beat = now;
+  switch (state.state) {
+    case State::kAlive:
+      break;
+    case State::kSuspect: {
+      // Recovered before declaration. If the node never actually went down
+      // since we suspected it, the network dropped its beats: a false
+      // suspicion — the failure-detector cost of RDMA flaps.
+      if (state.was_up_at_suspicion && state.downs == state.downs_at_suspicion) {
+        ++false_suspicions_;
+        if (false_suspicions_counter_ != nullptr) {
+          false_suspicions_counter_->Add(1);
+        }
+      }
+      Announce(node, State::kSuspect, State::kAlive, now);
+      state.state = State::kAlive;
+      break;
+    }
+    case State::kDead:
+      state.state = State::kJoining;
+      state.join_streak = 1;
+      Announce(node, State::kDead, State::kJoining, now);
+      if (state.join_streak >= config_.join_beats) {
+        state.state = State::kAlive;
+        ++rejoins_;
+        ++epoch_;
+        if (rejoins_counter_ != nullptr) {
+          rejoins_counter_->Add(1);
+        }
+        if (epoch_gauge_ != nullptr) {
+          epoch_gauge_->Set(static_cast<double>(epoch_));
+        }
+        Announce(node, State::kJoining, State::kAlive, now);
+      }
+      break;
+    case State::kJoining:
+      ++state.join_streak;
+      if (state.join_streak >= config_.join_beats) {
+        state.state = State::kAlive;
+        ++rejoins_;
+        ++epoch_;
+        if (rejoins_counter_ != nullptr) {
+          rejoins_counter_->Add(1);
+        }
+        if (epoch_gauge_ != nullptr) {
+          epoch_gauge_->Set(static_cast<double>(epoch_));
+        }
+        Announce(node, State::kJoining, State::kAlive, now);
+      }
+      break;
+  }
+}
+
+void GossipMembership::Evaluate(uint32_t node, SimTime now) {
+  NodeState& state = nodes_[node];
+  if (state.state == State::kDead) {
+    return;  // only beats (NodeUp + delivery) bring a dead node back
+  }
+  if (state.state == State::kJoining) {
+    // A joining node that misses a beat (still flapping) restarts its
+    // streak from dead — one lucky beat must not rejoin the ring.
+    if (now > state.last_beat) {
+      state.state = State::kDead;
+      state.join_streak = 0;
+      Announce(node, State::kJoining, State::kDead, now);
+    }
+    return;
+  }
+  const double phi = (now - state.last_beat).nanos() /
+                     static_cast<double>(config_.heartbeat_interval.nanos());
+  if (state.state == State::kAlive && phi >= config_.phi_suspect) {
+    state.state = State::kSuspect;
+    state.was_up_at_suspicion = state.up;
+    state.downs_at_suspicion = state.downs;
+    ++suspicions_;
+    if (suspicions_counter_ != nullptr) {
+      suspicions_counter_->Add(1);
+    }
+    Announce(node, State::kAlive, State::kSuspect, now);
+  }
+  if (state.state == State::kSuspect && phi >= config_.phi_dead) {
+    state.state = State::kDead;
+    state.join_streak = 0;
+    ++deaths_;
+    ++epoch_;
+    if (deaths_counter_ != nullptr) {
+      deaths_counter_->Add(1);
+    }
+    if (epoch_gauge_ != nullptr) {
+      epoch_gauge_->Set(static_cast<double>(epoch_));
+    }
+    if (!state.up) {
+      // True death: record how long the fleet served reads toward a corpse.
+      detection_ms_.RecordDuration(now - state.down_since);
+    }
+    Announce(node, State::kSuspect, State::kDead, now);
+  }
+}
+
+void GossipMembership::Announce(uint32_t node, State from, State to, SimTime when) {
+  if (listener_) {
+    listener_(Transition{node, from, to, when});
+  }
+}
+
+uint32_t GossipMembership::alive_in_view() const {
+  uint32_t count = 0;
+  for (uint32_t n = 0; n < nodes_.size(); ++n) {
+    if (InView(n)) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace trenv

@@ -66,6 +66,27 @@ struct PoolManagerConfig {
   SimDuration attach_metadata_per_shard = SimDuration::FromMicrosF(2.0);
 };
 
+// Read / admission policy installed by the poolctl continuous control plane
+// (src/poolctl). Only active after EnableContinuousControl; the legacy
+// single-shot path never consults it, so the default cluster stays
+// bit-identical.
+struct ContinuousPoolPolicy {
+  // Spread lease-miss reads across a shard's whole replica set (hashed by
+  // fingerprint and worker) instead of always hitting the primary.
+  bool spread_reads = true;
+  // Charged once per down-but-undeclared replica the read path skips: the
+  // fetch RPC to a node the membership protocol has not yet declared dead
+  // times out before failing over to the next copy.
+  SimDuration dead_read_timeout = SimDuration::FromMicrosF(200.0);
+  // Cold attaches arriving while the worker NIC's residual backlog exceeds
+  // this are shed to the NAS fallback path instead of deepening the incast
+  // queue. Zero disables shedding. The invocation is never dropped: it pays
+  // the (slower, contention-free) NAS cost and still gets its lease.
+  SimDuration shed_queue_threshold;
+  SimDuration nas_fallback_base = SimDuration::FromMicrosF(400.0);
+  SimDuration nas_fallback_per_page = SimDuration::FromMicrosF(1.2);
+};
+
 class PoolManager {
  public:
   // `fabric` models the inter-node transfer path (not owned); `stats` may be
@@ -98,16 +119,56 @@ class PoolManager {
   // Drops every lease a crashed worker held (nothing orderly to tear down).
   void ReleaseWorker(uint32_t worker);
 
-  // Pool-node failure wiring (driven by the Cluster's fault plan).
+  // Pool-node failure wiring (driven by the Cluster's fault plan). The
+  // legacy pair couples physical liveness and the membership decision: a
+  // crash immediately removes the node from the ring and a restart re-adds
+  // it, each scheduling a delayed single-shot rebalance.
   void OnPoolNodeCrash(uint32_t pool_node, SimTime when);
   void OnPoolNodeRestart(uint32_t pool_node, SimTime when);
   bool pool_node_alive(uint32_t pool_node) const {
     return pool_node < alive_.size() && alive_[pool_node];
   }
+  uint32_t pool_node_count() const { return static_cast<uint32_t>(alive_.size()); }
+
+  // --- continuous control (poolctl) ----------------------------------------
+  // Splits the legacy crash/restart coupling in two: the *data plane* learns
+  // a node stopped answering (reads skip it, paying a dead-read timeout),
+  // while the *membership decision* — ring removal, promotion, revocation —
+  // waits for the gossip protocol's declaration. Installed once by
+  // PoolControlPlane; everything below is inert until then.
+  void EnableContinuousControl(const ContinuousPoolPolicy& policy);
+  bool continuous() const { return continuous_; }
+
+  // Data-plane liveness only: no ring change, no promotion, no revocation.
+  void OnPoolNodeDown(uint32_t pool_node);
+  void OnPoolNodeUp(uint32_t pool_node);
+  // Membership declarations from the gossip protocol. DeclareDead removes
+  // the node from the ring, promotes replicas, and revokes leases on fully
+  // lost shards; DeclareJoined re-adds it (its copies were dropped from the
+  // metadata at declaration, so the rebalancer re-copies incrementally).
+  // Both are idempotent.
+  void DeclareDead(uint32_t pool_node, SimTime when);
+  void DeclareJoined(uint32_t pool_node, SimTime when);
+
+  struct ReconcileResult {
+    uint64_t pages_moved = 0;
+    // False when the shard still needs copies: the budget ran out or a
+    // desired owner is down. Extra copies are only dropped once converged.
+    bool converged = true;
+  };
+  // Moves one shard incrementally toward the ring owners at
+  // `target_replication`, copying at most `budget_pages` pages. Additions
+  // (restore replication first) precede drops; the serving primary is
+  // preserved when it remains a desired owner. The continuous rebalancer's
+  // per-tick primitive; also reused by the single-shot sweep.
+  ReconcileResult ReconcileShard(uint32_t shard_index, uint32_t target_replication,
+                                 uint64_t budget_pages);
 
   // Immediate rebalance: restore replication for under-replicated shards and
   // re-align placements with the ring. Normally fires `rebalance_delay`
-  // after a membership change; exposed for tests.
+  // after a membership change; exposed for tests. Idempotent: a converged
+  // shard (same owner set, primary preserved) is left untouched, so repeat
+  // invocations — including after a node rejoin — change nothing.
   void RunRebalance(SimTime now);
 
   // --- accounting -----------------------------------------------------------
@@ -123,16 +184,40 @@ class PoolManager {
   uint64_t rebalance_moves() const { return rebalance_moves_; }
   uint64_t rebalanced_pages() const { return rebalanced_pages_; }
   uint64_t reseeded_shards() const { return reseeded_shards_; }
+  uint64_t shed_attaches() const { return shed_attaches_; }
+  uint64_t shed_pages() const { return shed_pages_; }
+  uint64_t dead_read_hops() const { return dead_read_hops_; }
+  uint64_t nas_fallback_pages() const { return nas_fallback_pages_; }
   size_t shard_count() const { return shards_.size(); }
+  uint32_t base_replication() const { return config_.replication; }
+  // Lease-miss fetches this shard has served (the hot-shard signal).
+  uint64_t ShardFetches(uint32_t shard_index) const;
+  uint64_t ShardPages(uint32_t shard_index) const;
+  // Current replica set, primary first (introspection for poolctl + tests).
+  std::vector<uint32_t> ShardReplicas(uint32_t shard_index) const;
+  // True when the shard holds fewer *live* copies than
+  // min(replication, live ring nodes) — what the continuous rebalancer's
+  // restore-first pass targets.
+  bool ShardUnderReplicated(uint32_t shard_index) const;
+  uint32_t UnderReplicatedShards() const;
+  // Residual NIC drain time at `now` for one worker (the admission signal).
+  SimDuration NicBacklog(uint32_t worker, SimTime now) const;
   // Pages each pool node currently stores (primaries + replicas).
   std::vector<uint64_t> ShardPagesPerNode() const;
   // Pages each pool node serves as primary (the copy lease misses read).
   std::vector<uint64_t> PrimaryPagesPerNode() const;
+  // Pages each pool node has actually served to lease misses — the observed
+  // per-node lease traffic the hot-shard gate measures.
+  const std::vector<uint64_t>& ServedPagesPerNode() const { return served_pages_; }
+  uint64_t PeakServedPages() const;
 
  private:
   struct Shard {
     uint64_t fingerprint = 0;
     uint64_t npages = 0;
+    // Lease-miss fetches served (all replicas combined); the control plane
+    // diffs this per tick to score popularity.
+    uint64_t fetches = 0;
     // Live replica set, primary first. Empty = lost (every holder crashed);
     // reseeded from the dedup store on next use or rebalance.
     std::vector<uint32_t> replicas;
@@ -144,6 +229,21 @@ class PoolManager {
 
   void GrantLease(uint32_t worker, FunctionId fid, SimTime now);
   void ScheduleRebalance(SimTime when);
+  // Ring removal + replica erase + promotion + lost-shard lease revocation —
+  // the placement half of a crash, shared by OnPoolNodeCrash (legacy) and
+  // DeclareDead (continuous). Idempotent.
+  void RemoveFromPlacement(uint32_t pool_node);
+  // True when the shard's owner set already equals `desired` (as a set) —
+  // order-insensitive so a preserved promoted primary still counts as
+  // converged (the idempotency fix for repeat rebalances after rejoins).
+  static bool SameOwnerSet(const std::vector<uint32_t>& replicas,
+                           const std::vector<uint32_t>& desired);
+  // Picks the replica a lease miss reads for this shard. Legacy: always the
+  // primary. Continuous: spread by (fingerprint, worker) hash, skipping
+  // down-but-undeclared nodes (each skip is one timed-out read, counted into
+  // `dead_hops`). Returns false when no listed replica answers.
+  bool PickReadReplica(const Shard& shard, uint32_t worker, uint32_t* source,
+                       uint64_t* dead_hops) const;
   // Ensures the shard has a live primary, reseeding from the dedup store if
   // every replica died. Returns false only when no pool node is alive.
   bool EnsureLivePrimary(uint32_t shard_index);
@@ -167,6 +267,11 @@ class PoolManager {
   // Per worker: fid -> lease. std::map so revocation scans are in id order.
   std::vector<std::map<FunctionId, Lease>> leases_;
   bool rebalance_pending_ = false;
+  bool continuous_ = false;
+  ContinuousPoolPolicy policy_;
+  // Lease-miss pages served per pool node (both modes; the hot-shard gate's
+  // static-vs-continuous comparison reads it).
+  std::vector<uint64_t> served_pages_;
 
   Histogram attach_ms_;
   uint64_t remote_fetch_pages_ = 0;
@@ -180,6 +285,10 @@ class PoolManager {
   uint64_t rebalance_moves_ = 0;
   uint64_t rebalanced_pages_ = 0;
   uint64_t reseeded_shards_ = 0;
+  uint64_t shed_attaches_ = 0;
+  uint64_t shed_pages_ = 0;
+  uint64_t dead_read_hops_ = 0;
+  uint64_t nas_fallback_pages_ = 0;
 
   obs::Counter* attaches_counter_ = nullptr;
   obs::Counter* lease_hits_counter_ = nullptr;
@@ -192,6 +301,10 @@ class PoolManager {
   obs::Counter* coalesced_counter_ = nullptr;
   obs::Counter* rebalance_counter_ = nullptr;
   obs::Counter* reseed_counter_ = nullptr;
+  obs::Counter* shed_counter_ = nullptr;
+  obs::Counter* shed_pages_counter_ = nullptr;
+  obs::Counter* dead_read_counter_ = nullptr;
+  obs::Counter* nas_fallback_counter_ = nullptr;
 };
 
 }  // namespace trenv

@@ -357,6 +357,147 @@ TEST(PoolManagerTest, RebalanceRestoresReplication) {
   EXPECT_EQ(total, 2u * 512u * 2u);
 }
 
+TEST(HashRingTest, RapidAddRemoveReaddKeepsPlacementsStable) {
+  HashRing ring;
+  for (uint32_t n = 0; n < 8; ++n) {
+    ring.AddNode(n);
+  }
+  const size_t vnodes = ring.vnode_count();
+  constexpr uint64_t kKeys = 300;
+  std::vector<std::vector<uint32_t>> before;
+  before.reserve(kKeys);
+  for (uint64_t key = 1; key <= kKeys; ++key) {
+    before.push_back(ring.OwnersFor(key, 2));
+  }
+  // Rapid churn of the same node id: vnode positions are a pure function of
+  // (node, replica), so a re-added node lands exactly where it was and no
+  // placement moves. Double-adds and removals of strangers are no-ops.
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    ring.RemoveNode(3);
+    EXPECT_FALSE(ring.Contains(3));
+    ring.RemoveNode(3);  // already gone: no-op
+    ring.AddNode(3);
+    EXPECT_TRUE(ring.Contains(3));
+    ring.AddNode(3);  // already present: no duplicate vnodes
+    ring.RemoveNode(99);
+  }
+  EXPECT_EQ(ring.vnode_count(), vnodes);
+  EXPECT_EQ(ring.node_count(), 8u);
+  for (uint64_t key = 1; key <= kKeys; ++key) {
+    EXPECT_EQ(ring.OwnersFor(key, 2), before[key - 1]) << "key " << key;
+  }
+}
+
+TEST(PoolManagerTest, RebalanceIsIdempotentAcrossRejoinEpochs) {
+  PoolManagerFixture fx(SmallPoolConfig(2));
+  fx.mgr.RegisterTemplate(0, TwoChunkImage(0xAA, 0xBB));
+  fx.mgr.RegisterTemplate(1, TwoChunkImage(0xCC, 0xDD));
+  const auto held = fx.mgr.ShardPagesPerNode();
+  uint32_t victim = 0;
+  for (uint32_t n = 1; n < held.size(); ++n) {
+    if (held[n] > held[victim]) {
+      victim = n;
+    }
+  }
+  ASSERT_GT(held[victim], 0u);
+  const auto snapshot = [&] {
+    std::vector<std::vector<uint32_t>> placements;
+    for (uint32_t s = 0; s < fx.mgr.shard_count(); ++s) {
+      placements.push_back(fx.mgr.ShardReplicas(s));
+    }
+    return std::make_tuple(placements, fx.mgr.ShardPagesPerNode(),
+                           fx.mgr.PrimaryPagesPerNode(), fx.mgr.rebalance_moves(),
+                           fx.mgr.rebalanced_pages(), fx.mgr.reseeded_shards(),
+                           fx.mgr.replica_promotions());
+  };
+  const auto churn_epoch = [&](SimTime t) {
+    fx.mgr.OnPoolNodeCrash(victim, t);
+    fx.mgr.RunRebalance(t);
+    fx.mgr.OnPoolNodeRestart(victim, t + SimDuration::Seconds(1));
+    fx.mgr.RunRebalance(t + SimDuration::Seconds(1));
+  };
+  churn_epoch(SimTime::Zero() + SimDuration::Seconds(1));
+  const auto converged = snapshot();
+  // Regression: the sweep used to compare replica lists order-sensitively,
+  // so the promoted-primary rotation a rejoin leaves behind made every later
+  // sweep re-enter the mutation body. Repeat sweeps must be structural
+  // no-ops — placements AND counters untouched.
+  fx.mgr.RunRebalance(SimTime::Zero() + SimDuration::Seconds(3));
+  EXPECT_EQ(snapshot(), converged);
+  fx.mgr.RunRebalance(SimTime::Zero() + SimDuration::Seconds(4));
+  EXPECT_EQ(snapshot(), converged);
+  // A second crash/rejoin epoch of the same node (the "assumes one crash
+  // epoch" bug) converges to the identical placement, and repeat sweeps
+  // after it are no-ops again.
+  churn_epoch(SimTime::Zero() + SimDuration::Seconds(5));
+  const auto second = snapshot();
+  EXPECT_EQ(std::get<0>(second), std::get<0>(converged));
+  EXPECT_EQ(std::get<1>(second), std::get<1>(converged));
+  EXPECT_EQ(std::get<2>(second), std::get<2>(converged));
+  fx.mgr.RunRebalance(SimTime::Zero() + SimDuration::Seconds(7));
+  EXPECT_EQ(snapshot(), second);
+}
+
+TEST(PoolManagerTest, ChurnLeavesNoOrphanedReplicas) {
+  PoolManagerFixture fx(SmallPoolConfig(2));
+  fx.mgr.RegisterTemplate(0, TwoChunkImage(0xAA, 0xBB));
+  fx.mgr.RegisterTemplate(1, TwoChunkImage(0xCC, 0xDD));
+  const auto check_replicas = [&](size_t want) {
+    for (uint32_t s = 0; s < fx.mgr.shard_count(); ++s) {
+      const auto replicas = fx.mgr.ShardReplicas(s);
+      EXPECT_EQ(replicas.size(), want) << "shard " << s;
+      EXPECT_EQ(std::set<uint32_t>(replicas.begin(), replicas.end()).size(), replicas.size())
+          << "shard " << s << " lists a node twice";
+      for (const uint32_t node : replicas) {
+        EXPECT_TRUE(fx.mgr.pool_node_alive(node))
+            << "shard " << s << " orphaned on dead node " << node;
+      }
+    }
+  };
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    const SimTime t = SimTime::Zero() + SimDuration::Seconds(1 + 2 * cycle);
+    fx.mgr.OnPoolNodeCrash(1, t);
+    fx.mgr.RunRebalance(t);
+    check_replicas(2);  // mid-churn: nothing points at the dead node
+    fx.mgr.OnPoolNodeRestart(1, t + SimDuration::Seconds(1));
+    fx.mgr.RunRebalance(t + SimDuration::Seconds(1));
+    check_replicas(2);
+  }
+}
+
+TEST(PoolManagerTest, LeaseRenewalRacesShardMigration) {
+  PoolManagerFixture fx(SmallPoolConfig(2));
+  fx.mgr.RegisterTemplate(0, TwoChunkImage(0xAA, 0xBB));
+  const auto miss = fx.mgr.Attach(0, 0, SimTime::Zero());
+  ASSERT_EQ(miss.fetched_pages, 1024u);
+  // Crash shard 0's primary: promotion redirects the shard to a survivor and
+  // kicks off a migration (the delayed rebalance will re-replicate).
+  const uint32_t victim = fx.mgr.ShardReplicas(0).front();
+  fx.mgr.OnPoolNodeCrash(victim, SimTime::Zero() + SimDuration::Seconds(1));
+  EXPECT_GE(fx.mgr.replica_promotions(), 1u);
+  EXPECT_EQ(fx.mgr.leases_revoked(), 0u);
+  // Renewal lands while the shard is mid-migration (under-replicated): it
+  // must stay a metadata-only hit on the surviving lease.
+  const auto renew = fx.mgr.Attach(0, 0, SimTime::Zero() + SimDuration::Millis(1500));
+  EXPECT_TRUE(renew.lease_hit);
+  EXPECT_EQ(renew.fetched_pages, 0u);
+  EXPECT_EQ(fx.mgr.LeaseRefs(0, 0), 2u);
+  // Migration completes; the lease is still valid and renews again.
+  fx.mgr.RunRebalance(SimTime::Zero() + SimDuration::Seconds(2));
+  const auto renew2 = fx.mgr.Attach(0, 0, SimTime::Zero() + SimDuration::Millis(2500));
+  EXPECT_TRUE(renew2.lease_hit);
+  EXPECT_EQ(fx.mgr.LeaseRefs(0, 0), 3u);
+  EXPECT_EQ(fx.mgr.leases_revoked(), 0u);
+  // A cold worker fetches the full template from the post-migration
+  // placement, and every shard's serving primary is a live node.
+  const auto cold = fx.mgr.Attach(1, 0, SimTime::Zero() + SimDuration::Seconds(3));
+  EXPECT_FALSE(cold.lease_hit);
+  EXPECT_EQ(cold.fetched_pages, 1024u);
+  for (uint32_t s = 0; s < fx.mgr.shard_count(); ++s) {
+    EXPECT_TRUE(fx.mgr.pool_node_alive(fx.mgr.ShardReplicas(s).front()));
+  }
+}
+
 // ------------------------------------------------------------ Cluster level
 
 ClusterConfig PoolClusterConfig(ClusterConfig::Dispatch dispatch, uint32_t replication) {
